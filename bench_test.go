@@ -1,0 +1,296 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation, plus micro-benchmarks of the core machinery. Each
+// table/figure benchmark runs the corresponding experiment pipeline on
+// a compact testbed and reports the headline metric via b.ReportMetric,
+// so `go test -bench=.` both exercises and summarizes the reproduction.
+// (The full-scale numbers come from `go run ./cmd/experiments -all`;
+// these benches use reduced testbeds to keep the run minutes-long.)
+package repro
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/selection"
+	"repro/internal/summary"
+)
+
+// benchScale is the compact testbed used by the table/figure benches:
+// bigger than TestScale (so the phenomena are visible) but far below
+// the full evaluation scale.
+func benchScale() experiments.Scale {
+	sc := experiments.TestScale()
+	sc.WebPerLeaf = 2
+	sc.WebExtra = 10
+	sc.WebMinSize = 100
+	sc.WebMaxSize = 600
+	sc.TRECPool = 8000
+	sc.TRECDatabases = 30
+	sc.Queries = 15
+	sc.SampleTarget = 100
+	sc.GlobalVocab = 3000
+	sc.CategoryVocab = 1500
+	return sc
+}
+
+var benchWorlds struct {
+	mu   sync.Mutex
+	web  *experiments.World
+	trec *experiments.World
+	sums map[string]*experiments.DBSummaries
+}
+
+func benchWorld(b *testing.B, kind experiments.BedKind) *experiments.World {
+	b.Helper()
+	benchWorlds.mu.Lock()
+	defer benchWorlds.mu.Unlock()
+	switch kind {
+	case experiments.Web:
+		if benchWorlds.web == nil {
+			w, err := experiments.BuildWorld(kind, benchScale())
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchWorlds.web = w
+		}
+		return benchWorlds.web
+	default:
+		if benchWorlds.trec == nil {
+			w, err := experiments.BuildWorld(experiments.TREC4, benchScale())
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchWorlds.trec = w
+		}
+		return benchWorlds.trec
+	}
+}
+
+func benchSummaries(b *testing.B, kind experiments.BedKind, cfg experiments.Config) *experiments.DBSummaries {
+	b.Helper()
+	w := benchWorld(b, kind)
+	benchWorlds.mu.Lock()
+	defer benchWorlds.mu.Unlock()
+	if benchWorlds.sums == nil {
+		benchWorlds.sums = make(map[string]*experiments.DBSummaries)
+	}
+	key := kind.String() + "/" + cfg.String()
+	if s, ok := benchWorlds.sums[key]; ok {
+		return s
+	}
+	s, err := w.BuildSummaries(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchWorlds.sums[key] = s
+	return s
+}
+
+// BenchmarkTable2MixtureWeights measures the EM computation of the λ
+// mixture weights (Table 2) across all Web databases.
+func BenchmarkTable2MixtureWeights(b *testing.B) {
+	w := benchWorld(b, experiments.Web)
+	sums := benchSummaries(b, experiments.Web, experiments.Config{Sampler: experiments.QBS, FreqEst: true})
+	classified := sums.Classified(w)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range classified {
+			core.Shrink(sums.Cats, classified[j], core.ShrinkOptions{})
+		}
+	}
+	b.ReportMetric(float64(len(classified)), "databases/op")
+}
+
+// qualityBench runs the Tables 4-9 pipeline once per iteration and
+// reports the shrunk-vs-unshrunk values of one metric.
+func qualityBench(b *testing.B, metric string) {
+	w := benchWorld(b, experiments.Web)
+	b.ResetTimer()
+	var row experiments.QualityRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		row, err = w.Quality(experiments.QBS, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	cell := map[string][2]float64{
+		"wr":   {row.WR.Shrunk, row.WR.Unshrunk},
+		"ur":   {row.UR.Shrunk, row.UR.Unshrunk},
+		"wp":   {row.WP.Shrunk, row.WP.Unshrunk},
+		"up":   {row.UP.Shrunk, row.UP.Unshrunk},
+		"srcc": {row.SRCC.Shrunk, row.SRCC.Unshrunk},
+		"kl":   {row.KL.Shrunk, row.KL.Unshrunk},
+	}[metric]
+	b.ReportMetric(cell[0], metric+"-shrunk")
+	b.ReportMetric(cell[1], metric+"-plain")
+}
+
+// BenchmarkTable4WeightedRecall regenerates the Table 4 metric.
+func BenchmarkTable4WeightedRecall(b *testing.B) { qualityBench(b, "wr") }
+
+// BenchmarkTable5UnweightedRecall regenerates the Table 5 metric.
+func BenchmarkTable5UnweightedRecall(b *testing.B) { qualityBench(b, "ur") }
+
+// BenchmarkTable6WeightedPrecision regenerates the Table 6 metric.
+func BenchmarkTable6WeightedPrecision(b *testing.B) { qualityBench(b, "wp") }
+
+// BenchmarkTable7UnweightedPrecision regenerates the Table 7 metric.
+func BenchmarkTable7UnweightedPrecision(b *testing.B) { qualityBench(b, "up") }
+
+// BenchmarkTable8SRCC regenerates the Table 8 metric.
+func BenchmarkTable8SRCC(b *testing.B) { qualityBench(b, "srcc") }
+
+// BenchmarkTable9KL regenerates the Table 9 metric.
+func BenchmarkTable9KL(b *testing.B) { qualityBench(b, "kl") }
+
+// BenchmarkTable10AdaptiveRate measures the adaptive algorithm's
+// shrinkage-application decision over the whole workload and reports
+// the Table 10 rate.
+func BenchmarkTable10AdaptiveRate(b *testing.B) {
+	w := benchWorld(b, experiments.TREC4)
+	sums := benchSummaries(b, experiments.TREC4, experiments.Config{Sampler: experiments.QBS, FreqEst: true})
+	b.ResetTimer()
+	var res experiments.AccuracyResult
+	for i := 0; i < b.N; i++ {
+		res = w.SelectionAccuracy(sums, selection.BGloss{}, experiments.Shrinkage, 10)
+	}
+	b.ReportMetric(100*res.ShrinkRate, "%shrinkage")
+}
+
+// figureBench runs one selection-accuracy comparison and reports mean
+// Rk at k=5 for the three strategies of Figures 4-5.
+func figureBench(b *testing.B, scorer selection.Scorer) {
+	w := benchWorld(b, experiments.TREC4)
+	sums := benchSummaries(b, experiments.TREC4, experiments.Config{Sampler: experiments.QBS, FreqEst: true})
+	b.ResetTimer()
+	var shrink, hier, plain experiments.AccuracyResult
+	for i := 0; i < b.N; i++ {
+		shrink = w.SelectionAccuracy(sums, scorer, experiments.Shrinkage, 10)
+		hier = w.SelectionAccuracy(sums, scorer, experiments.Hierarchical, 10)
+		plain = w.SelectionAccuracy(sums, scorer, experiments.Plain, 10)
+	}
+	b.ReportMetric(shrink.Rk[4], "R5-shrinkage")
+	b.ReportMetric(hier.Rk[4], "R5-hierarchical")
+	b.ReportMetric(plain.Rk[4], "R5-plain")
+}
+
+// BenchmarkFigure4CORISelection regenerates the Figure 4 comparison.
+func BenchmarkFigure4CORISelection(b *testing.B) { figureBench(b, selection.CORI{}) }
+
+// BenchmarkFigure5BGlossLM regenerates the Figure 5 comparison (bGlOSS
+// panel; the LM panel is exercised by the cmd/experiments harness).
+func BenchmarkFigure5BGlossLM(b *testing.B) { figureBench(b, selection.BGloss{}) }
+
+// BenchmarkEMConvergence is the DESIGN.md ablation: EM cost as a
+// function of the convergence tolerance.
+func BenchmarkEMConvergence(b *testing.B) {
+	w := benchWorld(b, experiments.Web)
+	sums := benchSummaries(b, experiments.Web, experiments.Config{Sampler: experiments.QBS, FreqEst: true})
+	classified := sums.Classified(w)
+	for _, eps := range []float64{1e-2, 1e-3, 1e-4} {
+		b.Run(epsName(eps), func(b *testing.B) {
+			var iters int
+			for i := 0; i < b.N; i++ {
+				sh := core.Shrink(sums.Cats, classified[i%len(classified)], core.ShrinkOptions{Epsilon: eps})
+				iters = sh.EMIterations()
+			}
+			b.ReportMetric(float64(iters), "em-iters")
+		})
+	}
+}
+
+func epsName(eps float64) string {
+	switch eps {
+	case 1e-2:
+		return "eps=1e-2"
+	case 1e-3:
+		return "eps=1e-3"
+	default:
+		return "eps=1e-4"
+	}
+}
+
+// BenchmarkAdaptiveDecision measures the per-(query, database) cost of
+// the Figure 3 content-summary selection step (the paper argues it is
+// cheap enough for query time).
+func BenchmarkAdaptiveDecision(b *testing.B) {
+	w := benchWorld(b, experiments.TREC4)
+	sums := benchSummaries(b, experiments.TREC4, experiments.Config{Sampler: experiments.QBS, FreqEst: true})
+	adbs := make([]*selection.DB, len(w.Bed.Databases))
+	for i, db := range w.Bed.Databases {
+		adbs[i] = &selection.DB{
+			Name: db.Name, Unshrunk: sums.Unshrunk[i], Shrunk: sums.Shrunk[i],
+			Gamma: sums.Gamma[i], Size: int(sums.SizeEst[i]),
+		}
+	}
+	a := &selection.Adaptive{Base: selection.CORI{}}
+	q := w.Bed.Queries[0].Terms
+	entries := make([]selection.Entry, len(adbs))
+	for i, db := range adbs {
+		entries[i] = selection.Entry{Name: db.Name, View: db.Unshrunk}
+	}
+	ctx := selection.NewContext(q, entries, sums.GlobalSummary())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Choose(q, adbs, ctx)
+	}
+	b.ReportMetric(float64(len(adbs)), "databases/op")
+}
+
+// BenchmarkEndToEndSelect measures a complete metasearcher query
+// through the public API.
+func BenchmarkEndToEndSelect(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := New(Options{SampleSize: 30, Seed: 3})
+	for _, topic := range topicOrder {
+		docs := topicDocs(rng, topic, 20)
+		if err := m.Train(topic, docs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i, topic := range []string{"Heart", "Cancer", "Soccer"} {
+		db := m.NewLocalDatabase(topic+"-db", topicDocs(rng, topic, 60))
+		if err := m.AddDatabase(db, ""); err != nil {
+			b.Fatal(err)
+		}
+		_ = i
+	}
+	if err := m.BuildSummaries(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Select("blood pressure hypertension", 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBuildSummaries measures full summary construction (sampling
+// + classification + frequency estimation + shrinkage) per database.
+func BenchmarkBuildSummaries(b *testing.B) {
+	w := benchWorld(b, experiments.Web)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.BuildSummaries(experiments.Config{Sampler: experiments.QBS, FreqEst: true, Run: i + 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(w.Bed.Databases)), "databases/op")
+}
+
+// BenchmarkMaterializeShrunk measures materializing a shrunk summary
+// with the round rule (the evaluation path of Tables 4-7).
+func BenchmarkMaterializeShrunk(b *testing.B) {
+	sums := benchSummaries(b, experiments.Web, experiments.Config{Sampler: experiments.QBS, FreqEst: true})
+	b.ResetTimer()
+	var s *summary.Summary
+	for i := 0; i < b.N; i++ {
+		s = sums.Shrunk[i%len(sums.Shrunk)].Materialize(1)
+	}
+	b.ReportMetric(float64(s.Len()), "words")
+}

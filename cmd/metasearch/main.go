@@ -1,0 +1,126 @@
+// Command metasearch is an end-to-end demonstration metasearcher: it
+// builds a synthetic Web testbed, constructs shrinkage-based content
+// summaries for every database, and answers queries from stdin (or the
+// command line) by printing the selected databases.
+//
+// Usage:
+//
+//	metasearch [-scale small|default] [-scorer cori|bgloss|lm] [-k 5] [query ...]
+//
+// With no query arguments, queries are read one per line from stdin.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/hierarchy"
+	"repro/internal/selection"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("metasearch: ")
+	var (
+		scale      = flag.String("scale", "small", "testbed scale: small | default")
+		scorerName = flag.String("scorer", "cori", "selection algorithm: cori | bgloss | lm")
+		k          = flag.Int("k", 5, "databases to select per query")
+		seed       = flag.Int64("seed", 1, "synthetic world seed")
+	)
+	flag.Parse()
+
+	sc := experiments.TestScale()
+	if *scale == "default" {
+		sc = experiments.DefaultScale()
+	}
+	sc.Seed = *seed
+
+	log.Print("building Web testbed...")
+	w, err := experiments.BuildWorld(experiments.Web, sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("%d databases, %d documents", len(w.Bed.Databases), w.Bed.TotalDocs())
+
+	log.Print("sampling databases and building shrunk summaries (QBS + frequency estimation)...")
+	sums, err := w.BuildSummaries(experiments.Config{Sampler: experiments.QBS, FreqEst: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var scorer selection.Scorer
+	switch *scorerName {
+	case "bgloss":
+		scorer = selection.BGloss{}
+	case "lm":
+		scorer = selection.LM{}
+	default:
+		scorer = selection.CORI{}
+	}
+	adaptive := &selection.Adaptive{Base: scorer, Opts: selection.AdaptiveOptions{Seed: *seed}}
+	adbs := make([]*selection.DB, len(w.Bed.Databases))
+	for i, db := range w.Bed.Databases {
+		adbs[i] = &selection.DB{
+			Name:     db.Name,
+			Unshrunk: sums.Unshrunk[i],
+			Shrunk:   sums.Shrunk[i],
+			Gamma:    sums.Gamma[i],
+			Size:     int(sums.SizeEst[i]),
+		}
+	}
+	global := sums.GlobalSummary()
+
+	answer := func(query string) {
+		terms := strings.Fields(strings.ToLower(query))
+		if len(terms) == 0 {
+			return
+		}
+		ranked, decisions := adaptive.Rank(terms, adbs, global)
+		if len(ranked) == 0 {
+			fmt.Printf("%-40s -> no database selected\n", query)
+			return
+		}
+		if len(ranked) > *k {
+			ranked = ranked[:*k]
+		}
+		fmt.Printf("%s ->\n", query)
+		for i, r := range ranked {
+			mark := " "
+			if decisions[r.Index].Shrinkage {
+				mark = "*"
+			}
+			fmt.Printf("  %2d.%s %-34s score %-12.4g %s\n", i+1, mark, r.Name, r.Score,
+				w.Bed.Tree.PathString(w.Bed.Databases[r.Index].Category))
+		}
+	}
+
+	if flag.NArg() > 0 {
+		answer(strings.Join(flag.Args(), " "))
+		return
+	}
+
+	// Show a few example topical words the user can query with.
+	if v := w.Bed.Gen.CategoryVocab(mustLookup(w, "Heart")); v != nil {
+		fmt.Printf("example query words: %s %s %s (Heart topic)\n",
+			v.Word(3), v.Word(20), v.Word(50))
+	}
+	scanner := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for scanner.Scan() {
+		answer(scanner.Text())
+		fmt.Print("> ")
+	}
+}
+
+func mustLookup(w *experiments.World, name string) hierarchy.NodeID {
+	n, ok := w.Bed.Tree.Lookup(name)
+	if !ok {
+		log.Fatalf("category %s missing", name)
+	}
+	return n
+}

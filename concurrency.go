@@ -1,0 +1,53 @@
+package repro
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// forEachConcurrently runs fn(i) for i in [0, n) over a bounded worker
+// pool. workers <= 1 runs sequentially and stops at the first error;
+// the concurrent path lets in-flight work finish and reports the first
+// error encountered. Callers write results into pre-sized per-index
+// slots, so no additional synchronization is needed.
+func forEachConcurrently(n, workers int, fn func(i int) error) error {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	var (
+		wg    sync.WaitGroup
+		next  int64 = -1
+		errMu sync.Mutex
+		first error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					errMu.Lock()
+					if first == nil {
+						first = err
+					}
+					errMu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}

@@ -1,0 +1,87 @@
+package repro_test
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	repro "repro"
+)
+
+// phrases builds deterministic topical documents for the example.
+func phrases(rng *rand.Rand, parts []string, n int) []string {
+	docs := make([]string, n)
+	for i := range docs {
+		var sb strings.Builder
+		for j := 0; j < 4; j++ {
+			sb.WriteString(parts[rng.Intn(len(parts))])
+			sb.WriteString(". ")
+		}
+		docs[i] = sb.String()
+	}
+	return docs
+}
+
+// Example demonstrates the end-to-end metasearch flow: train the
+// classifier, register databases, build shrinkage-based summaries, and
+// select databases for a query.
+func Example() {
+	rng := rand.New(rand.NewSource(7))
+	heart := []string{
+		"blood pressure and hypertension management",
+		"coronary artery disease treatment",
+		"cardiac valve surgery outcomes",
+	}
+	soccer := []string{
+		"the striker scored a late goal",
+		"penalty decisions by the referee",
+		"league championship standings",
+	}
+
+	m := repro.New(repro.Options{SampleSize: 30, Seed: 3})
+	if err := m.Train("Heart", phrases(rng, heart, 20)); err != nil {
+		log.Fatal(err)
+	}
+	if err := m.Train("Soccer", phrases(rng, soccer, 20)); err != nil {
+		log.Fatal(err)
+	}
+	if err := m.AddDatabase(m.NewLocalDatabase("cardio.example", phrases(rng, heart, 80)), "Heart"); err != nil {
+		log.Fatal(err)
+	}
+	if err := m.AddDatabase(m.NewLocalDatabase("futbol.example", phrases(rng, soccer, 80)), ""); err != nil {
+		log.Fatal(err)
+	}
+	if err := m.BuildSummaries(); err != nil {
+		log.Fatal(err)
+	}
+
+	sels, err := m.Select("blood pressure", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(sels[0].Database)
+	// Output: cardio.example
+}
+
+// ExampleParseHierarchy shows loading a custom taxonomy.
+func ExampleParseHierarchy() {
+	spec, err := repro.ParseHierarchy(strings.NewReader(`
+Root
+	Medicine
+		Cardiology
+	Sport
+`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := repro.New(repro.Options{Categories: spec})
+	for _, c := range m.Hierarchy() {
+		fmt.Printf("%s%s\n", strings.Repeat("  ", c.Depth), c.Name)
+	}
+	// Output:
+	// Root
+	//   Medicine
+	//     Cardiology
+	//   Sport
+}

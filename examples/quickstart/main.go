@@ -1,0 +1,139 @@
+// Quickstart: metasearch over three small text databases.
+//
+// This example exercises the library's end-to-end path on readable
+// English text: register databases, train the probe classifier, build
+// shrinkage-based content summaries, and select databases for queries.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	repro "repro"
+)
+
+// phrases per topic, recombined randomly into documents.
+var topics = map[string][]string{
+	"Heart": {
+		"blood pressure measurements in hypertensive patients",
+		"coronary artery disease and cholesterol levels",
+		"cardiac surgery outcomes for valve replacement",
+		"heart rate variability during exercise stress tests",
+		"treatment of arrhythmia with beta blockers",
+		"hypertension management and dietary sodium",
+	},
+	"Cancer": {
+		"tumor growth rates under chemotherapy regimens",
+		"breast cancer screening with mammography",
+		"radiation therapy dosage for lymphoma patients",
+		"oncology clinical trials for metastatic melanoma",
+		"biopsy results and malignant cell classification",
+		"survival rates after early tumor detection",
+	},
+	"Soccer": {
+		"the striker scored a goal in the final minute",
+		"the goalkeeper saved a penalty kick during the match",
+		"midfield players controlled possession of the ball",
+		"the league championship trophy ceremony",
+		"offside decisions reviewed by the referee",
+		"training drills for passing and dribbling",
+	},
+}
+
+func makeDocs(rng *rand.Rand, topic string, n int) []string {
+	phrases := topics[topic]
+	docs := make([]string, n)
+	for i := range docs {
+		var sb strings.Builder
+		for j := 0; j < 4+rng.Intn(4); j++ {
+			sb.WriteString(phrases[rng.Intn(len(phrases))])
+			sb.WriteString(". ")
+		}
+		docs[i] = sb.String()
+	}
+	return docs
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(42))
+	m := repro.New(repro.Options{
+		SampleSize: 40, // tiny databases; sample most of them
+		Scorer:     "cori",
+		Seed:       7,
+	})
+
+	// Train the classifier with a handful of labeled example documents
+	// per category (the role of directory-labeled pages in the paper).
+	for _, topic := range []string{"Heart", "Cancer", "Soccer"} {
+		if err := m.Train(topic, makeDocs(rng, topic, 30)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Register databases. cardio.example comes with a directory
+	// classification; the other two are classified by query probing.
+	if err := m.AddDatabase(m.NewLocalDatabase("cardio.example", makeDocs(rng, "Heart", 120)), "Heart"); err != nil {
+		log.Fatal(err)
+	}
+	if err := m.AddDatabase(m.NewLocalDatabase("oncology.example", makeDocs(rng, "Cancer", 150)), ""); err != nil {
+		log.Fatal(err)
+	}
+	if err := m.AddDatabase(m.NewLocalDatabase("futbol.example", makeDocs(rng, "Soccer", 100)), ""); err != nil {
+		log.Fatal(err)
+	}
+
+	if err := m.BuildSummaries(); err != nil {
+		log.Fatal(err)
+	}
+
+	for _, name := range []string{"cardio.example", "oncology.example", "futbol.example"} {
+		info, err := m.Info(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s\n  classified: %s\n  estimated size: %.0f docs (sampled %d)\n  mixture weights:",
+			info.Name, info.Category, info.EstimatedSize, info.SampleSize)
+		for _, mw := range info.MixtureWeights {
+			fmt.Printf(" %s=%.2f", mw.Component, mw.Weight)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+
+	for _, q := range []string{
+		"blood pressure hypertension",
+		"tumor chemotherapy",
+		"goal penalty match",
+		"patients treatment",
+	} {
+		sels, err := m.Select(q, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("query %-34q ->", q)
+		for _, s := range sels {
+			mark := ""
+			if s.Shrinkage {
+				mark = "*"
+			}
+			fmt.Printf("  %s%s (%.3g)", s.Database, mark, s.Score)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n(* = shrunk summary used for this query)")
+
+	// The full metasearch loop: select databases, evaluate the query at
+	// each, merge the ranked results.
+	results, err := m.Search("blood pressure hypertension", 2, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nmerged results for [blood pressure hypertension]:")
+	for i, r := range results {
+		fmt.Printf("  %d. %s doc#%d (%.3f)\n", i+1, r.Database, r.DocID, r.Score)
+	}
+}

@@ -1,0 +1,272 @@
+package classify
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/hierarchy"
+	"repro/internal/index"
+	"repro/internal/synth"
+)
+
+func testTree() *hierarchy.Tree {
+	return hierarchy.MustNew(hierarchy.Spec{
+		Name: "Root",
+		Children: []hierarchy.Spec{
+			{Name: "Health", Children: []hierarchy.Spec{
+				{Name: "Heart"}, {Name: "Cancer"},
+			}},
+			{Name: "Sports", Children: []hierarchy.Spec{
+				{Name: "Soccer"}, {Name: "Tennis"},
+			}},
+		},
+	})
+}
+
+func testWorld(t testing.TB, seed int64) (*hierarchy.Tree, *synth.Generator) {
+	t.Helper()
+	tree := testTree()
+	g, err := synth.NewGenerator(synth.Config{
+		Tree:              tree,
+		Seed:              seed,
+		GlobalVocabSize:   600,
+		CategoryVocabBase: 400,
+		PrivateVocabSize:  60,
+		DocLenMean:        60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, g
+}
+
+// trainFromWorld generates labeled training documents for every leaf.
+func trainFromWorld(t testing.TB, tree *hierarchy.Tree, g *synth.Generator, perLeaf int) *TrainingSet {
+	t.Helper()
+	ts := &TrainingSet{}
+	rng := rand.New(rand.NewSource(1234))
+	for _, leaf := range tree.Leaves() {
+		src := g.NewDocSource(leaf, nil, rng)
+		var buf []string
+		for i := 0; i < perLeaf; i++ {
+			buf = src.GenDoc(rng, buf)
+			ts.Add(leaf, buf)
+		}
+	}
+	return ts
+}
+
+// buildDB creates a database index under the given category.
+func buildDB(t testing.TB, g *synth.Generator, cat hierarchy.NodeID, size int, seed int64) *index.Index {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	priv, err := g.NewPrivateVocab("p_")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := g.NewDocSource(cat, priv, rng)
+	b := index.NewBuilder(size)
+	var buf []string
+	for i := 0; i < size; i++ {
+		buf = src.GenDoc(rng, buf)
+		b.Add(buf)
+	}
+	return b.Build()
+}
+
+// indexProber adapts index.Index to Prober.
+type indexProber struct{ ix *index.Index }
+
+func (p indexProber) MatchCount(q []string) int { return p.ix.MatchCount(q) }
+
+func TestTrainRequiresData(t *testing.T) {
+	tree := testTree()
+	if _, err := Train(tree, &TrainingSet{}, Options{}); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+}
+
+func TestTrainLearnsTopicalProbes(t *testing.T) {
+	tree, g := testWorld(t, 7)
+	ts := trainFromWorld(t, tree, g, 60)
+	c, err := Train(tree, ts, Options{ProbesPerCategory: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heart, _ := tree.Lookup("Heart")
+	probes := c.Probes(heart)
+	if len(probes) != 8 {
+		t.Fatalf("probes = %d, want 8", len(probes))
+	}
+	// Probe words for Heart should come from the Heart (or Health)
+	// vocabularies, never the global or cross-topic ones.
+	for _, p := range probes {
+		if p[0] == 'g' {
+			t.Errorf("global word %q chosen as Heart probe", p)
+		}
+		if len(p) >= 6 && (p[:6] == "soccer" || p[:6] == "tennis") {
+			t.Errorf("cross-topic word %q chosen as Heart probe", p)
+		}
+	}
+	if c.Probes(hierarchy.Root) != nil {
+		t.Error("root should have no probes")
+	}
+}
+
+func TestClassifyLeafDatabases(t *testing.T) {
+	tree, g := testWorld(t, 8)
+	ts := trainFromWorld(t, tree, g, 60)
+	c, err := Train(tree, ts, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	leaves := tree.Leaves()
+	for i, leaf := range leaves {
+		db := buildDB(t, g, leaf, 250, int64(100+i))
+		got := c.Classify(indexProber{db})
+		if got == leaf {
+			correct++
+		} else if !tree.IsAncestorOrSelf(got, leaf) {
+			// Misclassification into a sibling subtree would be bad;
+			// stopping early at an ancestor is acceptable (QProber does
+			// this for unfocused databases).
+			t.Errorf("leaf %s classified into unrelated category %s",
+				tree.Node(leaf).Name, tree.Node(got).Name)
+		}
+	}
+	if correct < len(leaves)-1 {
+		t.Errorf("only %d/%d leaf databases classified exactly", correct, len(leaves))
+	}
+}
+
+func TestClassifyMidLevelDatabase(t *testing.T) {
+	// A database generated at an internal category (mixed subtopics)
+	// should be classified within that category's subtree.
+	tree, g := testWorld(t, 9)
+	ts := trainFromWorld(t, tree, g, 60)
+	c, err := Train(tree, ts, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	health, _ := tree.Lookup("Health")
+	db := buildDB(t, g, health, 250, 55)
+	got := c.Classify(indexProber{db})
+	if !tree.IsAncestorOrSelf(health, got) && got != hierarchy.Root {
+		t.Errorf("Health-level database classified under %s", tree.Node(got).Name)
+	}
+}
+
+func TestClassifyEmptyDatabaseStaysAtRoot(t *testing.T) {
+	tree, g := testWorld(t, 10)
+	ts := trainFromWorld(t, tree, g, 40)
+	c, err := Train(tree, ts, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := index.NewBuilder(0).Build()
+	if got := c.Classify(indexProber{empty}); got != hierarchy.Root {
+		t.Errorf("empty database classified under %v", got)
+	}
+}
+
+func TestScoreChildrenSpecificitySumsToOne(t *testing.T) {
+	tree, g := testWorld(t, 11)
+	ts := trainFromWorld(t, tree, g, 40)
+	c, err := Train(tree, ts, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heart, _ := tree.Lookup("Heart")
+	db := buildDB(t, g, heart, 200, 77)
+	scores := c.ScoreChildren(indexProber{db}, hierarchy.Root)
+	if len(scores) != 2 {
+		t.Fatalf("scores = %d, want 2 top-level children", len(scores))
+	}
+	var sum float64
+	for _, s := range scores {
+		sum += s.Specificity
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("specificities sum to %v", sum)
+	}
+	// Health must dominate for a Heart database.
+	health, _ := tree.Lookup("Health")
+	if scores[0].Category != health {
+		t.Errorf("top child = %v, want Health", tree.Node(scores[0].Category).Name)
+	}
+	// Leaf node has no children to score.
+	if s := c.ScoreChildren(indexProber{db}, heart); s != nil {
+		t.Errorf("leaf ScoreChildren = %v", s)
+	}
+}
+
+func TestTrainingSetAddCopies(t *testing.T) {
+	ts := &TrainingSet{}
+	doc := []string{"a", "b"}
+	ts.Add(hierarchy.Root, doc)
+	doc[0] = "MUTATED"
+	if ts.docs[0][0] != "a" {
+		t.Error("TrainingSet.Add must copy the document")
+	}
+}
+
+func BenchmarkClassify(b *testing.B) {
+	tree, g := testWorld(b, 12)
+	ts := trainFromWorld(b, tree, g, 60)
+	c, err := Train(tree, ts, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	heart, _ := tree.Lookup("Heart")
+	db := buildDB(b, g, heart, 300, 3)
+	p := indexProber{db}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Classify(p)
+	}
+}
+
+func TestTrainingSetTopWords(t *testing.T) {
+	ts := &TrainingSet{}
+	ts.Add(hierarchy.Root, []string{"common", "rare"})
+	ts.Add(hierarchy.Root, []string{"common", "mid"})
+	ts.Add(hierarchy.Root, []string{"common", "mid", "common"}) // dup within doc counts once
+	top := ts.TopWords(2)
+	if len(top) != 2 || top[0] != "common" || top[1] != "mid" {
+		t.Errorf("TopWords = %v", top)
+	}
+	all := ts.TopWords(100)
+	if len(all) != 3 {
+		t.Errorf("TopWords(100) = %v", all)
+	}
+	if got := (&TrainingSet{}).TopWords(5); len(got) != 0 {
+		t.Errorf("empty set TopWords = %v", got)
+	}
+}
+
+func TestInternalCategoryProbesCoverSubtopics(t *testing.T) {
+	// The Health category's probes must represent both Heart and Cancer,
+	// not collapse onto whichever subtopic scores higher — otherwise a
+	// Heart database would get zero Health coverage during descent.
+	tree, g := testWorld(t, 30)
+	ts := trainFromWorld(t, tree, g, 50)
+	c, err := Train(tree, ts, Options{ProbesPerCategory: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	health, _ := tree.Lookup("Health")
+	var heartish, cancerish int
+	for _, p := range c.Probes(health) {
+		if len(p) >= 5 && p[:5] == "heart" {
+			heartish++
+		}
+		if len(p) >= 6 && p[:6] == "cancer" {
+			cancerish++
+		}
+	}
+	if heartish == 0 || cancerish == 0 {
+		t.Errorf("Health probes unbalanced: %d heart, %d cancer: %v",
+			heartish, cancerish, c.Probes(health))
+	}
+}

@@ -1,0 +1,324 @@
+// Package cluster implements K-means clustering of documents over
+// TF-IDF feature vectors. The paper's TREC4 and TREC6 testbeds are
+// "separated into disjoint databases via clustering using the K-means
+// algorithm, as specified in [Xu & Croft]" (Section 5.1), so that "by
+// construction, the documents in each database are on roughly the same
+// topic". This package provides that substrate.
+//
+// Documents are featurized over the F most document-frequent terms of
+// the collection (F configurable); each document becomes a sparse
+// L2-normalized TF-IDF vector and K-means maximizes cosine similarity
+// (spherical K-means), which is the standard choice for text.
+package cluster
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// SparseVec is an L2-normalized sparse feature vector with strictly
+// increasing feature indexes.
+type SparseVec struct {
+	Idx []int32
+	Val []float32
+}
+
+// Config controls clustering.
+type Config struct {
+	K          int   // number of clusters
+	Features   int   // size of the feature vocabulary (top-df terms); default 1500
+	MaxIter    int   // maximum Lloyd iterations; default 12
+	Seed       int64 // RNG seed for centroid initialization
+	MinShift   int   // stop when fewer than MinShift docs change cluster; default max(1, nDocs/1000)
+	SampleInit int   // number of docs sampled for k-means++ init; default 4096
+}
+
+// Result reports a clustering.
+type Result struct {
+	Assign []int // cluster id per document
+	Sizes  []int // documents per cluster
+	Iters  int   // Lloyd iterations performed
+}
+
+// Corpus is the minimal view of a document collection the clusterer
+// needs. It intentionally matches internal/index.Index's shape, but is
+// declared here so cluster has no dependency on the index package.
+type Corpus interface {
+	NumDocs() int
+	// DocTermCounts calls fn with (term, count) for every distinct term
+	// of document d.
+	DocTermCounts(d int, fn func(term string, count int))
+	// ForEachTerm iterates the collection vocabulary with document
+	// frequencies.
+	ForEachTerm(fn func(term string, df int))
+}
+
+// KMeans clusters the corpus documents into cfg.K topical groups.
+func KMeans(c Corpus, cfg Config) (*Result, error) {
+	n := c.NumDocs()
+	if cfg.K <= 0 {
+		return nil, errors.New("cluster: K must be positive")
+	}
+	if n < cfg.K {
+		return nil, errors.New("cluster: fewer documents than clusters")
+	}
+	if cfg.Features <= 0 {
+		cfg.Features = 1500
+	}
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 12
+	}
+	if cfg.MinShift <= 0 {
+		cfg.MinShift = n / 1000
+		if cfg.MinShift < 1 {
+			cfg.MinShift = 1
+		}
+	}
+	if cfg.SampleInit <= 0 {
+		cfg.SampleInit = 4096
+	}
+
+	feats := selectFeatures(c, cfg.Features)
+	vecs := vectorize(c, feats)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	centroids := initPlusPlus(vecs, cfg.K, cfg.SampleInit, rng)
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+
+	dim := len(feats.idf)
+	iters := 0
+	for ; iters < cfg.MaxIter; iters++ {
+		shifted := 0
+		for d := range vecs {
+			best, bestSim := 0, float32(math.Inf(-1))
+			for k := range centroids {
+				s := dot(vecs[d], centroids[k])
+				if s > bestSim {
+					bestSim, best = s, k
+				}
+			}
+			if assign[d] != best {
+				assign[d] = best
+				shifted++
+			}
+		}
+		if shifted < cfg.MinShift && iters > 0 {
+			iters++
+			break
+		}
+		centroids = recompute(vecs, assign, cfg.K, dim, rng)
+	}
+
+	sizes := make([]int, cfg.K)
+	for _, a := range assign {
+		sizes[a]++
+	}
+	return &Result{Assign: assign, Sizes: sizes, Iters: iters}, nil
+}
+
+// features maps terms to feature indexes and holds per-feature IDF.
+type features struct {
+	index map[string]int32
+	idf   []float32
+}
+
+// selectFeatures picks the top-f terms by document frequency, skipping
+// terms that appear in more than half of all documents (they carry no
+// topical signal and would wash out the cosine).
+func selectFeatures(c Corpus, f int) *features {
+	type tdf struct {
+		term string
+		df   int
+	}
+	n := c.NumDocs()
+	var all []tdf
+	c.ForEachTerm(func(term string, df int) {
+		if df > n/2 || df < 2 {
+			return
+		}
+		all = append(all, tdf{term, df})
+	})
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].df != all[j].df {
+			return all[i].df > all[j].df
+		}
+		return all[i].term < all[j].term
+	})
+	if f > len(all) {
+		f = len(all)
+	}
+	fs := &features{index: make(map[string]int32, f), idf: make([]float32, f)}
+	for i := 0; i < f; i++ {
+		fs.index[all[i].term] = int32(i)
+		fs.idf[i] = float32(math.Log(1 + float64(n)/float64(all[i].df)))
+	}
+	return fs
+}
+
+// vectorize builds the normalized sparse TF-IDF vector of every document.
+func vectorize(c Corpus, fs *features) []SparseVec {
+	n := c.NumDocs()
+	vecs := make([]SparseVec, n)
+	for d := 0; d < n; d++ {
+		var idx []int32
+		var val []float32
+		c.DocTermCounts(d, func(term string, count int) {
+			fi, ok := fs.index[term]
+			if !ok {
+				return
+			}
+			idx = append(idx, fi)
+			val = append(val, float32(1+math.Log(float64(count)))*fs.idf[fi])
+		})
+		sortSparse(idx, val)
+		normalize(val)
+		vecs[d] = SparseVec{Idx: idx, Val: val}
+	}
+	return vecs
+}
+
+func sortSparse(idx []int32, val []float32) {
+	order := make([]int, len(idx))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return idx[order[a]] < idx[order[b]] })
+	idx2 := make([]int32, len(idx))
+	val2 := make([]float32, len(val))
+	for i, o := range order {
+		idx2[i], val2[i] = idx[o], val[o]
+	}
+	copy(idx, idx2)
+	copy(val, val2)
+}
+
+func normalize(val []float32) {
+	var s float64
+	for _, v := range val {
+		s += float64(v) * float64(v)
+	}
+	if s == 0 {
+		return
+	}
+	inv := float32(1 / math.Sqrt(s))
+	for i := range val {
+		val[i] *= inv
+	}
+}
+
+// dot computes the inner product of a sparse vector with a dense centroid.
+func dot(v SparseVec, centroid []float32) float32 {
+	var s float32
+	for i, ix := range v.Idx {
+		s += v.Val[i] * centroid[ix]
+	}
+	return s
+}
+
+// initPlusPlus seeds centroids with k-means++ over a document sample.
+func initPlusPlus(vecs []SparseVec, k, sample int, rng *rand.Rand) [][]float32 {
+	n := len(vecs)
+	cand := make([]int, 0, sample)
+	if n <= sample {
+		for i := 0; i < n; i++ {
+			cand = append(cand, i)
+		}
+	} else {
+		seen := make(map[int]bool, sample)
+		for len(cand) < sample {
+			i := rng.Intn(n)
+			if !seen[i] {
+				seen[i] = true
+				cand = append(cand, i)
+			}
+		}
+	}
+	dim := 0
+	for _, v := range vecs {
+		for _, ix := range v.Idx {
+			if int(ix) >= dim {
+				dim = int(ix) + 1
+			}
+		}
+	}
+	centroids := make([][]float32, 0, k)
+	toDense := func(v SparseVec) []float32 {
+		c := make([]float32, dim)
+		for i, ix := range v.Idx {
+			c[ix] = v.Val[i]
+		}
+		return c
+	}
+	first := cand[rng.Intn(len(cand))]
+	centroids = append(centroids, toDense(vecs[first]))
+	// Distance of candidate to nearest centroid, in cosine-dissimilarity.
+	minDist := make([]float64, len(cand))
+	for i := range minDist {
+		minDist[i] = 1
+	}
+	for len(centroids) < k {
+		last := centroids[len(centroids)-1]
+		var total float64
+		for i, d := range cand {
+			dis := 1 - float64(dot(vecs[d], last))
+			if dis < 0 {
+				dis = 0
+			}
+			if dis < minDist[i] {
+				minDist[i] = dis
+			}
+			total += minDist[i] * minDist[i]
+		}
+		var pick int
+		if total <= 0 {
+			pick = cand[rng.Intn(len(cand))]
+		} else {
+			u := rng.Float64() * total
+			acc := 0.0
+			pick = cand[len(cand)-1]
+			for i, d := range cand {
+				acc += minDist[i] * minDist[i]
+				if acc >= u {
+					pick = d
+					break
+				}
+			}
+		}
+		centroids = append(centroids, toDense(vecs[pick]))
+	}
+	return centroids
+}
+
+// recompute averages member vectors into new normalized centroids;
+// empty clusters are reseeded from a random document.
+func recompute(vecs []SparseVec, assign []int, k, dim int, rng *rand.Rand) [][]float32 {
+	centroids := make([][]float32, k)
+	counts := make([]int, k)
+	for i := range centroids {
+		centroids[i] = make([]float32, dim)
+	}
+	for d, a := range assign {
+		c := centroids[a]
+		counts[a]++
+		v := vecs[d]
+		for i, ix := range v.Idx {
+			c[ix] += v.Val[i]
+		}
+	}
+	for ki := range centroids {
+		if counts[ki] == 0 {
+			d := rng.Intn(len(vecs))
+			v := vecs[d]
+			for i, ix := range v.Idx {
+				centroids[ki][ix] = v.Val[i]
+			}
+		}
+		normalize(centroids[ki])
+	}
+	return centroids
+}

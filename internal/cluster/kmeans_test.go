@@ -1,0 +1,230 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// fakeCorpus is a trivial in-memory Corpus for tests.
+type fakeCorpus struct {
+	docs []map[string]int
+}
+
+func (f *fakeCorpus) NumDocs() int { return len(f.docs) }
+
+func (f *fakeCorpus) DocTermCounts(d int, fn func(string, int)) {
+	for t, c := range f.docs[d] {
+		fn(t, c)
+	}
+}
+
+func (f *fakeCorpus) ForEachTerm(fn func(string, int)) {
+	df := map[string]int{}
+	for _, doc := range f.docs {
+		for t := range doc {
+			df[t]++
+		}
+	}
+	for t, d := range df {
+		fn(t, d)
+	}
+}
+
+// topicalCorpus builds nTopics well-separated topics with docsPer docs
+// each; every topic has its own vocabulary of 30 words.
+func topicalCorpus(nTopics, docsPer int, seed int64) (*fakeCorpus, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	var c fakeCorpus
+	var truth []int
+	for topic := 0; topic < nTopics; topic++ {
+		for d := 0; d < docsPer; d++ {
+			doc := map[string]int{}
+			for w := 0; w < 20; w++ {
+				doc[fmt.Sprintf("t%dw%d", topic, rng.Intn(30))]++
+			}
+			// A couple of shared words so vocabularies overlap a bit.
+			doc[fmt.Sprintf("shared%d", rng.Intn(5))]++
+			c.docs = append(c.docs, doc)
+			truth = append(truth, topic)
+		}
+	}
+	return &c, truth
+}
+
+func TestKMeansRecoversTopics(t *testing.T) {
+	c, truth := topicalCorpus(5, 40, 11)
+	res, err := KMeans(c, Config{K: 5, Seed: 3, Features: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Measure purity: for each cluster, the dominant true topic's share.
+	counts := map[[2]int]int{}
+	for d, a := range res.Assign {
+		counts[[2]int{a, truth[d]}]++
+	}
+	clusterTotal := map[int]int{}
+	clusterBest := map[int]int{}
+	for k, v := range counts {
+		clusterTotal[k[0]] += v
+		if v > clusterBest[k[0]] {
+			clusterBest[k[0]] = v
+		}
+	}
+	var pure, total int
+	for k := range clusterTotal {
+		pure += clusterBest[k]
+		total += clusterTotal[k]
+	}
+	purity := float64(pure) / float64(total)
+	if purity < 0.9 {
+		t.Errorf("purity = %v, want >= 0.9 on well-separated topics", purity)
+	}
+}
+
+func TestKMeansAssignsEveryDoc(t *testing.T) {
+	c, _ := topicalCorpus(3, 25, 2)
+	res, err := KMeans(c, Config{K: 7, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assign) != c.NumDocs() {
+		t.Fatalf("assigned %d of %d docs", len(res.Assign), c.NumDocs())
+	}
+	var sum int
+	for k, s := range res.Sizes {
+		if s < 0 {
+			t.Errorf("cluster %d has negative size", k)
+		}
+		sum += s
+	}
+	if sum != c.NumDocs() {
+		t.Errorf("sizes sum to %d, want %d", sum, c.NumDocs())
+	}
+	for _, a := range res.Assign {
+		if a < 0 || a >= 7 {
+			t.Fatalf("assignment out of range: %d", a)
+		}
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	c, _ := topicalCorpus(4, 30, 5)
+	r1, err := KMeans(c, Config{K: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := KMeans(c, Config{K: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Assign {
+		if r1.Assign[i] != r2.Assign[i] {
+			t.Fatal("same seed produced different clusterings")
+		}
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	c, _ := topicalCorpus(1, 3, 1)
+	if _, err := KMeans(c, Config{K: 0}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := KMeans(c, Config{K: 10}); err == nil {
+		t.Error("K > nDocs accepted")
+	}
+}
+
+func TestKMeansSingleCluster(t *testing.T) {
+	c, _ := topicalCorpus(2, 10, 3)
+	res, err := KMeans(c, Config{K: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sizes[0] != c.NumDocs() {
+		t.Errorf("K=1 should hold all docs, got %d", res.Sizes[0])
+	}
+}
+
+func TestKMeansKEqualsN(t *testing.T) {
+	c, _ := topicalCorpus(2, 3, 7) // 6 docs
+	res, err := KMeans(c, Config{K: 6, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assign) != 6 {
+		t.Fatal("wrong assignment length")
+	}
+}
+
+func TestSelectFeaturesSkipsUbiquitousAndHapax(t *testing.T) {
+	c := &fakeCorpus{}
+	for i := 0; i < 10; i++ {
+		doc := map[string]int{"everywhere": 1}
+		if i < 5 {
+			doc["useful"] = 2
+		}
+		doc[fmt.Sprintf("hapax%d", i)] = 1
+		c.docs = append(c.docs, doc)
+	}
+	fs := selectFeatures(c, 100)
+	if _, ok := fs.index["everywhere"]; ok {
+		t.Error("term in >50% of docs should be excluded")
+	}
+	if _, ok := fs.index["hapax3"]; ok {
+		t.Error("df=1 term should be excluded")
+	}
+	if _, ok := fs.index["useful"]; !ok {
+		t.Error("mid-df term should be a feature")
+	}
+}
+
+func TestDotAndNormalize(t *testing.T) {
+	v := SparseVec{Idx: []int32{0, 2}, Val: []float32{3, 4}}
+	normalize(v.Val)
+	centroid := []float32{1, 0, 0}
+	got := dot(v, centroid)
+	if got < 0.59 || got > 0.61 { // 3/5
+		t.Errorf("dot = %v, want 0.6", got)
+	}
+	// Zero vector survives normalize.
+	zero := []float32{0, 0}
+	normalize(zero)
+	if zero[0] != 0 || zero[1] != 0 {
+		t.Error("normalize of zero vector should be a no-op")
+	}
+}
+
+func BenchmarkKMeans(b *testing.B) {
+	c, _ := topicalCorpus(10, 100, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := KMeans(c, Config{K: 10, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestKMeansStopsEarlyWhenStable(t *testing.T) {
+	// With well-separated topics the assignment stabilizes long before
+	// MaxIter; the iteration count must reflect early termination.
+	c, _ := topicalCorpus(3, 40, 21)
+	res, err := KMeans(c, Config{K: 3, Seed: 5, MaxIter: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iters >= 50 {
+		t.Errorf("no early stop: %d iterations", res.Iters)
+	}
+}
+
+func TestKMeansRespectsMaxIter(t *testing.T) {
+	c, _ := topicalCorpus(4, 20, 22)
+	res, err := KMeans(c, Config{K: 4, Seed: 2, MaxIter: 1, MinShift: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iters > 1 {
+		t.Errorf("iters = %d, want <= 1", res.Iters)
+	}
+}

@@ -1,0 +1,385 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hierarchy"
+	"repro/internal/summary"
+)
+
+// tinyTree: Root -> Health -> {Heart}; Root -> Sports.
+func tinyTree() *hierarchy.Tree {
+	return hierarchy.MustNew(hierarchy.Spec{
+		Name: "Root",
+		Children: []hierarchy.Spec{
+			{Name: "Health", Children: []hierarchy.Spec{{Name: "Heart"}}},
+			{Name: "Sports"},
+		},
+	})
+}
+
+// mkSum builds a summary with the given size and word probabilities
+// (Ptf mirrors P for simplicity unless overridden).
+func mkSum(numDocs float64, words map[string]float64) *summary.Summary {
+	s := &summary.Summary{
+		NumDocs:    numDocs,
+		CW:         numDocs * 10,
+		SampleSize: int(numDocs),
+		Words:      make(map[string]summary.Word, len(words)),
+	}
+	for w, p := range words {
+		s.Words[w] = summary.Word{P: p, Ptf: p / 2, SampleDF: int(p * numDocs)}
+	}
+	return s
+}
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+func TestCategorySummaryEquation1(t *testing.T) {
+	tree := tinyTree()
+	heart, _ := tree.Lookup("Heart")
+	health, _ := tree.Lookup("Health")
+	d1 := Classified{Name: "D1", Category: heart, Sum: mkSum(100, map[string]float64{"hypertension": 0.2, "blood": 0.5})}
+	d2 := Classified{Name: "D2", Category: heart, Sum: mkSum(300, map[string]float64{"blood": 0.1})}
+	cs := BuildCategorySummaries(tree, []Classified{d1, d2}, SizeWeighted)
+
+	heartSum := cs.Summary(heart)
+	// p̂(blood|Heart) = (0.5*100 + 0.1*300) / 400 = 0.2
+	if got := heartSum.P("blood"); !approx(got, 0.2, 1e-12) {
+		t.Errorf("P(blood|Heart) = %v, want 0.2", got)
+	}
+	// p̂(hypertension|Heart) = 0.2*100/400 = 0.05
+	if got := heartSum.P("hypertension"); !approx(got, 0.05, 1e-12) {
+		t.Errorf("P(hypertension|Heart) = %v, want 0.05", got)
+	}
+	if heartSum.NumDocs != 400 {
+		t.Errorf("category size = %v, want 400", heartSum.NumDocs)
+	}
+	// Health aggregates the same two databases (no other children).
+	healthSum := cs.Summary(health)
+	if got := healthSum.P("blood"); !approx(got, 0.2, 1e-12) {
+		t.Errorf("P(blood|Health) = %v", got)
+	}
+	if cs.Databases(heart) != 2 || cs.Databases(hierarchy.Root) != 2 {
+		t.Error("database counts wrong")
+	}
+}
+
+func TestCategorySummaryEqualWeighted(t *testing.T) {
+	tree := tinyTree()
+	heart, _ := tree.Lookup("Heart")
+	d1 := Classified{Category: heart, Sum: mkSum(100, map[string]float64{"blood": 0.5})}
+	d2 := Classified{Category: heart, Sum: mkSum(300, map[string]float64{"blood": 0.1})}
+	cs := BuildCategorySummaries(tree, []Classified{d1, d2}, EqualWeighted)
+	// Equal weighting: (0.5 + 0.1)/2 = 0.3 regardless of sizes.
+	if got := cs.Summary(heart).P("blood"); !approx(got, 0.3, 1e-12) {
+		t.Errorf("equal-weighted P = %v, want 0.3", got)
+	}
+}
+
+func TestUniformCategory(t *testing.T) {
+	tree := tinyTree()
+	heart, _ := tree.Lookup("Heart")
+	d1 := Classified{Category: heart, Sum: mkSum(10, map[string]float64{"a": 1, "b": 0.5})}
+	d2 := Classified{Category: heart, Sum: mkSum(10, map[string]float64{"b": 0.5, "c": 0.1, "d": 0.1})}
+	cs := BuildCategorySummaries(tree, []Classified{d1, d2}, SizeWeighted)
+	if cs.VocabSize() != 4 {
+		t.Errorf("VocabSize = %d, want 4", cs.VocabSize())
+	}
+	if !approx(cs.UniformP(), 0.25, 1e-12) {
+		t.Errorf("UniformP = %v", cs.UniformP())
+	}
+}
+
+func TestShrinkageRecoversMissingWord(t *testing.T) {
+	// Example 3 of the paper: "hypertension" is missing from D1's
+	// sample-based summary but appears in sibling D2's; shrinking
+	// p̂(hypertension|D1) towards D2's value captures the actual
+	// nonzero probability.
+	tree := tinyTree()
+	heart, _ := tree.Lookup("Heart")
+	d1 := Classified{Name: "D1", Category: heart, Sum: mkSum(200, map[string]float64{
+		"blood": 0.4, "artery": 0.3, "pressure": 0.2,
+	})}
+	d2 := Classified{Name: "D2", Category: heart, Sum: mkSum(200, map[string]float64{
+		"blood": 0.35, "artery": 0.25, "hypertension": 0.17,
+	})}
+	cs := BuildCategorySummaries(tree, []Classified{d1, d2}, SizeWeighted)
+	shrunk := Shrink(cs, d1, ShrinkOptions{})
+
+	if got := d1.Sum.P("hypertension"); got != 0 {
+		t.Fatalf("test setup: D1 already has hypertension")
+	}
+	got := shrunk.P("hypertension")
+	if got <= 0 {
+		t.Fatalf("shrinkage did not recover the missing word")
+	}
+	if got >= 0.17 {
+		t.Errorf("recovered p = %v should stay below the sibling's 0.17", got)
+	}
+	// Shared words keep sensible estimates.
+	if p := shrunk.P("blood"); p < 0.3 || p > 0.45 {
+		t.Errorf("P(blood) = %v, want near D1's 0.4", p)
+	}
+}
+
+func TestShrinkLambdasSumToOneAndDatabaseDominates(t *testing.T) {
+	// Table 2 of the paper: the database's own weight is usually the
+	// highest, with the most specific category next.
+	tree := tinyTree()
+	heart, _ := tree.Lookup("Heart")
+	d1 := Classified{Name: "AIDS.org", Category: heart, Sum: mkSum(500, map[string]float64{
+		"blood": 0.4, "artery": 0.3, "pressure": 0.25, "heartrate": 0.15, "valve": 0.1,
+	})}
+	d2 := Classified{Name: "D2", Category: heart, Sum: mkSum(500, map[string]float64{
+		"blood": 0.1, "stent": 0.2, "valve": 0.05, "cardio": 0.4,
+	})}
+	cs := BuildCategorySummaries(tree, []Classified{d1, d2}, SizeWeighted)
+	shrunk := Shrink(cs, d1, ShrinkOptions{})
+
+	ls := shrunk.Lambdas()
+	// Components: Uniform, Root, Health, Heart, AIDS.org.
+	if len(ls) != 5 {
+		t.Fatalf("lambda components = %d, want 5", len(ls))
+	}
+	if ls[0].Component != "Uniform" || ls[len(ls)-1].Component != "AIDS.org" {
+		t.Errorf("component order wrong: %v", ls)
+	}
+	var sum float64
+	maxIdx := 0
+	for i, l := range ls {
+		if l.Weight < 0 || l.Weight > 1 {
+			t.Errorf("lambda %s = %v out of range", l.Component, l.Weight)
+		}
+		sum += l.Weight
+		if l.Weight > ls[maxIdx].Weight {
+			maxIdx = i
+		}
+	}
+	if !approx(sum, 1, 1e-9) {
+		t.Errorf("lambdas sum to %v", sum)
+	}
+	if ls[maxIdx].Component != "AIDS.org" {
+		t.Errorf("dominant component = %s, want the database itself", ls[maxIdx].Component)
+	}
+	if shrunk.EMIterations() == 0 {
+		t.Error("EM did not iterate")
+	}
+}
+
+func TestOverlapSubtraction(t *testing.T) {
+	// The Heart-level component for D1 must exclude D1's own data, and
+	// the Health-level component must exclude all Heart data. With only
+	// D1 under Heart and D3 directly irrelevant (Sports), Heart's
+	// effective summary for D1 is empty and Health's too.
+	tree := tinyTree()
+	heart, _ := tree.Lookup("Heart")
+	sports, _ := tree.Lookup("Sports")
+	d1 := Classified{Name: "D1", Category: heart, Sum: mkSum(100, map[string]float64{"blood": 0.5})}
+	d3 := Classified{Name: "D3", Category: sports, Sum: mkSum(100, map[string]float64{"goal": 0.6})}
+	cs := BuildCategorySummaries(tree, []Classified{d1, d3}, SizeWeighted)
+	levels := cs.levels(d1)
+	// Path: Root, Health, Heart -> 3 levels.
+	if len(levels) != 3 {
+		t.Fatalf("levels = %d", len(levels))
+	}
+	// Heart level (i=2): only D1 is under Heart, and D1 is excluded.
+	if !levels[2].empty() {
+		t.Error("Heart level should be empty after excluding D1")
+	}
+	if p := levels[2].p("blood"); p != 0 {
+		t.Errorf("Heart-level P(blood) = %v, want 0", p)
+	}
+	// Health level (i=1): Health subtree minus Heart subtree = nothing.
+	if !levels[1].empty() {
+		t.Error("Health level should be empty after subtracting Heart")
+	}
+	// Root level (i=0): Root minus Health = D3 only.
+	if p := levels[0].p("goal"); !approx(p, 0.6, 1e-12) {
+		t.Errorf("Root-level P(goal) = %v, want 0.6 (D3 only)", p)
+	}
+	if p := levels[0].p("blood"); p != 0 {
+		t.Errorf("Root-level P(blood) = %v, want 0 (D1 subtracted)", p)
+	}
+}
+
+func TestShrunkViewInterfaceAndBounds(t *testing.T) {
+	tree := tinyTree()
+	heart, _ := tree.Lookup("Heart")
+	d1 := Classified{Name: "D1", Category: heart, Sum: mkSum(100, map[string]float64{"blood": 0.5, "artery": 0.2})}
+	d2 := Classified{Name: "D2", Category: heart, Sum: mkSum(150, map[string]float64{"blood": 0.3, "valve": 0.4})}
+	cs := BuildCategorySummaries(tree, []Classified{d1, d2}, SizeWeighted)
+	shrunk := Shrink(cs, d1, ShrinkOptions{})
+
+	var v summary.View = shrunk
+	if v.DocCount() != 100 {
+		t.Errorf("DocCount = %v", v.DocCount())
+	}
+	if v.WordCount() != d1.Sum.CW {
+		t.Errorf("WordCount = %v", v.WordCount())
+	}
+	for _, w := range []string{"blood", "artery", "valve", "nonexistent"} {
+		p := v.P(w)
+		ptf := v.Ptf(w)
+		if p < 0 || p > 1 || ptf < 0 || ptf > 1 {
+			t.Errorf("probabilities out of range for %s: p=%v ptf=%v", w, p, ptf)
+		}
+	}
+	// Every word of any summary gets non-zero probability (the uniform
+	// component guarantees it), including words D1 never saw.
+	if v.P("valve") <= 0 {
+		t.Error("sibling word has zero probability")
+	}
+	if v.P("nonexistent") <= 0 {
+		t.Error("uniform component should give unseen words non-zero probability")
+	}
+}
+
+func TestMaterializeRoundRule(t *testing.T) {
+	tree := tinyTree()
+	heart, _ := tree.Lookup("Heart")
+	// D1 is large so that sibling words with modest p̂R survive rounding.
+	d1 := Classified{Name: "D1", Category: heart, Sum: mkSum(1000, map[string]float64{"blood": 0.5})}
+	d2 := Classified{Name: "D2", Category: heart, Sum: mkSum(1000, map[string]float64{"blood": 0.4, "valve": 0.3})}
+	cs := BuildCategorySummaries(tree, []Classified{d1, d2}, SizeWeighted)
+	shrunk := Shrink(cs, d1, ShrinkOptions{})
+	mat := shrunk.Materialize(1)
+
+	if !mat.Contains("blood") {
+		t.Error("own word dropped")
+	}
+	if !mat.Contains("valve") {
+		t.Errorf("sibling word not materialized (p̂R = %v, eff df = %v)",
+			shrunk.P("valve"), shrunk.P("valve")*1000)
+	}
+	// Every materialized word satisfies the round rule.
+	for w, st := range mat.Words {
+		if int(mat.NumDocs*st.P+0.5) < 1 {
+			t.Errorf("word %s with eff df < 1 kept", w)
+		}
+		if !approx(st.P, shrunk.P(w), 1e-12) {
+			t.Errorf("materialized P differs from lazy P for %s", w)
+		}
+	}
+	if mat.NumDocs != 1000 || mat.SampleSize != 1000 {
+		t.Errorf("size fields wrong: %v/%d", mat.NumDocs, mat.SampleSize)
+	}
+}
+
+func TestShrinkDeterministic(t *testing.T) {
+	tree := tinyTree()
+	heart, _ := tree.Lookup("Heart")
+	d1 := Classified{Name: "D1", Category: heart, Sum: mkSum(100, map[string]float64{"a": 0.5, "b": 0.2, "c": 0.1})}
+	d2 := Classified{Name: "D2", Category: heart, Sum: mkSum(100, map[string]float64{"a": 0.4, "d": 0.3})}
+	cs := BuildCategorySummaries(tree, []Classified{d1, d2}, SizeWeighted)
+	s1 := Shrink(cs, d1, ShrinkOptions{})
+	s2 := Shrink(cs, d1, ShrinkOptions{})
+	for i := range s1.lambdas {
+		if s1.lambdas[i] != s2.lambdas[i] {
+			t.Fatal("EM is nondeterministic")
+		}
+	}
+}
+
+func TestShrinkRootClassifiedDatabase(t *testing.T) {
+	// A database classified at the root still shrinks (toward the
+	// uniform component and the root-level category of other databases).
+	tree := tinyTree()
+	sports, _ := tree.Lookup("Sports")
+	d1 := Classified{Name: "D1", Category: hierarchy.Root, Sum: mkSum(100, map[string]float64{"misc": 0.5})}
+	d2 := Classified{Name: "D2", Category: sports, Sum: mkSum(100, map[string]float64{"goal": 0.6})}
+	cs := BuildCategorySummaries(tree, []Classified{d1, d2}, SizeWeighted)
+	shrunk := Shrink(cs, d1, ShrinkOptions{})
+	ls := shrunk.Lambdas()
+	if len(ls) != 3 { // Uniform, Root, D1
+		t.Fatalf("components = %d, want 3", len(ls))
+	}
+	if shrunk.P("goal") <= 0 {
+		t.Error("root-level sibling word not recovered")
+	}
+}
+
+func TestShrinkSingletonWorld(t *testing.T) {
+	// Only one database anywhere: every category level is empty after
+	// subtraction; the mixture degenerates to uniform + database.
+	tree := tinyTree()
+	heart, _ := tree.Lookup("Heart")
+	d1 := Classified{Name: "D1", Category: heart, Sum: mkSum(100, map[string]float64{"a": 0.5})}
+	cs := BuildCategorySummaries(tree, []Classified{d1}, SizeWeighted)
+	shrunk := Shrink(cs, d1, ShrinkOptions{})
+	ls := shrunk.Lambdas()
+	var catWeight float64
+	for _, l := range ls[1 : len(ls)-1] {
+		catWeight += l.Weight
+	}
+	if catWeight > 1e-6 {
+		t.Errorf("empty category levels got weight %v", catWeight)
+	}
+	if p := shrunk.P("a"); p <= 0.4 {
+		t.Errorf("P(a) = %v, should remain close to 0.5", p)
+	}
+}
+
+func TestMaterializeMinEffDF(t *testing.T) {
+	tree := tinyTree()
+	heart, _ := tree.Lookup("Heart")
+	// D1 and D2 share most vocabulary with D1's probabilities a noisy
+	// version of D2's (the sampled-summary regime where EM gives the
+	// category real weight), plus sibling-only words with graded
+	// probabilities so the two thresholds keep different word sets.
+	w1 := map[string]float64{"blood": 0.5}
+	w2 := map[string]float64{"blood": 0.4}
+	for i := 0; i < 200; i++ {
+		base := 0.05 + 0.3*float64(i)/200
+		noise := 0.4
+		if i%2 == 0 {
+			noise = 1.5
+		}
+		w1["shared"+itoa(i)] = base * noise
+		w2["shared"+itoa(i)] = base
+		w2["sib"+itoa(i)] = 0.002 * float64(i+1) // eff df in D1 spans ~0.5..100+
+	}
+	d1 := Classified{Name: "D1", Category: heart, Sum: mkSum(1000, w1)}
+	d2 := Classified{Name: "D2", Category: heart, Sum: mkSum(1000, w2)}
+	cs := BuildCategorySummaries(tree, []Classified{d1, d2}, SizeWeighted)
+	shrunk := Shrink(cs, d1, ShrinkOptions{})
+	loose := shrunk.Materialize(1)
+	strict := shrunk.Materialize(20)
+	if len(strict.Words) >= len(loose.Words) {
+		t.Errorf("stricter threshold kept more words: %d vs %d", len(strict.Words), len(loose.Words))
+	}
+}
+
+func BenchmarkShrink(b *testing.B) {
+	tree := tinyTree()
+	heart, _ := tree.Lookup("Heart")
+	words1 := make(map[string]float64, 2000)
+	words2 := make(map[string]float64, 2000)
+	for i := 0; i < 2000; i++ {
+		w := "w" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+(i/676)%26))
+		words1[w+"x"] = 1 / float64(i+2)
+		words2[w+"y"] = 1 / float64(i+2)
+	}
+	d1 := Classified{Name: "D1", Category: heart, Sum: mkSum(1000, words1)}
+	d2 := Classified{Name: "D2", Category: heart, Sum: mkSum(1000, words2)}
+	cs := BuildCategorySummaries(tree, []Classified{d1, d2}, SizeWeighted)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Shrink(cs, d1, ShrinkOptions{})
+	}
+}

@@ -1,0 +1,32 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Analytically checkable EM case: one category level + db.
+// 30 words with p_C = 5*p_D, 70 words with p_C = 0.1*p_D.
+// MLE lambda_cat ~ 0.158 (solving the stationarity condition).
+func TestEMNumeric(t *testing.T) {
+	tree := tinyTree()
+	heart, _ := tree.Lookup("Heart")
+	w1 := map[string]float64{}
+	w2 := map[string]float64{}
+	for i := 0; i < 30; i++ {
+		w1[fmt.Sprintf("hi%d", i)] = 0.01
+		w2[fmt.Sprintf("hi%d", i)] = 0.05
+	}
+	for i := 0; i < 70; i++ {
+		w1[fmt.Sprintf("lo%d", i)] = 0.01
+		w2[fmt.Sprintf("lo%d", i)] = 0.001
+	}
+	d1 := Classified{Name: "D1", Category: heart, Sum: mkSum(1000, w1)}
+	d2 := Classified{Name: "D2", Category: heart, Sum: mkSum(1000, w2)}
+	cs := BuildCategorySummaries(tree, []Classified{d1, d2}, SizeWeighted)
+	sh := Shrink(cs, d1, ShrinkOptions{Epsilon: 1e-9, MaxIter: 2000})
+	for _, l := range sh.Lambdas() {
+		fmt.Printf("%s = %.4f\n", l.Component, l.Weight)
+	}
+	fmt.Println("iters:", sh.EMIterations())
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/summary"
+)
+
+// randomClassified builds a random pair of sibling databases plus one
+// cross-topic database from a seeded generator.
+func randomWorld(seed int64) (*CategorySummaries, []Classified) {
+	rng := rand.New(rand.NewSource(seed))
+	tree := tinyTree()
+	heart, _ := tree.Lookup("Heart")
+	sports, _ := tree.Lookup("Sports")
+
+	mk := func(cat, n int) Classified {
+		words := map[string]float64{}
+		vocab := 20 + rng.Intn(200)
+		for i := 0; i < vocab; i++ {
+			w := "w" + itoa(cat*1000+rng.Intn(300))
+			words[w] = math.Min(1, rng.Float64())
+		}
+		var c Classified
+		c.Name = "db" + itoa(n)
+		if cat == 0 {
+			c.Category = heart
+		} else {
+			c.Category = sports
+		}
+		c.Sum = mkSum(float64(50+rng.Intn(1000)), words)
+		return c
+	}
+	dbs := []Classified{mk(0, 1), mk(0, 2), mk(1, 3)}
+	return BuildCategorySummaries(tree, dbs, SizeWeighted), dbs
+}
+
+// Property: λ is a probability distribution and p̂R stays in [0, 1] for
+// every word of every component, for arbitrary random worlds.
+func TestShrinkProbabilityInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		cs, dbs := randomWorld(seed)
+		for _, db := range dbs {
+			sh := Shrink(cs, db, ShrinkOptions{})
+			var sum float64
+			for _, l := range sh.Lambdas() {
+				if l.Weight < -1e-12 || l.Weight > 1+1e-12 {
+					return false
+				}
+				sum += l.Weight
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				return false
+			}
+			// Spot-check p̂R bounds over the database's own words and a
+			// few foreign ones.
+			for w := range db.Sum.Words {
+				p := sh.P(w)
+				if p < 0 || p > 1 {
+					return false
+				}
+			}
+			for _, w := range []string{"w1", "w1005", "nonexistent"} {
+				if p := sh.P(w); p < 0 || p > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: p̂R is a convex combination, so it never exceeds the
+// largest component probability for that word.
+func TestShrinkConvexCombination(t *testing.T) {
+	f := func(seed int64) bool {
+		cs, dbs := randomWorld(seed)
+		db := dbs[0]
+		sh := Shrink(cs, db, ShrinkOptions{})
+		levels := cs.levels(db)
+		for w := range db.Sum.Words {
+			max := cs.UniformP()
+			if p := db.Sum.P(w); p > max {
+				max = p
+			}
+			for _, l := range levels {
+				if p := l.p(w); p > max {
+					max = p
+				}
+			}
+			if sh.P(w) > max+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the materialized summary agrees with the lazy view on every
+// word it keeps, and keeps exactly the words passing the round rule.
+func TestMaterializeAgreesWithLazy(t *testing.T) {
+	f := func(seed int64) bool {
+		cs, dbs := randomWorld(seed)
+		db := dbs[1]
+		sh := Shrink(cs, db, ShrinkOptions{})
+		mat := sh.Materialize(1)
+		for w, st := range mat.Words {
+			if math.Abs(st.P-sh.P(w)) > 1e-12 {
+				return false
+			}
+			if int(mat.NumDocs*st.P+0.5) < 1 {
+				return false
+			}
+		}
+		// Every word of the database's own summary that passes the
+		// rule must be present.
+		for w := range db.Sum.Words {
+			if int(db.Sum.NumDocs*sh.P(w)+0.5) >= 1 && !mat.Contains(w) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: aggregation is order-independent.
+func TestBuildCategorySummariesOrderIndependent(t *testing.T) {
+	cs1, dbs := randomWorld(77)
+	tree := cs1.Tree()
+	rev := make([]Classified, len(dbs))
+	for i, db := range dbs {
+		rev[len(dbs)-1-i] = db
+	}
+	cs2 := BuildCategorySummaries(tree, rev, SizeWeighted)
+	for _, id := range tree.All() {
+		s1, s2 := cs1.Summary(id), cs2.Summary(id)
+		if s1.NumDocs != s2.NumDocs || s1.Len() != s2.Len() {
+			t.Fatalf("category %v differs across orders", id)
+		}
+		for w, st := range s1.Words {
+			if math.Abs(st.P-s2.Words[w].P) > 1e-12 {
+				t.Fatalf("category %v word %s differs", id, w)
+			}
+		}
+	}
+}
+
+// Property: shrinking twice with identical inputs is deterministic, and
+// the shrunk Ptf stays a valid probability too.
+func TestShrinkPtfBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		cs, dbs := randomWorld(seed)
+		sh := Shrink(cs, dbs[0], ShrinkOptions{})
+		for w := range dbs[0].Sum.Words {
+			if p := sh.Ptf(w); p < 0 || p > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+var _ = summary.Summary{} // keep the import for mkSum's package

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/summary"
+)
+
+// ShrinkOptions tunes the EM computation of the mixture weights.
+type ShrinkOptions struct {
+	// Epsilon is the convergence threshold on the largest λ change per
+	// iteration (default 1e-3, the "small ε" of Figure 2).
+	Epsilon float64
+	// MaxIter caps EM iterations (default 100).
+	MaxIter int
+}
+
+func (o ShrinkOptions) withDefaults() ShrinkOptions {
+	if o.Epsilon == 0 {
+		o.Epsilon = 1e-3
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = 100
+	}
+	return o
+}
+
+// Lambda reports one mixture component's weight, for display in the
+// style of the paper's Table 2.
+type Lambda struct {
+	Component string // "Uniform", category name, or the database name
+	Weight    float64
+}
+
+// ShrunkSummary is the shrinkage-based content summary R̂(D) of
+// Definition 4. It evaluates p̂R(w|D) lazily over the union vocabulary,
+// so database selection can consult it per query word without
+// materializing hundreds of thousands of entries; Materialize produces
+// an explicit summary for evaluation.
+//
+// ShrunkSummary implements summary.View and is safe for concurrent use.
+type ShrunkSummary struct {
+	db       Classified
+	levels   []*levelStats
+	lambdas  []float64 // indexed: [0]=uniform C0, [1..m]=path levels, [m+1]=database
+	uniform  float64   // p̂(w|C0)
+	emIters  int
+	catNames []string
+}
+
+// Shrink computes the shrunk content summary of db: it builds the
+// effective (overlap-subtracted) category summaries along db's
+// classification path and runs the Figure 2 EM algorithm to find the
+// mixture weights λ that make R̂(D) maximally similar to Ŝ(D) and to
+// the category summaries.
+func Shrink(cs *CategorySummaries, db Classified, opts ShrinkOptions) *ShrunkSummary {
+	opts = opts.withDefaults()
+	levels := cs.levels(db)
+	m := len(levels) // path length (C1..Cm); components = m+2
+	ss := &ShrunkSummary{
+		db:      db,
+		levels:  levels,
+		uniform: cs.UniformP(),
+	}
+	ss.catNames = make([]string, m)
+	for i, c := range cs.tree.Path(db.Category) {
+		ss.catNames[i] = cs.tree.Node(c).Name
+	}
+
+	// Precompute, for every word of the database's own summary, the
+	// per-level effective probabilities, so EM iterations are pure
+	// array arithmetic.
+	words := make([]string, 0, len(db.Sum.Words))
+	for w := range db.Sum.Words {
+		words = append(words, w)
+	}
+	sort.Strings(words) // deterministic iteration
+	nW := len(words)
+
+	// Following the original shrinkage EM of McCallum et al., the λ
+	// weights are estimated on held-out evidence by leave-one-out:
+	// every observed (word, sample document) incidence is one
+	// observation, weighted by the word's sample document frequency,
+	// and the database component predicts each observation with that
+	// observation removed — p̂loo(w|D) = p̂(w|D)·(s_w−1)/s_w. A word
+	// seen in a single sample document therefore gets no support from
+	// the database's own summary, and the EM must explain it with the
+	// category summaries (or the uniform background), which is what
+	// gives the ancestors their weight. Without leave-one-out the
+	// database component trivially maximizes the fit to its own summary
+	// and every other λi collapses to zero.
+	weight := make([]float64, nW)
+	loo := make([]float64, nW)
+	for j, w := range words {
+		weight[j] = 1
+		st := db.Sum.Words[w]
+		loo[j] = st.P
+		if st.SampleDF > 0 {
+			weight[j] = float64(st.SampleDF)
+			loo[j] = st.P * float64(st.SampleDF-1) / float64(st.SampleDF)
+		}
+	}
+	pw := make([][]float64, m+2)
+	pw[0] = make([]float64, nW)
+	for j := range pw[0] {
+		pw[0][j] = ss.uniform
+	}
+	for i := 0; i < m; i++ {
+		col := make([]float64, nW)
+		for j, w := range words {
+			col[j] = levels[i].p(w)
+		}
+		pw[i+1] = col
+	}
+	pw[m+1] = loo
+
+	// Initialization step: uniform λ.
+	nC := m + 2
+	lambda := make([]float64, nC)
+	for i := range lambda {
+		lambda[i] = 1 / float64(nC)
+	}
+
+	beta := make([]float64, nC)
+	iters := 0
+	for ; iters < opts.MaxIter; iters++ {
+		// Expectation step: βi = Σ_w λi·p̂(w|Ci) / p̂R(w|D).
+		for i := range beta {
+			beta[i] = 0
+		}
+		for j := 0; j < nW; j++ {
+			var pr float64
+			for i := 0; i < nC; i++ {
+				pr += lambda[i] * pw[i][j]
+			}
+			if pr <= 0 {
+				continue
+			}
+			inv := weight[j] / pr
+			for i := 0; i < nC; i++ {
+				beta[i] += lambda[i] * pw[i][j] * inv
+			}
+		}
+		// Maximization step: λi = βi / Σβj.
+		var total float64
+		for _, b := range beta {
+			total += b
+		}
+		if total <= 0 {
+			break
+		}
+		maxDelta := 0.0
+		for i := range lambda {
+			next := beta[i] / total
+			if d := abs(next - lambda[i]); d > maxDelta {
+				maxDelta = d
+			}
+			lambda[i] = next
+		}
+		if maxDelta < opts.Epsilon {
+			iters++
+			break
+		}
+	}
+	ss.lambdas = lambda
+	ss.emIters = iters
+	return ss
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// DocCount implements summary.View; the shrunk summary keeps the
+// database's own size estimate.
+func (ss *ShrunkSummary) DocCount() float64 { return ss.db.Sum.NumDocs }
+
+// WordCount implements summary.View.
+func (ss *ShrunkSummary) WordCount() float64 { return ss.db.Sum.CW }
+
+// P returns the shrinkage-based estimate p̂R(w|D) of Equation 2.
+func (ss *ShrunkSummary) P(w string) float64 {
+	pr := ss.lambdas[0] * ss.uniform
+	m := len(ss.levels)
+	for i := 0; i < m; i++ {
+		pr += ss.lambdas[i+1] * ss.levels[i].p(w)
+	}
+	pr += ss.lambdas[m+1] * ss.db.Sum.P(w)
+	return pr
+}
+
+// Ptf returns the shrunk term-frequency probability, mixing the levels'
+// tf-based estimates with the same λ weights (the LM adaptation of
+// Section 5.3).
+func (ss *ShrunkSummary) Ptf(w string) float64 {
+	pr := ss.lambdas[0] * ss.uniform
+	m := len(ss.levels)
+	for i := 0; i < m; i++ {
+		pr += ss.lambdas[i+1] * ss.levels[i].ptf(w)
+	}
+	pr += ss.lambdas[m+1] * ss.db.Sum.Ptf(w)
+	return pr
+}
+
+// Base returns the unshrunk summary R̂(D) was built from.
+func (ss *ShrunkSummary) Base() *summary.Summary { return ss.db.Sum }
+
+// EMIterations reports how many EM iterations were run.
+func (ss *ShrunkSummary) EMIterations() int { return ss.emIters }
+
+// Lambdas returns the mixture weights with their component names, from
+// the uniform dummy category down to the database itself (the layout of
+// the paper's Table 2).
+func (ss *ShrunkSummary) Lambdas() []Lambda {
+	out := make([]Lambda, 0, len(ss.lambdas))
+	out = append(out, Lambda{Component: "Uniform", Weight: ss.lambdas[0]})
+	for i, name := range ss.catNames {
+		out = append(out, Lambda{Component: name, Weight: ss.lambdas[i+1]})
+	}
+	name := ss.db.Name
+	if name == "" {
+		name = "Database"
+	}
+	out = append(out, Lambda{Component: name, Weight: ss.lambdas[len(ss.lambdas)-1]})
+	return out
+}
+
+// Materialize produces an explicit summary holding every word whose
+// estimated document count round(|D̂|·p̂R(w|D)) is at least minEffDF
+// (the paper's evaluation uses 1: "we drop from the shrunk content
+// summaries every word that is estimated to appear in less than one
+// document", Section 6.1). Sample statistics (SampleDF, SampleSize) are
+// carried over from the base summary so downstream consumers can still
+// see the sampling evidence.
+func (ss *ShrunkSummary) Materialize(minEffDF int) *summary.Summary {
+	out := &summary.Summary{
+		NumDocs:    ss.db.Sum.NumDocs,
+		CW:         ss.db.Sum.CW,
+		SampleSize: ss.db.Sum.SampleSize,
+		Words:      make(map[string]summary.Word, 2*len(ss.db.Sum.Words)),
+	}
+	n := ss.db.Sum.NumDocs
+	keep := func(w string) {
+		if _, done := out.Words[w]; done {
+			return
+		}
+		p := ss.P(w)
+		if int(n*p+0.5) < minEffDF {
+			return
+		}
+		out.Words[w] = summary.Word{
+			P:        p,
+			Ptf:      ss.Ptf(w),
+			SampleDF: ss.db.Sum.SampleDF(w),
+		}
+	}
+	for w := range ss.db.Sum.Words {
+		keep(w)
+	}
+	for _, l := range ss.levels {
+		if l.empty() {
+			continue
+		}
+		for w := range l.agg.sumPW {
+			keep(w)
+		}
+	}
+	return out
+}

@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/selection"
+	"repro/internal/stats"
+	"repro/internal/summary"
+	"repro/internal/synth"
+)
+
+// Strategy is a database selection strategy of Section 6.2.
+type Strategy int
+
+const (
+	// Plain scores with the unshrunk summaries (QBS-Plain / FPS-Plain).
+	Plain Strategy = iota
+	// Shrinkage is the paper's adaptive algorithm (Figure 3):
+	// per query and per database, shrinkage is applied only when the
+	// score distribution is too uncertain.
+	Shrinkage
+	// Hierarchical is the baseline of Ipeirotis & Gravano [17].
+	Hierarchical
+	// Universal always uses the shrunk summaries (the "adaptive vs
+	// universal" analysis of Section 6.2).
+	Universal
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case Plain:
+		return "Plain"
+	case Shrinkage:
+		return "Shrinkage"
+	case Hierarchical:
+		return "Hierarchical"
+	case Universal:
+		return "Universal"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// AccuracyResult is one curve of Figures 4-5: the mean Rk over the
+// query workload for k = 1..MaxK, plus the shrinkage application rate
+// of Table 10 (meaningful for the Shrinkage strategy).
+type AccuracyResult struct {
+	Bed      BedKind
+	Sampler  SamplerKind
+	Algo     string
+	Strategy Strategy
+	// Rk[k-1] is the mean Rk over queries.
+	Rk []float64
+	// ShrinkRate is the fraction of query-database pairs for which
+	// shrinkage was applied (Table 10).
+	ShrinkRate float64
+	// Label overrides the series caption when set (used for
+	// cross-algorithm comparisons like ReDDE).
+	Label string
+	// PerQueryMeanRk holds, per query, the mean Rk over k = 1..maxK —
+	// the paired samples behind the paper's significance tests
+	// ("QBS-Shrinkage improves over QBS-Plain ... statistically
+	// significant (p < 0.05)", Section 6.2).
+	PerQueryMeanRk []float64
+}
+
+// SeriesLabel is the caption used in figure output.
+func (r AccuracyResult) SeriesLabel() string {
+	if r.Label != "" {
+		return r.Label
+	}
+	return fmt.Sprintf("%v-%v", r.Sampler, r.Strategy)
+}
+
+// MaxK is the largest k the paper's figures report.
+const MaxK = 20
+
+// SelectionAccuracy evaluates one (summaries, scorer, strategy)
+// combination over the world's query workload.
+func (w *World) SelectionAccuracy(sums *DBSummaries, scorer selection.Scorer, strategy Strategy, maxK int) AccuracyResult {
+	res := AccuracyResult{
+		Bed:      w.Kind,
+		Sampler:  sums.Config.Sampler,
+		Algo:     scorer.Name(),
+		Strategy: strategy,
+		Rk:       make([]float64, maxK),
+	}
+	n := len(w.Bed.Databases)
+	global := sums.GlobalSummary()
+
+	unshrunkEntries := make([]selection.Entry, n)
+	for i, db := range w.Bed.Databases {
+		unshrunkEntries[i] = selection.Entry{Name: db.Name, View: sums.Unshrunk[i]}
+	}
+	shrunkEntries := make([]selection.Entry, n)
+	for i, db := range w.Bed.Databases {
+		shrunkEntries[i] = selection.Entry{Name: db.Name, View: sums.Shrunk[i]}
+	}
+
+	var hier *selection.Hierarchical
+	if strategy == Hierarchical {
+		hier = selection.NewHierarchical(scorer, sums.Cats, sums.Classified(w))
+	}
+	var adaptive *selection.Adaptive
+	var adbs []*selection.DB
+	if strategy == Shrinkage {
+		adaptive = &selection.Adaptive{
+			Base: scorer,
+			Opts: selection.AdaptiveOptions{Seed: synth.SubSeed(w.Scale.Seed, 77)},
+		}
+		adbs = make([]*selection.DB, n)
+		for i, db := range w.Bed.Databases {
+			adbs[i] = &selection.DB{
+				Name:     db.Name,
+				Unshrunk: sums.Unshrunk[i],
+				Shrunk:   sums.Shrunk[i],
+				Gamma:    sums.Gamma[i],
+				Size:     int(sums.SizeEst[i]),
+			}
+		}
+	}
+
+	var shrinkApplied, shrinkTotal int
+	for qi, q := range w.Bed.Queries {
+		var ranked []selection.Ranked
+		switch strategy {
+		case Plain:
+			ctx := selection.NewContext(q.Terms, unshrunkEntries, global)
+			ranked = selection.Rank(scorer, q.Terms, unshrunkEntries, ctx)
+		case Universal:
+			ctx := selection.NewContext(q.Terms, shrunkEntries, global)
+			ranked = selection.Rank(scorer, q.Terms, shrunkEntries, ctx)
+		case Hierarchical:
+			ctx := selection.NewContext(q.Terms, unshrunkEntries, global)
+			ranked = hier.Rank(q.Terms, ctx)
+		case Shrinkage:
+			var decisions []selection.Decision
+			ranked, decisions = adaptive.Rank(q.Terms, adbs, global)
+			for _, d := range decisions {
+				shrinkTotal++
+				if d.Shrinkage {
+					shrinkApplied++
+				}
+			}
+		}
+		idx := make([]int, len(ranked))
+		for i, r := range ranked {
+			idx[i] = r.Index
+		}
+		curve := metrics.RkCurve(w.Relevant[qi], idx, maxK)
+		var qMean float64
+		for k := range curve {
+			res.Rk[k] += curve[k]
+			qMean += curve[k]
+		}
+		res.PerQueryMeanRk = append(res.PerQueryMeanRk, qMean/float64(len(curve)))
+	}
+	if nq := len(w.Bed.Queries); nq > 0 {
+		for k := range res.Rk {
+			res.Rk[k] /= float64(nq)
+		}
+	}
+	if shrinkTotal > 0 {
+		res.ShrinkRate = float64(shrinkApplied) / float64(shrinkTotal)
+	}
+	return res
+}
+
+// CompareRk runs the paired t-test between two strategies' per-query
+// mean Rk values (the Section 6.2 significance analysis). Both results
+// must come from the same world and query workload.
+func CompareRk(a, b AccuracyResult) (stats.TTestResult, error) {
+	return stats.PairedTTest(a.PerQueryMeanRk, b.PerQueryMeanRk)
+}
+
+// AccuracySweep runs the three strategies the figures compare (Plain,
+// Hierarchical, Shrinkage) for one scorer over one summary set.
+func (w *World) AccuracySweep(sums *DBSummaries, scorer selection.Scorer) []AccuracyResult {
+	out := make([]AccuracyResult, 0, 3)
+	for _, st := range []Strategy{Shrinkage, Hierarchical, Plain} {
+		out = append(out, w.SelectionAccuracy(sums, scorer, st, MaxK))
+	}
+	return out
+}
+
+// ReDDEAccuracy evaluates the ReDDE selection algorithm of Si & Callan
+// over the world's query workload — the algorithm the paper's
+// footnote 9 names as future work to combine with shrinkage. The
+// summaries must have been built with Config.KeepSampleDocs. ratio 0
+// selects ReDDE's default.
+func (w *World) ReDDEAccuracy(sums *DBSummaries, ratio float64, maxK int) (AccuracyResult, error) {
+	if sums.SampleDocs == nil {
+		return AccuracyResult{}, fmt.Errorf("experiments: summaries built without KeepSampleDocs")
+	}
+	samples := make([]selection.ReDDESample, len(w.Bed.Databases))
+	for i, db := range w.Bed.Databases {
+		samples[i] = selection.ReDDESample{
+			Name: db.Name,
+			Docs: sums.SampleDocs[i],
+			Size: sums.SizeEst[i],
+		}
+	}
+	redde, err := selection.NewReDDE(samples, ratio)
+	if err != nil {
+		return AccuracyResult{}, err
+	}
+	res := AccuracyResult{
+		Bed:     w.Kind,
+		Sampler: sums.Config.Sampler,
+		Algo:    redde.Name(),
+		Label:   fmt.Sprintf("%v-ReDDE", sums.Config.Sampler),
+		Rk:      make([]float64, maxK),
+	}
+	for qi, q := range w.Bed.Queries {
+		ranked := redde.Rank(q.Terms)
+		idx := make([]int, len(ranked))
+		for i, r := range ranked {
+			idx[i] = r.Index
+		}
+		curve := metrics.RkCurve(w.Relevant[qi], idx, maxK)
+		for k := range curve {
+			res.Rk[k] += curve[k]
+		}
+	}
+	if nq := len(w.Bed.Queries); nq > 0 {
+		for k := range res.Rk {
+			res.Rk[k] /= float64(nq)
+		}
+	}
+	return res, nil
+}
+
+// meanRkUpTo averages an Rk curve over k = 1..k (a scalar headline for
+// comparisons and tests).
+func meanRkUpTo(rk []float64, k int) float64 {
+	if k > len(rk) {
+		k = len(rk)
+	}
+	var s float64
+	for i := 0; i < k; i++ {
+		s += rk[i]
+	}
+	if k == 0 {
+		return 0
+	}
+	return s / float64(k)
+}
+
+// ensure unused helper linting does not fire before the table layer uses it.
+var _ = meanRkUpTo
+var _ summary.View = (*summary.Summary)(nil)

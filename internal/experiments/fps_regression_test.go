@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/hierarchy"
+	"repro/internal/metrics"
+)
+
+// Regression test: FPS probing must retrieve documents even from
+// databases classified at internal categories (a Society-level site
+// contains the category's shared vocabulary, not any single subtopic's)
+// — probe sets that round-robin only leaf words came up empty on them,
+// silently zeroing those databases' summaries.
+func TestFPSSamplesInternalCategoryDatabases(t *testing.T) {
+	sc := TestScale()
+	sc.WebPerLeaf = 1
+	sc.WebExtra = 12 // extras land on random categories incl. internal ones
+	sc.WebMinSize = 150
+	sc.WebMaxSize = 400
+	w, err := BuildWorld(Web, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasInternal := false
+	for _, db := range w.Bed.Databases {
+		if !w.Bed.Tree.IsLeaf(db.Category) && db.Category != hierarchy.Root {
+			hasInternal = true
+		}
+	}
+	if !hasInternal {
+		t.Skip("no internal-category database drawn for this seed")
+	}
+	sums, err := w.BuildSummaries(Config{Sampler: FPS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, db := range w.Bed.Databases {
+		if sums.Unshrunk[i].Len() == 0 {
+			t.Errorf("FPS sampled nothing from %s (classified %s)",
+				db.Name, w.Bed.Tree.PathString(db.Category))
+		}
+		// And unshrunk precision stays exactly 1: samples contain only
+		// the database's own words.
+		un := metrics.ApplyRoundRule(sums.Unshrunk[i])
+		if up := metrics.UnweightedPrecision(w.Truth[i], un); up < 0.999 {
+			t.Errorf("%s: unshrunk precision %.3f", db.Name, up)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// LambdaListing is one database's EM mixture weights (Table 2).
+type LambdaListing struct {
+	Database string
+	Lambdas  []core.Lambda
+}
+
+// Table2Lambdas computes the mixture weights for up to n databases of
+// the world under one configuration, preferring deeply classified
+// databases (the paper shows two leaf-classified databases).
+func (w *World) Table2Lambdas(sums *DBSummaries, n int) []LambdaListing {
+	type cand struct {
+		i     int
+		depth int
+	}
+	var cands []cand
+	for i := range w.Bed.Databases {
+		cands = append(cands, cand{i, w.Bed.Tree.Depth(sums.Class[i])})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].depth != cands[b].depth {
+			return cands[a].depth > cands[b].depth
+		}
+		return cands[a].i < cands[b].i
+	})
+	if n > len(cands) {
+		n = len(cands)
+	}
+	out := make([]LambdaListing, 0, n)
+	for _, c := range cands[:n] {
+		out = append(out, LambdaListing{
+			Database: w.Bed.Databases[c.i].Name,
+			Lambdas:  sums.Shrunk[c.i].Lambdas(),
+		})
+	}
+	return out
+}
+
+// Table1 renders a fragment of two content summaries in the style of
+// the paper's Table 1, contrasting a topical word's probability across
+// two differently classified databases.
+func (w *World) Table1(words int) string {
+	// Pick two databases from different top-level categories.
+	var i1, i2 = -1, -1
+	for i, db := range w.Bed.Databases {
+		path := w.Bed.Tree.Path(db.Category)
+		if len(path) < 2 {
+			continue
+		}
+		top := path[1]
+		if i1 < 0 {
+			i1 = i
+			continue
+		}
+		if w.Bed.Tree.Path(w.Bed.Databases[i1].Category)[1] != top {
+			i2 = i
+			break
+		}
+	}
+	if i1 < 0 || i2 < 0 {
+		return "Table 1: not enough differently classified databases\n"
+	}
+	var b strings.Builder
+	b.WriteString("Table 1: Content summary fragments\n")
+	for _, i := range []int{i1, i2} {
+		db := w.Bed.Databases[i]
+		truth := w.Truth[i]
+		fmt.Fprintf(&b, "%s, |D| = %d  (%s)\n", db.Name, db.Size(), w.Bed.Tree.PathString(db.Category))
+		for _, word := range truth.TopWords(words) {
+			fmt.Fprintf(&b, "  %-24s p(w|D) = %.4g\n", word, truth.P(word))
+		}
+	}
+	return b.String()
+}
+
+// Table3 lists example databases of the world (name, size,
+// classification) in the style of the paper's Table 3.
+func (w *World) Table3(n int) string {
+	idx := make([]int, len(w.Bed.Databases))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Largest databases first, as the paper's examples are.
+	sort.Slice(idx, func(a, b int) bool {
+		return w.Bed.Databases[idx[a]].Size() > w.Bed.Databases[idx[b]].Size()
+	})
+	if n > len(idx) {
+		n = len(idx)
+	}
+	var b strings.Builder
+	b.WriteString("Table 3: Example databases\n")
+	fmt.Fprintf(&b, "%-32s %10s  %s\n", "Database", "Documents", "Classification")
+	for _, i := range idx[:n] {
+		db := w.Bed.Databases[i]
+		fmt.Fprintf(&b, "%-32s %10d  %s\n", db.Name, db.Size(), w.Bed.Tree.PathString(db.Category))
+	}
+	return b.String()
+}

@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/freqest"
+	"repro/internal/hierarchy"
+	"repro/internal/sampling"
+	"repro/internal/summary"
+	"repro/internal/synth"
+	"repro/internal/zipf"
+)
+
+// SamplerKind selects the content-summary construction strategy.
+type SamplerKind int
+
+const (
+	// QBS is query-based sampling (Callan & Connell).
+	QBS SamplerKind = iota
+	// FPS is focused probing (Ipeirotis & Gravano).
+	FPS
+)
+
+// String implements fmt.Stringer.
+func (k SamplerKind) String() string {
+	if k == FPS {
+		return "FPS"
+	}
+	return "QBS"
+}
+
+// Config is one summary-construction configuration of the evaluation
+// grid (Section 5.2).
+type Config struct {
+	Sampler SamplerKind
+	// FreqEst enables the Appendix A frequency estimation plus
+	// sample–resample size estimation.
+	FreqEst bool
+	// Run distinguishes repeated sampling runs (the paper averages QBS
+	// results over five samples; runs differ only in sampling seeds).
+	Run int
+	// KeepSampleDocs retains the raw sampled documents per database
+	// (needed by sample-pooling algorithms such as ReDDE).
+	KeepSampleDocs bool
+}
+
+// String implements fmt.Stringer.
+func (c Config) String() string {
+	fe := "raw"
+	if c.FreqEst {
+		fe = "freqest"
+	}
+	docs := ""
+	if c.KeepSampleDocs {
+		docs = "+docs"
+	}
+	return fmt.Sprintf("%v/%s/run%d%s", c.Sampler, fe, c.Run, docs)
+}
+
+// DBSummaries holds, for one configuration, everything database
+// selection needs: the per-database approximate summaries (unshrunk and
+// shrunk), the classification used, the category summaries, and the
+// Appendix B statistics for the adaptive algorithm.
+type DBSummaries struct {
+	Config   Config
+	Unshrunk []*summary.Summary
+	Shrunk   []*core.ShrunkSummary
+	Class    []hierarchy.NodeID
+	Cats     *core.CategorySummaries
+	// SizeEst is the sample–resample database size estimate (always
+	// computed; the raw configurations keep |D̂| = |S| in the summary
+	// but the adaptive uncertainty model still needs |D|).
+	SizeEst []float64
+	// Gamma is the per-database frequency power-law exponent γ = 1/α−1.
+	Gamma []float64
+	// SampleDocs holds each database's sampled documents when the
+	// configuration requested them (Config.KeepSampleDocs).
+	SampleDocs [][][]string
+}
+
+// BuildSummaries runs the configured sampler against every database of
+// the world and assembles the shrinkage machinery on top: probe-based
+// classification where the paper uses it, category summaries
+// (Definition 3), and per-database shrunk summaries via EM (Figure 2).
+func (w *World) BuildSummaries(cfg Config) (*DBSummaries, error) {
+	n := len(w.Bed.Databases)
+	out := &DBSummaries{
+		Config:   cfg,
+		Unshrunk: make([]*summary.Summary, n),
+		Shrunk:   make([]*core.ShrunkSummary, n),
+		Class:    make([]hierarchy.NodeID, n),
+		SizeEst:  make([]float64, n),
+		Gamma:    make([]float64, n),
+	}
+	seed := synth.SubSeed(w.Scale.Seed, 100, int64(cfg.Sampler), int64(cfg.Run))
+	if cfg.KeepSampleDocs {
+		out.SampleDocs = make([][][]string, n)
+	}
+
+	// one processes a single database: sample, classify, estimate. Each
+	// database's randomness derives from its own sub-seed, so the result
+	// is identical whether databases are processed sequentially or
+	// concurrently.
+	one := func(i int) error {
+		db := w.Bed.Databases[i]
+		searcher := sampling.IndexSearcher{Ix: db.Index}
+		var sample *sampling.Sample
+		var class hierarchy.NodeID
+		var err error
+		switch cfg.Sampler {
+		case QBS:
+			sample, err = sampling.QBS(searcher, sampling.QBSConfig{
+				TargetDocs:  w.Scale.SampleTarget,
+				SeedLexicon: w.Lexicon,
+				Seed:        synth.SubSeed(seed, int64(i)),
+			})
+			if err != nil {
+				return fmt.Errorf("QBS over %s: %w", db.Name, err)
+			}
+			// QBS has no classification of its own: the Web testbed
+			// uses the directory's (true) classification, the TREC
+			// testbeds use probe-based classification (Section 5.2).
+			if w.Kind == Web {
+				class = db.Category
+			} else {
+				class = w.Classifier.Classify(searcher)
+			}
+		case FPS:
+			// FPS derives the classification during sampling.
+			sample, class, err = sampling.FPS(searcher, sampling.FPSConfig{
+				Classifier: w.Classifier,
+			})
+			if err != nil {
+				return fmt.Errorf("FPS over %s: %w", db.Name, err)
+			}
+		default:
+			return fmt.Errorf("experiments: unknown sampler %v", cfg.Sampler)
+		}
+
+		if cfg.KeepSampleDocs {
+			out.SampleDocs[i] = sample.Docs
+		}
+		raw := summary.FromSample(sample.Docs)
+		est, errFit := freqest.FitCheckpoints(sample.Checkpoints)
+		size, errSize := freqest.EstimateSize(sample, raw)
+		if errFit != nil || errSize != nil {
+			// Degenerate (e.g. empty) database: keep the raw summary.
+			size = raw.NumDocs
+		}
+		out.SizeEst[i] = size
+		out.Gamma[i] = zipf.FreqPowerLawGamma(est.LawAt(size).Alpha)
+		if cfg.FreqEst && errFit == nil {
+			out.Unshrunk[i] = freqest.Apply(raw, est, size)
+		} else {
+			out.Unshrunk[i] = raw
+		}
+		out.Class[i] = class
+		return nil
+	}
+	if err := forEachDatabase(n, w.Scale.Workers, one); err != nil {
+		return nil, err
+	}
+
+	// Category summaries over the classified approximate summaries,
+	// then one shrunk summary per database.
+	classified := make([]core.Classified, n)
+	for i, db := range w.Bed.Databases {
+		classified[i] = core.Classified{
+			Name:     db.Name,
+			Category: out.Class[i],
+			Sum:      out.Unshrunk[i],
+		}
+	}
+	out.Cats = core.BuildCategorySummaries(w.Bed.Tree, classified, core.SizeWeighted)
+	for i := range classified {
+		out.Shrunk[i] = core.Shrink(out.Cats, classified[i], core.ShrinkOptions{})
+	}
+	return out, nil
+}
+
+// forEachDatabase runs fn(i) for i in [0, n), fanning out over a
+// bounded worker pool. workers <= 1 runs sequentially (and 0 selects
+// GOMAXPROCS). Indexed writes into pre-sized slices need no locking;
+// the first error cancels nothing but is reported.
+func forEachDatabase(n, workers int, fn func(i int) error) error {
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	var (
+		wg    sync.WaitGroup
+		next  int64 = -1
+		errMu sync.Mutex
+		first error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					errMu.Lock()
+					if first == nil {
+						first = err
+					}
+					errMu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}
+
+// Classified returns the classified-summary slice (used by callers that
+// need to rebuild category summaries, e.g. the ablation harness).
+func (s *DBSummaries) Classified(w *World) []core.Classified {
+	out := make([]core.Classified, len(s.Unshrunk))
+	for i, db := range w.Bed.Databases {
+		out[i] = core.Classified{Name: db.Name, Category: s.Class[i], Sum: s.Unshrunk[i]}
+	}
+	return out
+}

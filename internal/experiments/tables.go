@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FormatQualityTable renders one of Tables 4-9 from quality rows. The
+// metric is selected by name: "wr", "ur", "wp", "up", "srcc", or "kl".
+func FormatQualityTable(title, metric string, rows []QualityRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-8s %-8s %-9s %10s %10s %12s\n",
+		"Data Set", "Sampling", "Freq.Est.", "Shrink=Yes", "Shrink=No", "t-test p")
+	for _, r := range rows {
+		cell := r.cell(metric)
+		fe := "No"
+		if r.FreqEst {
+			fe = "Yes"
+		}
+		fmt.Fprintf(&b, "%-8s %-8s %-9s %10.3f %10.3f %12.2g\n",
+			r.Bed, r.Sampler, fe, cell.Shrunk, cell.Unshrunk, cell.P)
+	}
+	return b.String()
+}
+
+func (r QualityRow) cell(metric string) QualityCell {
+	switch strings.ToLower(metric) {
+	case "wr":
+		return r.WR
+	case "ur":
+		return r.UR
+	case "wp":
+		return r.WP
+	case "up":
+		return r.UP
+	case "srcc":
+		return r.SRCC
+	case "kl":
+		return r.KL
+	}
+	return QualityCell{}
+}
+
+// QualityMetricTitle maps table numbers to metric keys and titles.
+var QualityMetricTitle = map[int][2]string{
+	4: {"wr", "Table 4: Weighted recall wr"},
+	5: {"ur", "Table 5: Unweighted recall ur"},
+	6: {"wp", "Table 6: Weighted precision wp"},
+	7: {"up", "Table 7: Unweighted precision up"},
+	8: {"srcc", "Table 8: Spearman Correlation Coefficient SRCC"},
+	9: {"kl", "Table 9: KL-divergence"},
+}
+
+// FormatRkSeries renders one Rk-vs-k figure panel as aligned text
+// series, in the style of Figures 4 and 5.
+func FormatRkSeries(title string, results []AccuracyResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-4s", "k")
+	for _, r := range results {
+		fmt.Fprintf(&b, " %22s", r.SeriesLabel())
+	}
+	b.WriteByte('\n')
+	if len(results) == 0 {
+		return b.String()
+	}
+	for k := 0; k < len(results[0].Rk); k++ {
+		fmt.Fprintf(&b, "%-4d", k+1)
+		for _, r := range results {
+			fmt.Fprintf(&b, " %22.3f", r.Rk[k])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatRkCSV renders an Rk figure panel as CSV (k plus one column per
+// series), for plotting.
+func FormatRkCSV(title string, results []AccuracyResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", title)
+	b.WriteString("k")
+	for _, r := range results {
+		b.WriteString(",")
+		b.WriteString(r.SeriesLabel())
+	}
+	b.WriteByte('\n')
+	if len(results) == 0 {
+		return b.String()
+	}
+	for k := 0; k < len(results[0].Rk); k++ {
+		fmt.Fprintf(&b, "%d", k+1)
+		for _, r := range results {
+			fmt.Fprintf(&b, ",%.4f", r.Rk[k])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ShrinkRateRow is one row of Table 10.
+type ShrinkRateRow struct {
+	Bed     BedKind
+	Sampler SamplerKind
+	Algo    string
+	Rate    float64
+}
+
+// FormatShrinkRateTable renders Table 10 (percentage of query-database
+// pairs for which shrinkage was applied).
+func FormatShrinkRateTable(rows []ShrinkRateRow) string {
+	var b strings.Builder
+	b.WriteString("Table 10: Percentage of query-database pairs with shrinkage applied\n")
+	fmt.Fprintf(&b, "%-8s %-8s %-10s %10s\n", "Data Set", "Sampling", "Selection", "Shrinkage")
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].Bed != rows[j].Bed {
+			return rows[i].Bed < rows[j].Bed
+		}
+		return rows[i].Sampler < rows[j].Sampler
+	})
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %-8s %-10s %9.2f%%\n", r.Bed, r.Sampler, r.Algo, 100*r.Rate)
+	}
+	return b.String()
+}
+
+// FormatLambdaTable renders the Table 2 style mixture-weight listing
+// for a set of databases.
+func FormatLambdaTable(dbs []LambdaListing) string {
+	var b strings.Builder
+	b.WriteString("Table 2: Category mixture weights λ\n")
+	fmt.Fprintf(&b, "%-28s %-22s %8s\n", "Database", "Category", "λ")
+	for _, l := range dbs {
+		name := l.Database
+		for _, lam := range l.Lambdas {
+			fmt.Fprintf(&b, "%-28s %-22s %8.3f\n", name, lam.Component, lam.Weight)
+			name = ""
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,81 @@
+package hierarchy
+
+// Default returns the 72-node, 4-level topic hierarchy used throughout
+// the evaluation. Its shape matches the Open Directory subset from
+// QProber that the paper uses (Section 5.1): 1 root, 8 top-level
+// categories, 24 second-level categories, 39 third-level categories,
+// for 54 leaves in total. Category names follow ODP conventions and
+// include the categories the paper mentions by name (Health→ Diseases→
+// AIDS, Science→ Social Sciences→ Economics, Sports→ Soccer, ...).
+func Default() *Tree {
+	return MustNew(Spec{
+		Name: "Root",
+		Children: []Spec{
+			{Name: "Arts", Children: []Spec{
+				{Name: "Literature", Children: []Spec{
+					{Name: "Texts"}, {Name: "Poetry"}, {Name: "Drama"},
+					{Name: "Classics"}, {Name: "Mythology"},
+				}},
+				{Name: "Movies"},
+				{Name: "Music"},
+			}},
+			{Name: "Business", Children: []Spec{
+				{Name: "Finance", Children: []Spec{
+					{Name: "Investing"}, {Name: "Banking"},
+					{Name: "Insurance"}, {Name: "Accounting"},
+				}},
+				{Name: "Marketing"},
+				{Name: "Jobs"},
+			}},
+			{Name: "Computers", Children: []Spec{
+				{Name: "Programming", Children: []Spec{
+					{Name: "Java"}, {Name: "Compilers"},
+					{Name: "Databases"}, {Name: "Web"},
+				}},
+				{Name: "Software"},
+				{Name: "Hardware"},
+			}},
+			{Name: "Health", Children: []Spec{
+				{Name: "Diseases", Children: []Spec{
+					{Name: "AIDS"}, {Name: "Cancer"}, {Name: "Diabetes"},
+					{Name: "Heart"}, {Name: "Allergies"},
+				}},
+				{Name: "Fitness"},
+				{Name: "Medicine", Children: []Spec{
+					{Name: "Pharmacy"}, {Name: "Nursing"}, {Name: "Dentistry"},
+				}},
+			}},
+			{Name: "Recreation", Children: []Spec{
+				{Name: "Travel"},
+				{Name: "Outdoors", Children: []Spec{
+					{Name: "Camping"}, {Name: "Fishing"}, {Name: "Hiking"},
+					{Name: "Hunting"}, {Name: "Climbing"},
+				}},
+				{Name: "Pets"},
+			}},
+			{Name: "Science", Children: []Spec{
+				{Name: "Mathematics"},
+				{Name: "Social Sciences", Children: []Spec{
+					{Name: "Economics"}, {Name: "History"}, {Name: "Psychology"},
+					{Name: "Linguistics"}, {Name: "Anthropology"},
+				}},
+				{Name: "Biology", Children: []Spec{
+					{Name: "Genetics"}, {Name: "Ecology"}, {Name: "Zoology"},
+					{Name: "Botany"}, {Name: "Microbiology"},
+				}},
+			}},
+			{Name: "Society", Children: []Spec{
+				{Name: "Religion"},
+				{Name: "Politics", Children: []Spec{
+					{Name: "Elections"}, {Name: "Government"}, {Name: "Activism"},
+				}},
+				{Name: "Law"},
+			}},
+			{Name: "Sports", Children: []Spec{
+				{Name: "Soccer"},
+				{Name: "Basketball"},
+				{Name: "Tennis"},
+			}},
+		},
+	})
+}

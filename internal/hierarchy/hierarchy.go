@@ -1,0 +1,191 @@
+// Package hierarchy implements the hierarchical classification scheme
+// that shrinkage operates over. The paper uses the 72-node, 4-level
+// subset of the Open Directory Project hierarchy from QProber [14],
+// with 54 leaf categories (Section 5.1). Default builds a tree with the
+// same shape: a root, 8 top-level categories, 24 second-level
+// categories, and 39 third-level categories, 54 of which are leaves.
+package hierarchy
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NodeID identifies a category within one Tree. The root is always 0.
+type NodeID int
+
+// Root is the NodeID of the root category.
+const Root NodeID = 0
+
+// Node is one category in the tree.
+type Node struct {
+	ID       NodeID
+	Name     string
+	Parent   NodeID // Root's parent is Root itself
+	Children []NodeID
+	Depth    int // Root has depth 0
+}
+
+// Spec describes a category subtree for constructing a Tree.
+type Spec struct {
+	Name     string
+	Children []Spec
+}
+
+// Tree is an immutable category hierarchy. All methods are safe for
+// concurrent use.
+type Tree struct {
+	nodes  []Node
+	byName map[string]NodeID
+}
+
+// New builds a Tree from a root Spec. Category names must be unique
+// across the whole tree (ODP-style display names; uniqueness lets
+// callers refer to categories by bare name).
+func New(root Spec) (*Tree, error) {
+	t := &Tree{byName: make(map[string]NodeID)}
+	if err := t.add(root, Root, 0); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// MustNew is New for static specs known to be valid.
+func MustNew(root Spec) *Tree {
+	t, err := New(root)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func (t *Tree) add(s Spec, parent NodeID, depth int) error {
+	if s.Name == "" {
+		return fmt.Errorf("hierarchy: empty category name under %q", t.nameOf(parent))
+	}
+	if _, dup := t.byName[s.Name]; dup {
+		return fmt.Errorf("hierarchy: duplicate category name %q", s.Name)
+	}
+	id := NodeID(len(t.nodes))
+	t.nodes = append(t.nodes, Node{ID: id, Name: s.Name, Parent: parent, Depth: depth})
+	t.byName[s.Name] = id
+	if id != parent {
+		p := &t.nodes[parent]
+		p.Children = append(p.Children, id)
+	}
+	for _, c := range s.Children {
+		if err := t.add(c, id, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *Tree) nameOf(id NodeID) string {
+	if int(id) < len(t.nodes) {
+		return t.nodes[id].Name
+	}
+	return "?"
+}
+
+// Len returns the number of categories, including the root.
+func (t *Tree) Len() int { return len(t.nodes) }
+
+// Node returns the node with the given id. It panics on out-of-range ids.
+func (t *Tree) Node(id NodeID) Node { return t.nodes[id] }
+
+// Lookup finds a category by its unique name.
+func (t *Tree) Lookup(name string) (NodeID, bool) {
+	id, ok := t.byName[name]
+	return id, ok
+}
+
+// Parent returns the parent of id (Root for the root itself).
+func (t *Tree) Parent(id NodeID) NodeID { return t.nodes[id].Parent }
+
+// Children returns the child ids of a category. The returned slice must
+// not be modified.
+func (t *Tree) Children(id NodeID) []NodeID { return t.nodes[id].Children }
+
+// IsLeaf reports whether the category has no children.
+func (t *Tree) IsLeaf(id NodeID) bool { return len(t.nodes[id].Children) == 0 }
+
+// Depth returns the depth of the category (root = 0).
+func (t *Tree) Depth(id NodeID) int { return t.nodes[id].Depth }
+
+// Path returns the categories from the root down to id, inclusive.
+// This is the C1, ..., Cm sequence of Definition 4 when id is the
+// category a database is classified under.
+func (t *Tree) Path(id NodeID) []NodeID {
+	depth := t.nodes[id].Depth
+	path := make([]NodeID, depth+1)
+	for i := depth; i >= 0; i-- {
+		path[i] = id
+		id = t.nodes[id].Parent
+	}
+	return path
+}
+
+// PathString formats the path root→id in the paper's notation,
+// e.g. "Root→ Health→ Diseases→ AIDS".
+func (t *Tree) PathString(id NodeID) string {
+	ids := t.Path(id)
+	parts := make([]string, len(ids))
+	for i, n := range ids {
+		parts[i] = t.nodes[n].Name
+	}
+	return strings.Join(parts, "→ ")
+}
+
+// Leaves returns all leaf category ids in id order.
+func (t *Tree) Leaves() []NodeID {
+	var out []NodeID
+	for _, n := range t.nodes {
+		if len(n.Children) == 0 {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// Subtree returns id and all its descendants in preorder.
+func (t *Tree) Subtree(id NodeID) []NodeID {
+	out := []NodeID{id}
+	for _, c := range t.nodes[id].Children {
+		out = append(out, t.Subtree(c)...)
+	}
+	return out
+}
+
+// IsAncestorOrSelf reports whether a is on the path from the root to b.
+func (t *Tree) IsAncestorOrSelf(a, b NodeID) bool {
+	for {
+		if a == b {
+			return true
+		}
+		if b == Root {
+			return false
+		}
+		b = t.nodes[b].Parent
+	}
+}
+
+// All returns every node id in preorder (root first).
+func (t *Tree) All() []NodeID {
+	out := make([]NodeID, len(t.nodes))
+	for i := range t.nodes {
+		out[i] = NodeID(i)
+	}
+	return out
+}
+
+// MaxDepth returns the largest depth in the tree.
+func (t *Tree) MaxDepth() int {
+	max := 0
+	for _, n := range t.nodes {
+		if n.Depth > max {
+			max = n.Depth
+		}
+	}
+	return max
+}

@@ -1,0 +1,146 @@
+package hierarchy
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestDefaultShapeMatchesPaper(t *testing.T) {
+	tr := Default()
+	if got := tr.Len(); got != 72 {
+		t.Errorf("node count = %d, want 72", got)
+	}
+	if got := len(tr.Leaves()); got != 54 {
+		t.Errorf("leaf count = %d, want 54", got)
+	}
+	if got := tr.MaxDepth(); got != 3 {
+		t.Errorf("max depth = %d, want 3 (4 levels including root)", got)
+	}
+	if got := len(tr.Children(Root)); got != 8 {
+		t.Errorf("top-level categories = %d, want 8", got)
+	}
+	// Depth histogram: 1 root + 8 + 24 + 39.
+	counts := map[int]int{}
+	for _, id := range tr.All() {
+		counts[tr.Depth(id)]++
+	}
+	want := map[int]int{0: 1, 1: 8, 2: 24, 3: 39}
+	if !reflect.DeepEqual(counts, want) {
+		t.Errorf("depth histogram = %v, want %v", counts, want)
+	}
+}
+
+func TestPaperExampleCategoriesExist(t *testing.T) {
+	tr := Default()
+	for _, name := range []string{"Health", "Diseases", "AIDS", "Heart", "Economics", "Soccer", "Texts", "Java", "Mathematics"} {
+		if _, ok := tr.Lookup(name); !ok {
+			t.Errorf("category %q missing", name)
+		}
+	}
+}
+
+func TestPathAndPathString(t *testing.T) {
+	tr := Default()
+	aids, _ := tr.Lookup("AIDS")
+	path := tr.Path(aids)
+	if len(path) != 4 {
+		t.Fatalf("path length = %d, want 4", len(path))
+	}
+	names := make([]string, len(path))
+	for i, id := range path {
+		names[i] = tr.Node(id).Name
+	}
+	want := []string{"Root", "Health", "Diseases", "AIDS"}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("path = %v, want %v", names, want)
+	}
+	if s := tr.PathString(aids); s != "Root→ Health→ Diseases→ AIDS" {
+		t.Errorf("PathString = %q", s)
+	}
+	if s := tr.PathString(Root); s != "Root" {
+		t.Errorf("PathString(Root) = %q", s)
+	}
+}
+
+func TestParentChildConsistency(t *testing.T) {
+	tr := Default()
+	for _, id := range tr.All() {
+		for _, c := range tr.Children(id) {
+			if tr.Parent(c) != id {
+				t.Errorf("parent of %v is %v, want %v", c, tr.Parent(c), id)
+			}
+			if tr.Depth(c) != tr.Depth(id)+1 {
+				t.Errorf("depth of child %v inconsistent", c)
+			}
+		}
+	}
+	if tr.Parent(Root) != Root {
+		t.Error("root's parent should be root")
+	}
+}
+
+func TestIsAncestorOrSelf(t *testing.T) {
+	tr := Default()
+	health, _ := tr.Lookup("Health")
+	diseases, _ := tr.Lookup("Diseases")
+	aids, _ := tr.Lookup("AIDS")
+	sports, _ := tr.Lookup("Sports")
+	if !tr.IsAncestorOrSelf(Root, aids) || !tr.IsAncestorOrSelf(health, aids) ||
+		!tr.IsAncestorOrSelf(diseases, aids) || !tr.IsAncestorOrSelf(aids, aids) {
+		t.Error("ancestor chain broken")
+	}
+	if tr.IsAncestorOrSelf(sports, aids) || tr.IsAncestorOrSelf(aids, health) {
+		t.Error("false ancestor relation")
+	}
+}
+
+func TestSubtree(t *testing.T) {
+	tr := Default()
+	diseases, _ := tr.Lookup("Diseases")
+	sub := tr.Subtree(diseases)
+	if len(sub) != 6 { // Diseases + 5 leaves
+		t.Errorf("subtree size = %d, want 6", len(sub))
+	}
+	if sub[0] != diseases {
+		t.Error("subtree should start at the node itself")
+	}
+	all := tr.Subtree(Root)
+	if len(all) != tr.Len() {
+		t.Errorf("root subtree = %d nodes, want %d", len(all), tr.Len())
+	}
+}
+
+func TestLeavesAreLeaves(t *testing.T) {
+	tr := Default()
+	for _, l := range tr.Leaves() {
+		if !tr.IsLeaf(l) {
+			t.Errorf("Leaves() returned non-leaf %v", l)
+		}
+	}
+}
+
+func TestNewRejectsDuplicatesAndEmptyNames(t *testing.T) {
+	if _, err := New(Spec{Name: "A", Children: []Spec{{Name: "A"}}}); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if _, err := New(Spec{Name: "A", Children: []Spec{{Name: ""}}}); err == nil {
+		t.Error("empty name accepted")
+	}
+}
+
+func TestLookupMissing(t *testing.T) {
+	tr := Default()
+	if _, ok := tr.Lookup("Nonexistent"); ok {
+		t.Error("Lookup found a missing category")
+	}
+}
+
+func TestSingleNodeTree(t *testing.T) {
+	tr := MustNew(Spec{Name: "Root"})
+	if tr.Len() != 1 || !tr.IsLeaf(Root) || tr.MaxDepth() != 0 {
+		t.Error("single-node tree malformed")
+	}
+	if got := tr.Path(Root); len(got) != 1 || got[0] != Root {
+		t.Errorf("Path(Root) = %v", got)
+	}
+}

@@ -1,0 +1,105 @@
+package hierarchy
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Parse reads an indentation-structured category hierarchy, one
+// category per line, depth given by leading tabs (or runs of four
+// spaces). Blank lines and lines starting with '#' are ignored. The
+// first category is the root; every other line must be exactly one
+// level deeper than an open ancestor or shallower (closing levels).
+//
+//	Root
+//		Health
+//			Diseases
+//				AIDS
+//		Sports
+//
+// This is the format the command-line tools accept for custom
+// taxonomies.
+func Parse(r io.Reader) (*Tree, error) {
+	type node struct {
+		spec     Spec
+		children []*node
+	}
+	var root *node
+	var stack []*node // stack[d] = open node at depth d
+	scanner := bufio.NewScanner(r)
+	line := 0
+	for scanner.Scan() {
+		line++
+		raw := scanner.Text()
+		trimmed := strings.TrimLeft(raw, "\t ")
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		depth, err := indentDepth(raw[:len(raw)-len(trimmed)])
+		if err != nil {
+			return nil, fmt.Errorf("hierarchy: line %d: %w", line, err)
+		}
+		name := strings.TrimSpace(trimmed)
+		n := &node{spec: Spec{Name: name}}
+		switch {
+		case root == nil:
+			if depth != 0 {
+				return nil, fmt.Errorf("hierarchy: line %d: first category must be unindented", line)
+			}
+			root = n
+			stack = []*node{root}
+		case depth == 0:
+			return nil, fmt.Errorf("hierarchy: line %d: second root %q", line, name)
+		case depth > len(stack):
+			return nil, fmt.Errorf("hierarchy: line %d: %q skips an indentation level", line, name)
+		default:
+			parent := stack[depth-1]
+			parent.children = append(parent.children, n)
+			stack = append(stack[:depth], n)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("hierarchy: %w", err)
+	}
+	if root == nil {
+		return nil, fmt.Errorf("hierarchy: empty input")
+	}
+	var toSpec func(n *node) Spec
+	toSpec = func(n *node) Spec {
+		s := n.spec
+		for _, c := range n.children {
+			s.Children = append(s.Children, toSpec(c))
+		}
+		return s
+	}
+	return New(toSpec(root))
+}
+
+// indentDepth converts a leading whitespace prefix to a depth: one tab
+// or four spaces per level.
+func indentDepth(prefix string) (int, error) {
+	if strings.Contains(prefix, "\t") && strings.Contains(prefix, " ") {
+		return 0, fmt.Errorf("mixed tab/space indentation")
+	}
+	if strings.Contains(prefix, "\t") {
+		return len(prefix), nil
+	}
+	if len(prefix)%4 != 0 {
+		return 0, fmt.Errorf("space indentation must use 4-space steps")
+	}
+	return len(prefix) / 4, nil
+}
+
+// Format writes the tree in the Parse format (tabs).
+func (t *Tree) Format(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, id := range t.All() {
+		n := t.Node(id)
+		if _, err := fmt.Fprintf(bw, "%s%s\n", strings.Repeat("\t", n.Depth), n.Name); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

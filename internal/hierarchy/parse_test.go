@@ -1,0 +1,108 @@
+package hierarchy
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseBasic(t *testing.T) {
+	in := `
+# a taxonomy
+Root
+	Health
+		Diseases
+			AIDS
+		Fitness
+	Sports
+		Soccer
+`
+	tr, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 7 {
+		t.Errorf("nodes = %d, want 7", tr.Len())
+	}
+	aids, ok := tr.Lookup("AIDS")
+	if !ok {
+		t.Fatal("AIDS missing")
+	}
+	if got := tr.PathString(aids); got != "Root→ Health→ Diseases→ AIDS" {
+		t.Errorf("path = %q", got)
+	}
+	if d, _ := tr.Lookup("Soccer"); tr.Depth(d) != 2 {
+		t.Error("Soccer depth wrong")
+	}
+}
+
+func TestParseSpaceIndentation(t *testing.T) {
+	in := "Root\n    A\n        B\n    C\n"
+	tr, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 4 {
+		t.Errorf("nodes = %d", tr.Len())
+	}
+	b, _ := tr.Lookup("B")
+	if tr.Depth(b) != 2 {
+		t.Error("B depth wrong")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"comments only":  "# nothing\n\n",
+		"indented root":  "\tRoot\n",
+		"two roots":      "Root\nOther\n",
+		"skipped level":  "Root\n\t\tDeep\n",
+		"mixed indent":   "Root\n\t A\n",
+		"ragged spaces":  "Root\n   A\n",
+		"duplicate name": "Root\n\tA\n\tA\n",
+	}
+	for name, in := range cases {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestParseFormatRoundTrip(t *testing.T) {
+	orig := Default()
+	var buf bytes.Buffer
+	if err := orig.Format(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != orig.Len() {
+		t.Fatalf("round trip lost nodes: %d vs %d", back.Len(), orig.Len())
+	}
+	for _, id := range orig.All() {
+		want := orig.Node(id)
+		got, ok := back.Lookup(want.Name)
+		if !ok {
+			t.Fatalf("category %q lost", want.Name)
+		}
+		if back.PathString(got) != orig.PathString(id) {
+			t.Errorf("path of %q changed", want.Name)
+		}
+	}
+}
+
+func TestParseClosingLevels(t *testing.T) {
+	in := "Root\n\tA\n\t\tB\n\tC\n\t\tD\n"
+	tr, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := tr.Lookup("D")
+	c, _ := tr.Lookup("C")
+	if tr.Parent(d) != c {
+		t.Error("D should be under C after closing a level")
+	}
+}

@@ -1,0 +1,13 @@
+package index
+
+import "math"
+
+// logIDF is the classic smoothed inverse document frequency,
+// log(1 + N/df). It is strictly positive for df <= N, so conjunctive
+// matches always outrank non-matches.
+func logIDF(n, df float64) float64 {
+	if df <= 0 {
+		return 0
+	}
+	return math.Log(1 + n/df)
+}

@@ -1,0 +1,397 @@
+// Package index implements the full-text search substrate that plays the
+// role of Jakarta Lucene in the paper's evaluation (Section 5.1). It
+// provides exactly what the samplers and the metasearcher need from a
+// remote database's search interface: the number of matches for a query,
+// ranked retrieval of the top documents, and document fetch. It also
+// exposes exact collection statistics, which the evaluation uses to
+// compute the "perfect" content summaries S(D).
+package index
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DocID identifies a document within one Index.
+type DocID int32
+
+// posting records one (document, term frequency) pair.
+type posting struct {
+	doc DocID
+	tf  int32
+}
+
+// termInfo aggregates the statistics for one term.
+type termInfo struct {
+	postings []posting
+	totalTF  int64
+}
+
+// Builder accumulates documents and produces an immutable Index.
+// Builders are not safe for concurrent use; built Indexes are.
+type Builder struct {
+	vocab map[string]int32 // term -> term id
+	terms []string
+	infos []termInfo
+	docs  [][]int32 // per doc: term ids, duplicates preserved, in first-seen order per doc
+	total int64     // total token count over all docs
+}
+
+// NewBuilder returns an empty Builder. sizeHint is the expected number
+// of documents (0 is fine).
+func NewBuilder(sizeHint int) *Builder {
+	return &Builder{
+		vocab: make(map[string]int32, 1024),
+		docs:  make([][]int32, 0, sizeHint),
+	}
+}
+
+// Add indexes one document given as a slice of analyzed terms and
+// returns its DocID. Term order within the document is not significant
+// for any consumer, so Add stores each distinct term once with its count
+// (run-length form reconstructed by Doc).
+func (b *Builder) Add(terms []string) DocID {
+	id := DocID(len(b.docs))
+	counts := make(map[int32]int32, len(terms))
+	order := make([]int32, 0, len(terms))
+	for _, t := range terms {
+		tid, ok := b.vocab[t]
+		if !ok {
+			tid = int32(len(b.terms))
+			b.vocab[t] = tid
+			b.terms = append(b.terms, t)
+			b.infos = append(b.infos, termInfo{})
+		}
+		if counts[tid] == 0 {
+			order = append(order, tid)
+		}
+		counts[tid]++
+	}
+	// Store the doc as interleaved (termID, count) pairs to keep memory
+	// proportional to distinct terms.
+	stored := make([]int32, 0, 2*len(order))
+	for _, tid := range order {
+		c := counts[tid]
+		stored = append(stored, tid, c)
+		info := &b.infos[tid]
+		info.postings = append(info.postings, posting{doc: id, tf: c})
+		info.totalTF += int64(c)
+		b.total += int64(c)
+	}
+	b.docs = append(b.docs, stored)
+	return id
+}
+
+// Build finalizes the index. The Builder must not be used afterwards.
+func (b *Builder) Build() *Index {
+	ix := &Index{
+		vocab: b.vocab,
+		terms: b.terms,
+		infos: b.infos,
+		docs:  b.docs,
+		total: b.total,
+	}
+	b.vocab, b.terms, b.infos, b.docs = nil, nil, nil, nil
+	return ix
+}
+
+// Index is an immutable inverted index over a document collection.
+// All methods are safe for concurrent use.
+type Index struct {
+	vocab map[string]int32
+	terms []string
+	infos []termInfo
+	docs  [][]int32
+	total int64
+}
+
+// NumDocs returns the number of documents in the collection (|D|).
+func (ix *Index) NumDocs() int { return len(ix.docs) }
+
+// NumTerms returns the size of the collection vocabulary (distinct terms).
+func (ix *Index) NumTerms() int { return len(ix.terms) }
+
+// CollectionTokens returns the total number of token occurrences, the
+// cw(D) statistic used by CORI.
+func (ix *Index) CollectionTokens() int64 { return ix.total }
+
+// DocFreq returns the number of documents containing term.
+func (ix *Index) DocFreq(term string) int {
+	tid, ok := ix.vocab[term]
+	if !ok {
+		return 0
+	}
+	return len(ix.infos[tid].postings)
+}
+
+// TermFreq returns the total number of occurrences of term, tf(w, D).
+func (ix *Index) TermFreq(term string) int64 {
+	tid, ok := ix.vocab[term]
+	if !ok {
+		return 0
+	}
+	return ix.infos[tid].totalTF
+}
+
+// Doc reconstructs the terms of a document (each distinct term repeated
+// by its in-document frequency). It panics if id is out of range.
+func (ix *Index) Doc(id DocID) []string {
+	stored := ix.docs[id]
+	var n int32
+	for i := 1; i < len(stored); i += 2 {
+		n += stored[i]
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < len(stored); i += 2 {
+		term := ix.terms[stored[i]]
+		for c := int32(0); c < stored[i+1]; c++ {
+			out = append(out, term)
+		}
+	}
+	return out
+}
+
+// DocDistinctTerms returns the distinct terms of a document.
+func (ix *Index) DocDistinctTerms(id DocID) []string {
+	stored := ix.docs[id]
+	out := make([]string, 0, len(stored)/2)
+	for i := 0; i < len(stored); i += 2 {
+		out = append(out, ix.terms[stored[i]])
+	}
+	return out
+}
+
+// DocLen returns the number of tokens in a document.
+func (ix *Index) DocLen(id DocID) int {
+	stored := ix.docs[id]
+	var n int
+	for i := 1; i < len(stored); i += 2 {
+		n += int(stored[i])
+	}
+	return n
+}
+
+// ForEachTerm calls fn for every term in the vocabulary with its
+// document frequency and total term frequency. Iteration order is the
+// term-id (first-indexed) order and is deterministic for a given build.
+func (ix *Index) ForEachTerm(fn func(term string, df int, tf int64)) {
+	for tid, term := range ix.terms {
+		info := &ix.infos[tid]
+		fn(term, len(info.postings), info.totalTF)
+	}
+}
+
+// Result is one ranked search hit.
+type Result struct {
+	Doc   DocID
+	Score float64
+}
+
+// Search evaluates a conjunctive (boolean AND) query and returns the
+// total number of matching documents together with the top `limit`
+// matches ranked by a TF-IDF score. Duplicate query terms are ignored.
+// A query with no terms, or with any term absent from the collection,
+// matches nothing.
+func (ix *Index) Search(query []string, limit int) (matches int, top []Result) {
+	tids := ix.lookupAll(query)
+	if tids == nil {
+		return 0, nil
+	}
+	docs := ix.intersect(tids)
+	matches = len(docs)
+	if limit <= 0 || matches == 0 {
+		return matches, nil
+	}
+	results := make([]Result, len(docs))
+	for i, d := range docs {
+		results[i] = Result{Doc: d, Score: ix.score(d, tids)}
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Score != results[j].Score {
+			return results[i].Score > results[j].Score
+		}
+		return results[i].Doc < results[j].Doc
+	})
+	if limit < len(results) {
+		results = results[:limit]
+	}
+	return matches, results
+}
+
+// SearchAny evaluates a disjunctive (boolean OR) query: documents
+// containing at least one query term, ranked by summed TF-IDF. ReDDE's
+// centralized-sample retrieval uses this. Duplicate query terms are
+// ignored; terms absent from the vocabulary contribute nothing.
+func (ix *Index) SearchAny(query []string, limit int) (matches int, top []Result) {
+	if len(query) == 0 || limit < 0 {
+		return 0, nil
+	}
+	seen := make(map[int32]bool, len(query))
+	scores := make(map[DocID]float64)
+	n := float64(len(ix.docs))
+	for _, q := range query {
+		tid, ok := ix.vocab[q]
+		if !ok || seen[tid] {
+			continue
+		}
+		seen[tid] = true
+		info := &ix.infos[tid]
+		idf := logIDF(n, float64(len(info.postings)))
+		for _, p := range info.postings {
+			scores[p.doc] += float64(p.tf) * idf
+		}
+	}
+	matches = len(scores)
+	if limit == 0 || matches == 0 {
+		return matches, nil
+	}
+	results := make([]Result, 0, len(scores))
+	for d, s := range scores {
+		results = append(results, Result{Doc: d, Score: s})
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Score != results[j].Score {
+			return results[i].Score > results[j].Score
+		}
+		return results[i].Doc < results[j].Doc
+	})
+	if limit < len(results) {
+		results = results[:limit]
+	}
+	return matches, results
+}
+
+// MatchCount returns the number of documents matching the conjunctive
+// query without materializing ranked results. For a single-term query
+// this is the term's document frequency.
+func (ix *Index) MatchCount(query []string) int {
+	tids := ix.lookupAll(query)
+	if tids == nil {
+		return 0
+	}
+	if len(tids) == 1 {
+		return len(ix.infos[tids[0]].postings)
+	}
+	return len(ix.intersect(tids))
+}
+
+// lookupAll maps the query terms to term ids, deduplicating. It returns
+// nil if the query is empty or any term is missing from the vocabulary.
+func (ix *Index) lookupAll(query []string) []int32 {
+	if len(query) == 0 {
+		return nil
+	}
+	tids := make([]int32, 0, len(query))
+	seen := make(map[int32]bool, len(query))
+	for _, q := range query {
+		tid, ok := ix.vocab[q]
+		if !ok {
+			return nil
+		}
+		if !seen[tid] {
+			seen[tid] = true
+			tids = append(tids, tid)
+		}
+	}
+	return tids
+}
+
+// intersect returns the sorted DocIDs present in every term's postings.
+func (ix *Index) intersect(tids []int32) []DocID {
+	// Process rarest-first to keep the candidate set small.
+	sorted := make([]int32, len(tids))
+	copy(sorted, tids)
+	sort.Slice(sorted, func(i, j int) bool {
+		return len(ix.infos[sorted[i]].postings) < len(ix.infos[sorted[j]].postings)
+	})
+	base := ix.infos[sorted[0]].postings
+	cur := make([]DocID, len(base))
+	for i, p := range base {
+		cur[i] = p.doc
+	}
+	for _, tid := range sorted[1:] {
+		ps := ix.infos[tid].postings
+		out := cur[:0]
+		i, j := 0, 0
+		for i < len(cur) && j < len(ps) {
+			switch {
+			case cur[i] < ps[j].doc:
+				i++
+			case cur[i] > ps[j].doc:
+				j++
+			default:
+				out = append(out, cur[i])
+				i++
+				j++
+			}
+		}
+		cur = out
+		if len(cur) == 0 {
+			break
+		}
+	}
+	return cur
+}
+
+// score computes a TF-IDF score of doc for the given query term ids.
+func (ix *Index) score(doc DocID, tids []int32) float64 {
+	stored := ix.docs[doc]
+	var s float64
+	n := float64(len(ix.docs))
+	for _, tid := range tids {
+		var tf int32
+		for i := 0; i < len(stored); i += 2 {
+			if stored[i] == tid {
+				tf = stored[i+1]
+				break
+			}
+		}
+		if tf == 0 {
+			continue
+		}
+		df := float64(len(ix.infos[tid].postings))
+		s += float64(tf) * logIDF(n, df)
+	}
+	return s
+}
+
+// CountDocsWithAtLeast returns the number of documents that contain at
+// least r distinct terms from the given set. It is used to evaluate the
+// relevance predicate of the synthetic workloads exactly (the role of
+// the human relevance judge). Terms absent from the vocabulary simply
+// never match; duplicate terms count once.
+func (ix *Index) CountDocsWithAtLeast(terms []string, r int) int {
+	if r <= 0 {
+		return len(ix.docs)
+	}
+	seen := make(map[int32]bool, len(terms))
+	var tids []int32
+	for _, t := range terms {
+		tid, ok := ix.vocab[t]
+		if ok && !seen[tid] {
+			seen[tid] = true
+			tids = append(tids, tid)
+		}
+	}
+	if len(tids) < r {
+		return 0
+	}
+	counts := make(map[DocID]int)
+	for _, tid := range tids {
+		for _, p := range ix.infos[tid].postings {
+			counts[p.doc]++
+		}
+	}
+	var n int
+	for _, c := range counts {
+		if c >= r {
+			n++
+		}
+	}
+	return n
+}
+
+// String summarizes the index for debugging.
+func (ix *Index) String() string {
+	return fmt.Sprintf("index{docs: %d, terms: %d, tokens: %d}", len(ix.docs), len(ix.terms), ix.total)
+}

@@ -1,0 +1,352 @@
+package index
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func buildIndex(docs ...string) *Index {
+	b := NewBuilder(len(docs))
+	for _, d := range docs {
+		b.Add(strings.Fields(d))
+	}
+	return b.Build()
+}
+
+func TestEmptyIndex(t *testing.T) {
+	ix := NewBuilder(0).Build()
+	if ix.NumDocs() != 0 || ix.NumTerms() != 0 || ix.CollectionTokens() != 0 {
+		t.Errorf("empty index has nonzero stats: %v", ix)
+	}
+	if m, r := ix.Search([]string{"x"}, 10); m != 0 || r != nil {
+		t.Errorf("empty index search returned %d, %v", m, r)
+	}
+}
+
+func TestBasicStats(t *testing.T) {
+	ix := buildIndex(
+		"blood pressure blood",
+		"blood hypertension",
+		"algorithm",
+	)
+	if ix.NumDocs() != 3 {
+		t.Fatalf("NumDocs = %d", ix.NumDocs())
+	}
+	if ix.NumTerms() != 4 {
+		t.Errorf("NumTerms = %d, want 4", ix.NumTerms())
+	}
+	if ix.CollectionTokens() != 6 {
+		t.Errorf("CollectionTokens = %d, want 6", ix.CollectionTokens())
+	}
+	if df := ix.DocFreq("blood"); df != 2 {
+		t.Errorf("DocFreq(blood) = %d, want 2", df)
+	}
+	if tf := ix.TermFreq("blood"); tf != 3 {
+		t.Errorf("TermFreq(blood) = %d, want 3", tf)
+	}
+	if df := ix.DocFreq("missing"); df != 0 {
+		t.Errorf("DocFreq(missing) = %d", df)
+	}
+}
+
+func TestDocReconstruction(t *testing.T) {
+	ix := buildIndex("a b a c")
+	got := ix.Doc(0)
+	sort.Strings(got)
+	want := []string{"a", "a", "b", "c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Doc(0) = %v, want %v", got, want)
+	}
+	if l := ix.DocLen(0); l != 4 {
+		t.Errorf("DocLen = %d, want 4", l)
+	}
+	distinct := ix.DocDistinctTerms(0)
+	sort.Strings(distinct)
+	if !reflect.DeepEqual(distinct, []string{"a", "b", "c"}) {
+		t.Errorf("DocDistinctTerms = %v", distinct)
+	}
+}
+
+func TestSearchConjunctive(t *testing.T) {
+	ix := buildIndex(
+		"blood pressure",
+		"blood hypertension pressure",
+		"hypertension treatment",
+	)
+	m, top := ix.Search([]string{"blood", "pressure"}, 10)
+	if m != 2 {
+		t.Errorf("matches = %d, want 2", m)
+	}
+	if len(top) != 2 {
+		t.Fatalf("len(top) = %d, want 2", len(top))
+	}
+	// Query term missing from vocabulary -> zero matches.
+	if m, _ := ix.Search([]string{"blood", "unicorn"}, 10); m != 0 {
+		t.Errorf("missing-term query matched %d docs", m)
+	}
+	// Empty query matches nothing.
+	if m, _ := ix.Search(nil, 10); m != 0 {
+		t.Errorf("empty query matched %d docs", m)
+	}
+	// Duplicate terms behave like the deduplicated query.
+	m2, _ := ix.Search([]string{"blood", "blood"}, 10)
+	if m2 != 2 {
+		t.Errorf("duplicate-term query matches = %d, want 2", m2)
+	}
+}
+
+func TestSearchLimitAndMatchesIndependent(t *testing.T) {
+	b := NewBuilder(0)
+	for i := 0; i < 20; i++ {
+		b.Add([]string{"common"})
+	}
+	ix := b.Build()
+	m, top := ix.Search([]string{"common"}, 4)
+	if m != 20 {
+		t.Errorf("matches = %d, want 20", m)
+	}
+	if len(top) != 4 {
+		t.Errorf("len(top) = %d, want 4", len(top))
+	}
+	m, top = ix.Search([]string{"common"}, 0)
+	if m != 20 || top != nil {
+		t.Errorf("limit 0: matches=%d top=%v", m, top)
+	}
+}
+
+func TestSearchRanking(t *testing.T) {
+	// A document mentioning the query term more often should rank higher.
+	ix := buildIndex(
+		"cancer",
+		"cancer cancer cancer",
+		"cancer cancer",
+	)
+	_, top := ix.Search([]string{"cancer"}, 3)
+	if top[0].Doc != 1 || top[1].Doc != 2 || top[2].Doc != 0 {
+		t.Errorf("ranking by tf wrong: %v", top)
+	}
+}
+
+func TestSearchDeterministicTieBreak(t *testing.T) {
+	ix := buildIndex("x", "x", "x")
+	_, a := ix.Search([]string{"x"}, 3)
+	_, b := ix.Search([]string{"x"}, 3)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("nondeterministic results: %v vs %v", a, b)
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i-1].Score == a[i].Score && a[i-1].Doc >= a[i].Doc {
+			t.Errorf("ties not broken by DocID: %v", a)
+		}
+	}
+}
+
+func TestMatchCount(t *testing.T) {
+	ix := buildIndex(
+		"a b c",
+		"a b",
+		"a",
+	)
+	if m := ix.MatchCount([]string{"a"}); m != 3 {
+		t.Errorf("MatchCount(a) = %d", m)
+	}
+	if m := ix.MatchCount([]string{"a", "b"}); m != 2 {
+		t.Errorf("MatchCount(a,b) = %d", m)
+	}
+	if m := ix.MatchCount([]string{"a", "b", "c"}); m != 1 {
+		t.Errorf("MatchCount(a,b,c) = %d", m)
+	}
+	if m := ix.MatchCount([]string{"z"}); m != 0 {
+		t.Errorf("MatchCount(z) = %d", m)
+	}
+}
+
+func TestCountDocsWithAtLeast(t *testing.T) {
+	ix := buildIndex(
+		"a b c",
+		"a b",
+		"a",
+		"d",
+	)
+	terms := []string{"a", "b", "c"}
+	if n := ix.CountDocsWithAtLeast(terms, 1); n != 3 {
+		t.Errorf("r=1: %d, want 3", n)
+	}
+	if n := ix.CountDocsWithAtLeast(terms, 2); n != 2 {
+		t.Errorf("r=2: %d, want 2", n)
+	}
+	if n := ix.CountDocsWithAtLeast(terms, 3); n != 1 {
+		t.Errorf("r=3: %d, want 1", n)
+	}
+	if n := ix.CountDocsWithAtLeast(terms, 4); n != 0 {
+		t.Errorf("r=4: %d, want 0", n)
+	}
+	if n := ix.CountDocsWithAtLeast(terms, 0); n != 4 {
+		t.Errorf("r=0: %d, want all docs", n)
+	}
+	// Duplicates in the term set count once.
+	if n := ix.CountDocsWithAtLeast([]string{"a", "a", "b"}, 2); n != 2 {
+		t.Errorf("dup terms r=2: %d, want 2", n)
+	}
+}
+
+func TestForEachTermConsistency(t *testing.T) {
+	ix := buildIndex("a a b", "b c", "a")
+	var vocab []string
+	var totalTF int64
+	ix.ForEachTerm(func(term string, df int, tf int64) {
+		vocab = append(vocab, term)
+		totalTF += tf
+		if got := ix.DocFreq(term); got != df {
+			t.Errorf("DocFreq(%s) = %d, ForEachTerm says %d", term, got, df)
+		}
+		if got := ix.TermFreq(term); got != tf {
+			t.Errorf("TermFreq(%s) = %d, ForEachTerm says %d", term, got, tf)
+		}
+	})
+	if len(vocab) != ix.NumTerms() {
+		t.Errorf("ForEachTerm visited %d terms, want %d", len(vocab), ix.NumTerms())
+	}
+	if totalTF != ix.CollectionTokens() {
+		t.Errorf("sum tf = %d, want %d", totalTF, ix.CollectionTokens())
+	}
+}
+
+// Property: for random collections, DocFreq(w) equals the number of
+// docs whose reconstruction contains w, and single-term MatchCount
+// equals DocFreq.
+func TestIndexInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	vocabulary := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nDocs := 1 + r.Intn(30)
+		b := NewBuilder(nDocs)
+		raw := make([][]string, nDocs)
+		for i := 0; i < nDocs; i++ {
+			n := 1 + r.Intn(10)
+			doc := make([]string, n)
+			for j := range doc {
+				doc[j] = vocabulary[r.Intn(len(vocabulary))]
+			}
+			raw[i] = doc
+			b.Add(doc)
+		}
+		ix := b.Build()
+		for _, w := range vocabulary {
+			want := 0
+			for _, doc := range raw {
+				for _, t := range doc {
+					if t == w {
+						want++
+						break
+					}
+				}
+			}
+			if ix.DocFreq(w) != want {
+				return false
+			}
+			if ix.MatchCount([]string{w}) != want {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkIndexAdd(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	vocab := make([]string, 5000)
+	for i := range vocab {
+		vocab[i] = "w" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+(i/676)%26))
+	}
+	doc := make([]string, 150)
+	b.ReportAllocs()
+	builder := NewBuilder(b.N)
+	for i := 0; i < b.N; i++ {
+		for j := range doc {
+			doc[j] = vocab[rng.Intn(len(vocab))]
+		}
+		builder.Add(doc)
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	vocab := make([]string, 2000)
+	for i := range vocab {
+		vocab[i] = "term" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+(i/676)%26))
+	}
+	builder := NewBuilder(10000)
+	doc := make([]string, 100)
+	for i := 0; i < 10000; i++ {
+		for j := range doc {
+			doc[j] = vocab[rng.Intn(len(vocab))]
+		}
+		builder.Add(doc)
+	}
+	ix := builder.Build()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ix.Search([]string{vocab[i%len(vocab)], vocab[(i*7)%len(vocab)]}, 10)
+	}
+}
+
+func TestSearchAnyDisjunctive(t *testing.T) {
+	ix := buildIndex(
+		"blood pressure",
+		"blood",
+		"goal match",
+		"pressure",
+	)
+	m, top := ix.SearchAny([]string{"blood", "goal"}, 10)
+	if m != 3 {
+		t.Errorf("matches = %d, want 3", m)
+	}
+	if len(top) != 3 {
+		t.Fatalf("len(top) = %d", len(top))
+	}
+	// Unknown terms contribute nothing; empty query matches nothing.
+	if m, _ := ix.SearchAny([]string{"unicorn"}, 5); m != 0 {
+		t.Errorf("unknown term matched %d", m)
+	}
+	if m, _ := ix.SearchAny(nil, 5); m != 0 {
+		t.Errorf("empty query matched %d", m)
+	}
+	// Limit zero still reports the match count.
+	if m, top := ix.SearchAny([]string{"blood"}, 0); m != 2 || top != nil {
+		t.Errorf("limit 0: %d, %v", m, top)
+	}
+}
+
+func TestSearchAnyRanking(t *testing.T) {
+	ix := buildIndex(
+		"blood goal",        // both terms
+		"blood blood blood", // high tf on one term
+		"goal",
+	)
+	_, top := ix.SearchAny([]string{"blood", "goal"}, 3)
+	if len(top) != 3 {
+		t.Fatalf("len(top) = %d", len(top))
+	}
+	// Both orderings are plausible depending on idf; just require
+	// deterministic, positive, non-increasing scores.
+	for i := 1; i < len(top); i++ {
+		if top[i].Score > top[i-1].Score {
+			t.Errorf("scores not sorted: %v", top)
+		}
+	}
+	_, again := ix.SearchAny([]string{"blood", "goal"}, 3)
+	if !reflect.DeepEqual(top, again) {
+		t.Error("SearchAny nondeterministic")
+	}
+}

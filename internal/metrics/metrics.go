@@ -1,0 +1,206 @@
+// Package metrics implements the paper's evaluation measures: the
+// content-summary quality metrics of Section 6.1 (weighted/unweighted
+// recall and precision, Spearman rank correlation of word rankings, and
+// KL divergence of word-frequency estimates) and the database selection
+// accuracy metric Rk of Section 6.2.
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/stats"
+	"repro/internal/summary"
+)
+
+// ApplyRoundRule filters a content summary to the words estimated to
+// appear in at least one document: round(|D̂|·p̂(w|D)) >= 1. The paper
+// applies this rule before computing precision and recall so that the
+// (technically infinite-support) shrunk summaries are not artificially
+// inflated, and CORI's cf statistic uses the same rule.
+func ApplyRoundRule(s *summary.Summary) *summary.Summary {
+	out := &summary.Summary{
+		NumDocs:    s.NumDocs,
+		CW:         s.CW,
+		SampleSize: s.SampleSize,
+		Words:      make(map[string]summary.Word, len(s.Words)),
+	}
+	for w, st := range s.Words {
+		if int(s.NumDocs*st.P+0.5) >= 1 {
+			out.Words[w] = st
+		}
+	}
+	return out
+}
+
+// WeightedRecall is wr = Σ_{w∈WA∩WS} p(w|D) / Σ_{w∈WS} p(w|D): the
+// fraction of the true summary's probability mass covered by the
+// approximate summary (the ctf ratio of Callan & Connell). Frequent
+// words weigh more.
+func WeightedRecall(truth, approx *summary.Summary) float64 {
+	var num, den float64
+	for w, st := range truth.Words {
+		den += st.P
+		if approx.Contains(w) {
+			num += st.P
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// UnweightedRecall is ur = |WA∩WS| / |WS|: the fraction of the true
+// vocabulary present in the approximate summary.
+func UnweightedRecall(truth, approx *summary.Summary) float64 {
+	if truth.Len() == 0 {
+		return 0
+	}
+	var both int
+	for w := range truth.Words {
+		if approx.Contains(w) {
+			both++
+		}
+	}
+	return float64(both) / float64(truth.Len())
+}
+
+// WeightedPrecision is wp = Σ_{w∈WA∩WS} p̂(w|D) / Σ_{w∈WA} p̂(w|D):
+// the fraction of the approximate summary's (estimated) probability
+// mass that corresponds to real database words.
+func WeightedPrecision(truth, approx *summary.Summary) float64 {
+	var num, den float64
+	for w, st := range approx.Words {
+		den += st.P
+		if truth.Contains(w) {
+			num += st.P
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// UnweightedPrecision is up = |WA∩WS| / |WA|: the fraction of the
+// approximate summary's words that actually occur in the database.
+func UnweightedPrecision(truth, approx *summary.Summary) float64 {
+	if approx.Len() == 0 {
+		return 0
+	}
+	var both int
+	for w := range approx.Words {
+		if truth.Contains(w) {
+			both++
+		}
+	}
+	return float64(both) / float64(approx.Len())
+}
+
+// SRCC is the Spearman Rank Correlation Coefficient between the word
+// rankings (by estimated p̂) of the two summaries, computed over their
+// common vocabulary, as Callan & Connell evaluate content summaries.
+func SRCC(truth, approx *summary.Summary) float64 {
+	var ts, as []float64
+	for w, st := range approx.Words {
+		tst, ok := truth.Words[w]
+		if !ok {
+			continue
+		}
+		as = append(as, st.P)
+		ts = append(ts, tst.P)
+	}
+	r, err := stats.Spearman(ts, as)
+	if err != nil {
+		return 0
+	}
+	return r
+}
+
+// KL is the word-frequency divergence Σ_{w∈WA∩WS} p(w|D) ·
+// log(p(w|D)/p̂(w|D)), with p the term-frequency (LM-style)
+// probabilities, renormalized over the common vocabulary so both sides
+// are distributions (0 means identical estimates; larger is worse).
+func KL(truth, approx *summary.Summary) float64 {
+	var ps, qs []float64
+	for w, st := range approx.Words {
+		tst, ok := truth.Words[w]
+		if !ok {
+			continue
+		}
+		ps = append(ps, tst.Ptf)
+		qs = append(qs, st.Ptf)
+	}
+	if len(ps) == 0 {
+		return math.Inf(1)
+	}
+	kl, err := stats.KLDivergence(stats.Normalize(ps), stats.Normalize(qs))
+	if err != nil {
+		return math.Inf(1)
+	}
+	return kl
+}
+
+// Rk is the database selection accuracy metric of Section 6.2:
+// the number of relevant documents in the top-k ranked databases,
+// divided by the number in the best possible ("perfect") choice of k
+// databases. rel[i] is r(q, D_i), the relevant-document count of
+// database i; ranked lists the selected database indexes in rank order
+// (it may be shorter than k when the selection algorithm selected fewer
+// databases, in which case the missing slots contribute nothing, as in
+// the paper). A query with no relevant documents anywhere yields 1
+// (every choice is vacuously perfect).
+func Rk(rel []int, ranked []int, k int) float64 {
+	if k <= 0 {
+		return 1
+	}
+	var got int
+	for i := 0; i < k && i < len(ranked); i++ {
+		got += rel[ranked[i]]
+	}
+	perfect := perfectTopK(rel, k)
+	if perfect == 0 {
+		return 1
+	}
+	return float64(got) / float64(perfect)
+}
+
+// RkCurve evaluates Rk for every k in 1..maxK in one pass, which the
+// Figure 4/5 experiments use.
+func RkCurve(rel []int, ranked []int, maxK int) []float64 {
+	sorted := make([]int, len(rel))
+	copy(sorted, rel)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	out := make([]float64, maxK)
+	var got, perfect int
+	for k := 1; k <= maxK; k++ {
+		if k-1 < len(ranked) {
+			got += rel[ranked[k-1]]
+		}
+		if k-1 < len(sorted) {
+			perfect += sorted[k-1]
+		}
+		if perfect == 0 {
+			out[k-1] = 1
+		} else {
+			out[k-1] = float64(got) / float64(perfect)
+		}
+	}
+	return out
+}
+
+// perfectTopK sums the k largest relevance counts.
+func perfectTopK(rel []int, k int) int {
+	cp := make([]int, len(rel))
+	copy(cp, rel)
+	sort.Sort(sort.Reverse(sort.IntSlice(cp)))
+	if k > len(cp) {
+		k = len(cp)
+	}
+	var s int
+	for i := 0; i < k; i++ {
+		s += cp[i]
+	}
+	return s
+}

@@ -1,0 +1,157 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/summary"
+)
+
+func mkSum(numDocs float64, words map[string]float64) *summary.Summary {
+	s := &summary.Summary{NumDocs: numDocs, Words: map[string]summary.Word{}}
+	for w, p := range words {
+		s.Words[w] = summary.Word{P: p, Ptf: p / 3}
+	}
+	return s
+}
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestRecallMetrics(t *testing.T) {
+	truth := mkSum(100, map[string]float64{"a": 0.5, "b": 0.3, "c": 0.2})
+	app := mkSum(100, map[string]float64{"a": 0.6, "b": 0.2})
+	// wr = (0.5+0.3)/(0.5+0.3+0.2) = 0.8
+	if got := WeightedRecall(truth, app); !approx(got, 0.8, 1e-12) {
+		t.Errorf("wr = %v", got)
+	}
+	// ur = 2/3
+	if got := UnweightedRecall(truth, app); !approx(got, 2.0/3, 1e-12) {
+		t.Errorf("ur = %v", got)
+	}
+	// A perfect summary scores 1 on both.
+	if WeightedRecall(truth, truth) != 1 || UnweightedRecall(truth, truth) != 1 {
+		t.Error("self recall != 1")
+	}
+	// Empty approximations score 0.
+	empty := mkSum(100, nil)
+	if WeightedRecall(truth, empty) != 0 || UnweightedRecall(truth, empty) != 0 {
+		t.Error("empty approx recall != 0")
+	}
+}
+
+func TestPrecisionMetrics(t *testing.T) {
+	truth := mkSum(100, map[string]float64{"a": 0.5, "b": 0.3})
+	app := mkSum(100, map[string]float64{"a": 0.4, "spurious": 0.1})
+	// wp = 0.4/(0.4+0.1) = 0.8
+	if got := WeightedPrecision(truth, app); !approx(got, 0.8, 1e-12) {
+		t.Errorf("wp = %v", got)
+	}
+	// up = 1/2
+	if got := UnweightedPrecision(truth, app); !approx(got, 0.5, 1e-12) {
+		t.Errorf("up = %v", got)
+	}
+	// A summary containing only true words has precision 1 — the
+	// sample-derived (unshrunk) case in Tables 6 and 7.
+	clean := mkSum(100, map[string]float64{"a": 0.9})
+	if WeightedPrecision(truth, clean) != 1 || UnweightedPrecision(truth, clean) != 1 {
+		t.Error("clean approx precision != 1")
+	}
+}
+
+func TestSRCC(t *testing.T) {
+	truth := mkSum(100, map[string]float64{"a": 0.5, "b": 0.3, "c": 0.2, "d": 0.1})
+	same := mkSum(100, map[string]float64{"a": 0.45, "b": 0.33, "c": 0.21, "d": 0.15})
+	if got := SRCC(truth, same); !approx(got, 1, 1e-12) {
+		t.Errorf("identical ranking SRCC = %v", got)
+	}
+	rev := mkSum(100, map[string]float64{"a": 0.1, "b": 0.2, "c": 0.3, "d": 0.5})
+	if got := SRCC(truth, rev); !approx(got, -1, 1e-12) {
+		t.Errorf("reversed ranking SRCC = %v", got)
+	}
+	// Words outside the intersection are ignored.
+	extra := mkSum(100, map[string]float64{"a": 0.5, "b": 0.3, "zz": 0.9})
+	if got := SRCC(truth, extra); !approx(got, 1, 1e-12) {
+		t.Errorf("SRCC with extra word = %v", got)
+	}
+}
+
+func TestKL(t *testing.T) {
+	truth := mkSum(100, map[string]float64{"a": 0.6, "b": 0.3})
+	if got := KL(truth, truth); !approx(got, 0, 1e-12) {
+		t.Errorf("KL(self) = %v", got)
+	}
+	skewed := mkSum(100, map[string]float64{"a": 0.3, "b": 0.6})
+	if got := KL(truth, skewed); got <= 0 {
+		t.Errorf("KL of skewed estimate = %v, want > 0", got)
+	}
+	// Disjoint summaries diverge infinitely.
+	disjoint := mkSum(100, map[string]float64{"zz": 0.5})
+	if got := KL(truth, disjoint); !math.IsInf(got, 1) {
+		t.Errorf("KL with empty intersection = %v", got)
+	}
+}
+
+func TestApplyRoundRule(t *testing.T) {
+	s := mkSum(1000, map[string]float64{
+		"keep":   0.01,    // 10 docs
+		"edge":   0.00051, // 0.51 docs -> rounds to 1
+		"drop":   0.0004,  // 0.4 docs -> dropped
+		"barely": 0.0005,  // 0.5 -> rounds to 1 (int(x+0.5))
+	})
+	out := ApplyRoundRule(s)
+	if !out.Contains("keep") || !out.Contains("edge") || !out.Contains("barely") {
+		t.Errorf("kept words wrong: %v", out.Words)
+	}
+	if out.Contains("drop") {
+		t.Error("sub-document word survived the round rule")
+	}
+	if out.NumDocs != 1000 {
+		t.Error("metadata lost")
+	}
+	if s.Len() != 4 {
+		t.Error("input mutated")
+	}
+}
+
+func TestRk(t *testing.T) {
+	rel := []int{0, 10, 5, 0, 20}
+	// Perfect: top-2 = 20 + 10 = 30.
+	ranked := []int{4, 1, 2} // 20, 10, 5
+	if got := Rk(rel, ranked, 2); !approx(got, 1, 1e-12) {
+		t.Errorf("perfect R2 = %v", got)
+	}
+	// Suboptimal: picked db2 (5) then db4 (20): (5+20)/30.
+	if got := Rk(rel, []int{2, 4}, 2); !approx(got, 25.0/30, 1e-12) {
+		t.Errorf("R2 = %v", got)
+	}
+	// Fewer selected databases than k contribute nothing for the rest.
+	if got := Rk(rel, []int{4}, 2); !approx(got, 20.0/30, 1e-12) {
+		t.Errorf("short ranking R2 = %v", got)
+	}
+	// No relevant documents anywhere: vacuously 1.
+	if got := Rk([]int{0, 0}, []int{0}, 1); got != 1 {
+		t.Errorf("no-relevant Rk = %v", got)
+	}
+	// k beyond the number of databases.
+	if got := Rk(rel, []int{4, 1, 2, 0, 3}, 10); !approx(got, 1, 1e-12) {
+		t.Errorf("k>n Rk = %v", got)
+	}
+}
+
+func TestRkCurveMatchesPointwise(t *testing.T) {
+	rel := []int{3, 0, 7, 2, 9, 1}
+	ranked := []int{4, 0, 3, 2}
+	curve := RkCurve(rel, ranked, 6)
+	for k := 1; k <= 6; k++ {
+		if want := Rk(rel, ranked, k); !approx(curve[k-1], want, 1e-12) {
+			t.Errorf("k=%d: curve %v, pointwise %v", k, curve[k-1], want)
+		}
+	}
+	// Rk curves from a fixed ranking are non-increasing in optimality
+	// only if the ranking is perfect; at minimum they stay in [0, 1].
+	for k, v := range curve {
+		if v < 0 || v > 1 {
+			t.Errorf("R%d = %v out of range", k+1, v)
+		}
+	}
+}

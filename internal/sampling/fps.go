@@ -1,0 +1,141 @@
+package sampling
+
+import (
+	"errors"
+
+	"repro/internal/classify"
+	"repro/internal/hierarchy"
+)
+
+// FPSConfig parameterizes focused probing.
+type FPSConfig struct {
+	// Classifier supplies the topic-associated probe queries and the
+	// coverage/specificity descent rule (required).
+	Classifier *classify.Classifier
+	// DocsPerQuery is the maximum number of previously unseen documents
+	// retrieved per probe (default 4, as in the paper).
+	DocsPerQuery int
+	// RetrieveLimit is the ranked-result window requested per probe
+	// (default 40).
+	RetrieveLimit int
+	// TauSpecificity and TauCoverage gate the recursion into a
+	// category's subcategories (defaults 0.45 and 10, matching the
+	// classifier's thresholds).
+	TauSpecificity float64
+	TauCoverage    int
+	// CheckpointEvery controls Mandelbrot-fit checkpoints (default 50).
+	CheckpointEvery int
+	// ResampleProbes is the number of sample–resample queries issued
+	// after sampling for size estimation (default 5, per Si & Callan).
+	ResampleProbes int
+}
+
+func (c FPSConfig) withDefaults() FPSConfig {
+	if c.DocsPerQuery == 0 {
+		c.DocsPerQuery = 4
+	}
+	if c.RetrieveLimit == 0 {
+		c.RetrieveLimit = 40
+	}
+	if c.TauSpecificity == 0 {
+		c.TauSpecificity = 0.45
+	}
+	if c.TauCoverage == 0 {
+		c.TauCoverage = 10
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 50
+	}
+	if c.ResampleProbes == 0 {
+		c.ResampleProbes = 5
+	}
+	return c
+}
+
+// FPS runs focused probing (Ipeirotis & Gravano) against db. Starting
+// at the root, it sends every child category's probe queries, retrieves
+// the top unseen documents for each, and recurses into the
+// subcategories of every child whose probes generated enough matches
+// (coverage >= TauCoverage and specificity >= TauSpecificity). The
+// output is both the document sample and the database's classification:
+// the chain of best qualifying children, exactly one category, as the
+// paper's adapted technique produces (Section 5.2).
+func FPS(db Searcher, cfg FPSConfig) (*Sample, hierarchy.NodeID, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Classifier == nil {
+		return nil, hierarchy.Root, errors.New("sampling: FPS requires a classifier")
+	}
+	tree := cfg.Classifier.Tree()
+	acc := newAccumulator(cfg.CheckpointEvery)
+	acc.sample.QueryDF = make(map[string]int)
+
+	// probeCategory issues one category's probes, accumulating sample
+	// documents, and returns the category's total match coverage.
+	probeCategory := func(cat hierarchy.NodeID) int {
+		coverage := 0
+		for _, probe := range cfg.Classifier.Probes(cat) {
+			acc.sample.Queries++
+			matches, ids := db.Query([]string{probe}, cfg.RetrieveLimit)
+			if old, ok := acc.sample.QueryDF[probe]; !ok || matches > old {
+				acc.sample.QueryDF[probe] = matches
+			}
+			coverage += matches
+			acc.add(db, ids, cfg.DocsPerQuery)
+		}
+		return coverage
+	}
+
+	// First pass: probe and recurse into every qualifying subtree,
+	// recording each probed node's qualification and coverage.
+	type probeResult struct {
+		coverage  int
+		qualifies bool
+	}
+	results := make(map[hierarchy.NodeID]probeResult)
+	var visit func(node hierarchy.NodeID)
+	visit = func(node hierarchy.NodeID) {
+		children := tree.Children(node)
+		if len(children) == 0 {
+			return
+		}
+		total := 0
+		for _, ch := range children {
+			c := probeCategory(ch)
+			results[ch] = probeResult{coverage: c}
+			total += c
+		}
+		for _, ch := range children {
+			r := results[ch]
+			spec := 0.0
+			if total > 0 {
+				spec = float64(r.coverage) / float64(total)
+			}
+			r.qualifies = r.coverage >= cfg.TauCoverage && spec >= cfg.TauSpecificity
+			results[ch] = r
+			if r.qualifies {
+				visit(ch)
+			}
+		}
+	}
+	visit(hierarchy.Root)
+
+	// Second pass: the classification is the chain of best qualifying
+	// children from the root down.
+	classification := hierarchy.Root
+	for {
+		var best hierarchy.NodeID
+		bestCov := -1
+		for _, ch := range tree.Children(classification) {
+			r, probed := results[ch]
+			if probed && r.qualifies && r.coverage > bestCov {
+				bestCov = r.coverage
+				best = ch
+			}
+		}
+		if bestCov < 0 {
+			break
+		}
+		classification = best
+	}
+	return acc.finish(db, cfg.ResampleProbes), classification, nil
+}

@@ -1,0 +1,114 @@
+package sampling
+
+import (
+	"errors"
+	"math/rand"
+)
+
+// QBSConfig parameterizes query-based sampling. Defaults follow the
+// paper's setup (Section 5.2).
+type QBSConfig struct {
+	// TargetDocs is the sample size to collect (default 300).
+	TargetDocs int
+	// DocsPerQuery is the maximum number of previously unseen documents
+	// retrieved per query (default 4).
+	DocsPerQuery int
+	// MaxBarren stops sampling after this many consecutive queries that
+	// retrieve no new documents (default 500).
+	MaxBarren int
+	// SeedLexicon supplies the random single-word bootstrap queries
+	// sent until the first document is retrieved (required).
+	SeedLexicon []string
+	// RetrieveLimit is how many ranked results each query requests from
+	// the database; unseen documents are taken from this window
+	// (default 40). Real engines page through results the same way.
+	RetrieveLimit int
+	// CheckpointEvery controls how often (in sampled documents) a
+	// Mandelbrot fit is recorded for frequency estimation (default 50).
+	CheckpointEvery int
+	// ResampleProbes is the number of sample–resample queries issued
+	// after sampling for size estimation (default 5, per Si & Callan).
+	ResampleProbes int
+	// Seed drives query-word selection.
+	Seed int64
+}
+
+func (c QBSConfig) withDefaults() QBSConfig {
+	if c.TargetDocs == 0 {
+		c.TargetDocs = 300
+	}
+	if c.DocsPerQuery == 0 {
+		c.DocsPerQuery = 4
+	}
+	if c.MaxBarren == 0 {
+		c.MaxBarren = 500
+	}
+	if c.RetrieveLimit == 0 {
+		c.RetrieveLimit = 40
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 50
+	}
+	if c.ResampleProbes == 0 {
+		c.ResampleProbes = 5
+	}
+	return c
+}
+
+// QBS runs query-based sampling (Callan & Connell) against db: random
+// seed-lexicon queries until one retrieves a document, then single-word
+// queries drawn from the words of the sampled documents, each
+// retrieving at most DocsPerQuery unseen documents, until TargetDocs
+// documents are sampled or MaxBarren consecutive queries add nothing.
+func QBS(db Searcher, cfg QBSConfig) (*Sample, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.SeedLexicon) == 0 {
+		return nil, errors.New("sampling: QBS requires a seed lexicon")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	acc := newAccumulator(cfg.CheckpointEvery)
+	acc.sample.QueryDF = make(map[string]int)
+	used := make(map[string]bool)
+
+	query := func(w string) int {
+		acc.sample.Queries++
+		used[w] = true
+		matches, ids := db.Query([]string{w}, cfg.RetrieveLimit)
+		acc.sample.QueryDF[w] = matches
+		max := cfg.DocsPerQuery
+		if remaining := cfg.TargetDocs - len(acc.sample.Docs); remaining < max {
+			max = remaining
+		}
+		return acc.add(db, ids, max)
+	}
+
+	// Bootstrap: random dictionary words until something comes back.
+	bootstrapped := false
+	for attempt := 0; attempt < cfg.MaxBarren; attempt++ {
+		w := cfg.SeedLexicon[rng.Intn(len(cfg.SeedLexicon))]
+		if used[w] {
+			continue
+		}
+		if query(w) > 0 {
+			bootstrapped = true
+			break
+		}
+	}
+	if !bootstrapped {
+		return acc.finish(nil, 0), nil // empty or unreachable database
+	}
+
+	barren := 0
+	for len(acc.sample.Docs) < cfg.TargetDocs && barren < cfg.MaxBarren {
+		w, ok := drawUnusedWord(acc.vocabulary(), used, rng)
+		if !ok {
+			break // every sample word has been tried
+		}
+		if query(w) == 0 {
+			barren++
+		} else {
+			barren = 0
+		}
+	}
+	return acc.finish(db, cfg.ResampleProbes), nil
+}

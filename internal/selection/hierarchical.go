@@ -1,0 +1,110 @@
+package selection
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/hierarchy"
+	"repro/internal/summary"
+)
+
+// Hierarchical implements the hierarchical database selection baseline
+// of Ipeirotis & Gravano [17], which the paper compares shrinkage
+// against (QBS-Hierarchical / FPS-Hierarchical in Section 6.2). Instead
+// of modifying database summaries, it aggregates the (unshrunk)
+// summaries into category summaries and selects hierarchically: at each
+// category it scores the subcategories with the base algorithm and
+// descends into the best one first, making irreversible choices at
+// every level — the "flat vs hierarchical" weakness the shrinkage
+// approach avoids.
+type Hierarchical struct {
+	base Scorer
+	tree *hierarchy.Tree
+	// catSums holds the materialized category summary of every node.
+	catSums []*summary.Summary
+	// dbsAt lists, per node, the indexes (into the flat database slice)
+	// of databases classified exactly at that node.
+	dbsAt [][]int
+	// entries are the databases with their unshrunk summaries.
+	entries []Entry
+}
+
+// NewHierarchical builds the hierarchical selector over the classified
+// databases. cats must be the category summaries aggregated from the
+// same database summaries.
+func NewHierarchical(base Scorer, cats *core.CategorySummaries, dbs []core.Classified) *Hierarchical {
+	tree := cats.Tree()
+	h := &Hierarchical{
+		base:    base,
+		tree:    tree,
+		catSums: make([]*summary.Summary, tree.Len()),
+		dbsAt:   make([][]int, tree.Len()),
+	}
+	for _, id := range tree.All() {
+		h.catSums[id] = cats.Summary(id)
+	}
+	for i, db := range dbs {
+		h.entries = append(h.entries, Entry{Name: db.Name, View: db.Sum})
+		h.dbsAt[db.Category] = append(h.dbsAt[db.Category], i)
+	}
+	return h
+}
+
+// Rank produces a ranking of the databases for the query. At each node,
+// the candidates — subcategories (scored on their category summaries)
+// and databases classified exactly there (scored on their own
+// summaries) — are ordered by score, and categories are expanded
+// recursively in place. Candidates not exceeding the base scorer's
+// default score are pruned, so entire subtrees can be skipped, exactly
+// like a non-selected database in flat ranking.
+func (h *Hierarchical) Rank(q []string, ctx *Context) []Ranked {
+	var out []Ranked
+	type candidate struct {
+		score float64
+		cat   hierarchy.NodeID // valid if isCat
+		db    int              // valid if !isCat
+		isCat bool
+		name  string
+	}
+	var expand func(node hierarchy.NodeID)
+	expand = func(node hierarchy.NodeID) {
+		var cands []candidate
+		for _, ch := range h.tree.Children(node) {
+			cs := h.catSums[ch]
+			if cs.NumDocs <= 0 {
+				continue // no databases under this category
+			}
+			score := h.base.Score(q, cs, ctx)
+			if !aboveDefault(score, h.base.DefaultScore(q, cs, ctx)) {
+				continue
+			}
+			cands = append(cands, candidate{score: score, cat: ch, isCat: true, name: h.tree.Node(ch).Name})
+		}
+		// Databases inside a selected category are NOT pruned by the
+		// default-score rule: the hierarchical algorithm has committed
+		// to the category and "continues to select databases from the
+		// (relevant) category" even when their own incomplete summaries
+		// carry no evidence (Section 6.2) — that commitment is both its
+		// strength over Plain and its weakness against Shrinkage.
+		for _, dbi := range h.dbsAt[node] {
+			e := h.entries[dbi]
+			score := h.base.Score(q, e.View, ctx)
+			cands = append(cands, candidate{score: score, db: dbi, name: e.Name})
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].score != cands[b].score {
+				return cands[a].score > cands[b].score
+			}
+			return cands[a].name < cands[b].name
+		})
+		for _, c := range cands {
+			if c.isCat {
+				expand(c.cat)
+			} else {
+				out = append(out, Ranked{Index: c.db, Name: c.name, Score: c.score})
+			}
+		}
+	}
+	expand(hierarchy.Root)
+	return out
+}

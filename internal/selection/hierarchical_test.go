@@ -1,0 +1,135 @@
+package selection
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hierarchy"
+	"repro/internal/summary"
+)
+
+func hierTree() *hierarchy.Tree {
+	return hierarchy.MustNew(hierarchy.Spec{
+		Name: "Root",
+		Children: []hierarchy.Spec{
+			{Name: "Health", Children: []hierarchy.Spec{{Name: "Heart"}, {Name: "Cancer"}}},
+			{Name: "Sports", Children: []hierarchy.Spec{{Name: "Soccer"}}},
+		},
+	})
+}
+
+func classified(t *testing.T, tree *hierarchy.Tree, name, cat string, numDocs float64, words map[string]float64) core.Classified {
+	t.Helper()
+	id, ok := tree.Lookup(cat)
+	if !ok {
+		t.Fatalf("no category %s", cat)
+	}
+	s := &summary.Summary{NumDocs: numDocs, CW: numDocs * 100, Words: map[string]summary.Word{}}
+	for w, p := range words {
+		s.Words[w] = summary.Word{P: p, Ptf: p / 10}
+	}
+	return core.Classified{Name: name, Category: id, Sum: s}
+}
+
+func TestHierarchicalDescendsIntoRightCategory(t *testing.T) {
+	tree := hierTree()
+	dbs := []core.Classified{
+		classified(t, tree, "heart1", "Heart", 1000, map[string]float64{"blood": 0.5, "valve": 0.3}),
+		classified(t, tree, "heart2", "Heart", 1000, map[string]float64{"blood": 0.3}),
+		classified(t, tree, "soccer1", "Soccer", 1000, map[string]float64{"goal": 0.6}),
+	}
+	cats := core.BuildCategorySummaries(tree, dbs, core.SizeWeighted)
+	h := NewHierarchical(BGloss{}, cats, dbs)
+	q := []string{"blood"}
+	entries := make([]Entry, len(dbs))
+	for i, db := range dbs {
+		entries[i] = Entry{Name: db.Name, View: db.Sum}
+	}
+	ctx := NewContext(q, entries, nil)
+	ranked := h.Rank(q, ctx)
+	if len(ranked) != 2 {
+		t.Fatalf("ranked = %v, want the two heart databases", ranked)
+	}
+	if ranked[0].Name != "heart1" || ranked[1].Name != "heart2" {
+		t.Errorf("order = %v", ranked)
+	}
+}
+
+func TestHierarchicalIrreversibleChoice(t *testing.T) {
+	// The weakness the paper describes (Section 6.2): when a query cuts
+	// across categories, the hierarchical algorithm commits to the
+	// best category first and ranks ALL its selected databases before
+	// any database of the other category — even ones with lower scores.
+	tree := hierTree()
+	dbs := []core.Classified{
+		classified(t, tree, "heartBig", "Heart", 3000, map[string]float64{"stress": 0.5}),
+		classified(t, tree, "heartSmall", "Heart", 1000, map[string]float64{"stress": 0.01}),
+		classified(t, tree, "soccerGood", "Soccer", 1000, map[string]float64{"stress": 0.3}),
+	}
+	cats := core.BuildCategorySummaries(tree, dbs, core.SizeWeighted)
+	h := NewHierarchical(BGloss{}, cats, dbs)
+	q := []string{"stress"}
+	entries := make([]Entry, len(dbs))
+	for i, db := range dbs {
+		entries[i] = Entry{Name: db.Name, View: db.Sum}
+	}
+	ctx := NewContext(q, entries, nil)
+	ranked := h.Rank(q, ctx)
+	if len(ranked) != 3 {
+		t.Fatalf("ranked = %v", ranked)
+	}
+	// Health's category summary dominates, so both heart databases come
+	// first — including heartSmall, whose own score (10) is far below
+	// soccerGood's (300). A flat ranking would order soccerGood second.
+	if ranked[0].Name != "heartBig" || ranked[1].Name != "heartSmall" || ranked[2].Name != "soccerGood" {
+		t.Errorf("hierarchical order = %v, want heartBig, heartSmall, soccerGood", ranked)
+	}
+	flat := Rank(BGloss{}, q, entries, ctx)
+	if flat[1].Name != "soccerGood" {
+		t.Errorf("flat order sanity check failed: %v", flat)
+	}
+}
+
+func TestHierarchicalPrunesEmptyAndIrrelevantCategories(t *testing.T) {
+	tree := hierTree()
+	dbs := []core.Classified{
+		classified(t, tree, "heart1", "Heart", 1000, map[string]float64{"blood": 0.5}),
+	}
+	cats := core.BuildCategorySummaries(tree, dbs, core.SizeWeighted)
+	h := NewHierarchical(BGloss{}, cats, dbs)
+	q := []string{"goal"} // no database matches
+	entries := []Entry{{Name: "heart1", View: dbs[0].Sum}}
+	ctx := NewContext(q, entries, nil)
+	if ranked := h.Rank(q, ctx); len(ranked) != 0 {
+		t.Errorf("ranked = %v, want empty", ranked)
+	}
+}
+
+func TestHierarchicalDatabaseAtInternalNode(t *testing.T) {
+	// A database classified directly under Health (not a leaf) must be
+	// rankable alongside the leaf categories' databases.
+	tree := hierTree()
+	dbs := []core.Classified{
+		classified(t, tree, "healthGeneral", "Health", 1000, map[string]float64{"blood": 0.4}),
+		classified(t, tree, "heart1", "Heart", 1000, map[string]float64{"blood": 0.6}),
+	}
+	cats := core.BuildCategorySummaries(tree, dbs, core.SizeWeighted)
+	h := NewHierarchical(BGloss{}, cats, dbs)
+	q := []string{"blood"}
+	entries := make([]Entry, len(dbs))
+	for i, db := range dbs {
+		entries[i] = Entry{Name: db.Name, View: db.Sum}
+	}
+	ctx := NewContext(q, entries, nil)
+	ranked := h.Rank(q, ctx)
+	if len(ranked) != 2 {
+		t.Fatalf("ranked = %v, want both databases", ranked)
+	}
+	names := map[string]bool{}
+	for _, r := range ranked {
+		names[r.Name] = true
+	}
+	if !names["healthGeneral"] || !names["heart1"] {
+		t.Errorf("missing database in %v", ranked)
+	}
+}

@@ -1,0 +1,130 @@
+package selection
+
+import (
+	"testing"
+)
+
+func reddeSamples() []ReDDESample {
+	// hearts: large database, sample rich in "blood".
+	heartsDocs := [][]string{
+		{"blood", "pressure"}, {"blood", "valve"}, {"blood", "artery"},
+		{"cardiac", "valve"}, {"blood", "pressure", "artery"},
+	}
+	// sports: same sample size, no medical words.
+	sportsDocs := [][]string{
+		{"goal", "match"}, {"penalty", "goal"}, {"league", "match"},
+		{"striker", "goal"}, {"referee", "match"},
+	}
+	// clinic: small database mentioning blood once.
+	clinicDocs := [][]string{
+		{"appointment", "schedule"}, {"blood", "test"},
+	}
+	return []ReDDESample{
+		{Name: "hearts", Docs: heartsDocs, Size: 5000},
+		{Name: "sports", Docs: sportsDocs, Size: 5000},
+		{Name: "clinic", Docs: clinicDocs, Size: 100},
+	}
+}
+
+func TestReDDERanksByEstimatedRelevantMass(t *testing.T) {
+	r, err := NewReDDE(reddeSamples(), 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked := r.Rank([]string{"blood"})
+	if len(ranked) == 0 {
+		t.Fatal("nothing selected")
+	}
+	if ranked[0].Name != "hearts" {
+		t.Errorf("top = %s, want hearts", ranked[0].Name)
+	}
+	for _, rk := range ranked {
+		if rk.Name == "sports" {
+			t.Error("sports selected for [blood]")
+		}
+		if rk.Score <= 0 {
+			t.Errorf("non-positive score for %s", rk.Name)
+		}
+	}
+	// hearts' estimated relevant mass should dwarf clinic's: each
+	// hearts sample doc stands for 1000 documents, clinic's for 50.
+	var hearts, clinic float64
+	for _, rk := range ranked {
+		switch rk.Name {
+		case "hearts":
+			hearts = rk.Score
+		case "clinic":
+			clinic = rk.Score
+		}
+	}
+	if hearts <= clinic {
+		t.Errorf("hearts mass %v should exceed clinic %v", hearts, clinic)
+	}
+}
+
+func TestReDDEUnknownQueryWord(t *testing.T) {
+	r, err := NewReDDE(reddeSamples(), 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranked := r.Rank([]string{"unicorn"}); len(ranked) != 0 {
+		t.Errorf("selected %v for an unknown word", ranked)
+	}
+}
+
+func TestReDDERatioBoundsRegion(t *testing.T) {
+	// A tiny ratio restricts the relevant region to the very top of the
+	// pooled ranking, so fewer databases are selected.
+	samples := reddeSamples()
+	wide, err := NewReDDE(samples, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow, err := NewReDDE(samples, 0.0001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := wide.Rank([]string{"blood", "test"})
+	n := narrow.Rank([]string{"blood", "test"})
+	if len(n) > len(w) {
+		t.Errorf("narrow region selected more databases (%d) than wide (%d)", len(n), len(w))
+	}
+	if len(n) == 0 {
+		t.Error("narrow region selected nothing at all")
+	}
+}
+
+func TestReDDEValidation(t *testing.T) {
+	if _, err := NewReDDE(nil, 0.01); err == nil {
+		t.Error("empty sample set accepted")
+	}
+	if _, err := NewReDDE(reddeSamples(), -1); err == nil {
+		t.Error("negative ratio accepted")
+	}
+	if _, err := NewReDDE(reddeSamples(), 2); err == nil {
+		t.Error("ratio > 1 accepted")
+	}
+}
+
+func TestReDDEEmptySampleDatabase(t *testing.T) {
+	samples := append(reddeSamples(), ReDDESample{Name: "ghost", Size: 1000})
+	r, err := NewReDDE(samples, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rk := range r.Rank([]string{"blood"}) {
+		if rk.Name == "ghost" {
+			t.Error("database with no sample was selected")
+		}
+	}
+}
+
+func TestReDDEName(t *testing.T) {
+	r, err := NewReDDE(reddeSamples(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name() != "ReDDE" {
+		t.Errorf("Name = %s", r.Name())
+	}
+}

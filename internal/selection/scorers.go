@@ -1,0 +1,138 @@
+package selection
+
+import (
+	"math"
+
+	"repro/internal/summary"
+)
+
+// BGloss is the boolean GlOSS scorer of Gravano, García-Molina &
+// Tomasic (Section 5.3): s(q, D) = |D| · Π_{w∈q} p̂(w|D). It has no
+// smoothing: a single query word absent from the summary zeroes the
+// database's score, which is why shrinkage helps it the most.
+type BGloss struct{}
+
+// Name implements Scorer.
+func (BGloss) Name() string { return "bGlOSS" }
+
+// Score implements Scorer.
+func (BGloss) Score(q []string, v summary.View, _ *Context) float64 {
+	s := v.DocCount()
+	for _, w := range UniqueWords(q) {
+		s *= v.P(w)
+		if s == 0 {
+			return 0
+		}
+	}
+	return s
+}
+
+// DefaultScore implements Scorer: with no information, some p̂(w|D) is
+// zero and the product collapses, so any positive score means the
+// database was genuinely matched.
+func (BGloss) DefaultScore(q []string, _ summary.View, _ *Context) float64 { return 0 }
+
+// CORI is the inference-network scorer of Callan et al. as specified by
+// French et al. (Section 5.3):
+//
+//	s(q, D) = Σ_{w∈q} (0.4 + 0.6·T·I) / |q|
+//	T = p̂(w|D)·|D| / (p̂(w|D)·|D| + 50 + 150·cw(D)/mcw)
+//	I = log((m + 0.5)/cf(w)) / log(m + 1.0)
+type CORI struct{}
+
+// Name implements Scorer.
+func (CORI) Name() string { return "CORI" }
+
+// Score implements Scorer.
+func (CORI) Score(q []string, v summary.View, ctx *Context) float64 {
+	words := UniqueWords(q)
+	if len(words) == 0 {
+		return 0
+	}
+	var s float64
+	for _, w := range words {
+		s += 0.4 + 0.6*coriT(w, v, ctx)*coriI(w, ctx)
+	}
+	return s / float64(len(words))
+}
+
+// DefaultScore implements Scorer: a database containing no query word
+// has T = 0 for every word, so its score is exactly 0.4.
+func (CORI) DefaultScore(q []string, _ summary.View, _ *Context) float64 { return 0.4 }
+
+// AdditiveBaseline reports that CORI's default enters its score as an
+// additive, evidence-free offset (see the adaptive selection rule).
+func (CORI) AdditiveBaseline() bool { return true }
+
+func coriT(w string, v summary.View, ctx *Context) float64 {
+	df := v.P(w) * v.DocCount()
+	if df <= 0 {
+		return 0
+	}
+	mcw := ctx.MeanCW
+	if mcw <= 0 {
+		mcw = 1
+	}
+	return df / (df + 50 + 150*v.WordCount()/mcw)
+}
+
+func coriI(w string, ctx *Context) float64 {
+	cf := float64(ctx.CF[w])
+	if cf <= 0 {
+		return 0
+	}
+	m := float64(ctx.M)
+	return math.Log((m+0.5)/cf) / math.Log(m+1.0)
+}
+
+// LM is the language-modelling scorer of Si et al. (Section 5.3):
+// s(q, D) = Π_{w∈q} (λ·p̂(w|D) + (1−λ)·p̂(w|G)), with p based on term
+// frequencies and G a global category (the Root category summary).
+// It is equivalent to the KL-based selection of Xu & Croft.
+type LM struct {
+	// Lambda is the smoothing weight (default 0.5, as the paper uses
+	// following Si et al.).
+	Lambda float64
+}
+
+// Name implements Scorer.
+func (LM) Name() string { return "LM" }
+
+func (lm LM) lambda() float64 {
+	if lm.Lambda == 0 {
+		return 0.5
+	}
+	return lm.Lambda
+}
+
+// Score implements Scorer.
+func (lm LM) Score(q []string, v summary.View, ctx *Context) float64 {
+	l := lm.lambda()
+	s := 1.0
+	for _, w := range UniqueWords(q) {
+		var pg float64
+		if ctx.Global != nil {
+			pg = ctx.Global.Ptf(w)
+		}
+		s *= l*v.Ptf(w) + (1-l)*pg
+		if s == 0 {
+			return 0
+		}
+	}
+	return s
+}
+
+// DefaultScore implements Scorer: the score of a database whose summary
+// has p̂(w|D) = 0 for every query word, i.e. pure global smoothing.
+func (lm LM) DefaultScore(q []string, _ summary.View, ctx *Context) float64 {
+	l := lm.lambda()
+	s := 1.0
+	for _, w := range UniqueWords(q) {
+		var pg float64
+		if ctx.Global != nil {
+			pg = ctx.Global.Ptf(w)
+		}
+		s *= (1 - l) * pg
+	}
+	return s
+}

@@ -1,0 +1,248 @@
+package selection
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/summary"
+)
+
+// mkView builds a plain summary view.
+func mkView(numDocs, cw float64, words map[string]float64) *summary.Summary {
+	s := &summary.Summary{NumDocs: numDocs, CW: cw, Words: map[string]summary.Word{}}
+	for w, p := range words {
+		s.Words[w] = summary.Word{P: p, Ptf: p / 10}
+	}
+	return s
+}
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestBGlossExample2(t *testing.T) {
+	// Example 2 / Table 1 of the paper: for [blood hypertension], D2
+	// (Health) must outscore D1 (CS).
+	d1 := mkView(51500, 5e6, map[string]float64{
+		"algorithm": 0.14, "blood": 1.9e-5, "hypertension": 3.8e-5,
+	})
+	d2 := mkView(25730, 2.5e6, map[string]float64{
+		"algorithm": 2e-4, "blood": 0.42, "hypertension": 0.32,
+	})
+	q := []string{"blood", "hypertension"}
+	var b BGloss
+	s1 := b.Score(q, d1, nil)
+	s2 := b.Score(q, d2, nil)
+	if s2 <= s1 {
+		t.Errorf("bGlOSS: D2 (%v) should outscore D1 (%v)", s2, s1)
+	}
+	// Hand check: 25730 * 0.42 * 0.32.
+	if want := 25730 * 0.42 * 0.32; !approx(s2, want, 1e-9) {
+		t.Errorf("s2 = %v, want %v", s2, want)
+	}
+}
+
+func TestBGlossZeroOnMissingWord(t *testing.T) {
+	d := mkView(100, 1000, map[string]float64{"blood": 0.5})
+	var b BGloss
+	if s := b.Score([]string{"blood", "unicorn"}, d, nil); s != 0 {
+		t.Errorf("score = %v, want 0", s)
+	}
+	if b.DefaultScore([]string{"x"}, d, nil) != 0 {
+		t.Error("bGlOSS default should be 0")
+	}
+	// Duplicate query words count once.
+	s1 := b.Score([]string{"blood"}, d, nil)
+	s2 := b.Score([]string{"blood", "blood"}, d, nil)
+	if s1 != s2 {
+		t.Errorf("duplicates change score: %v vs %v", s1, s2)
+	}
+}
+
+func TestCORIScore(t *testing.T) {
+	d1 := mkView(1000, 100000, map[string]float64{"blood": 0.3})
+	d2 := mkView(1000, 100000, map[string]float64{})
+	entries := []Entry{{Name: "d1", View: d1}, {Name: "d2", View: d2}}
+	q := []string{"blood"}
+	ctx := NewContext(q, entries, nil)
+	if ctx.CF["blood"] != 1 {
+		t.Fatalf("cf(blood) = %d, want 1", ctx.CF["blood"])
+	}
+	var c CORI
+	// Hand computation: df = 300, cw/mcw = 1, T = 300/(300+50+150) = 0.6;
+	// I = log(2.5/1)/log(3); s = 0.4 + 0.6*T*I.
+	wantI := math.Log(2.5) / math.Log(3)
+	want := 0.4 + 0.6*0.6*wantI
+	if got := c.Score(q, d1, ctx); !approx(got, want, 1e-12) {
+		t.Errorf("CORI score = %v, want %v", got, want)
+	}
+	// Database without the word gets exactly the default 0.4.
+	if got := c.Score(q, d2, ctx); !approx(got, 0.4, 1e-12) {
+		t.Errorf("empty database score = %v, want 0.4", got)
+	}
+	if c.DefaultScore(q, d2, ctx) != 0.4 {
+		t.Error("default != 0.4")
+	}
+}
+
+func TestCORIEffectiveDFRule(t *testing.T) {
+	// A shrunk-style summary with tiny p̂ must not count towards cf:
+	// round(|D̂|·p̂) = round(0.3) = 0.
+	dTiny := mkView(1000, 1000, map[string]float64{"w": 0.0003})
+	dReal := mkView(1000, 1000, map[string]float64{"w": 0.2})
+	ctx := NewContext([]string{"w"}, []Entry{{View: dTiny}, {View: dReal}}, nil)
+	if ctx.CF["w"] != 1 {
+		t.Errorf("cf = %d, want 1 (tiny probability excluded)", ctx.CF["w"])
+	}
+}
+
+func TestLMScoreAndDefault(t *testing.T) {
+	global := mkView(0, 0, map[string]float64{"blood": 0.1, "goal": 0.2})
+	d := mkView(100, 1000, map[string]float64{"blood": 0.4})
+	ctx := &Context{Global: global}
+	lm := LM{}
+	// s = (0.5*0.04 + 0.5*0.01) -> using Ptf = P/10 in mkView.
+	want := 0.5*0.04 + 0.5*0.01
+	if got := lm.Score([]string{"blood"}, d, ctx); !approx(got, want, 1e-12) {
+		t.Errorf("LM score = %v, want %v", got, want)
+	}
+	// Default: only the global part.
+	if got := lm.DefaultScore([]string{"blood"}, d, ctx); !approx(got, 0.5*0.01, 1e-12) {
+		t.Errorf("LM default = %v", got)
+	}
+	// A word with no global and no local probability zeroes the score.
+	if got := lm.Score([]string{"unicorn"}, d, ctx); got != 0 {
+		t.Errorf("score = %v, want 0", got)
+	}
+	// Nil global is tolerated.
+	if got := lm.Score([]string{"blood"}, d, &Context{}); !approx(got, 0.5*0.04, 1e-12) {
+		t.Errorf("nil-global score = %v", got)
+	}
+}
+
+func TestRankFiltersAndOrders(t *testing.T) {
+	q := []string{"blood"}
+	entries := []Entry{
+		{Name: "none", View: mkView(100, 1000, nil)},
+		{Name: "strong", View: mkView(100, 1000, map[string]float64{"blood": 0.9})},
+		{Name: "weak", View: mkView(100, 1000, map[string]float64{"blood": 0.1})},
+	}
+	ctx := NewContext(q, entries, nil)
+	ranked := Rank(BGloss{}, q, entries, ctx)
+	if len(ranked) != 2 {
+		t.Fatalf("selected %d databases, want 2 (default-score db excluded)", len(ranked))
+	}
+	if ranked[0].Name != "strong" || ranked[1].Name != "weak" {
+		t.Errorf("order = %v", ranked)
+	}
+	if ranked[0].Index != 1 {
+		t.Errorf("Index = %d, want 1", ranked[0].Index)
+	}
+}
+
+func TestRankDeterministicTieBreak(t *testing.T) {
+	q := []string{"w"}
+	v := map[string]float64{"w": 0.5}
+	entries := []Entry{
+		{Name: "b", View: mkView(100, 1000, v)},
+		{Name: "a", View: mkView(100, 1000, v)},
+	}
+	ctx := NewContext(q, entries, nil)
+	ranked := Rank(BGloss{}, q, entries, ctx)
+	if ranked[0].Name != "a" || ranked[1].Name != "b" {
+		t.Errorf("tie break not alphabetical: %v", ranked)
+	}
+}
+
+func TestUniqueWords(t *testing.T) {
+	got := UniqueWords([]string{"a", "b", "a", "c", "b"})
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("UniqueWords = %v", got)
+	}
+}
+
+func TestNewContextStats(t *testing.T) {
+	entries := []Entry{
+		{View: mkView(10, 100, map[string]float64{"x": 0.5})},
+		{View: mkView(10, 300, map[string]float64{"x": 0.5, "y": 0.5})},
+	}
+	ctx := NewContext([]string{"x", "y", "z"}, entries, nil)
+	if ctx.M != 2 {
+		t.Errorf("M = %d", ctx.M)
+	}
+	if !approx(ctx.MeanCW, 200, 1e-12) {
+		t.Errorf("MeanCW = %v", ctx.MeanCW)
+	}
+	if ctx.CF["x"] != 2 || ctx.CF["y"] != 1 || ctx.CF["z"] != 0 {
+		t.Errorf("CF = %v", ctx.CF)
+	}
+}
+
+// Property: every scorer is monotone in a query word's probability —
+// raising p̂(w|D) never lowers s(q, D).
+func TestScorersMonotoneInProbability(t *testing.T) {
+	q := []string{"w", "other"}
+	global := mkView(0, 0, map[string]float64{"w": 0.05, "other": 0.02})
+	for _, tc := range []struct {
+		name   string
+		scorer Scorer
+	}{
+		{"bGlOSS", BGloss{}},
+		{"CORI", CORI{}},
+		{"LM", LM{}},
+	} {
+		prev := -1.0
+		for _, p := range []float64{0, 0.001, 0.01, 0.1, 0.4, 0.9} {
+			v := mkView(1000, 100000, map[string]float64{"w": p, "other": 0.2})
+			ctx := NewContext(q, []Entry{{Name: "d", View: v}}, global)
+			ctx.CF["w"] = 1 // hold corpus stats fixed across p values
+			ctx.CF["other"] = 1
+			s := tc.scorer.Score(q, v, ctx)
+			if s < prev-1e-12 {
+				t.Errorf("%s: score decreased when p rose to %v: %v -> %v", tc.name, p, prev, s)
+			}
+			prev = s
+		}
+	}
+}
+
+// Property: scores never fall below the scorer's default.
+func TestScoresNeverBelowDefault(t *testing.T) {
+	q := []string{"a", "b", "c"}
+	global := mkView(0, 0, map[string]float64{"a": 0.1, "b": 0.01})
+	views := []summary.View{
+		mkView(10, 100, nil),
+		mkView(10, 100, map[string]float64{"a": 0.5}),
+		mkView(100000, 1e7, map[string]float64{"a": 1, "b": 1, "c": 1}),
+	}
+	entries := make([]Entry, len(views))
+	for i, v := range views {
+		entries[i] = Entry{Name: string(rune('a' + i)), View: v}
+	}
+	ctx := NewContext(q, entries, global)
+	for _, sc := range []Scorer{BGloss{}, CORI{}, LM{}} {
+		for _, v := range views {
+			s := sc.Score(q, v, ctx)
+			d := sc.DefaultScore(q, v, ctx)
+			if s < d-1e-12 {
+				t.Errorf("%s: score %v below default %v", sc.Name(), s, d)
+			}
+		}
+	}
+}
+
+func TestAboveDefault(t *testing.T) {
+	if !aboveDefault(1e-80, 0) {
+		t.Error("tiny positive score above zero default should qualify")
+	}
+	if aboveDefault(0, 0) {
+		t.Error("zero score must not qualify")
+	}
+	if aboveDefault(0.4, 0.4) {
+		t.Error("exactly-default score must not qualify")
+	}
+	if !aboveDefault(0.41, 0.4) {
+		t.Error("above-default score should qualify")
+	}
+	if aboveDefault(0.4+1e-14, 0.4) {
+		t.Error("float-noise-above-default must not qualify")
+	}
+}

@@ -1,0 +1,326 @@
+// Package stats implements the statistical machinery the paper relies
+// on: descriptive statistics, simple linear regression (used by the
+// Appendix A frequency-estimation fits), the Spearman rank correlation
+// coefficient and KL divergence (content-summary quality metrics,
+// Section 6.1), and the paired t-test used for the significance claims.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 for fewer than
+// two values.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Welford accumulates mean and variance incrementally in one pass; it is
+// used by the adaptive selection algorithm (Section 4), which examines
+// score samples until mean and variance converge.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations so far.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the running population variance.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// StdDev returns the running population standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// ErrMismatchedLengths is returned when paired inputs differ in length.
+var ErrMismatchedLengths = errors.New("stats: mismatched input lengths")
+
+// LinearRegression fits y = slope*x + intercept by ordinary least
+// squares. It requires at least two points with non-identical x values.
+func LinearRegression(x, y []float64) (slope, intercept float64, err error) {
+	if len(x) != len(y) {
+		return 0, 0, ErrMismatchedLengths
+	}
+	if len(x) < 2 {
+		return 0, 0, errors.New("stats: need at least two points")
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxx, sxy float64
+	for i := range x {
+		dx := x[i] - mx
+		sxx += dx * dx
+		sxy += dx * (y[i] - my)
+	}
+	if sxx == 0 {
+		return 0, 0, errors.New("stats: degenerate x values")
+	}
+	slope = sxy / sxx
+	intercept = my - slope*mx
+	return slope, intercept, nil
+}
+
+// Spearman computes the Spearman rank correlation coefficient between
+// two paired samples, handling ties by average ranks. It returns 0 for
+// samples shorter than 2 or with zero variance in either ranking.
+func Spearman(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, ErrMismatchedLengths
+	}
+	if len(x) < 2 {
+		return 0, nil
+	}
+	rx := Ranks(x)
+	ry := Ranks(y)
+	return pearson(rx, ry), nil
+}
+
+// Ranks assigns 1-based average ranks to the values (highest value gets
+// rank 1), with ties receiving the mean of their covered ranks. Ranking
+// by decreasing value matches the word-ranking use in Section 6.1.
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] > xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := (float64(i+1) + float64(j+1)) / 2
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+func pearson(x, y []float64) float64 {
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// KLDivergence computes sum p_i * log(p_i/q_i) over the paired
+// distributions, in nats. Entries with p_i = 0 contribute zero; entries
+// with q_i = 0 and p_i > 0 make the divergence infinite.
+func KLDivergence(p, q []float64) (float64, error) {
+	if len(p) != len(q) {
+		return 0, ErrMismatchedLengths
+	}
+	var kl float64
+	for i := range p {
+		if p[i] <= 0 {
+			continue
+		}
+		if q[i] <= 0 {
+			return math.Inf(1), nil
+		}
+		kl += p[i] * math.Log(p[i]/q[i])
+	}
+	return kl, nil
+}
+
+// Normalize scales xs to sum to 1 and returns the result; an all-zero
+// input yields a uniform distribution.
+func Normalize(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	if s == 0 {
+		for i := range out {
+			out[i] = 1 / float64(len(xs))
+		}
+		return out
+	}
+	for i, x := range xs {
+		out[i] = x / s
+	}
+	return out
+}
+
+// TTestResult reports a paired t-test.
+type TTestResult struct {
+	T  float64 // t statistic
+	DF int     // degrees of freedom
+	P  float64 // two-sided p-value
+}
+
+// PairedTTest performs a two-sided paired t-test on the differences
+// between the paired samples a and b. It implements the textbook
+// statistic with a p-value computed from the regularized incomplete
+// beta function. The paper uses this test to establish that shrinkage's
+// improvements are significant (Sections 6.1-6.2).
+func PairedTTest(a, b []float64) (TTestResult, error) {
+	if len(a) != len(b) {
+		return TTestResult{}, ErrMismatchedLengths
+	}
+	n := len(a)
+	if n < 2 {
+		return TTestResult{}, errors.New("stats: need at least two pairs")
+	}
+	diffs := make([]float64, n)
+	for i := range a {
+		diffs[i] = a[i] - b[i]
+	}
+	m := Mean(diffs)
+	var ss float64
+	for _, d := range diffs {
+		dd := d - m
+		ss += dd * dd
+	}
+	sd := math.Sqrt(ss / float64(n-1))
+	if sd == 0 {
+		if m == 0 {
+			return TTestResult{T: 0, DF: n - 1, P: 1}, nil
+		}
+		return TTestResult{T: math.Inf(sign(m)), DF: n - 1, P: 0}, nil
+	}
+	t := m / (sd / math.Sqrt(float64(n)))
+	df := float64(n - 1)
+	p := studentTwoSidedP(t, df)
+	return TTestResult{T: t, DF: n - 1, P: p}, nil
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// studentTwoSidedP returns the two-sided p-value for a t statistic with
+// df degrees of freedom, via the incomplete beta identity
+// P(|T| > t) = I_{df/(df+t^2)}(df/2, 1/2).
+func studentTwoSidedP(t, df float64) float64 {
+	x := df / (df + t*t)
+	return regIncBeta(df/2, 0.5, x)
+}
+
+// regIncBeta computes the regularized incomplete beta function I_x(a,b)
+// using the continued-fraction expansion (Numerical Recipes betacf).
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b)
+	front := math.Exp(math.Log(x)*a + math.Log(1-x)*b + lbeta)
+	if x < (a+1)/(a+b+2) {
+		return front * betacf(a, b, x) / a
+	}
+	return 1 - front*betacf(b, a, 1-x)/b
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// betacf evaluates the continued fraction for the incomplete beta
+// function by the modified Lentz method.
+func betacf(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := float64(2 * m)
+		aa := float64(m) * (b - float64(m)) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + float64(m)) * (qab + float64(m)) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}

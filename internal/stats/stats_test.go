@@ -1,0 +1,301 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); !approx(m, 5, 1e-12) {
+		t.Errorf("Mean = %v", m)
+	}
+	if v := Variance(xs); !approx(v, 4, 1e-12) {
+		t.Errorf("Variance = %v", v)
+	}
+	if s := StdDev(xs); !approx(s, 2, 1e-12) {
+		t.Errorf("StdDev = %v", s)
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("empty/singleton cases wrong")
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(50)
+		xs := make([]float64, n)
+		var w Welford
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*10 + 3
+			w.Add(xs[i])
+		}
+		return approx(w.Mean(), Mean(xs), 1e-9) &&
+			approx(w.Variance(), Variance(xs), 1e-9) &&
+			w.N() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinearRegressionExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{3, 5, 7, 9} // y = 2x + 1
+	slope, intercept, err := LinearRegression(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(slope, 2, 1e-12) || !approx(intercept, 1, 1e-12) {
+		t.Errorf("fit = %v, %v", slope, intercept)
+	}
+}
+
+func TestLinearRegressionErrors(t *testing.T) {
+	if _, _, err := LinearRegression([]float64{1}, []float64{1}); err == nil {
+		t.Error("expected error for single point")
+	}
+	if _, _, err := LinearRegression([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Error("expected error for degenerate x")
+	}
+	if _, _, err := LinearRegression([]float64{1, 2}, []float64{1}); err != ErrMismatchedLengths {
+		t.Error("expected length mismatch error")
+	}
+}
+
+func TestLinearRegressionRecoversNoisyLine(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 500
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i)
+		y[i] = -1.5*x[i] + 40 + rng.NormFloat64()*0.5
+	}
+	slope, intercept, err := LinearRegression(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(slope, -1.5, 0.01) || !approx(intercept, 40, 1.0) {
+		t.Errorf("fit = %v, %v", slope, intercept)
+	}
+}
+
+func TestRanks(t *testing.T) {
+	// Highest value gets rank 1; ties share average rank.
+	r := Ranks([]float64{10, 20, 20, 5})
+	want := []float64{3, 1.5, 1.5, 4}
+	for i := range r {
+		if !approx(r[i], want[i], 1e-12) {
+			t.Fatalf("Ranks = %v, want %v", r, want)
+		}
+	}
+}
+
+func TestSpearmanPerfectAndReverse(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{10, 20, 30, 40, 50}
+	if s, _ := Spearman(x, y); !approx(s, 1, 1e-12) {
+		t.Errorf("identical order SRCC = %v", s)
+	}
+	rev := []float64{50, 40, 30, 20, 10}
+	if s, _ := Spearman(x, rev); !approx(s, -1, 1e-12) {
+		t.Errorf("reverse order SRCC = %v", s)
+	}
+}
+
+func TestSpearmanMonotoneInvariance(t *testing.T) {
+	// SRCC depends only on ranks: applying a monotone transform to one
+	// side must not change it.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(20)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		y2 := make([]float64, n)
+		for i := range x {
+			x[i] = rng.Float64()
+			y[i] = rng.Float64()
+			y2[i] = math.Exp(3 * y[i]) // strictly monotone transform
+		}
+		a, _ := Spearman(x, y)
+		b, _ := Spearman(x, y2)
+		return approx(a, b, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpearmanUncorrelated(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 2000
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64()
+		y[i] = rng.Float64()
+	}
+	s, _ := Spearman(x, y)
+	if math.Abs(s) > 0.05 {
+		t.Errorf("uncorrelated SRCC = %v, want near 0", s)
+	}
+}
+
+func TestKLDivergence(t *testing.T) {
+	p := []float64{0.5, 0.5}
+	q := []float64{0.5, 0.5}
+	if kl, _ := KLDivergence(p, q); !approx(kl, 0, 1e-12) {
+		t.Errorf("KL(p,p) = %v", kl)
+	}
+	q2 := []float64{0.9, 0.1}
+	kl, _ := KLDivergence(p, q2)
+	want := 0.5*math.Log(0.5/0.9) + 0.5*math.Log(0.5/0.1)
+	if !approx(kl, want, 1e-12) {
+		t.Errorf("KL = %v, want %v", kl, want)
+	}
+	// Zero q with nonzero p -> infinite.
+	if kl, _ := KLDivergence([]float64{1}, []float64{0}); !math.IsInf(kl, 1) {
+		t.Errorf("KL with q=0 = %v", kl)
+	}
+	// Zero p entries contribute nothing.
+	if kl, _ := KLDivergence([]float64{0, 1}, []float64{0.5, 0.5}); !approx(kl, math.Log(2), 1e-12) {
+		t.Errorf("KL with p=0 entry = %v", kl)
+	}
+}
+
+func TestKLNonNegativeOnRandomDistributions(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		p := make([]float64, n)
+		q := make([]float64, n)
+		for i := range p {
+			p[i] = rng.Float64() + 1e-9
+			q[i] = rng.Float64() + 1e-9
+		}
+		p = Normalize(p)
+		q = Normalize(q)
+		kl, _ := KLDivergence(p, q)
+		return kl >= -1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	out := Normalize([]float64{1, 3})
+	if !approx(out[0], 0.25, 1e-12) || !approx(out[1], 0.75, 1e-12) {
+		t.Errorf("Normalize = %v", out)
+	}
+	uniform := Normalize([]float64{0, 0, 0, 0})
+	for _, v := range uniform {
+		if !approx(v, 0.25, 1e-12) {
+			t.Errorf("Normalize zeros = %v", uniform)
+		}
+	}
+}
+
+func TestPairedTTestKnownValue(t *testing.T) {
+	// Classic textbook example: differences with a clear effect.
+	a := []float64{30, 31, 34, 40, 36, 35, 34, 30, 28, 29}
+	b := []float64{32, 31, 38, 42, 37, 36, 38, 32, 29, 30}
+	res, err := PairedTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DF != 9 {
+		t.Errorf("DF = %d", res.DF)
+	}
+	if res.T >= 0 {
+		t.Errorf("T = %v, want negative (b > a)", res.T)
+	}
+	if res.P > 0.01 {
+		t.Errorf("P = %v, want significant", res.P)
+	}
+}
+
+func TestPairedTTestNoDifference(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	res, err := PairedTTest(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.T != 0 || res.P != 1 {
+		t.Errorf("identical samples: T=%v P=%v", res.T, res.P)
+	}
+}
+
+func TestPairedTTestPValueRange(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(40)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		res, err := PairedTTest(a, b)
+		if err != nil {
+			return false
+		}
+		return res.P >= 0 && res.P <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStudentPMatchesNormalForLargeDF(t *testing.T) {
+	// For large df, t distribution approaches the normal: two-sided p
+	// for t=1.96 should approach ~0.05.
+	p := studentTwoSidedP(1.96, 10000)
+	if !approx(p, 0.05, 0.002) {
+		t.Errorf("p(1.96, 10000) = %v, want ~0.05", p)
+	}
+	p = studentTwoSidedP(2.576, 10000)
+	if !approx(p, 0.01, 0.001) {
+		t.Errorf("p(2.576, 10000) = %v, want ~0.01", p)
+	}
+}
+
+func TestRegIncBetaBounds(t *testing.T) {
+	if regIncBeta(2, 3, 0) != 0 || regIncBeta(2, 3, 1) != 1 {
+		t.Error("boundary values wrong")
+	}
+	// I_x(1,1) = x (uniform distribution CDF).
+	for _, x := range []float64{0.1, 0.3, 0.7, 0.9} {
+		if got := regIncBeta(1, 1, x); !approx(got, x, 1e-10) {
+			t.Errorf("I_%v(1,1) = %v", x, got)
+		}
+	}
+}
+
+func BenchmarkSpearman(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 10000
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64()
+		y[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Spearman(x, y)
+	}
+}
+
+func BenchmarkWelford(b *testing.B) {
+	var w Welford
+	for i := 0; i < b.N; i++ {
+		w.Add(float64(i % 97))
+	}
+}

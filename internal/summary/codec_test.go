@@ -1,0 +1,83 @@
+package summary
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := FromSample(randomDocs(rng))
+		s.NumDocs = float64(int(s.NumDocs)) * 7 // simulate a size estimate
+		var buf bytes.Buffer
+		if err := s.Encode(&buf); err != nil {
+			return false
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			return false
+		}
+		if got.NumDocs != s.NumDocs || got.CW != s.CW ||
+			got.SampleSize != s.SampleSize || got.Len() != s.Len() {
+			return false
+		}
+		for w, st := range s.Words {
+			if got.Words[w] != st {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	s := FromSample([][]string{{"b", "a"}, {"a", "c"}})
+	var b1, b2 bytes.Buffer
+	if err := s.Encode(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Encode(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Error("encoding is not deterministic")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not json":      "hello",
+		"wrong version": `{"version": 99, "num_docs": 1, "words": []}`,
+		"negative size": `{"version": 1, "num_docs": -5, "words": []}`,
+		"bad prob":      `{"version": 1, "num_docs": 10, "words": [{"w": "x", "p": 3}]}`,
+		"empty word":    `{"version": 1, "num_docs": 10, "words": [{"w": "", "p": 0.1}]}`,
+		"duplicate":     `{"version": 1, "num_docs": 10, "words": [{"w": "x", "p": 0.1}, {"w": "x", "p": 0.2}]}`,
+	}
+	for name, in := range cases {
+		if _, err := Decode(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestDecodeEmptySummary(t *testing.T) {
+	s := &Summary{Words: map[string]Word{}}
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Errorf("decoded %d words from empty summary", got.Len())
+	}
+}

@@ -1,0 +1,45 @@
+package summary
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func FuzzDecode(f *testing.F) {
+	// Seed with a valid encoding and structured near-misses.
+	s := FromSample([][]string{{"alpha", "beta"}, {"alpha"}})
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"version":1,"num_docs":10,"words":[]}`)
+	f.Add(`{"version":1,"num_docs":-1}`)
+	f.Add(`{`)
+	f.Add(`[]`)
+	f.Fuzz(func(t *testing.T, in string) {
+		got, err := Decode(strings.NewReader(in))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Anything accepted must be internally consistent and
+		// re-encodable into something that decodes to the same summary.
+		for w, st := range got.Words {
+			if w == "" || st.P < 0 || st.P > 1 || st.Ptf < 0 || st.Ptf > 1 {
+				t.Fatalf("accepted invalid word %q: %+v", w, st)
+			}
+		}
+		var out bytes.Buffer
+		if err := got.Encode(&out); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		again, err := Decode(&out)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if again.Len() != got.Len() || again.NumDocs != got.NumDocs {
+			t.Fatal("round trip changed the summary")
+		}
+	})
+}

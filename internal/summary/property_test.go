@@ -1,0 +1,95 @@
+package summary
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/index"
+)
+
+// randomDocs builds a random small corpus over a bounded vocabulary.
+func randomDocs(rng *rand.Rand) [][]string {
+	n := 1 + rng.Intn(40)
+	docs := make([][]string, n)
+	for i := range docs {
+		l := 1 + rng.Intn(15)
+		doc := make([]string, l)
+		for j := range doc {
+			doc[j] = string(rune('a' + rng.Intn(12)))
+		}
+		docs[i] = doc
+	}
+	return docs
+}
+
+// Property: FromSample and FromIndex agree when the "sample" is the
+// whole collection.
+func TestFromSampleMatchesFromIndexOnFullCorpus(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		docs := randomDocs(rng)
+		b := index.NewBuilder(len(docs))
+		for _, d := range docs {
+			b.Add(d)
+		}
+		ix := b.Build()
+		a := FromIndex(ix)
+		s := FromSample(docs)
+		if a.NumDocs != s.NumDocs || a.Len() != s.Len() || a.CW != s.CW {
+			return false
+		}
+		for w, st := range a.Words {
+			other := s.Words[w]
+			if math.Abs(st.P-other.P) > 1e-12 || math.Abs(st.Ptf-other.Ptf) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: probabilities are bounded and Ptf sums to 1 over the
+// vocabulary of a non-empty sample.
+func TestSampleSummaryDistributionInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := FromSample(randomDocs(rng))
+		var ptfSum float64
+		for _, st := range s.Words {
+			if st.P <= 0 || st.P > 1 || st.Ptf <= 0 || st.Ptf > 1 {
+				return false
+			}
+			if st.SampleDF < 1 || float64(st.SampleDF) > s.NumDocs {
+				return false
+			}
+			ptfSum += st.Ptf
+		}
+		return math.Abs(ptfSum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: TopWords is sorted by decreasing probability.
+func TestTopWordsSorted(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := FromSample(randomDocs(rng))
+		top := s.TopWords(s.Len())
+		for i := 1; i < len(top); i++ {
+			if s.P(top[i]) > s.P(top[i-1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

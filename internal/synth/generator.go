@@ -1,0 +1,265 @@
+package synth
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"repro/internal/hierarchy"
+)
+
+// Config parameterizes the generative model. The zero value of any field
+// is replaced by the documented default, so Config{Tree: t, Seed: s} is
+// a fully usable configuration.
+type Config struct {
+	// Tree is the topic hierarchy (required).
+	Tree *hierarchy.Tree
+	// Seed drives all randomness derived from this generator.
+	Seed int64
+
+	// GlobalVocabSize is the size of the topic-neutral vocabulary
+	// shared by every document (default 6000 words).
+	GlobalVocabSize int
+	// GlobalExponent is the Zipf exponent of the global vocabulary
+	// (default 1.05).
+	GlobalExponent float64
+
+	// CategoryVocabBase is the vocabulary size of a depth-1 category;
+	// deeper categories shrink by CategoryVocabDecay per level
+	// (defaults 2600 and 0.8: depths 1..3 get 2600, 2080, 1664 words).
+	CategoryVocabBase  int
+	CategoryVocabDecay float64
+	// CategoryExponent is the Zipf exponent of category vocabularies
+	// (default 0.95; flatter than the global one so topical tails are
+	// long, which is what samples miss).
+	CategoryExponent float64
+
+	// PrivateVocabSize is the size of each database-private vocabulary
+	// (default 400) and PrivateExponent its Zipf exponent (default 1.0).
+	PrivateVocabSize int
+	PrivateExponent  float64
+
+	// DocLenMean and DocLenSigma give the lognormal document length
+	// (defaults 110 tokens and 0.35).
+	DocLenMean  int
+	DocLenSigma float64
+
+	// MixGlobal and MixPrivate are the mixture weights of the global
+	// and private components (defaults 0.30 and 0.08); the remainder is
+	// split across the category path with weight growing toward the
+	// leaf. WeightJitterSigma perturbs all weights per database
+	// (default 0.25), so sibling databases have related but distinct
+	// word distributions.
+	MixGlobal         float64
+	MixPrivate        float64
+	WeightJitterSigma float64
+
+	// WordJitterSigma is the per-database, per-word lognormal jitter of
+	// topical word probabilities (default 1.1). This is what makes
+	// sibling databases *complementary* rather than identical: a word
+	// damped in one database remains common in its category mates —
+	// the "hemophilia missing from PubMed's sample but present in other
+	// Health summaries" phenomenon the paper's shrinkage exploits
+	// (Example 1). Global-vocabulary jitter is a quarter of this
+	// (function words are stable across sources). Negative disables.
+	WordJitterSigma float64
+}
+
+func (c Config) withDefaults() Config {
+	def := func(v *int, d int) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	deff := func(v *float64, d float64) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	def(&c.GlobalVocabSize, 6000)
+	deff(&c.GlobalExponent, 1.05)
+	def(&c.CategoryVocabBase, 2600)
+	deff(&c.CategoryVocabDecay, 0.8)
+	deff(&c.CategoryExponent, 0.95)
+	def(&c.PrivateVocabSize, 400)
+	deff(&c.PrivateExponent, 1.0)
+	def(&c.DocLenMean, 110)
+	deff(&c.DocLenSigma, 0.35)
+	deff(&c.MixGlobal, 0.30)
+	deff(&c.MixPrivate, 0.08)
+	deff(&c.WeightJitterSigma, 0.25)
+	deff(&c.WordJitterSigma, 1.1)
+	if c.WordJitterSigma < 0 {
+		c.WordJitterSigma = 0
+	}
+	return c
+}
+
+// Generator owns the vocabularies of one synthetic world and produces
+// documents for databases classified anywhere in the hierarchy.
+// Generators are immutable after construction and safe for concurrent
+// use provided each goroutine uses its own *rand.Rand.
+type Generator struct {
+	cfg    Config
+	tree   *hierarchy.Tree
+	global *Vocabulary
+	cat    []*Vocabulary // indexed by NodeID; nil for the root
+}
+
+// NewGenerator builds the vocabularies for every category of cfg.Tree.
+func NewGenerator(cfg Config) (*Generator, error) {
+	if cfg.Tree == nil {
+		return nil, errors.New("synth: Config.Tree is required")
+	}
+	cfg = cfg.withDefaults()
+	g := &Generator{cfg: cfg, tree: cfg.Tree}
+	var err error
+	g.global, err = NewVocabulary("g", cfg.GlobalVocabSize, cfg.GlobalExponent, 1)
+	if err != nil {
+		return nil, err
+	}
+	g.cat = make([]*Vocabulary, cfg.Tree.Len())
+	for _, id := range cfg.Tree.All() {
+		if id == hierarchy.Root {
+			continue
+		}
+		depth := cfg.Tree.Depth(id)
+		size := int(float64(cfg.CategoryVocabBase) * math.Pow(cfg.CategoryVocabDecay, float64(depth-1)))
+		if size < 50 {
+			size = 50
+		}
+		prefix := categoryPrefix(cfg.Tree.Node(id).Name, int(id))
+		g.cat[id], err = NewVocabulary(prefix, size, cfg.CategoryExponent, 1)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// categoryPrefix builds a readable, unique word prefix for a category,
+// e.g. "aids17_" for node 17 named AIDS.
+func categoryPrefix(name string, id int) string {
+	short := make([]byte, 0, 8)
+	for i := 0; i < len(name) && len(short) < 6; i++ {
+		ch := name[i]
+		switch {
+		case ch >= 'a' && ch <= 'z':
+			short = append(short, ch)
+		case ch >= 'A' && ch <= 'Z':
+			short = append(short, ch-'A'+'a')
+		}
+	}
+	return string(short) + "_" + itoa(id) + "_"
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// Tree returns the hierarchy this generator was built over.
+func (g *Generator) Tree() *hierarchy.Tree { return g.tree }
+
+// Config returns the effective (defaulted) configuration.
+func (g *Generator) Config() Config { return g.cfg }
+
+// GlobalVocab returns the topic-neutral vocabulary.
+func (g *Generator) GlobalVocab() *Vocabulary { return g.global }
+
+// CategoryVocab returns the vocabulary of a category, or nil for the root.
+func (g *Generator) CategoryVocab(id hierarchy.NodeID) *Vocabulary { return g.cat[id] }
+
+// NewPrivateVocab creates a database- (or site-) private vocabulary with
+// a unique prefix.
+func (g *Generator) NewPrivateVocab(prefix string) (*Vocabulary, error) {
+	return NewVocabulary(prefix, g.cfg.PrivateVocabSize, g.cfg.PrivateExponent, 0)
+}
+
+// DocSource generates documents for one database: a fixed mixture over
+// the global vocabulary, the vocabularies along the database's category
+// path, and the database's private vocabulary.
+type DocSource struct {
+	g   *Generator
+	mix mixture
+}
+
+// NewDocSource builds the jittered mixture for a database classified
+// under cat. private may be nil (no private component). jitter drives
+// the per-database weight perturbation and must be deterministic per
+// database for reproducibility.
+func (g *Generator) NewDocSource(cat hierarchy.NodeID, private *Vocabulary, jitter *rand.Rand) *DocSource {
+	cfg := g.cfg
+	var comps []component
+	jit := func(w float64) float64 {
+		if cfg.WeightJitterSigma <= 0 {
+			return w
+		}
+		return w * math.Exp(cfg.WeightJitterSigma*jitter.NormFloat64())
+	}
+	comps = append(comps, component{
+		dist:   g.global.jittered(jitter, cfg.WordJitterSigma/4),
+		weight: jit(cfg.MixGlobal),
+	})
+	if private != nil {
+		comps = append(comps, component{dist: private.base(), weight: jit(cfg.MixPrivate)})
+	}
+	path := g.tree.Path(cat)
+	// Drop the root (its "vocabulary" is the global one); weight the
+	// remaining path nodes increasingly toward the leaf.
+	topical := 1 - cfg.MixGlobal - cfg.MixPrivate
+	var norm float64
+	for i := 1; i < len(path); i++ {
+		norm += math.Pow(float64(i), 1.5)
+	}
+	for i := 1; i < len(path); i++ {
+		w := topical
+		if norm > 0 {
+			w = topical * math.Pow(float64(i), 1.5) / norm
+		}
+		comps = append(comps, component{
+			dist:   g.cat[path[i]].jittered(jitter, cfg.WordJitterSigma),
+			weight: jit(w),
+		})
+	}
+	return &DocSource{g: g, mix: newMixture(comps)}
+}
+
+// DocLen draws a document length from the configured lognormal,
+// clipped to [20, 600] tokens.
+func (g *Generator) DocLen(rng *rand.Rand) int {
+	cfg := g.cfg
+	mu := math.Log(float64(cfg.DocLenMean)) - cfg.DocLenSigma*cfg.DocLenSigma/2
+	l := int(math.Round(math.Exp(mu + cfg.DocLenSigma*rng.NormFloat64())))
+	if l < 20 {
+		l = 20
+	}
+	if l > 600 {
+		l = 600
+	}
+	return l
+}
+
+// GenDoc generates one document's terms, reusing buf when it has
+// capacity. The returned slice is only valid until the next call with
+// the same buffer.
+func (s *DocSource) GenDoc(rng *rand.Rand, buf []string) []string {
+	n := s.g.DocLen(rng)
+	if cap(buf) < n {
+		buf = make([]string, 0, n)
+	}
+	buf = buf[:0]
+	for i := 0; i < n; i++ {
+		buf = append(buf, s.mix.sample(rng))
+	}
+	return buf
+}

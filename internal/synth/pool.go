@@ -1,0 +1,201 @@
+package synth
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/hierarchy"
+	"repro/internal/index"
+	"repro/internal/zipf"
+)
+
+// TRECConfig controls the TREC-style testbed builder, which reproduces
+// the paper's construction of the TREC4 and TREC6 data sets: a large
+// document pool "separated into disjoint databases via clustering using
+// the K-means algorithm" (Section 5.1).
+type TRECConfig struct {
+	// Name labels the testbed ("TREC4" or "TREC6").
+	Name string
+	// PoolDocs is the number of documents generated into the pool
+	// before clustering (default 60000).
+	PoolDocs int
+	// Databases is the number of clusters/databases (default 100, as in
+	// the paper).
+	Databases int
+	// SitesPerLeaf is the number of distinct "sites" (private
+	// vocabularies) contributing documents to each leaf topic
+	// (default 3). Site vocabularies play the role of per-source noise
+	// (author names, boilerplate) in real collections.
+	SitesPerLeaf int
+	// LeafSkew is the Zipf exponent of leaf-topic popularity in the
+	// pool (default 0.8: some topics are much more common than others,
+	// so cluster sizes vary, as the paper's did).
+	LeafSkew float64
+	// Seed drives pool generation and clustering initialization.
+	Seed int64
+	// ClusterFeatures and ClusterIters tune K-means (defaults 1500/8).
+	ClusterFeatures int
+	ClusterIters    int
+}
+
+func (c TRECConfig) withDefaults() TRECConfig {
+	if c.Name == "" {
+		c.Name = "TREC"
+	}
+	if c.PoolDocs == 0 {
+		c.PoolDocs = 60000
+	}
+	if c.Databases == 0 {
+		c.Databases = 100
+	}
+	if c.SitesPerLeaf == 0 {
+		c.SitesPerLeaf = 3
+	}
+	if c.LeafSkew == 0 {
+		c.LeafSkew = 0.8
+	}
+	if c.ClusterFeatures == 0 {
+		c.ClusterFeatures = 1500
+	}
+	if c.ClusterIters == 0 {
+		c.ClusterIters = 8
+	}
+	return c
+}
+
+// poolCorpus adapts a generated document pool to cluster.Corpus.
+type poolCorpus struct {
+	docs [][]string
+}
+
+func (p *poolCorpus) NumDocs() int { return len(p.docs) }
+
+func (p *poolCorpus) DocTermCounts(d int, fn func(string, int)) {
+	counts := make(map[string]int, len(p.docs[d]))
+	for _, t := range p.docs[d] {
+		counts[t]++
+	}
+	for t, c := range counts {
+		fn(t, c)
+	}
+}
+
+func (p *poolCorpus) ForEachTerm(fn func(string, int)) {
+	df := make(map[string]int, 1<<16)
+	seen := make(map[string]bool, 256)
+	for _, doc := range p.docs {
+		for k := range seen {
+			delete(seen, k)
+		}
+		for _, t := range doc {
+			if !seen[t] {
+				seen[t] = true
+				df[t]++
+			}
+		}
+	}
+	for t, d := range df {
+		fn(t, d)
+	}
+}
+
+// BuildTRECStyle generates a topic-labeled document pool and partitions
+// it into topically coherent databases with K-means, as the paper does
+// for TREC4 and TREC6. Each resulting Database's Category is the
+// dominant source leaf of its documents (diagnostic ground truth; the
+// experiments classify these databases by query probing, as the paper
+// must for TREC data).
+func BuildTRECStyle(g *Generator, cfg TRECConfig) (*Testbed, error) {
+	cfg = cfg.withDefaults()
+	if cfg.PoolDocs < cfg.Databases {
+		return nil, errors.New("synth: pool smaller than database count")
+	}
+	tree := g.Tree()
+	leaves := tree.Leaves()
+	popularity, err := zipf.NewSampler(len(leaves), cfg.LeafSkew, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	// Lazily created per-(leaf, site) document sources.
+	type siteKey struct {
+		leaf hierarchy.NodeID
+		site int
+	}
+	sources := make(map[siteKey]*DocSource)
+	sourceFor := func(k siteKey) (*DocSource, error) {
+		if s, ok := sources[k]; ok {
+			return s, nil
+		}
+		priv, err := g.NewPrivateVocab(fmt.Sprintf("s%d_%d_", int(k.leaf), k.site))
+		if err != nil {
+			return nil, err
+		}
+		jit := subRNG(cfg.Seed, 2, int64(k.leaf), int64(k.site))
+		s := g.NewDocSource(k.leaf, priv, jit)
+		sources[k] = s
+		return s, nil
+	}
+
+	pool := &poolCorpus{docs: make([][]string, cfg.PoolDocs)}
+	labels := make([]hierarchy.NodeID, cfg.PoolDocs)
+	rng := subRNG(cfg.Seed, 3)
+	for i := 0; i < cfg.PoolDocs; i++ {
+		leaf := leaves[popularity.Sample(rng)]
+		site := rng.Intn(cfg.SitesPerLeaf)
+		src, err := sourceFor(siteKey{leaf, site})
+		if err != nil {
+			return nil, err
+		}
+		doc := src.GenDoc(rng, nil)
+		owned := make([]string, len(doc))
+		copy(owned, doc)
+		pool.docs[i] = owned
+		labels[i] = leaf
+	}
+
+	res, err := cluster.KMeans(pool, cluster.Config{
+		K:        cfg.Databases,
+		Features: cfg.ClusterFeatures,
+		MaxIter:  cfg.ClusterIters,
+		Seed:     subSeed(cfg.Seed, 4),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	builders := make([]*index.Builder, cfg.Databases)
+	domCount := make([]map[hierarchy.NodeID]int, cfg.Databases)
+	for i := range builders {
+		builders[i] = index.NewBuilder(res.Sizes[i])
+		domCount[i] = make(map[hierarchy.NodeID]int)
+	}
+	for d, a := range res.Assign {
+		builders[a].Add(pool.docs[d])
+		domCount[a][labels[d]]++
+	}
+
+	bed := &Testbed{Name: cfg.Name, Tree: tree, Gen: g}
+	for i := range builders {
+		dominant := hierarchy.Root
+		best := -1
+		for leaf, n := range domCount[i] {
+			if n > best || (n == best && leaf < dominant) {
+				best, dominant = n, leaf
+			}
+		}
+		ix := builders[i].Build()
+		if ix.NumDocs() == 0 {
+			// K-means reseeds empty clusters, but guard anyway: an
+			// empty database is legal for selection (never selected).
+			continue
+		}
+		bed.Databases = append(bed.Databases, &Database{
+			Name:     fmt.Sprintf("all-%d", i+1),
+			Category: dominant,
+			Index:    ix,
+		})
+	}
+	return bed, nil
+}

@@ -1,0 +1,451 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/hierarchy"
+)
+
+// smallTree is a compact hierarchy for fast tests.
+func smallTree() *hierarchy.Tree {
+	return hierarchy.MustNew(hierarchy.Spec{
+		Name: "Root",
+		Children: []hierarchy.Spec{
+			{Name: "Health", Children: []hierarchy.Spec{
+				{Name: "Heart"}, {Name: "Cancer"},
+			}},
+			{Name: "Sports", Children: []hierarchy.Spec{
+				{Name: "Soccer"}, {Name: "Tennis"},
+			}},
+		},
+	})
+}
+
+func smallGen(t testing.TB, seed int64) *Generator {
+	t.Helper()
+	g, err := NewGenerator(Config{
+		Tree:              smallTree(),
+		Seed:              seed,
+		GlobalVocabSize:   800,
+		CategoryVocabBase: 500,
+		PrivateVocabSize:  80,
+		DocLenMean:        60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewGeneratorRequiresTree(t *testing.T) {
+	if _, err := NewGenerator(Config{}); err == nil {
+		t.Fatal("nil tree accepted")
+	}
+}
+
+func TestGeneratorVocabularies(t *testing.T) {
+	g := smallGen(t, 1)
+	if g.CategoryVocab(hierarchy.Root) != nil {
+		t.Error("root should have no category vocabulary")
+	}
+	tree := g.Tree()
+	health, _ := tree.Lookup("Health")
+	heart, _ := tree.Lookup("Heart")
+	hv, tv := g.CategoryVocab(health), g.CategoryVocab(heart)
+	if hv == nil || tv == nil {
+		t.Fatal("missing category vocab")
+	}
+	if hv.Len() <= tv.Len() {
+		t.Errorf("deeper vocab should be smaller: depth1=%d depth2=%d", hv.Len(), tv.Len())
+	}
+	// Vocabularies must be disjoint (distinct prefixes).
+	if hv.Word(0) == tv.Word(0) {
+		t.Error("category vocabularies overlap")
+	}
+}
+
+func TestDocSourceGeneratesMixedVocabulary(t *testing.T) {
+	g := smallGen(t, 2)
+	tree := g.Tree()
+	heart, _ := tree.Lookup("Heart")
+	priv, err := g.NewPrivateVocab("priv_")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	src := g.NewDocSource(heart, priv, rng)
+
+	counts := map[string]int{"global": 0, "health": 0, "heart": 0, "private": 0}
+	var buf []string
+	for i := 0; i < 300; i++ {
+		buf = src.GenDoc(rng, buf)
+		for _, w := range buf {
+			switch {
+			case w[0] == 'g':
+				counts["global"]++
+			case len(w) > 5 && w[:5] == "heart":
+				counts["heart"]++
+			case len(w) > 6 && w[:6] == "health":
+				counts["health"]++
+			case len(w) > 4 && w[:4] == "priv":
+				counts["private"]++
+			default:
+				t.Fatalf("word %q from unexpected vocabulary", w)
+			}
+		}
+	}
+	for comp, n := range counts {
+		if n == 0 {
+			t.Errorf("component %s contributed no words", comp)
+		}
+	}
+	// The leaf's own vocabulary should dominate the topical mass.
+	if counts["heart"] <= counts["health"] {
+		t.Errorf("leaf vocab (%d) should outweigh parent vocab (%d)", counts["heart"], counts["health"])
+	}
+}
+
+func TestDocLenDistribution(t *testing.T) {
+	g := smallGen(t, 4)
+	rng := rand.New(rand.NewSource(1))
+	var sum int
+	for i := 0; i < 5000; i++ {
+		l := g.DocLen(rng)
+		if l < 20 || l > 600 {
+			t.Fatalf("DocLen out of bounds: %d", l)
+		}
+		sum += l
+	}
+	mean := float64(sum) / 5000
+	if mean < 48 || mean > 75 {
+		t.Errorf("mean doc length = %v, configured 60", mean)
+	}
+}
+
+func TestBuildWebShape(t *testing.T) {
+	g := smallGen(t, 5)
+	bed, err := BuildWeb(g, WebConfig{PerLeaf: 2, Extra: 3, MinSize: 30, MaxSize: 100, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDBs := 4*2 + 3 // 4 leaves x 2 + 3 extra
+	if len(bed.Databases) != wantDBs {
+		t.Fatalf("databases = %d, want %d", len(bed.Databases), wantDBs)
+	}
+	for _, db := range bed.Databases {
+		if db.Size() < 30 || db.Size() > 100 {
+			t.Errorf("db %s size %d outside [30,100]", db.Name, db.Size())
+		}
+		if db.Category == hierarchy.Root {
+			t.Errorf("db %s classified at root", db.Name)
+		}
+		if db.Name == "" {
+			t.Error("unnamed database")
+		}
+	}
+	// Names must be unique.
+	seen := map[string]bool{}
+	for _, db := range bed.Databases {
+		if seen[db.Name] {
+			t.Errorf("duplicate database name %s", db.Name)
+		}
+		seen[db.Name] = true
+	}
+}
+
+func TestBuildWebDeterministic(t *testing.T) {
+	g1 := smallGen(t, 6)
+	g2 := smallGen(t, 6)
+	b1, err := BuildWeb(g1, WebConfig{PerLeaf: 1, Extra: 1, MinSize: 30, MaxSize: 60, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := BuildWeb(g2, WebConfig{PerLeaf: 1, Extra: 1, MinSize: 30, MaxSize: 60, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b1.Databases {
+		d1, d2 := b1.Databases[i], b2.Databases[i]
+		if d1.Name != d2.Name || d1.Size() != d2.Size() || d1.Category != d2.Category {
+			t.Fatalf("nondeterministic build: %+v vs %+v", d1, d2)
+		}
+		if d1.Index.NumTerms() != d2.Index.NumTerms() {
+			t.Fatalf("nondeterministic vocabulary for %s", d1.Name)
+		}
+	}
+}
+
+func TestSiblingDatabasesShareTopicalVocabulary(t *testing.T) {
+	// The premise of shrinkage: databases under the same category have
+	// overlapping vocabularies; unrelated databases overlap much less
+	// (only through the global vocabulary).
+	g := smallGen(t, 8)
+	tree := g.Tree()
+	heart, _ := tree.Lookup("Heart")
+	soccer, _ := tree.Lookup("Soccer")
+	mk := func(cat hierarchy.NodeID, stream int64) *Database {
+		rng := subRNG(99, stream)
+		db, err := buildDatabase(g, "db", cat, 150, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+	a, b, c := mk(heart, 1), mk(heart, 2), mk(soccer, 3)
+	overlap := func(x, y *Database) float64 {
+		var both, xOnly int
+		x.Index.ForEachTerm(func(term string, df int, tf int64) {
+			if y.Index.DocFreq(term) > 0 {
+				both++
+			} else {
+				xOnly++
+			}
+		})
+		return float64(both) / float64(both+xOnly)
+	}
+	sib := overlap(a, b)
+	far := overlap(a, c)
+	if sib <= far {
+		t.Errorf("sibling overlap %v should exceed cross-topic overlap %v", sib, far)
+	}
+}
+
+func TestBuildTRECStyleShape(t *testing.T) {
+	g := smallGen(t, 10)
+	bed, err := BuildTRECStyle(g, TRECConfig{
+		Name: "TREC-mini", PoolDocs: 600, Databases: 6, Seed: 11,
+		ClusterFeatures: 300, ClusterIters: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bed.Name != "TREC-mini" {
+		t.Errorf("name = %s", bed.Name)
+	}
+	if len(bed.Databases) == 0 || len(bed.Databases) > 6 {
+		t.Fatalf("databases = %d", len(bed.Databases))
+	}
+	if got := bed.TotalDocs(); got != 600 {
+		t.Errorf("total docs = %d, want 600", got)
+	}
+	for _, db := range bed.Databases {
+		if db.Size() == 0 {
+			t.Errorf("empty database %s survived", db.Name)
+		}
+	}
+}
+
+func TestBuildTRECClustersAreTopical(t *testing.T) {
+	// Clusters should be topically purer than random assignment: most
+	// databases should have a clear dominant topic among their docs.
+	// We check this indirectly: sibling leaf vocabularies should be
+	// concentrated, i.e., for most databases one leaf's vocabulary
+	// dominates topical terms.
+	g := smallGen(t, 12)
+	bed, err := BuildTRECStyle(g, TRECConfig{
+		Name: "T", PoolDocs: 800, Databases: 4, Seed: 13,
+		ClusterFeatures: 400, ClusterIters: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cats := map[hierarchy.NodeID]bool{}
+	for _, db := range bed.Databases {
+		cats[db.Category] = true
+	}
+	if len(cats) < 2 {
+		t.Errorf("all clusters share one dominant category; clustering looks degenerate")
+	}
+}
+
+func TestGenQueriesShape(t *testing.T) {
+	g := smallGen(t, 14)
+	bed, err := BuildWeb(g, WebConfig{PerLeaf: 2, Extra: 0, MinSize: 80, MaxSize: 200, Seed: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := QuerySpec{Count: 12, MinLen: 3, MaxLen: 7, KeyRankLo: 5, KeyRankHi: 120, MinRelevant: 3, Seed: 16}
+	if err := GenQueries(bed, spec); err != nil {
+		t.Fatal(err)
+	}
+	if len(bed.Queries) != 12 {
+		t.Fatalf("queries = %d", len(bed.Queries))
+	}
+	for _, q := range bed.Queries {
+		if len(q.Terms) < 3 || len(q.Terms) > 7 {
+			t.Errorf("query %d length %d outside [3,7]", q.ID, len(q.Terms))
+		}
+		if len(q.Key) < 2 || len(q.Key) > 4 {
+			t.Errorf("query %d has %d key terms", q.ID, len(q.Key))
+		}
+		// Key terms are part of the query.
+		inQuery := map[string]bool{}
+		for _, w := range q.Terms {
+			if inQuery[w] {
+				t.Errorf("query %d has duplicate term %s", q.ID, w)
+			}
+			inQuery[w] = true
+		}
+		for _, k := range q.Key {
+			if !inQuery[k] {
+				t.Errorf("query %d key term %s not in query", q.ID, k)
+			}
+		}
+		// Relevance judgments exist.
+		var rel int
+		for _, db := range bed.Databases {
+			rel += q.RelevantIn(db)
+		}
+		if rel < 3 {
+			t.Errorf("query %d has %d relevant docs, want >= 3", q.ID, rel)
+		}
+	}
+}
+
+func TestTRECQuerySpecs(t *testing.T) {
+	q4 := TREC4QuerySpec(1)
+	if q4.MinLen != 8 || q4.MaxLen != 34 {
+		t.Errorf("TREC4 spec = %+v", q4)
+	}
+	q6 := TREC6QuerySpec(1)
+	if q6.MinLen != 2 || q6.MaxLen != 5 {
+		t.Errorf("TREC6 spec = %+v", q6)
+	}
+}
+
+func TestSubSeedIndependence(t *testing.T) {
+	seen := map[int64]bool{}
+	for i := int64(0); i < 1000; i++ {
+		s := subSeed(42, i)
+		if seen[s] {
+			t.Fatalf("subSeed collision at stream %d", i)
+		}
+		seen[s] = true
+	}
+	if subSeed(42, 1, 2) == subSeed(42, 2, 1) {
+		t.Error("subSeed should be order-sensitive")
+	}
+}
+
+func TestVocabularyBasics(t *testing.T) {
+	v, err := NewVocabulary("w", 100, 1.0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != 100 || v.Word(0) != "w0" || v.Word(99) != "w99" {
+		t.Error("vocabulary words malformed")
+	}
+	if v.Prob(0) <= v.Prob(50) {
+		t.Error("rank-0 word should be most probable")
+	}
+	if _, err := NewVocabulary("w", 0, 1, 0); err == nil {
+		t.Error("empty vocabulary accepted")
+	}
+}
+
+func BenchmarkGenDoc(b *testing.B) {
+	g := smallGen(b, 20)
+	tree := g.Tree()
+	heart, _ := tree.Lookup("Heart")
+	rng := rand.New(rand.NewSource(1))
+	src := g.NewDocSource(heart, nil, rng)
+	var buf []string
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = src.GenDoc(rng, buf)
+	}
+}
+
+func TestWordJitterDifferentiatesSiblings(t *testing.T) {
+	// Two databases under the same category must disagree materially on
+	// per-word prevalence (the heterogeneity shrinkage exploits), while
+	// zero jitter makes them near-identical.
+	build := func(jitter float64, stream int64) map[string]float64 {
+		g, err := NewGenerator(Config{
+			Tree: smallTree(), Seed: 55,
+			GlobalVocabSize: 800, CategoryVocabBase: 500,
+			WordJitterSigma: jitter,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		heart, _ := g.Tree().Lookup("Heart")
+		rng := subRNG(100, stream)
+		src := g.NewDocSource(heart, nil, rng)
+		counts := map[string]float64{}
+		var buf []string
+		for i := 0; i < 400; i++ {
+			buf = src.GenDoc(rng, buf)
+			seen := map[string]bool{}
+			for _, w := range buf {
+				if !seen[w] {
+					seen[w] = true
+					counts[w]++
+				}
+			}
+		}
+		return counts
+	}
+	divergence := func(jitter float64) float64 {
+		a := build(jitter, 1)
+		b := build(jitter, 2)
+		var d, n float64
+		for w, ca := range a {
+			if ca < 20 {
+				continue // compare reasonably observed words only
+			}
+			cb := b[w]
+			d += math.Abs(ca-cb) / (ca + cb + 1)
+			n++
+		}
+		return d / n
+	}
+	low := divergence(-1) // disabled
+	high := divergence(1.2)
+	if high <= low {
+		t.Errorf("word jitter did not differentiate siblings: low %v, high %v", low, high)
+	}
+}
+
+func TestQueryFillersAreMostlyGeneric(t *testing.T) {
+	// Filler words should skew toward the global vocabulary (generic
+	// query verbiage); the topical signal is carried by the key terms.
+	g := smallGen(t, 77)
+	bed, err := BuildWeb(g, WebConfig{PerLeaf: 2, Extra: 0, MinSize: 100, MaxSize: 250, Seed: 78})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := QuerySpec{Count: 10, MinLen: 10, MaxLen: 20, KeyRankLo: 5, KeyRankHi: 120, MinRelevant: 3, Seed: 79}
+	if err := GenQueries(bed, spec); err != nil {
+		t.Fatal(err)
+	}
+	var global, other int
+	for _, q := range bed.Queries {
+		key := map[string]bool{}
+		for _, k := range q.Key {
+			key[k] = true
+		}
+		for _, w := range q.Terms {
+			if key[w] {
+				continue
+			}
+			if w[0] == 'g' {
+				global++
+			} else {
+				other++
+			}
+		}
+	}
+	// Half the filler draws target the global vocabulary; allow
+	// sampling noise but catch a regression to mostly-topical fillers
+	// (which would let selection algorithms route queries without the
+	// key terms, hiding the incomplete-summary problem).
+	frac := float64(global) / float64(global+other)
+	if frac < 0.3 {
+		t.Errorf("fillers: %d global vs %d topical (%.0f%%); want a substantial generic share",
+			global, other, 100*frac)
+	}
+}

@@ -1,0 +1,182 @@
+// Package synth generates the evaluation testbeds that stand in for the
+// paper's data sets (Section 5.1): a "Web" testbed of 315 databases
+// classified under a 72-node topic hierarchy, and TREC4/TREC6-style
+// testbeds of 100 topically clustered databases each, together with
+// query workloads and exact relevance judgments.
+//
+// The generative model is built so that the phenomena the paper exploits
+// hold by construction:
+//
+//   - Word frequencies within every vocabulary follow a Zipf-Mandelbrot
+//     law, so any moderate document sample misses many low-frequency
+//     words (the sparse-data problem of Section 2.2).
+//   - A document from a database classified under category C mixes words
+//     from a global vocabulary, the vocabularies of every ancestor of C,
+//     C's own vocabulary, and a database-private vocabulary. Sibling
+//     databases therefore share topical vocabulary (the premise of
+//     shrinkage, Section 3.1) while still containing words no other
+//     database has (which is what makes shrinkage imprecise, Section 6.1).
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/zipf"
+)
+
+// Vocabulary is an ordered word list with a Zipf-Mandelbrot sampler
+// over its ranks: Word(0) is the most probable word.
+type Vocabulary struct {
+	words   []string
+	sampler *zipf.Sampler
+}
+
+// NewVocabulary creates n words named prefix0..prefix{n-1} distributed
+// with Zipf-Mandelbrot exponent s and shift c.
+func NewVocabulary(prefix string, n int, s, c float64) (*Vocabulary, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("synth: vocabulary %q must have at least one word", prefix)
+	}
+	sampler, err := zipf.NewSampler(n, s, c)
+	if err != nil {
+		return nil, err
+	}
+	words := make([]string, n)
+	for i := range words {
+		words[i] = fmt.Sprintf("%s%d", prefix, i)
+	}
+	return &Vocabulary{words: words, sampler: sampler}, nil
+}
+
+// Len returns the number of words.
+func (v *Vocabulary) Len() int { return len(v.words) }
+
+// Word returns the word at rank r (0-based, most frequent first).
+func (v *Vocabulary) Word(r int) string { return v.words[r] }
+
+// Sample draws one word according to the vocabulary's distribution.
+func (v *Vocabulary) Sample(rng *rand.Rand) string {
+	return v.words[v.sampler.Sample(rng)]
+}
+
+// Prob returns the probability of drawing the word at rank r.
+func (v *Vocabulary) Prob(r int) float64 { return v.sampler.Prob(r) }
+
+// distribution is a categorical distribution over a vocabulary's
+// words: either the vocabulary's base Zipf-Mandelbrot law (nil cdf) or
+// a database-specific jittered version of it.
+type distribution struct {
+	vocab *Vocabulary
+	cdf   []float64
+}
+
+// sample draws one word.
+func (d *distribution) sample(rng *rand.Rand) string {
+	if d.cdf == nil {
+		return d.vocab.Sample(rng)
+	}
+	u := rng.Float64()
+	i := sort.SearchFloat64s(d.cdf, u)
+	if i >= len(d.cdf) {
+		i = len(d.cdf) - 1
+	}
+	return d.vocab.Word(i)
+}
+
+// base returns the unjittered distribution of a vocabulary.
+func (v *Vocabulary) base() *distribution { return &distribution{vocab: v} }
+
+// jittered returns a copy of the vocabulary's distribution with each
+// word's probability multiplied by an independent lognormal factor
+// exp(sigma·N(0,1)) and renormalized. This produces the per-source
+// word-prevalence differences that make topically related databases
+// complement (rather than duplicate) each other.
+func (v *Vocabulary) jittered(rng *rand.Rand, sigma float64) *distribution {
+	if sigma <= 0 {
+		return v.base()
+	}
+	cdf := make([]float64, v.Len())
+	var sum float64
+	for r := 0; r < v.Len(); r++ {
+		sum += v.Prob(r) * math.Exp(sigma*rng.NormFloat64())
+		cdf[r] = sum
+	}
+	if sum <= 0 {
+		return v.base()
+	}
+	inv := 1 / sum
+	for i := range cdf {
+		cdf[i] *= inv
+	}
+	cdf[len(cdf)-1] = 1
+	return &distribution{vocab: v, cdf: cdf}
+}
+
+// component pairs a word distribution with a mixture weight.
+type component struct {
+	dist   *distribution
+	weight float64
+}
+
+// mixture is a normalized set of components with cumulative weights for
+// O(log n)-free selection (n is tiny, linear scan is fine).
+type mixture struct {
+	comps []component
+}
+
+func newMixture(comps []component) mixture {
+	var total float64
+	for _, c := range comps {
+		total += c.weight
+	}
+	out := make([]component, len(comps))
+	copy(out, comps)
+	if total > 0 {
+		for i := range out {
+			out[i].weight /= total
+		}
+	}
+	return mixture{comps: out}
+}
+
+// sample draws a word: first a component by weight, then a word from it.
+func (m mixture) sample(rng *rand.Rand) string {
+	u := rng.Float64()
+	for _, c := range m.comps {
+		if u < c.weight {
+			return c.dist.sample(rng)
+		}
+		u -= c.weight
+	}
+	return m.comps[len(m.comps)-1].dist.sample(rng)
+}
+
+// subSeed derives a deterministic child seed from a parent seed and a
+// stream of identifiers, via a splitmix64-style mix. It lets every
+// database, document batch, and sampling run get an independent,
+// reproducible RNG.
+func subSeed(seed int64, stream ...int64) int64 {
+	z := uint64(seed) ^ 0x9e3779b97f4a7c15
+	for _, s := range stream {
+		z ^= uint64(s) + 0x9e3779b97f4a7c15 + (z << 6) + (z >> 2)
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+	}
+	return int64(z)
+}
+
+// subRNG returns a rand.Rand seeded from subSeed.
+func subRNG(seed int64, stream ...int64) *rand.Rand {
+	return rand.New(rand.NewSource(subSeed(seed, stream...)))
+}
+
+// SubSeed derives a deterministic child seed; exported for callers that
+// need reproducible per-entity randomness (experiment drivers).
+func SubSeed(seed int64, stream ...int64) int64 { return subSeed(seed, stream...) }
+
+// SubRNG returns a rand.Rand seeded with SubSeed.
+func SubRNG(seed int64, stream ...int64) *rand.Rand { return subRNG(seed, stream...) }

@@ -1,0 +1,57 @@
+package textproc
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+)
+
+func FuzzStem(f *testing.F) {
+	for _, seed := range []string{
+		"", "a", "running", "caresses", "hypertension", "flies", "agreed",
+		"ll", "sses", "eed", "ing", "ational", "zzzz", "bbbbbbbb",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		out := Stem(s) // must not panic
+		if len(out) > len(s)+1 {
+			t.Errorf("Stem(%q) grew to %q", s, out)
+		}
+		// Pure a-z inputs must stay pure a-z.
+		pure := true
+		for i := 0; i < len(s); i++ {
+			if s[i] < 'a' || s[i] > 'z' {
+				pure = false
+				break
+			}
+		}
+		if pure && len(s) > 2 {
+			for i := 0; i < len(out); i++ {
+				if out[i] < 'a' || out[i] > 'z' {
+					t.Errorf("Stem(%q) = %q contains non a-z", s, out)
+				}
+			}
+		}
+	})
+}
+
+func FuzzTokenize(f *testing.F) {
+	for _, seed := range []string{
+		"", "hello world", "a,b;c", "naïve café", "x86_64!", strings.Repeat("a", 100),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		for _, tok := range Tokenize(s) {
+			if tok == "" {
+				t.Error("empty token")
+			}
+			for _, r := range tok {
+				if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+					t.Errorf("token %q contains separator rune %q", tok, r)
+				}
+			}
+		}
+	})
+}

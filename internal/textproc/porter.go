@@ -1,0 +1,383 @@
+package textproc
+
+// Porter stemmer (M.F. Porter, "An algorithm for suffix stripping",
+// Program 14(3), 1980). This is a complete implementation of the
+// original five-step algorithm, operating on lowercase ASCII words.
+// Words containing non a-z bytes are returned unchanged.
+
+// Stem returns the Porter stem of a lowercase word.
+func Stem(word string) string {
+	if len(word) <= 2 {
+		return word
+	}
+	for i := 0; i < len(word); i++ {
+		if word[i] < 'a' || word[i] > 'z' {
+			return word
+		}
+	}
+	s := &stemState{b: []byte(word)}
+	s.step1a()
+	s.step1b()
+	s.step1c()
+	s.step2()
+	s.step3()
+	s.step4()
+	s.step5a()
+	s.step5b()
+	return string(s.b)
+}
+
+type stemState struct {
+	b []byte
+	// j marks the end of the stem during condition evaluation.
+	j int
+}
+
+// isConsonant reports whether b[i] is a consonant per Porter's definition:
+// a letter other than a,e,i,o,u, and 'y' when preceded by... (y is a
+// consonant when it is the first letter or follows a vowel; a vowel when
+// it follows a consonant).
+func (s *stemState) isConsonant(i int) bool {
+	switch s.b[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !s.isConsonant(i - 1)
+	}
+	return true
+}
+
+// measure computes m, the number of VC sequences in b[0..j].
+func (s *stemState) measure() int {
+	n, i := 0, 0
+	for {
+		if i > s.j {
+			return n
+		}
+		if !s.isConsonant(i) {
+			break
+		}
+		i++
+	}
+	i++
+	for {
+		for {
+			if i > s.j {
+				return n
+			}
+			if s.isConsonant(i) {
+				break
+			}
+			i++
+		}
+		i++
+		n++
+		for {
+			if i > s.j {
+				return n
+			}
+			if !s.isConsonant(i) {
+				break
+			}
+			i++
+		}
+		i++
+	}
+}
+
+// vowelInStem reports whether b[0..j] contains a vowel.
+func (s *stemState) vowelInStem() bool {
+	for i := 0; i <= s.j; i++ {
+		if !s.isConsonant(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// doubleConsonant reports whether b[i-1..i] is a double consonant.
+func (s *stemState) doubleConsonant(i int) bool {
+	if i < 1 {
+		return false
+	}
+	if s.b[i] != s.b[i-1] {
+		return false
+	}
+	return s.isConsonant(i)
+}
+
+// cvc reports whether b[i-2..i] is consonant-vowel-consonant and the
+// second consonant is not w, x or y. Used to restore a trailing 'e'.
+func (s *stemState) cvc(i int) bool {
+	if i < 2 || !s.isConsonant(i) || s.isConsonant(i-1) || !s.isConsonant(i-2) {
+		return false
+	}
+	switch s.b[i] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+// ends reports whether b ends with suffix; if so it sets j to the last
+// index of the stem preceding the suffix.
+func (s *stemState) ends(suffix string) bool {
+	n := len(s.b)
+	l := len(suffix)
+	if l > n {
+		return false
+	}
+	if string(s.b[n-l:]) != suffix {
+		return false
+	}
+	s.j = n - l - 1
+	return true
+}
+
+// setTo replaces the current suffix (everything after j) with repl.
+func (s *stemState) setTo(repl string) {
+	s.b = append(s.b[:s.j+1], repl...)
+}
+
+// replace applies setTo when the measure of the stem is positive.
+func (s *stemState) replace(repl string) {
+	if s.measure() > 0 {
+		s.setTo(repl)
+	}
+}
+
+// step1a handles plurals: sses -> ss, ies -> i, ss -> ss, s -> "".
+func (s *stemState) step1a() {
+	if s.b[len(s.b)-1] != 's' {
+		return
+	}
+	switch {
+	case s.ends("sses"):
+		s.b = s.b[:len(s.b)-2]
+	case s.ends("ies"):
+		s.setTo("i")
+	case len(s.b) >= 2 && s.b[len(s.b)-2] != 's':
+		s.b = s.b[:len(s.b)-1]
+	}
+}
+
+// step1b handles past tenses and gerunds: eed, ed, ing.
+func (s *stemState) step1b() {
+	if s.ends("eed") {
+		if s.measure() > 0 {
+			s.b = s.b[:len(s.b)-1]
+		}
+		return
+	}
+	if (s.ends("ed") || s.ends("ing")) && s.vowelInStem() {
+		s.b = s.b[:s.j+1]
+		switch {
+		case s.ends("at"):
+			s.setTo("ate")
+		case s.ends("bl"):
+			s.setTo("ble")
+		case s.ends("iz"):
+			s.setTo("ize")
+		case s.doubleConsonant(len(s.b) - 1):
+			last := s.b[len(s.b)-1]
+			if last != 'l' && last != 's' && last != 'z' {
+				s.b = s.b[:len(s.b)-1]
+			}
+		default:
+			s.j = len(s.b) - 1
+			if s.measure() == 1 && s.cvc(len(s.b)-1) {
+				s.b = append(s.b, 'e')
+			}
+		}
+	}
+}
+
+// step1c turns terminal y to i when there is a vowel in the stem.
+func (s *stemState) step1c() {
+	if s.ends("y") && s.vowelInStem() {
+		s.b[len(s.b)-1] = 'i'
+	}
+}
+
+// step2 maps double suffixes to single ones when m > 0.
+func (s *stemState) step2() {
+	if len(s.b) < 3 {
+		return
+	}
+	switch s.b[len(s.b)-2] {
+	case 'a':
+		if s.ends("ational") {
+			s.replace("ate")
+		} else if s.ends("tional") {
+			s.replace("tion")
+		}
+	case 'c':
+		if s.ends("enci") {
+			s.replace("ence")
+		} else if s.ends("anci") {
+			s.replace("ance")
+		}
+	case 'e':
+		if s.ends("izer") {
+			s.replace("ize")
+		}
+	case 'l':
+		if s.ends("bli") {
+			s.replace("ble")
+		} else if s.ends("alli") {
+			s.replace("al")
+		} else if s.ends("entli") {
+			s.replace("ent")
+		} else if s.ends("eli") {
+			s.replace("e")
+		} else if s.ends("ousli") {
+			s.replace("ous")
+		}
+	case 'o':
+		if s.ends("ization") {
+			s.replace("ize")
+		} else if s.ends("ation") {
+			s.replace("ate")
+		} else if s.ends("ator") {
+			s.replace("ate")
+		}
+	case 's':
+		if s.ends("alism") {
+			s.replace("al")
+		} else if s.ends("iveness") {
+			s.replace("ive")
+		} else if s.ends("fulness") {
+			s.replace("ful")
+		} else if s.ends("ousness") {
+			s.replace("ous")
+		}
+	case 't':
+		if s.ends("aliti") {
+			s.replace("al")
+		} else if s.ends("iviti") {
+			s.replace("ive")
+		} else if s.ends("biliti") {
+			s.replace("ble")
+		}
+	case 'g':
+		if s.ends("logi") {
+			s.replace("log")
+		}
+	}
+}
+
+// step3 deals with -ic-, -full, -ness etc.
+func (s *stemState) step3() {
+	switch s.b[len(s.b)-1] {
+	case 'e':
+		if s.ends("icate") {
+			s.replace("ic")
+		} else if s.ends("ative") {
+			s.replace("")
+		} else if s.ends("alize") {
+			s.replace("al")
+		}
+	case 'i':
+		if s.ends("iciti") {
+			s.replace("ic")
+		}
+	case 'l':
+		if s.ends("ical") {
+			s.replace("ic")
+		} else if s.ends("ful") {
+			s.replace("")
+		}
+	case 's':
+		if s.ends("ness") {
+			s.replace("")
+		}
+	}
+}
+
+// step4 removes -ant, -ence etc. when m > 1.
+func (s *stemState) step4() {
+	if len(s.b) < 2 {
+		return
+	}
+	switch s.b[len(s.b)-2] {
+	case 'a':
+		if !s.ends("al") {
+			return
+		}
+	case 'c':
+		if !s.ends("ance") && !s.ends("ence") {
+			return
+		}
+	case 'e':
+		if !s.ends("er") {
+			return
+		}
+	case 'i':
+		if !s.ends("ic") {
+			return
+		}
+	case 'l':
+		if !s.ends("able") && !s.ends("ible") {
+			return
+		}
+	case 'n':
+		if !s.ends("ant") && !s.ends("ement") && !s.ends("ment") && !s.ends("ent") {
+			return
+		}
+	case 'o':
+		if s.ends("ion") {
+			if s.j < 0 || (s.b[s.j] != 's' && s.b[s.j] != 't') {
+				return
+			}
+		} else if !s.ends("ou") {
+			return
+		}
+	case 's':
+		if !s.ends("ism") {
+			return
+		}
+	case 't':
+		if !s.ends("ate") && !s.ends("iti") {
+			return
+		}
+	case 'u':
+		if !s.ends("ous") {
+			return
+		}
+	case 'v':
+		if !s.ends("ive") {
+			return
+		}
+	case 'z':
+		if !s.ends("ize") {
+			return
+		}
+	default:
+		return
+	}
+	if s.measure() > 1 {
+		s.b = s.b[:s.j+1]
+	}
+}
+
+// step5a removes a final -e when m > 1 (or m == 1 and not cvc).
+func (s *stemState) step5a() {
+	s.j = len(s.b) - 1
+	if s.b[len(s.b)-1] == 'e' {
+		m := s.measure()
+		if m > 1 || (m == 1 && !s.cvc(len(s.b)-2)) {
+			s.b = s.b[:len(s.b)-1]
+		}
+	}
+}
+
+// step5b maps -ll to -l when m > 1.
+func (s *stemState) step5b() {
+	s.j = len(s.b) - 1
+	if s.b[len(s.b)-1] == 'l' && s.doubleConsonant(len(s.b)-1) && s.measure() > 1 {
+		s.b = s.b[:len(s.b)-1]
+	}
+}

@@ -1,0 +1,154 @@
+package textproc
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Vectors from Porter's original paper and the canonical reference
+// implementation's test data.
+var porterVectors = map[string]string{
+	"caresses":       "caress",
+	"ponies":         "poni",
+	"ties":           "ti",
+	"caress":         "caress",
+	"cats":           "cat",
+	"feed":           "feed",
+	"agreed":         "agre",
+	"plastered":      "plaster",
+	"bled":           "bled",
+	"motoring":       "motor",
+	"sing":           "sing",
+	"conflated":      "conflat",
+	"troubled":       "troubl",
+	"sized":          "size",
+	"hopping":        "hop",
+	"tanned":         "tan",
+	"falling":        "fall",
+	"hissing":        "hiss",
+	"fizzed":         "fizz",
+	"failing":        "fail",
+	"filing":         "file",
+	"happy":          "happi",
+	"sky":            "sky",
+	"relational":     "relat",
+	"conditional":    "condit",
+	"rational":       "ration",
+	"valenci":        "valenc",
+	"digitizer":      "digit",
+	"conformabli":    "conform",
+	"radicalli":      "radic",
+	"differentli":    "differ",
+	"vileli":         "vile",
+	"analogousli":    "analog",
+	"vietnamization": "vietnam",
+	"predication":    "predic",
+	"operator":       "oper",
+	"feudalism":      "feudal",
+	"decisiveness":   "decis",
+	"hopefulness":    "hope",
+	"callousness":    "callous",
+	"formaliti":      "formal",
+	"sensitiviti":    "sensit",
+	"sensibiliti":    "sensibl",
+	"triplicate":     "triplic",
+	"formative":      "form",
+	"formalize":      "formal",
+	"electriciti":    "electr",
+	"electrical":     "electr",
+	"hopeful":        "hope",
+	"goodness":       "good",
+	"revival":        "reviv",
+	"allowance":      "allow",
+	"inference":      "infer",
+	"airliner":       "airlin",
+	"gyroscopic":     "gyroscop",
+	"adjustable":     "adjust",
+	"defensible":     "defens",
+	"irritant":       "irrit",
+	"replacement":    "replac",
+	"adjustment":     "adjust",
+	"dependent":      "depend",
+	"adoption":       "adopt",
+	"homologou":      "homolog",
+	"communism":      "commun",
+	"activate":       "activ",
+	"angulariti":     "angular",
+	"homologous":     "homolog",
+	"effective":      "effect",
+	"bowdlerize":     "bowdler",
+	"probate":        "probat",
+	"rate":           "rate",
+	"cease":          "ceas",
+	"controll":       "control",
+	"roll":           "roll",
+	"computers":      "comput",
+	"computing":      "comput",
+	"computation":    "comput",
+	"hypertension":   "hypertens",
+	"databases":      "databas",
+	"selection":      "select",
+	"shrinkage":      "shrinkag",
+}
+
+func TestStemVectors(t *testing.T) {
+	for in, want := range porterVectors {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemShortWords(t *testing.T) {
+	for _, w := range []string{"", "a", "is", "be", "ox"} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want unchanged", w, got)
+		}
+	}
+}
+
+func TestStemNonAlpha(t *testing.T) {
+	for _, w := range []string{"abc123", "foo-bar", "héllo", "x86", "running2"} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want unchanged (non a-z input)", w, got)
+		}
+	}
+}
+
+func TestStemIdempotentOnCommonWords(t *testing.T) {
+	// Stemming a stem should usually change nothing further for these
+	// representative words. (Porter is not idempotent in general; these
+	// vectors are chosen from fixed points.)
+	for _, w := range []string{"comput", "select", "hyperten", "motor", "cat"} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, expected fixed point", w, got)
+		}
+	}
+}
+
+func TestStemNeverPanicsAndShrinks(t *testing.T) {
+	f := func(s string) bool {
+		out := Stem(strings.ToLower(s))
+		return len(out) <= len(s)+1 // step1b may append an 'e'
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStemMatchesQueryToDocument(t *testing.T) {
+	// The paper's motivation for stemming: query [computers] should
+	// match documents containing "computing".
+	if Stem("computers") != Stem("computing") {
+		t.Errorf("computers and computing should share a stem")
+	}
+}
+
+func BenchmarkStem(b *testing.B) {
+	words := []string{"relational", "computers", "hypertension", "adjustment", "cats"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Stem(words[i%len(words)])
+	}
+}

@@ -1,0 +1,64 @@
+package textproc
+
+// stopwordList is a compact English stopword list in the spirit of the
+// SMART system's list used by classical IR engines. It covers function
+// words, auxiliaries, and other terms that carry no topical signal for
+// database selection.
+var stopwordList = []string{
+	"a", "about", "above", "after", "again", "against", "all", "almost",
+	"alone", "along", "already", "also", "although", "always", "am",
+	"among", "an", "and", "another", "any", "anybody", "anyone",
+	"anything", "anywhere", "are", "aren", "around", "as", "at", "back",
+	"be", "became", "because", "become", "becomes", "been", "before",
+	"behind", "being", "below", "between", "beyond", "both", "but", "by",
+	"came", "can", "cannot", "come", "could", "did", "do", "does",
+	"doing", "done", "down", "during", "each", "either", "else",
+	"enough", "even", "ever", "every", "everybody", "everyone",
+	"everything", "everywhere", "few", "find", "first", "for", "four",
+	"from", "full", "further", "get", "give", "go", "had", "has", "have",
+	"having", "he", "her", "here", "herself", "him", "himself", "his",
+	"how", "however", "i", "if", "in", "indeed", "instead", "into", "is",
+	"isn", "it", "its", "itself", "just", "keep", "last", "least",
+	"less", "let", "like", "likely", "made", "many", "may", "me",
+	"might", "mine", "more", "most", "mostly", "much", "must", "my",
+	"myself", "neither", "never", "nevertheless", "next", "no", "nobody",
+	"none", "nor", "not", "nothing", "now", "nowhere", "of", "off",
+	"often", "on", "once", "one", "only", "onto", "or", "other",
+	"others", "otherwise", "our", "ours", "ourselves", "out", "over",
+	"own", "part", "per", "perhaps", "put", "rather", "same", "see",
+	"seem", "seemed", "seeming", "seems", "several", "she", "should",
+	"since", "so", "some", "somebody", "someone", "something",
+	"sometime", "sometimes", "somewhere", "still", "such", "take",
+	"than", "that", "the", "their", "theirs", "them", "themselves",
+	"then", "there", "therefore", "these", "they", "this", "those",
+	"though", "three", "through", "throughout", "thru", "thus", "to",
+	"together", "too", "toward", "towards", "two", "under", "until",
+	"up", "upon", "us", "used", "using", "very", "was", "we", "well",
+	"were", "what", "whatever", "when", "whenever", "where", "wherever",
+	"whether", "which", "while", "who", "whoever", "whole", "whom",
+	"whose", "why", "will", "with", "within", "without", "would", "yet",
+	"you", "your", "yours", "yourself", "yourselves",
+}
+
+var stopwords = func() map[string]struct{} {
+	m := make(map[string]struct{}, len(stopwordList))
+	for _, w := range stopwordList {
+		m[w] = struct{}{}
+	}
+	return m
+}()
+
+// IsStopword reports whether the (lowercase) token is on the stopword list.
+func IsStopword(w string) bool {
+	_, ok := stopwords[w]
+	return ok
+}
+
+// Stopwords returns a copy of the stopword list, for callers (such as the
+// synthetic corpus generator) that need to seed documents with realistic
+// function words.
+func Stopwords() []string {
+	out := make([]string, len(stopwordList))
+	copy(out, stopwordList)
+	return out
+}

@@ -1,0 +1,96 @@
+// Package textproc provides the text-processing substrate used throughout
+// the system: tokenization, stopword removal, and Porter stemming.
+//
+// The paper's evaluation pipeline (Section 5) indexes documents with
+// Jakarta Lucene after stripping markup, eliminates stopwords, and stems
+// both document and query words ("so that a query [computers] matches
+// documents with word 'computing'"). This package reproduces that
+// pipeline with a stdlib-only implementation.
+package textproc
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits raw text into lowercase word tokens. A token is a
+// maximal run of letters or digits; anything else is a separator.
+// Tokens longer than MaxTokenLen runes are truncated (defensive against
+// pathological inputs such as base64 blobs in crawled pages).
+func Tokenize(text string) []string {
+	tokens := make([]string, 0, len(text)/6)
+	start := -1
+	for i, r := range text {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			tokens = append(tokens, normalizeToken(text[start:i]))
+			start = -1
+		}
+	}
+	if start >= 0 {
+		tokens = append(tokens, normalizeToken(text[start:]))
+	}
+	return tokens
+}
+
+// MaxTokenLen bounds the rune length of a single token.
+const MaxTokenLen = 64
+
+func normalizeToken(tok string) string {
+	tok = strings.ToLower(tok)
+	if len(tok) > MaxTokenLen {
+		// Truncate on a rune boundary.
+		n := 0
+		for i := range tok {
+			n++
+			if n > MaxTokenLen {
+				return tok[:i]
+			}
+		}
+	}
+	return tok
+}
+
+// Options configures the full analysis pipeline.
+type Options struct {
+	// RemoveStopwords drops tokens found in the stopword list.
+	RemoveStopwords bool
+	// Stem applies the Porter stemmer to each surviving token.
+	Stem bool
+	// MinLength drops tokens shorter than this many bytes (after
+	// stemming). Zero means no minimum.
+	MinLength int
+}
+
+// DefaultOptions mirror the configuration the paper reports results for:
+// stopword elimination and stemming enabled.
+var DefaultOptions = Options{RemoveStopwords: true, Stem: true, MinLength: 2}
+
+// Analyze runs the full pipeline — tokenize, stop, stem — over raw text.
+func Analyze(text string, opt Options) []string {
+	return Filter(Tokenize(text), opt)
+}
+
+// Filter applies stopword removal and stemming to pre-tokenized input.
+// The input slice is not modified.
+func Filter(tokens []string, opt Options) []string {
+	out := make([]string, 0, len(tokens))
+	for _, t := range tokens {
+		if opt.RemoveStopwords && IsStopword(t) {
+			continue
+		}
+		if opt.Stem {
+			t = Stem(t)
+		}
+		if len(t) < opt.MinLength {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package textproc
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenizeBasic(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []string
+	}{
+		{"Hello, World!", []string{"hello", "world"}},
+		{"blood-pressure & hypertension", []string{"blood", "pressure", "hypertension"}},
+		{"", nil},
+		{"   \t\n ", nil},
+		{"x", []string{"x"}},
+		{"TREC-4 queries 201-250", []string{"trec", "4", "queries", "201", "250"}},
+		{"p(w|D)=0.05", []string{"p", "w", "d", "0", "05"}},
+	}
+	for _, tc := range tests {
+		got := Tokenize(tc.in)
+		if len(got) == 0 && len(tc.want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestTokenizeUnicode(t *testing.T) {
+	got := Tokenize("naïve café — résumé")
+	want := []string{"naïve", "café", "résumé"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Tokenize unicode = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeTruncatesLongTokens(t *testing.T) {
+	long := strings.Repeat("a", 500)
+	got := Tokenize(long)
+	if len(got) != 1 || len(got[0]) != MaxTokenLen {
+		t.Errorf("long token not truncated to %d: got len %d", MaxTokenLen, len(got[0]))
+	}
+}
+
+func TestTokenizeAllLowercase(t *testing.T) {
+	f := func(s string) bool {
+		for _, tok := range Tokenize(s) {
+			if tok != strings.ToLower(tok) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenizeNoSeparatorsInTokens(t *testing.T) {
+	f := func(s string) bool {
+		for _, tok := range Tokenize(s) {
+			if tok == "" || strings.ContainsAny(tok, " \t\n.,;!?") {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsStopword(t *testing.T) {
+	for _, w := range []string{"the", "and", "of", "is", "a"} {
+		if !IsStopword(w) {
+			t.Errorf("IsStopword(%q) = false, want true", w)
+		}
+	}
+	for _, w := range []string{"hypertension", "database", "algorithm", ""} {
+		if IsStopword(w) {
+			t.Errorf("IsStopword(%q) = true, want false", w)
+		}
+	}
+}
+
+func TestStopwordsReturnsCopy(t *testing.T) {
+	a := Stopwords()
+	a[0] = "MUTATED"
+	b := Stopwords()
+	if b[0] == "MUTATED" {
+		t.Error("Stopwords() exposes internal slice")
+	}
+}
+
+func TestAnalyzePipeline(t *testing.T) {
+	got := Analyze("The patients were computing their blood pressures.", DefaultOptions)
+	want := []string{"patient", "comput", "blood", "pressur"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Analyze = %v, want %v", got, want)
+	}
+}
+
+func TestFilterOptions(t *testing.T) {
+	toks := []string{"the", "computing", "of", "ab", "a"}
+
+	noStem := Filter(toks, Options{RemoveStopwords: true, Stem: false, MinLength: 0})
+	if !reflect.DeepEqual(noStem, []string{"computing", "ab"}) {
+		t.Errorf("stopword-only filter = %v", noStem)
+	}
+
+	minLen := Filter(toks, Options{MinLength: 3})
+	if !reflect.DeepEqual(minLen, []string{"the", "computing"}) {
+		t.Errorf("minlength filter = %v", minLen)
+	}
+
+	passthrough := Filter(toks, Options{})
+	if !reflect.DeepEqual(passthrough, toks) {
+		t.Errorf("passthrough filter = %v", passthrough)
+	}
+}
+
+func BenchmarkTokenize(b *testing.B) {
+	text := strings.Repeat("The quick brown fox jumps over the lazy dog. ", 50)
+	b.SetBytes(int64(len(text)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Tokenize(text)
+	}
+}
+
+func BenchmarkAnalyze(b *testing.B) {
+	text := strings.Repeat("Databases selected for hypertension queries using shrinkage. ", 40)
+	b.SetBytes(int64(len(text)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Analyze(text, DefaultOptions)
+	}
+}

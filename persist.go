@@ -1,0 +1,129 @@
+package repro
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/hierarchy"
+	"repro/internal/summary"
+)
+
+// Sampling a remote database costs hundreds of queries, so deployments
+// build content summaries offline and load them at query time (the
+// paper computes the λ weights offline for the same reason). Save and
+// Load persist a built Metasearcher's summaries; a loaded metasearcher
+// can Select immediately without any live database connection, because
+// selection consults only the summaries.
+
+// persistVersion guards the on-disk format.
+const persistVersion = 1
+
+type persistEnvelope struct {
+	Version   int         `json:"version"`
+	Databases []persistDB `json:"databases"`
+	Training  int         `json:"training_docs"` // informational
+}
+
+type persistDB struct {
+	Name     string          `json:"name"`
+	Category string          `json:"category"` // assigned classification (unique name)
+	SizeEst  float64         `json:"size_estimate"`
+	Gamma    float64         `json:"gamma"`
+	Sample   int             `json:"sample_size"`
+	Summary  json.RawMessage `json:"summary"`
+}
+
+// Save writes the built summaries. BuildSummaries must have succeeded.
+func (m *Metasearcher) Save(w io.Writer) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.built {
+		return errors.New("repro: nothing to save; run BuildSummaries first")
+	}
+	env := persistEnvelope{Version: persistVersion, Training: m.training.Len()}
+	for _, r := range m.dbs {
+		var buf bytes.Buffer
+		if err := r.unshrunk.Encode(&buf); err != nil {
+			return fmt.Errorf("repro: encoding %s: %w", r.name, err)
+		}
+		env.Databases = append(env.Databases, persistDB{
+			Name:     r.name,
+			Category: m.tree.Node(r.assigned).Name,
+			SizeEst:  r.sizeEst,
+			Gamma:    r.gamma,
+			Sample:   r.sampleLen,
+			Summary:  json.RawMessage(buf.Bytes()),
+		})
+	}
+	bw := bufio.NewWriter(w)
+	if err := json.NewEncoder(bw).Encode(env); err != nil {
+		return fmt.Errorf("repro: save: %w", err)
+	}
+	return bw.Flush()
+}
+
+// Load restores summaries previously written by Save into this
+// metasearcher, replacing any registered databases, and rebuilds the
+// category summaries and shrunk summaries. The metasearcher must have
+// been created with the same hierarchy the state was saved under
+// (category names are matched by name).
+func (m *Metasearcher) Load(r io.Reader) error {
+	var env persistEnvelope
+	if err := json.NewDecoder(bufio.NewReader(r)).Decode(&env); err != nil {
+		return fmt.Errorf("repro: load: %w", err)
+	}
+	if env.Version != persistVersion {
+		return fmt.Errorf("repro: unsupported save version %d", env.Version)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	dbs := make([]*registeredDB, 0, len(env.Databases))
+	seen := make(map[string]bool, len(env.Databases))
+	for _, pd := range env.Databases {
+		if pd.Name == "" || seen[pd.Name] {
+			return fmt.Errorf("repro: invalid or duplicate database name %q", pd.Name)
+		}
+		seen[pd.Name] = true
+		cat, ok := m.tree.Lookup(pd.Category)
+		if !ok {
+			return fmt.Errorf("repro: database %q references unknown category %q", pd.Name, pd.Category)
+		}
+		sum, err := summary.Decode(bytes.NewReader(pd.Summary))
+		if err != nil {
+			return fmt.Errorf("repro: database %q: %w", pd.Name, err)
+		}
+		dbs = append(dbs, &registeredDB{
+			name:      pd.Name,
+			category:  cat,
+			fixedCat:  true,
+			assigned:  cat,
+			unshrunk:  sum,
+			sizeEst:   pd.SizeEst,
+			gamma:     pd.Gamma,
+			sampleLen: pd.Sample,
+		})
+	}
+	if len(dbs) == 0 {
+		return errors.New("repro: save file contains no databases")
+	}
+
+	classified := make([]core.Classified, len(dbs))
+	for i, r := range dbs {
+		classified[i] = core.Classified{Name: r.name, Category: r.assigned, Sum: r.unshrunk}
+	}
+	cats := core.BuildCategorySummaries(m.tree, classified, core.SizeWeighted)
+	for i, r := range dbs {
+		r.shrunk = core.Shrink(cats, classified[i], core.ShrinkOptions{})
+	}
+	m.dbs = dbs
+	m.cats = cats
+	m.global = cats.Summary(hierarchy.Root)
+	m.built = true
+	return nil
+}

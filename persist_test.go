@@ -1,0 +1,90 @@
+package repro
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m := buildTestMetasearcher(t, Options{Seed: 31})
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh metasearcher with no live databases can answer queries
+	// from the loaded summaries alone.
+	m2 := New(Options{})
+	if err := m2.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.Select("blood pressure hypertension", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m2.Select("blood pressure hypertension", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 || len(want) == 0 || got[0].Database != want[0].Database {
+		t.Errorf("loaded selection %v, original %v", got, want)
+	}
+	// Info still works after loading.
+	info, err := m2.Info("cardio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.EstimatedSize == 0 || info.SummaryWords == 0 {
+		t.Errorf("loaded info incomplete: %+v", info)
+	}
+}
+
+func TestSaveRequiresBuild(t *testing.T) {
+	m := New(Options{})
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err == nil {
+		t.Error("Save before BuildSummaries accepted")
+	}
+}
+
+func TestLoadRejectsBadInput(t *testing.T) {
+	m := New(Options{})
+	cases := map[string]string{
+		"garbage":          "not json at all",
+		"wrong version":    `{"version": 9, "databases": [{"name": "x"}]}`,
+		"empty":            `{"version": 1, "databases": []}`,
+		"unknown category": `{"version": 1, "databases": [{"name": "x", "category": "Bogus", "summary": {"version":1,"num_docs":1,"words":[]}}]}`,
+		"dup name":         `{"version": 1, "databases": [{"name": "x", "category": "Heart", "summary": {"version":1,"num_docs":1,"words":[]}}, {"name": "x", "category": "Heart", "summary": {"version":1,"num_docs":1,"words":[]}}]}`,
+		"bad summary":      `{"version": 1, "databases": [{"name": "x", "category": "Heart", "summary": {"version":7}}]}`,
+	}
+	for name, in := range cases {
+		if err := m.Load(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestLoadReplacesState(t *testing.T) {
+	m := buildTestMetasearcher(t, Options{Seed: 32})
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2 := buildTestMetasearcher(t, Options{Seed: 33})
+	if err := m2.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	// The loaded state must mirror the saved metasearcher, not the old one.
+	i1, err := m.Info("onco")
+	if err != nil {
+		t.Fatal(err)
+	}
+	i2, err := m2.Info("onco")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i1.EstimatedSize != i2.EstimatedSize || i1.SummaryWords != i2.SummaryWords {
+		t.Errorf("loaded info %+v differs from saved %+v", i2, i1)
+	}
+}

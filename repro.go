@@ -1,0 +1,549 @@
+// Package repro implements shrinkage-based content summaries for
+// distributed text database selection, reproducing Ipeirotis & Gravano,
+// "When one Sample is not Enough: Improving Text Database Selection
+// Using Shrinkage" (SIGMOD 2004).
+//
+// A Metasearcher mediates queries over many text databases that expose
+// only a search interface (match counts + ranked document retrieval).
+// For each registered database it builds an approximate content summary
+// by query-based sampling, classifies the database into a topic
+// hierarchy (via probing, or a caller-provided category), improves the
+// summary by "shrinking" it towards the summaries of topically related
+// databases, and at query time ranks the databases with a selection
+// algorithm (bGlOSS, CORI, or LM) — adaptively deciding per query and
+// per database whether the shrunk summary should be used.
+//
+// Quick start:
+//
+//	m := repro.New(repro.Options{})
+//	m.Train("Health", healthDocs)             // classifier examples
+//	m.AddDatabase(db, "")                     // "" = classify by probing
+//	if err := m.BuildSummaries(); err != nil { ... }
+//	for _, sel := range m.Select("blood hypertension treatment", 5) {
+//		fmt.Println(sel.Database, sel.Score)
+//	}
+package repro
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/freqest"
+	"repro/internal/hierarchy"
+	"repro/internal/index"
+	"repro/internal/sampling"
+	"repro/internal/selection"
+	"repro/internal/summary"
+	"repro/internal/textproc"
+	"repro/internal/zipf"
+)
+
+// SearchableDatabase is the interface a remote text database must
+// implement: exactly what an uncooperative web database's search form
+// exposes. Implementations must be safe for concurrent use.
+type SearchableDatabase interface {
+	// Name identifies the database.
+	Name() string
+	// Query evaluates a conjunctive query, returning the total number
+	// of matching documents and the top-ranked matches (at most limit).
+	Query(terms []string, limit int) (matches int, ids []int)
+	// Fetch returns the text terms of one document.
+	Fetch(id int) []string
+}
+
+// Options configures a Metasearcher. The zero value is usable.
+type Options struct {
+	// Categories is the topic hierarchy as nested specs. Nil uses the
+	// built-in 72-node ODP-style hierarchy the paper evaluates with.
+	Categories *CategorySpec
+	// SampleSize is the query-based sampling target (default 300, as in
+	// the paper).
+	SampleSize int
+	// Sampler selects the sampling strategy: "qbs" (default) or "fps".
+	Sampler string
+	// Scorer selects the selection algorithm: "cori" (default),
+	// "bgloss", "lm", or "redde" (ReDDE pools the sample documents and
+	// estimates relevant-document counts; it bypasses the shrinkage
+	// machinery and retains the raw samples in memory).
+	Scorer string
+	// FrequencyEstimation enables the Appendix A absolute-frequency
+	// refinement (default true; set DisableFrequencyEstimation to turn off).
+	DisableFrequencyEstimation bool
+	// Adaptive applies shrinkage per query/database only under score
+	// uncertainty (default true; set UniversalShrinkage to always use
+	// shrunk summaries instead).
+	UniversalShrinkage bool
+	// SeedLexicon supplies bootstrap words for QBS; nil uses a small
+	// built-in English word list.
+	SeedLexicon []string
+	// Analyzer options for query/document text (stopword removal and
+	// stemming on by default, matching the paper's configuration).
+	KeepStopwords bool
+	NoStemming    bool
+	// Parallelism bounds how many databases BuildSummaries samples
+	// concurrently (sampling a remote database is latency-bound).
+	// 0 or 1 samples sequentially. Results are independent of the
+	// setting: every database derives its own random stream.
+	Parallelism int
+	// Seed drives sampling and Monte-Carlo randomness.
+	Seed int64
+}
+
+// CategorySpec mirrors a topic-hierarchy node for Options.
+type CategorySpec struct {
+	Name     string
+	Children []*CategorySpec
+}
+
+// ParseHierarchy reads an indentation-structured taxonomy (one category
+// per line, one tab or four spaces per level, '#' comments) into a
+// CategorySpec for Options.Categories:
+//
+//	Root
+//		Health
+//			Diseases
+//		Sports
+func ParseHierarchy(r io.Reader) (*CategorySpec, error) {
+	tree, err := hierarchy.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	var build func(id hierarchy.NodeID) *CategorySpec
+	build = func(id hierarchy.NodeID) *CategorySpec {
+		c := &CategorySpec{Name: tree.Node(id).Name}
+		for _, ch := range tree.Children(id) {
+			c.Children = append(c.Children, build(ch))
+		}
+		return c
+	}
+	return build(hierarchy.Root), nil
+}
+
+// Selection is one ranked database.
+type Selection struct {
+	// Database is the database's name.
+	Database string
+	// Score is the selection algorithm's s(q, D).
+	Score float64
+	// Shrinkage reports whether the shrunk summary was used to score
+	// this database for this query.
+	Shrinkage bool
+}
+
+// Metasearcher is the end-to-end system of the paper. Methods are safe
+// for concurrent use after BuildSummaries has returned.
+type Metasearcher struct {
+	opts Options
+	tree *hierarchy.Tree
+
+	mu       sync.Mutex
+	training *classify.TrainingSet
+	dbs      []*registeredDB
+
+	// built state
+	classifier *classify.Classifier
+	cats       *core.CategorySummaries
+	global     *summary.Summary
+	built      bool
+}
+
+type registeredDB struct {
+	name       string
+	db         SearchableDatabase // nil when state was loaded from disk
+	category   hierarchy.NodeID   // classification to use; -1 = probe
+	fixedCat   bool
+	unshrunk   *summary.Summary
+	shrunk     *core.ShrunkSummary
+	assigned   hierarchy.NodeID
+	sizeEst    float64
+	gamma      float64
+	sampleLen  int
+	sampleDocs [][]string // retained only for the ReDDE scorer
+}
+
+// New creates a Metasearcher.
+func New(opts Options) *Metasearcher {
+	var tree *hierarchy.Tree
+	if opts.Categories != nil {
+		tree = hierarchy.MustNew(toSpec(opts.Categories))
+	} else {
+		tree = hierarchy.Default()
+	}
+	if opts.SampleSize == 0 {
+		opts.SampleSize = 300
+	}
+	return &Metasearcher{opts: opts, tree: tree, training: &classify.TrainingSet{}}
+}
+
+func toSpec(c *CategorySpec) hierarchy.Spec {
+	s := hierarchy.Spec{Name: c.Name}
+	for _, ch := range c.Children {
+		s.Children = append(s.Children, toSpec(ch))
+	}
+	return s
+}
+
+// Hierarchy returns the category names in preorder with their depths,
+// for display.
+func (m *Metasearcher) Hierarchy() []struct {
+	Name  string
+	Depth int
+} {
+	out := make([]struct {
+		Name  string
+		Depth int
+	}, 0, m.tree.Len())
+	for _, id := range m.tree.All() {
+		n := m.tree.Node(id)
+		out = append(out, struct {
+			Name  string
+			Depth int
+		}{n.Name, n.Depth})
+	}
+	return out
+}
+
+// Train adds labeled example documents for a category, used to learn
+// the classification probes (the role of directory-labeled pages in the
+// paper). Must be called before BuildSummaries. Documents are raw text.
+func (m *Metasearcher) Train(category string, docs []string) error {
+	id, ok := m.tree.Lookup(category)
+	if !ok {
+		return fmt.Errorf("repro: unknown category %q", category)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, d := range docs {
+		m.training.Add(id, m.analyze(d))
+	}
+	m.built = false
+	return nil
+}
+
+// AddDatabase registers a database. category may name a hierarchy node
+// (the paper's "existing classification" case, e.g. a web directory) or
+// be empty, in which case the database is classified automatically by
+// query probing during BuildSummaries.
+func (m *Metasearcher) AddDatabase(db SearchableDatabase, category string) error {
+	r := &registeredDB{name: db.Name(), db: db, category: -1}
+	if category != "" {
+		id, ok := m.tree.Lookup(category)
+		if !ok {
+			return fmt.Errorf("repro: unknown category %q", category)
+		}
+		r.category = id
+		r.fixedCat = true
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, existing := range m.dbs {
+		if existing.name == db.Name() {
+			return fmt.Errorf("repro: database %q already registered", db.Name())
+		}
+	}
+	m.dbs = append(m.dbs, r)
+	m.built = false
+	return nil
+}
+
+// analyze runs the configured text pipeline.
+func (m *Metasearcher) analyze(text string) []string {
+	return textproc.Analyze(text, textproc.Options{
+		RemoveStopwords: !m.opts.KeepStopwords,
+		Stem:            !m.opts.NoStemming,
+		MinLength:       2,
+	})
+}
+
+// analyzeTerms filters pre-tokenized terms (database documents arrive
+// as terms via Fetch).
+func (m *Metasearcher) analyzeTerms(terms []string) []string {
+	return textproc.Filter(terms, textproc.Options{
+		RemoveStopwords: !m.opts.KeepStopwords,
+		Stem:            !m.opts.NoStemming,
+		MinLength:       2,
+	})
+}
+
+// BuildSummaries samples every registered database, classifies it,
+// estimates sizes and frequencies, and computes the shrunk content
+// summaries. It must be called after registering databases and before
+// Select.
+func (m *Metasearcher) BuildSummaries() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.dbs) == 0 {
+		return errors.New("repro: no databases registered")
+	}
+
+	needProbing := false
+	for _, r := range m.dbs {
+		if !r.fixedCat {
+			needProbing = true
+		}
+	}
+	useFPS := strings.EqualFold(m.opts.Sampler, "fps")
+	if needProbing || useFPS {
+		if m.training.Len() == 0 {
+			return errors.New("repro: probe classification requires Train examples")
+		}
+		cls, err := classify.Train(m.tree, m.training, classify.Options{})
+		if err != nil {
+			return err
+		}
+		m.classifier = cls
+	}
+
+	lexicon := m.opts.SeedLexicon
+	if lexicon == nil {
+		// Bootstrap words: the built-in common-English list plus the
+		// most frequent training-set words, which provably occur in
+		// on-topic text.
+		lexicon = defaultLexicon()
+		lexicon = append(lexicon, m.training.TopWords(300)...)
+	}
+
+	if useFPS && m.classifier == nil {
+		return errors.New("repro: FPS requires Train examples")
+	}
+
+	// buildOne samples and summarizes one database. Each database's
+	// randomness is derived from its own seed, so results are identical
+	// under any Parallelism setting. Sampling a remote database is
+	// latency-bound, which is where the concurrency pays off.
+	buildOne := func(i int) error {
+		r := m.dbs[i]
+		searcher := &dbSearcher{m: m, db: r.db}
+		var sample *sampling.Sample
+		var probed hierarchy.NodeID
+		var err error
+		if useFPS {
+			sample, probed, err = sampling.FPS(searcher, sampling.FPSConfig{Classifier: m.classifier})
+		} else {
+			sample, err = sampling.QBS(searcher, sampling.QBSConfig{
+				TargetDocs:  m.opts.SampleSize,
+				SeedLexicon: lexicon,
+				Seed:        m.opts.Seed + int64(i),
+			})
+			if err == nil && !r.fixedCat {
+				probed = m.classifier.Classify(searcher)
+			}
+		}
+		if err != nil {
+			return fmt.Errorf("sampling %s: %w", r.name, err)
+		}
+
+		raw := summary.FromSample(sample.Docs)
+		r.sampleLen = raw.SampleSize
+		if strings.EqualFold(m.opts.Scorer, "redde") {
+			r.sampleDocs = sample.Docs
+		}
+		est, errFit := freqest.FitCheckpoints(sample.Checkpoints)
+		size, errSize := freqest.EstimateSize(sample, raw)
+		if errFit != nil || errSize != nil {
+			size = raw.NumDocs
+		}
+		r.sizeEst = size
+		r.gamma = zipf.FreqPowerLawGamma(est.LawAt(size).Alpha)
+		if !m.opts.DisableFrequencyEstimation && errFit == nil {
+			r.unshrunk = freqest.Apply(raw, est, size)
+		} else {
+			r.unshrunk = raw
+		}
+		if r.fixedCat {
+			r.assigned = r.category
+		} else {
+			r.assigned = probed
+		}
+		return nil
+	}
+	if err := forEachConcurrently(len(m.dbs), m.opts.Parallelism, buildOne); err != nil {
+		return err
+	}
+
+	classified := make([]core.Classified, len(m.dbs))
+	for i, r := range m.dbs {
+		classified[i] = core.Classified{Name: r.name, Category: r.assigned, Sum: r.unshrunk}
+	}
+	m.cats = core.BuildCategorySummaries(m.tree, classified, core.SizeWeighted)
+	for i, r := range m.dbs {
+		r.shrunk = core.Shrink(m.cats, classified[i], core.ShrinkOptions{})
+	}
+	m.global = m.cats.Summary(hierarchy.Root)
+	m.built = true
+	return nil
+}
+
+// scorer resolves the configured base selection algorithm.
+func (m *Metasearcher) scorer() selection.Scorer {
+	switch strings.ToLower(m.opts.Scorer) {
+	case "bgloss":
+		return selection.BGloss{}
+	case "lm":
+		return selection.LM{}
+	default:
+		return selection.CORI{}
+	}
+}
+
+// Select ranks the databases for a free-text query and returns the top
+// k (possibly fewer: databases indistinguishable from knowing nothing
+// about the query are not selected, as in the paper).
+func (m *Metasearcher) Select(query string, k int) ([]Selection, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.built {
+		return nil, errors.New("repro: BuildSummaries has not been run")
+	}
+	terms := m.analyze(query)
+	if len(terms) == 0 {
+		return nil, errors.New("repro: query has no indexable terms")
+	}
+
+	if strings.EqualFold(m.opts.Scorer, "redde") {
+		return m.selectReDDE(terms, k)
+	}
+
+	base := m.scorer()
+	var ranked []selection.Ranked
+	var decisions []selection.Decision
+	if m.opts.UniversalShrinkage {
+		entries := make([]selection.Entry, len(m.dbs))
+		for i, r := range m.dbs {
+			entries[i] = selection.Entry{Name: r.name, View: r.shrunk}
+		}
+		ctx := selection.NewContext(terms, entries, m.global)
+		ranked = selection.Rank(base, terms, entries, ctx)
+		decisions = make([]selection.Decision, len(m.dbs))
+		for i := range decisions {
+			decisions[i].Shrinkage = true
+		}
+	} else {
+		adbs := make([]*selection.DB, len(m.dbs))
+		for i, r := range m.dbs {
+			adbs[i] = &selection.DB{
+				Name:     r.name,
+				Unshrunk: r.unshrunk,
+				Shrunk:   r.shrunk,
+				Gamma:    r.gamma,
+				Size:     int(r.sizeEst),
+			}
+		}
+		adaptive := &selection.Adaptive{Base: base, Opts: selection.AdaptiveOptions{Seed: m.opts.Seed}}
+		ranked, decisions = adaptive.Rank(terms, adbs, m.global)
+	}
+
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	out := make([]Selection, 0, k)
+	for _, r := range ranked[:k] {
+		out = append(out, Selection{
+			Database:  r.Name,
+			Score:     r.Score,
+			Shrinkage: decisions[r.Index].Shrinkage,
+		})
+	}
+	return out, nil
+}
+
+// selectReDDE ranks with the ReDDE algorithm (Si & Callan) over the
+// pooled sample documents — the selection baseline the paper names as
+// future work to combine with shrinkage. Requires summaries built with
+// Options.Scorer == "redde" (so sample documents were retained) and a
+// metasearcher that was built (not loaded: Save does not persist raw
+// sample documents).
+func (m *Metasearcher) selectReDDE(terms []string, k int) ([]Selection, error) {
+	samples := make([]selection.ReDDESample, len(m.dbs))
+	for i, r := range m.dbs {
+		if r.sampleDocs == nil && r.sampleLen > 0 {
+			return nil, errors.New(`repro: ReDDE needs retained samples; build with Options.Scorer = "redde" (Load-ed state cannot be used)`)
+		}
+		samples[i] = selection.ReDDESample{Name: r.name, Docs: r.sampleDocs, Size: r.sizeEst}
+	}
+	redde, err := selection.NewReDDE(samples, 0)
+	if err != nil {
+		return nil, err
+	}
+	ranked := redde.Rank(terms)
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	out := make([]Selection, 0, k)
+	for _, r := range ranked[:k] {
+		out = append(out, Selection{Database: r.Name, Score: r.Score})
+	}
+	return out, nil
+}
+
+// DatabaseInfo describes one registered database after BuildSummaries.
+type DatabaseInfo struct {
+	Name           string
+	Category       string  // assigned classification (path string)
+	EstimatedSize  float64 // sample-resample |D̂|
+	SampleSize     int
+	SummaryWords   int // unshrunk vocabulary size
+	MixtureWeights []struct {
+		Component string
+		Weight    float64
+	}
+}
+
+// Info reports the built state of a database.
+func (m *Metasearcher) Info(name string) (DatabaseInfo, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, r := range m.dbs {
+		if r.name != name {
+			continue
+		}
+		if !m.built {
+			return DatabaseInfo{}, errors.New("repro: BuildSummaries has not been run")
+		}
+		info := DatabaseInfo{
+			Name:          name,
+			Category:      m.tree.PathString(r.assigned),
+			EstimatedSize: r.sizeEst,
+			SampleSize:    r.sampleLen,
+			SummaryWords:  r.unshrunk.Len(),
+		}
+		for _, l := range r.shrunk.Lambdas() {
+			info.MixtureWeights = append(info.MixtureWeights, struct {
+				Component string
+				Weight    float64
+			}{l.Component, l.Weight})
+		}
+		return info, nil
+	}
+	return DatabaseInfo{}, fmt.Errorf("repro: unknown database %q", name)
+}
+
+// dbSearcher adapts a SearchableDatabase to the internal sampling
+// interfaces, applying the text pipeline to fetched documents.
+type dbSearcher struct {
+	m  *Metasearcher
+	db SearchableDatabase
+}
+
+func (s *dbSearcher) Query(terms []string, limit int) (int, []index.DocID) {
+	matches, ids := s.db.Query(terms, limit)
+	out := make([]index.DocID, len(ids))
+	for i, id := range ids {
+		out[i] = index.DocID(id)
+	}
+	return matches, out
+}
+
+func (s *dbSearcher) Fetch(id index.DocID) []string {
+	return s.m.analyzeTerms(s.db.Fetch(int(id)))
+}
+
+func (s *dbSearcher) MatchCount(terms []string) int {
+	matches, _ := s.db.Query(terms, 0)
+	return matches
+}

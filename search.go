@@ -1,0 +1,90 @@
+package repro
+
+import (
+	"errors"
+	"sort"
+)
+
+// The paper's introduction defines a metasearcher by three steps:
+// select the best databases for the query, evaluate the query at each,
+// and merge the results into one answer. Select covers step one; Search
+// is the full loop.
+
+// Result is one merged document hit.
+type Result struct {
+	// Database names the source database.
+	Database string
+	// DocID is the document's id within that database.
+	DocID int
+	// Score is the merged ranking score: the database's selection
+	// score, normalized across the selected databases, discounted by
+	// the document's rank in its database's result list. Uncooperative
+	// databases expose only ranked ids — no comparable document scores
+	// — so rank-based merging is what a metasearcher actually has.
+	Score float64
+}
+
+// Search performs the complete metasearch: select up to maxDBs
+// databases for the query (Figure 3's adaptive selection under the
+// configured scorer), evaluate the query at each selected database, and
+// merge the top perDB documents of each into a single ranking.
+func (m *Metasearcher) Search(query string, maxDBs, perDB int) ([]Result, error) {
+	if perDB <= 0 {
+		perDB = 10
+	}
+	sels, err := m.Select(query, maxDBs)
+	if err != nil {
+		return nil, err
+	}
+	if len(sels) == 0 {
+		return nil, nil
+	}
+
+	m.mu.Lock()
+	terms := m.analyze(query)
+	handles := make(map[string]SearchableDatabase, len(m.dbs))
+	for _, r := range m.dbs {
+		if r.db != nil {
+			handles[r.name] = r.db
+		}
+	}
+	m.mu.Unlock()
+
+	// Normalize selection scores to [0, 1] so the discounting is
+	// comparable across scorers.
+	maxScore := sels[0].Score
+	for _, s := range sels {
+		if s.Score > maxScore {
+			maxScore = s.Score
+		}
+	}
+	if maxScore <= 0 {
+		maxScore = 1
+	}
+
+	var out []Result
+	for _, sel := range sels {
+		db, ok := handles[sel.Database]
+		if !ok {
+			return nil, errors.New("repro: Search needs live database connections (Load-ed state has none)")
+		}
+		_, ids := db.Query(terms, perDB)
+		for rank, id := range ids {
+			out = append(out, Result{
+				Database: sel.Database,
+				DocID:    id,
+				Score:    (sel.Score / maxScore) / float64(rank+1),
+			})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		if out[a].Database != out[b].Database {
+			return out[a].Database < out[b].Database
+		}
+		return out[a].DocID < out[b].DocID
+	})
+	return out, nil
+}

@@ -1,0 +1,75 @@
+package repro
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSearchEndToEnd(t *testing.T) {
+	m := buildTestMetasearcher(t, Options{Seed: 60})
+	results, err := m.Search("blood pressure hypertension", 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("no merged results")
+	}
+	// The top document must come from the top-selected database.
+	if results[0].Database != "cardio" {
+		t.Errorf("top result from %s, want cardio", results[0].Database)
+	}
+	// Scores are sorted and positive.
+	for i, r := range results {
+		if r.Score <= 0 {
+			t.Errorf("result %d has score %v", i, r.Score)
+		}
+		if i > 0 && r.Score > results[i-1].Score {
+			t.Errorf("results not sorted at %d", i)
+		}
+	}
+	// Rank-1 documents of the top database score highest within it.
+	var cardioDocs int
+	for _, r := range results {
+		if r.Database == "cardio" {
+			cardioDocs++
+		}
+	}
+	if cardioDocs == 0 || cardioDocs > 5 {
+		t.Errorf("cardio contributed %d docs, want 1..5", cardioDocs)
+	}
+}
+
+func TestSearchNoSelection(t *testing.T) {
+	m := buildTestMetasearcher(t, Options{Seed: 61, Scorer: "bgloss"})
+	results, err := m.Search("completelyunknownword", 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Errorf("results for an unknown word: %v", results)
+	}
+}
+
+func TestSearchLoadedStateFails(t *testing.T) {
+	m := buildTestMetasearcher(t, Options{Seed: 62})
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2 := New(Options{})
+	if err := m2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Selection works from summaries alone, but document retrieval needs
+	// live connections.
+	if _, err := m2.Search("blood pressure", 2, 5); err == nil {
+		t.Error("Search on loaded state without live databases accepted")
+	}
+}
+
+func TestSearchDefaultPerDB(t *testing.T) {
+	m := buildTestMetasearcher(t, Options{Seed: 63})
+	if _, err := m.Search("goal penalty", 1, 0); err != nil {
+		t.Errorf("perDB=0 should default: %v", err)
+	}
+}
