@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all vet build test race bench smoke clean
+
+all: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The telemetry registry and tracer are hammered concurrently by the
+# build pipeline; run the whole tree under the race detector.
+race:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark: catches bit-rot in the bench
+# harness without paying for a full measurement run.
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+smoke: vet build
+	$(GO) test -race ./internal/telemetry/ .
+	$(GO) test -run='^$$' -bench=BenchmarkTable2 -benchtime=1x .
+
+clean:
+	$(GO) clean ./...

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/selection"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -40,6 +41,7 @@ func main() {
 		beds    = flag.String("beds", "", "restrict quality tables to one data set: Web | TREC4 | TREC6")
 		format  = flag.String("format", "text", "figure output format: text | csv")
 		verbose = flag.Bool("v", true, "print progress to stderr")
+		telem   = flag.Bool("telemetry", true, "print a pipeline telemetry summary to stderr after the run")
 	)
 	flag.Parse()
 
@@ -50,7 +52,16 @@ func main() {
 	}
 	sc.Seed = *seed
 
-	r := &runner{scale: sc, maxK: *maxK, verbose: *verbose, bedFilter: *beds, csv: *format == "csv"}
+	r := &runner{
+		scale: sc, maxK: *maxK, verbose: *verbose, bedFilter: *beds,
+		csv: *format == "csv", reg: telemetry.NewRegistry(),
+	}
+	if *telem {
+		defer func() {
+			fmt.Fprintln(os.Stderr, "\npipeline telemetry:")
+			fmt.Fprintln(os.Stderr, r.reg.Snapshot().Summary())
+		}()
+	}
 
 	switch {
 	case *all:
@@ -90,6 +101,8 @@ type runner struct {
 	bedFilter string
 	csv       bool
 
+	reg *telemetry.Registry
+
 	worlds map[experiments.BedKind]*experiments.World
 	sums   map[string]*experiments.DBSummaries
 	grids  map[experiments.BedKind][]experiments.QualityRow
@@ -113,6 +126,7 @@ func (r *runner) world(kind experiments.BedKind) *experiments.World {
 	if err != nil {
 		log.Fatalf("building %v world: %v", kind, err)
 	}
+	w.Metrics = r.reg
 	r.logf("built %v world: %d databases, %d docs, %d queries (%.1fs)",
 		kind, len(w.Bed.Databases), w.Bed.TotalDocs(), len(w.Bed.Queries),
 		time.Since(start).Seconds())

@@ -1,27 +1,60 @@
 // Command metasearch is an end-to-end demonstration metasearcher: it
-// builds a synthetic Web testbed, constructs shrinkage-based content
-// summaries for every database, and answers queries from stdin (or the
-// command line) by printing the selected databases.
+// builds a synthetic Web testbed, registers every database with the
+// library's Metasearcher (query-based sampling, shrinkage-based
+// summaries, adaptive selection), and answers queries from stdin (or
+// the command line) by printing the selected databases and the merged
+// document ranking.
 //
 // Usage:
 //
-//	metasearch [-scale small|default] [-scorer cori|bgloss|lm] [-k 5] [query ...]
+//	metasearch [-scale small|default] [-scorer cori|bgloss|lm] [-k 5] \
+//	           [-listen :8080] [-v] [-trace] [query ...]
 //
 // With no query arguments, queries are read one per line from stdin.
+//
+// With -listen, an HTTP server exposes the operational surface while
+// the process runs:
+//
+//	/metrics      pipeline counters/gauges/histograms (Prometheus text;
+//	              ?format=json for a JSON snapshot)
+//	/debug/vars   the same registry as an expvar under "metasearch"
+//	/debug/pprof  the standard Go profiling endpoints
 package main
 
 import (
 	"bufio"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
 	"os"
+	"runtime"
 	"strings"
 
+	"repro"
 	"repro/internal/experiments"
 	"repro/internal/hierarchy"
-	"repro/internal/selection"
+	"repro/internal/index"
+	"repro/internal/telemetry"
 )
+
+// The synthetic vocabulary uses underscores (heart_31_3) that the
+// metasearcher's tokenizer treats as word breaks. sanitize maps the
+// testbed's token space into one the full text pipeline preserves; the
+// mapping is injective over the generator's <topic>_<i>_<j> words, so
+// no two distinct words collide.
+func sanitize(w string) string { return strings.ReplaceAll(w, "_", "u") }
+
+func sanitizeAll(ws []string) []string {
+	out := make([]string, len(ws))
+	for i, w := range ws {
+		out[i] = sanitize(w)
+	}
+	return out
+}
 
 func main() {
 	log.SetFlags(0)
@@ -30,7 +63,11 @@ func main() {
 		scale      = flag.String("scale", "small", "testbed scale: small | default")
 		scorerName = flag.String("scorer", "cori", "selection algorithm: cori | bgloss | lm")
 		k          = flag.Int("k", 5, "databases to select per query")
+		perDB      = flag.Int("perdb", 3, "documents to retrieve per selected database")
 		seed       = flag.Int64("seed", 1, "synthetic world seed")
+		listen     = flag.String("listen", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. :8080)")
+		verbose    = flag.Bool("v", false, "log pipeline progress to stderr")
+		trace      = flag.Bool("trace", false, "log structured trace events (spans, EM convergence, adaptive decisions) to stderr")
 	)
 	flag.Parse()
 
@@ -47,55 +84,96 @@ func main() {
 	}
 	log.Printf("%d databases, %d documents", len(w.Bed.Databases), w.Bed.TotalDocs())
 
+	// Observability wiring: a logger for -v, a trace observer for
+	// -trace, and the metrics registry that the HTTP endpoints serve.
+	opts := repro.Options{
+		SampleSize:  sc.SampleTarget,
+		Scorer:      *scorerName,
+		SeedLexicon: sanitizeAll(w.Lexicon),
+		Seed:        *seed,
+		Parallelism: runtime.GOMAXPROCS(0),
+		// The synthetic vocabulary is not English: stemming or stopword
+		// removal would mangle its token space.
+		KeepStopwords: true,
+		NoStemming:    true,
+	}
+	if *verbose {
+		opts.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	if *trace {
+		h := slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelDebug})
+		opts.Observer = telemetry.NewLogObserver(slog.New(h))
+	}
+	m := repro.New(opts)
+
+	if *listen != "" {
+		m.Metrics().PublishExpvar("metasearch")
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", m.Metrics().Handler())
+		mux.Handle("/debug/vars", expvar.Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("telemetry on http://%s/metrics (and /debug/vars, /debug/pprof)", *listen)
+			if err := http.ListenAndServe(*listen, mux); err != nil {
+				log.Fatalf("telemetry server: %v", err)
+			}
+		}()
+	}
+
+	// Register every testbed database under its directory category (the
+	// paper's "existing classification" case, so no probe training is
+	// needed) and build the shrunk content summaries.
+	for _, db := range w.Bed.Databases {
+		docs := make([][]string, db.Index.NumDocs())
+		for id := range docs {
+			docs[id] = sanitizeAll(db.Index.Doc(index.DocID(id)))
+		}
+		cat := w.Bed.Tree.Node(db.Category).Name
+		if err := m.AddDatabase(repro.NewLocalDatabaseFromTerms(db.Name, docs), cat); err != nil {
+			log.Fatal(err)
+		}
+	}
 	log.Print("sampling databases and building shrunk summaries (QBS + frequency estimation)...")
-	sums, err := w.BuildSummaries(experiments.Config{Sampler: experiments.QBS, FreqEst: true})
-	if err != nil {
+	if err := m.BuildSummaries(); err != nil {
 		log.Fatal(err)
 	}
 
-	var scorer selection.Scorer
-	switch *scorerName {
-	case "bgloss":
-		scorer = selection.BGloss{}
-	case "lm":
-		scorer = selection.LM{}
-	default:
-		scorer = selection.CORI{}
-	}
-	adaptive := &selection.Adaptive{Base: scorer, Opts: selection.AdaptiveOptions{Seed: *seed}}
-	adbs := make([]*selection.DB, len(w.Bed.Databases))
-	for i, db := range w.Bed.Databases {
-		adbs[i] = &selection.DB{
-			Name:     db.Name,
-			Unshrunk: sums.Unshrunk[i],
-			Shrunk:   sums.Shrunk[i],
-			Gamma:    sums.Gamma[i],
-			Size:     int(sums.SizeEst[i]),
-		}
-	}
-	global := sums.GlobalSummary()
-
 	answer := func(query string) {
-		terms := strings.Fields(strings.ToLower(query))
-		if len(terms) == 0 {
+		if strings.TrimSpace(query) == "" {
 			return
 		}
-		ranked, decisions := adaptive.Rank(terms, adbs, global)
-		if len(ranked) == 0 {
+		sels, err := m.Select(query, *k)
+		if err != nil {
+			fmt.Printf("%-40s -> %v\n", query, err)
+			return
+		}
+		if len(sels) == 0 {
 			fmt.Printf("%-40s -> no database selected\n", query)
 			return
 		}
-		if len(ranked) > *k {
-			ranked = ranked[:*k]
-		}
 		fmt.Printf("%s ->\n", query)
-		for i, r := range ranked {
+		for i, s := range sels {
 			mark := " "
-			if decisions[r.Index].Shrinkage {
-				mark = "*"
+			if s.Shrinkage {
+				mark = "*" // shrunk summary used for this query/database
 			}
-			fmt.Printf("  %2d.%s %-34s score %-12.4g %s\n", i+1, mark, r.Name, r.Score,
-				w.Bed.Tree.PathString(w.Bed.Databases[r.Index].Category))
+			info, _ := m.Info(s.Database)
+			fmt.Printf("  %2d.%s %-34s score %-12.4g %s\n", i+1, mark, s.Database, s.Score, info.Category)
+		}
+		results, err := m.Search(query, *k, *perDB)
+		if err != nil {
+			fmt.Printf("  search: %v\n", err)
+			return
+		}
+		if len(results) > 8 {
+			results = results[:8]
+		}
+		for _, res := range results {
+			fmt.Printf("     doc %s/%d  %.4f\n", res.Database, res.DocID, res.Score)
 		}
 	}
 
@@ -107,7 +185,7 @@ func main() {
 	// Show a few example topical words the user can query with.
 	if v := w.Bed.Gen.CategoryVocab(mustLookup(w, "Heart")); v != nil {
 		fmt.Printf("example query words: %s %s %s (Heart topic)\n",
-			v.Word(3), v.Word(20), v.Word(50))
+			sanitize(v.Word(3)), sanitize(v.Word(20)), sanitize(v.Word(50)))
 	}
 	scanner := bufio.NewScanner(os.Stdin)
 	fmt.Print("> ")

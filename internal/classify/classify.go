@@ -22,6 +22,7 @@ import (
 	"sort"
 
 	"repro/internal/hierarchy"
+	"repro/internal/telemetry"
 )
 
 // Prober is the minimal query interface of an uncooperative database:
@@ -307,13 +308,31 @@ func (c *Classifier) ScoreChildren(db Prober, node hierarchy.NodeID) []ChildScor
 // the root and repeatedly descends into the highest-coverage child that
 // passes both thresholds, stopping when none qualifies.
 func (c *Classifier) Classify(db Prober) hierarchy.NodeID {
+	return c.ClassifyTraced(db, nil, nil)
+}
+
+// ClassifyTraced is Classify with telemetry: every hierarchy level
+// probed emits a classify.descend event on span (the level's winner,
+// its coverage and specificity) and every probe query sent counts
+// toward classify_probes_total in reg. Both span and reg may be nil.
+func (c *Classifier) ClassifyTraced(db Prober, span *telemetry.Span, reg *telemetry.Registry) hierarchy.NodeID {
+	probes := reg.Counter("classify_probes_total")
 	node := hierarchy.Root
 	for {
+		for _, ch := range c.tree.Children(node) {
+			probes.Add(int64(len(c.probes[ch])))
+		}
 		scores := c.ScoreChildren(db, node)
 		if len(scores) == 0 {
 			return node
 		}
 		best := scores[0]
+		span.Event("classify.descend",
+			telemetry.String("at", c.tree.Node(node).Name),
+			telemetry.String("best", c.tree.Node(best.Category).Name),
+			telemetry.Int("coverage", best.Coverage),
+			telemetry.Float("specificity", best.Specificity),
+			telemetry.Bool("qualifies", best.Coverage >= c.opts.TauCoverage && best.Specificity >= c.opts.TauSpecificity))
 		if best.Coverage < c.opts.TauCoverage || best.Specificity < c.opts.TauSpecificity {
 			return node
 		}

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/summary"
+	"repro/internal/telemetry"
 )
 
 // ShrinkOptions tunes the EM computation of the mixture weights.
@@ -13,6 +14,12 @@ type ShrinkOptions struct {
 	Epsilon float64
 	// MaxIter caps EM iterations (default 100).
 	MaxIter int
+	// Span receives a shrink.em trace event per run (iterations to
+	// convergence, λ extremes, overlap-subtraction stats); Metrics
+	// receives the EM counters and the em_iterations gauge. Both may be
+	// nil.
+	Span    *telemetry.Span
+	Metrics *telemetry.Registry
 }
 
 func (o ShrinkOptions) withDefaults() ShrinkOptions {
@@ -164,6 +171,33 @@ func Shrink(cs *CategorySummaries, db Classified, opts ShrinkOptions) *ShrunkSum
 	}
 	ss.lambdas = lambda
 	ss.emIters = iters
+
+	// Telemetry: how hard the Figure 2 EM had to work, and what the
+	// overlap subtraction of Section 3.2 left per level. emptyLevels
+	// counts path levels with no data left once descendants (and the
+	// database itself) are subtracted — those components are dead weight
+	// the EM must drive to zero.
+	if opts.Metrics != nil {
+		opts.Metrics.Counter("em_runs_total").Inc()
+		opts.Metrics.Counter("em_iterations_total").Add(int64(iters))
+		opts.Metrics.Gauge("em_iterations").Set(float64(iters))
+	}
+	if opts.Span != nil {
+		emptyLevels := 0
+		for _, l := range levels {
+			if l.empty() {
+				emptyLevels++
+			}
+		}
+		opts.Span.Event("shrink.em",
+			telemetry.String("db", db.Name),
+			telemetry.Int("iterations", iters),
+			telemetry.Int("components", nC),
+			telemetry.Int("path_levels", m),
+			telemetry.Int("empty_levels", emptyLevels),
+			telemetry.Float("lambda_uniform", lambda[0]),
+			telemetry.Float("lambda_self", lambda[nC-1]))
+	}
 	return ss
 }
 

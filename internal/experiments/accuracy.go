@@ -107,7 +107,10 @@ func (w *World) SelectionAccuracy(sums *DBSummaries, scorer selection.Scorer, st
 	if strategy == Shrinkage {
 		adaptive = &selection.Adaptive{
 			Base: scorer,
-			Opts: selection.AdaptiveOptions{Seed: synth.SubSeed(w.Scale.Seed, 77)},
+			Opts: selection.AdaptiveOptions{
+				Seed:    synth.SubSeed(w.Scale.Seed, 77),
+				Metrics: w.Metrics,
+			},
 		}
 		adbs = make([]*selection.DB, n)
 		for i, db := range w.Bed.Databases {

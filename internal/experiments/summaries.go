@@ -117,6 +117,7 @@ func (w *World) BuildSummaries(cfg Config) (*DBSummaries, error) {
 				TargetDocs:  w.Scale.SampleTarget,
 				SeedLexicon: w.Lexicon,
 				Seed:        synth.SubSeed(seed, int64(i)),
+				Metrics:     w.Metrics,
 			})
 			if err != nil {
 				return fmt.Errorf("QBS over %s: %w", db.Name, err)
@@ -127,12 +128,13 @@ func (w *World) BuildSummaries(cfg Config) (*DBSummaries, error) {
 			if w.Kind == Web {
 				class = db.Category
 			} else {
-				class = w.Classifier.Classify(searcher)
+				class = w.Classifier.ClassifyTraced(searcher, nil, w.Metrics)
 			}
 		case FPS:
 			// FPS derives the classification during sampling.
 			sample, class, err = sampling.FPS(searcher, sampling.FPSConfig{
 				Classifier: w.Classifier,
+				Metrics:    w.Metrics,
 			})
 			if err != nil {
 				return fmt.Errorf("FPS over %s: %w", db.Name, err)
@@ -177,15 +179,16 @@ func (w *World) BuildSummaries(cfg Config) (*DBSummaries, error) {
 	}
 	out.Cats = core.BuildCategorySummaries(w.Bed.Tree, classified, core.SizeWeighted)
 	for i := range classified {
-		out.Shrunk[i] = core.Shrink(out.Cats, classified[i], core.ShrinkOptions{})
+		out.Shrunk[i] = core.Shrink(out.Cats, classified[i], core.ShrinkOptions{Metrics: w.Metrics})
 	}
 	return out, nil
 }
 
 // forEachDatabase runs fn(i) for i in [0, n), fanning out over a
 // bounded worker pool. workers <= 1 runs sequentially (and 0 selects
-// GOMAXPROCS). Indexed writes into pre-sized slices need no locking;
-// the first error cancels nothing but is reported.
+// GOMAXPROCS). Indexed writes into pre-sized slices need no locking.
+// After the first error no new indices are dispatched (in-flight calls
+// finish) and the first error is reported.
 func forEachDatabase(n, workers int, fn func(i int) error) error {
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -204,6 +207,7 @@ func forEachDatabase(n, workers int, fn func(i int) error) error {
 	var (
 		wg    sync.WaitGroup
 		next  int64 = -1
+		stop  atomic.Bool
 		errMu sync.Mutex
 		first error
 	)
@@ -211,12 +215,13 @@ func forEachDatabase(n, workers int, fn func(i int) error) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for !stop.Load() {
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= n {
 					return
 				}
 				if err := fn(i); err != nil {
+					stop.Store(true)
 					errMu.Lock()
 					if first == nil {
 						first = err

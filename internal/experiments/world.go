@@ -12,6 +12,7 @@ import (
 	"repro/internal/hierarchy"
 	"repro/internal/summary"
 	"repro/internal/synth"
+	"repro/internal/telemetry"
 )
 
 // BedKind selects one of the paper's three data sets.
@@ -119,6 +120,11 @@ type World struct {
 	Lexicon    []string
 	Truth      []*summary.Summary // per database, S(D)
 	Relevant   [][]int            // [query][db] = r(q, D)
+	// Metrics, when non-nil, receives pipeline counters from summary
+	// construction and selection (sampling_queries_total, em_*,
+	// adaptive_*); cmd/experiments sets it to print a telemetry summary
+	// after each run. Nil disables metric collection at zero cost.
+	Metrics *telemetry.Registry
 }
 
 // BuildWorld generates a testbed of the given kind at the given scale.

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/classify"
 	"repro/internal/hierarchy"
+	"repro/internal/telemetry"
 )
 
 // FPSConfig parameterizes focused probing.
@@ -28,6 +29,10 @@ type FPSConfig struct {
 	// ResampleProbes is the number of sample–resample queries issued
 	// after sampling for size estimation (default 5, per Si & Callan).
 	ResampleProbes int
+	// Span receives trace events (probe rounds, vocabulary growth);
+	// Metrics receives the sampling counters. Both may be nil.
+	Span    *telemetry.Span
+	Metrics *telemetry.Registry
 }
 
 func (c FPSConfig) withDefaults() FPSConfig {
@@ -66,8 +71,9 @@ func FPS(db Searcher, cfg FPSConfig) (*Sample, hierarchy.NodeID, error) {
 		return nil, hierarchy.Root, errors.New("sampling: FPS requires a classifier")
 	}
 	tree := cfg.Classifier.Tree()
-	acc := newAccumulator(cfg.CheckpointEvery)
+	acc := newAccumulator(cfg.CheckpointEvery, cfg.Span, cfg.Metrics)
 	acc.sample.QueryDF = make(map[string]int)
+	probeCount := cfg.Metrics.Counter("classify_probes_total")
 
 	// probeCategory issues one category's probes, accumulating sample
 	// documents, and returns the category's total match coverage.
@@ -75,6 +81,8 @@ func FPS(db Searcher, cfg FPSConfig) (*Sample, hierarchy.NodeID, error) {
 		coverage := 0
 		for _, probe := range cfg.Classifier.Probes(cat) {
 			acc.sample.Queries++
+			acc.queries.Inc()
+			probeCount.Inc()
 			matches, ids := db.Query([]string{probe}, cfg.RetrieveLimit)
 			if old, ok := acc.sample.QueryDF[probe]; !ok || matches > old {
 				acc.sample.QueryDF[probe] = matches

@@ -3,6 +3,8 @@ package sampling
 import (
 	"errors"
 	"math/rand"
+
+	"repro/internal/telemetry"
 )
 
 // QBSConfig parameterizes query-based sampling. Defaults follow the
@@ -31,6 +33,10 @@ type QBSConfig struct {
 	ResampleProbes int
 	// Seed drives query-word selection.
 	Seed int64
+	// Span receives trace events (query rounds, vocabulary growth);
+	// Metrics receives the sampling counters. Both may be nil.
+	Span    *telemetry.Span
+	Metrics *telemetry.Registry
 }
 
 func (c QBSConfig) withDefaults() QBSConfig {
@@ -66,12 +72,13 @@ func QBS(db Searcher, cfg QBSConfig) (*Sample, error) {
 		return nil, errors.New("sampling: QBS requires a seed lexicon")
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	acc := newAccumulator(cfg.CheckpointEvery)
+	acc := newAccumulator(cfg.CheckpointEvery, cfg.Span, cfg.Metrics)
 	acc.sample.QueryDF = make(map[string]int)
 	used := make(map[string]bool)
 
 	query := func(w string) int {
 		acc.sample.Queries++
+		acc.queries.Inc()
 		used[w] = true
 		matches, ids := db.Query([]string{w}, cfg.RetrieveLimit)
 		acc.sample.QueryDF[w] = matches

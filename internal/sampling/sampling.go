@@ -23,6 +23,7 @@ import (
 	"sort"
 
 	"repro/internal/index"
+	"repro/internal/telemetry"
 	"repro/internal/zipf"
 )
 
@@ -93,9 +94,14 @@ type accumulator struct {
 	vocab      []string // distinct sample words in first-seen order
 	checkEvery int
 	nextCheck  int
+
+	// telemetry (all nil-safe)
+	span    *telemetry.Span
+	queries *telemetry.Counter
+	fetched *telemetry.Counter
 }
 
-func newAccumulator(checkEvery int) *accumulator {
+func newAccumulator(checkEvery int, span *telemetry.Span, reg *telemetry.Registry) *accumulator {
 	if checkEvery <= 0 {
 		checkEvery = 50
 	}
@@ -104,6 +110,9 @@ func newAccumulator(checkEvery int) *accumulator {
 		df:         make(map[string]int),
 		checkEvery: checkEvery,
 		nextCheck:  checkEvery,
+		span:       span,
+		queries:    reg.Counter("sampling_queries_total"),
+		fetched:    reg.Counter("sampling_docs_fetched_total"),
 	}
 }
 
@@ -119,6 +128,7 @@ func (a *accumulator) add(db Searcher, ids []index.DocID, max int) int {
 			continue
 		}
 		a.seen[id] = true
+		a.fetched.Inc()
 		doc := db.Fetch(id)
 		owned := make([]string, len(doc))
 		copy(owned, doc)
@@ -154,6 +164,12 @@ func (a *accumulator) checkpoint() {
 		Size: len(a.sample.Docs),
 		Law:  law,
 	})
+	// One trace event per checkpoint round: the vocabulary-growth curve
+	// of the sampling run (documents in, distinct words out).
+	a.span.Event("sampling.round",
+		telemetry.Int("docs", len(a.sample.Docs)),
+		telemetry.Int("vocab", len(a.vocab)),
+		telemetry.Int("queries", a.sample.Queries))
 }
 
 // finish finalizes the sample, ensuring a terminal checkpoint exists
@@ -177,6 +193,7 @@ func (a *accumulator) finish(db Searcher, resampleProbes int) *Sample {
 		}
 		for _, w := range a.topWordsByDF(resampleProbes) {
 			a.sample.Queries++
+			a.queries.Inc()
 			matches, _ := db.Query([]string{w}, 0)
 			a.sample.QueryDF[w] = matches
 			a.sample.ResampleDF[w] = matches

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/stats"
 	"repro/internal/summary"
+	"repro/internal/telemetry"
 )
 
 // DB is one database as seen by the adaptive algorithm: both candidate
@@ -61,6 +62,11 @@ type AdaptiveOptions struct {
 	AbsentPrior float64
 	// Seed drives the Monte-Carlo draws.
 	Seed int64
+	// Span receives one adaptive.decide trace event per database
+	// (score mean/σ, combinations examined, the shrink-or-not verdict);
+	// Metrics receives the adaptive_* counters. Both may be nil.
+	Span    *telemetry.Span
+	Metrics *telemetry.Registry
 }
 
 func (o AdaptiveOptions) withDefaults() AdaptiveOptions {
@@ -109,6 +115,9 @@ type Decision struct {
 // any choice is made).
 func (a *Adaptive) Choose(q []string, dbs []*DB, ctx *Context) ([]summary.View, []Decision) {
 	opts := a.Opts.withDefaults()
+	applied := opts.Metrics.Counter("adaptive_shrinkage_applied_total")
+	skipped := opts.Metrics.Counter("adaptive_shrinkage_skipped_total")
+	mcSamples := opts.Metrics.Counter("adaptive_mc_samples_total")
 	views := make([]summary.View, len(dbs))
 	decisions := make([]Decision, len(dbs))
 	for i, db := range dbs {
@@ -119,6 +128,18 @@ func (a *Adaptive) Choose(q []string, dbs []*DB, ctx *Context) ([]summary.View, 
 		} else {
 			views[i] = db.Unshrunk
 		}
+		mcSamples.Add(int64(d.Combos))
+		if d.Shrinkage {
+			applied.Inc()
+		} else {
+			skipped.Inc()
+		}
+		opts.Span.Event("adaptive.decide",
+			telemetry.String("db", db.Name),
+			telemetry.Float("mean", d.Mean),
+			telemetry.Float("stddev", d.StdDev),
+			telemetry.Int("combos", d.Combos),
+			telemetry.Bool("shrinkage", d.Shrinkage))
 	}
 	return views, decisions
 }

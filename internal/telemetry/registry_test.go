@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Resolving by name concurrently must yield one shared counter.
+			c := r.Counter("shared_total")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total").Value(); got != workers*perWorker {
+		t.Errorf("concurrent count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth")
+	g.Set(3.5)
+	g.Add(-1.25)
+	if got := g.Value(); got != 2.25 {
+		t.Errorf("gauge = %v, want 2.25", got)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{0.01, 0.1, 1})
+	// One observation per region: below first bound, exactly on a bound
+	// (le is inclusive), between bounds, and above the last bound (+Inf).
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.1, 0.5, 1, 2} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot().Histograms["lat"]
+	wantCounts := []int64{2, 2, 2, 1} // [<=0.01, <=0.1, <=1, +Inf] per-bucket
+	if len(snap.Counts) != len(wantCounts) {
+		t.Fatalf("bucket count = %d, want %d", len(snap.Counts), len(wantCounts))
+	}
+	for i, want := range wantCounts {
+		if snap.Counts[i] != want {
+			t.Errorf("bucket %d = %d, want %d", i, snap.Counts[i], want)
+		}
+	}
+	if snap.Count != 7 {
+		t.Errorf("count = %d, want 7", snap.Count)
+	}
+	if snap.Sum < 3.66 || snap.Sum > 3.67 {
+		t.Errorf("sum = %v, want ~3.665", snap.Sum)
+	}
+}
+
+func TestHistogramUnsortedBoundsAreSorted(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{1, 0.1, 0.01})
+	h.Observe(0.05)
+	snap := r.Snapshot().Histograms["h"]
+	if snap.Bounds[0] != 0.01 || snap.Bounds[2] != 1 {
+		t.Errorf("bounds not sorted: %v", snap.Bounds)
+	}
+	if snap.Counts[1] != 1 { // 0.01 < 0.05 <= 0.1
+		t.Errorf("counts = %v, want observation in bucket 1", snap.Counts)
+	}
+}
+
+func TestNilRegistryIsNoop(t *testing.T) {
+	var r *Registry
+	r.Counter("c").Inc()
+	r.Gauge("g").Set(1)
+	r.Histogram("h", nil).Observe(1)
+	if n := r.Snapshot().Series(); n != 0 {
+		t.Errorf("nil registry has %d series", n)
+	}
+}
+
+func TestPrometheusRendering(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("em_runs_total").Add(3)
+	r.Gauge("em_iterations").Set(12)
+	h := r.Histogram("search_latency", []float64{0.01, 0.1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	// Golden output: names sorted, histogram buckets cumulative.
+	want := `# TYPE em_runs_total counter
+em_runs_total 3
+# TYPE em_iterations gauge
+em_iterations 12
+# TYPE search_latency histogram
+search_latency_bucket{le="0.01"} 1
+search_latency_bucket{le="0.1"} 2
+search_latency_bucket{le="+Inf"} 3
+search_latency_sum 5.055
+search_latency_count 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("prometheus text:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestSnapshotSummary(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("queries_total").Add(7)
+	r.Histogram("lat", []float64{1}).Observe(0.5)
+	s := r.Snapshot().Summary()
+	for _, want := range []string{"queries_total", "7", "lat", "count=1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}

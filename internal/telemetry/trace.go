@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Tracer creates spans and delivers their events to an Observer. A nil
+// *Tracer is the disabled tracer: every method no-ops and returns nil
+// spans, so instrumented code carries no conditionals.
+type Tracer struct {
+	obs Observer
+	ids atomic.Uint64
+	now func() time.Time
+}
+
+// NewTracer builds a tracer over obs. A nil observer yields a nil
+// tracer (tracing disabled).
+func NewTracer(obs Observer) *Tracer {
+	if obs == nil {
+		return nil
+	}
+	return &Tracer{obs: obs, now: time.Now}
+}
+
+// Span starts a root span.
+func (t *Tracer) Span(name string, attrs ...Attr) *Span {
+	return t.start(name, 0, attrs)
+}
+
+func (t *Tracer) start(name string, parent uint64, attrs []Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{t: t, id: t.ids.Add(1), parent: parent, name: name, start: t.now()}
+	t.obs.Observe(Event{
+		Kind:   KindSpanStart,
+		Name:   name,
+		Span:   s.id,
+		Parent: parent,
+		Time:   s.start,
+		Attrs:  attrs,
+	})
+	return s
+}
+
+// Span is one traced operation. A nil *Span no-ops on every method, so
+// spans can be threaded through config structs unconditionally.
+type Span struct {
+	t      *Tracer
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+}
+
+// Child starts a sub-span.
+func (s *Span) Child(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.t.start(name, s.id, attrs)
+}
+
+// Event records an instantaneous event within the span.
+func (s *Span) Event(name string, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.t.obs.Observe(Event{
+		Kind:   KindPoint,
+		Name:   name,
+		Span:   s.id,
+		Parent: s.parent,
+		Time:   s.t.now(),
+		Attrs:  attrs,
+	})
+}
+
+// End closes the span, reporting its duration. Attributes passed here
+// annotate the end event (outcome counts, sizes, ...).
+func (s *Span) End(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	now := s.t.now()
+	s.t.obs.Observe(Event{
+		Kind:     KindSpanEnd,
+		Name:     s.name,
+		Span:     s.id,
+		Parent:   s.parent,
+		Time:     now,
+		Duration: now.Sub(s.start),
+		Attrs:    attrs,
+	})
+}

@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSpanTreeReconstruction(t *testing.T) {
+	var cap Capture
+	tr := NewTracer(&cap)
+
+	root := tr.Span("build", Int("databases", 2))
+	child := root.Child("sample", String("db", "a"))
+	child.Event("sampling.round", Int("docs", 50))
+	child.End(Int("queries", 10))
+	sib := root.Child("shrink", String("db", "a"))
+	sib.End()
+	root.End()
+
+	roots := cap.Tree()
+	if len(roots) != 1 || roots[0].Name != "build" {
+		t.Fatalf("roots = %+v", roots)
+	}
+	b := roots[0]
+	if len(b.Children) != 2 || b.Children[0].Name != "sample" || b.Children[1].Name != "shrink" {
+		t.Fatalf("children = %+v", b.Children)
+	}
+	s := b.Children[0]
+	if len(s.Events) != 1 || s.Events[0].Name != "sampling.round" {
+		t.Errorf("sample events = %+v", s.Events)
+	}
+	if v, ok := s.Events[0].Attr("docs").(int64); !ok || v != 50 {
+		t.Errorf("docs attr = %v", s.Events[0].Attr("docs"))
+	}
+	if !s.Ended() || !b.Ended() {
+		t.Error("spans not marked ended")
+	}
+	if got := cap.SpanNames(); strings.Join(got, ",") != "build,sample,shrink" {
+		t.Errorf("span order = %v", got)
+	}
+	if cap.Find("shrink") == nil || cap.Find("nope") != nil {
+		t.Error("Find misbehaves")
+	}
+}
+
+func TestNilTracerAndSpanNoop(t *testing.T) {
+	var tr *Tracer
+	s := tr.Span("x")
+	if s != nil {
+		t.Fatal("nil tracer produced a span")
+	}
+	// All of these must be safe no-ops.
+	s.Event("e")
+	s.End()
+	if c := s.Child("y"); c != nil {
+		t.Error("nil span produced a child")
+	}
+	if NewTracer(nil) != nil {
+		t.Error("NewTracer(nil) != nil")
+	}
+}
+
+func TestTracerConcurrentSpans(t *testing.T) {
+	var cap Capture
+	tr := NewTracer(&cap)
+	root := tr.Span("build")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := root.Child("sample")
+			s.Event("tick")
+			s.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+	b := cap.Tree()[0]
+	if len(b.Children) != 8 {
+		t.Errorf("children = %d, want 8", len(b.Children))
+	}
+	for _, c := range b.Children {
+		if len(c.Events) != 1 || !c.Ended() {
+			t.Errorf("child incomplete: %+v", c)
+		}
+	}
+}
+
+func TestMultiObserverAndLogObserver(t *testing.T) {
+	var cap Capture
+	var logged strings.Builder
+	logger := slog.New(slog.NewTextHandler(&logged, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	tr := NewTracer(MultiObserver(&cap, NewLogObserver(logger), nil))
+	s := tr.Span("search", String("query", "blood pressure"))
+	s.Event("search.db_unavailable", String("db", "dead"))
+	s.End(Int("results", 3))
+	if len(cap.Events()) != 3 {
+		t.Errorf("capture saw %d events, want 3", len(cap.Events()))
+	}
+	out := logged.String()
+	for _, want := range []string{"search.db_unavailable", "db=dead", "duration="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -36,6 +36,21 @@ type persistDB struct {
 	Gamma    float64         `json:"gamma"`
 	Sample   int             `json:"sample_size"`
 	Summary  json.RawMessage `json:"summary"`
+	// Telemetry is the build provenance (sampling cost, EM convergence,
+	// λ vector). Optional: save files written before it existed load
+	// fine, leaving the provenance zero.
+	Telemetry *persistTelemetry `json:"telemetry,omitempty"`
+}
+
+type persistTelemetry struct {
+	SampleQueries int             `json:"sample_queries"`
+	EMIterations  int             `json:"em_iterations"`
+	Lambdas       []persistLambda `json:"lambdas,omitempty"`
+}
+
+type persistLambda struct {
+	Component string  `json:"component"`
+	Weight    float64 `json:"weight"`
 }
 
 // Save writes the built summaries. BuildSummaries must have succeeded.
@@ -51,14 +66,25 @@ func (m *Metasearcher) Save(w io.Writer) error {
 		if err := r.unshrunk.Encode(&buf); err != nil {
 			return fmt.Errorf("repro: encoding %s: %w", r.name, err)
 		}
-		env.Databases = append(env.Databases, persistDB{
+		pd := persistDB{
 			Name:     r.name,
 			Category: m.tree.Node(r.assigned).Name,
 			SizeEst:  r.sizeEst,
 			Gamma:    r.gamma,
 			Sample:   r.sampleLen,
 			Summary:  json.RawMessage(buf.Bytes()),
-		})
+		}
+		if r.prov != nil {
+			pt := &persistTelemetry{
+				SampleQueries: r.prov.SampleQueries,
+				EMIterations:  r.prov.EMIterations,
+			}
+			for _, l := range r.prov.Lambdas {
+				pt.Lambdas = append(pt.Lambdas, persistLambda{Component: l.Component, Weight: l.Weight})
+			}
+			pd.Telemetry = pt
+		}
+		env.Databases = append(env.Databases, pd)
 	}
 	bw := bufio.NewWriter(w)
 	if err := json.NewEncoder(bw).Encode(env); err != nil {
@@ -98,7 +124,7 @@ func (m *Metasearcher) Load(r io.Reader) error {
 		if err != nil {
 			return fmt.Errorf("repro: database %q: %w", pd.Name, err)
 		}
-		dbs = append(dbs, &registeredDB{
+		rdb := &registeredDB{
 			name:      pd.Name,
 			category:  cat,
 			fixedCat:  true,
@@ -107,7 +133,18 @@ func (m *Metasearcher) Load(r io.Reader) error {
 			sizeEst:   pd.SizeEst,
 			gamma:     pd.Gamma,
 			sampleLen: pd.Sample,
-		})
+		}
+		if pd.Telemetry != nil {
+			prov := &BuildTelemetry{
+				SampleQueries: pd.Telemetry.SampleQueries,
+				EMIterations:  pd.Telemetry.EMIterations,
+			}
+			for _, l := range pd.Telemetry.Lambdas {
+				prov.Lambdas = append(prov.Lambdas, core.Lambda{Component: l.Component, Weight: l.Weight})
+			}
+			rdb.prov = prov
+		}
+		dbs = append(dbs, rdb)
 	}
 	if len(dbs) == 0 {
 		return errors.New("repro: save file contains no databases")
@@ -119,7 +156,7 @@ func (m *Metasearcher) Load(r io.Reader) error {
 	}
 	cats := core.BuildCategorySummaries(m.tree, classified, core.SizeWeighted)
 	for i, r := range dbs {
-		r.shrunk = core.Shrink(cats, classified[i], core.ShrinkOptions{})
+		r.shrunk = core.Shrink(cats, classified[i], core.ShrinkOptions{Metrics: m.reg})
 	}
 	m.dbs = dbs
 	m.cats = cats

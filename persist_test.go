@@ -40,6 +40,57 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
+func TestSaveLoadBuildTelemetry(t *testing.T) {
+	m := buildTestMetasearcher(t, Options{Seed: 34})
+	orig, err := m.Info("cardio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.SampleQueries == 0 || orig.EMIterations == 0 {
+		t.Fatalf("build telemetry missing before save: %+v", orig)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2 := New(Options{})
+	if err := m2.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m2.Info("cardio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SampleQueries != orig.SampleQueries || got.EMIterations != orig.EMIterations {
+		t.Errorf("provenance after round trip = %d queries / %d EM iters, want %d / %d",
+			got.SampleQueries, got.EMIterations, orig.SampleQueries, orig.EMIterations)
+	}
+	if len(got.MixtureWeights) != len(orig.MixtureWeights) {
+		t.Fatalf("λ vector length %d, want %d", len(got.MixtureWeights), len(orig.MixtureWeights))
+	}
+	for i := range got.MixtureWeights {
+		if got.MixtureWeights[i] != orig.MixtureWeights[i] {
+			t.Errorf("λ[%d] = %+v, want %+v", i, got.MixtureWeights[i], orig.MixtureWeights[i])
+		}
+	}
+	// A save file from before telemetry persistence (no telemetry key)
+	// still loads, with zero provenance.
+	legacy := `{"version": 1, "databases": [{"name": "x", "category": "Heart",
+		"size_estimate": 10, "sample_size": 5,
+		"summary": {"version":1,"num_docs":10,"words":[{"w":"blood","p":0.5}]}}]}`
+	m3 := New(Options{})
+	if err := m3.Load(strings.NewReader(legacy)); err != nil {
+		t.Fatal(err)
+	}
+	info, err := m3.Info("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.SampleQueries != 0 {
+		t.Errorf("legacy save produced provenance %+v", info)
+	}
+}
+
 func TestSaveRequiresBuild(t *testing.T) {
 	m := New(Options{})
 	var buf bytes.Buffer

@@ -28,8 +28,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/classify"
 	"repro/internal/core"
@@ -39,6 +41,7 @@ import (
 	"repro/internal/sampling"
 	"repro/internal/selection"
 	"repro/internal/summary"
+	"repro/internal/telemetry"
 	"repro/internal/textproc"
 	"repro/internal/zipf"
 )
@@ -92,6 +95,19 @@ type Options struct {
 	Parallelism int
 	// Seed drives sampling and Monte-Carlo randomness.
 	Seed int64
+	// Observer receives structured trace events from the whole pipeline
+	// (sampling rounds, classification probing, EM convergence, adaptive
+	// decisions, search fan-out). Nil disables tracing at zero cost; see
+	// telemetry.Capture (tests) and telemetry.NewLogObserver (slog).
+	Observer telemetry.Observer
+	// Logger, when non-nil, receives pipeline progress and warnings
+	// (databases sampled, dead backends skipped during Search).
+	Logger *slog.Logger
+	// Metrics is the registry pipeline counters, gauges, and latency
+	// histograms are recorded in. Nil creates a private registry,
+	// retrievable via Metasearcher.Metrics; pass a shared registry to
+	// aggregate several metasearchers into one /metrics endpoint.
+	Metrics *telemetry.Registry
 }
 
 // CategorySpec mirrors a topic-hierarchy node for Options.
@@ -138,8 +154,11 @@ type Selection struct {
 // Metasearcher is the end-to-end system of the paper. Methods are safe
 // for concurrent use after BuildSummaries has returned.
 type Metasearcher struct {
-	opts Options
-	tree *hierarchy.Tree
+	opts   Options
+	tree   *hierarchy.Tree
+	reg    *telemetry.Registry
+	tracer *telemetry.Tracer
+	logger *slog.Logger // nil = logging disabled
 
 	mu       sync.Mutex
 	training *classify.TrainingSet
@@ -163,7 +182,22 @@ type registeredDB struct {
 	sizeEst    float64
 	gamma      float64
 	sampleLen  int
-	sampleDocs [][]string // retained only for the ReDDE scorer
+	sampleDocs [][]string      // retained only for the ReDDE scorer
+	prov       *BuildTelemetry // how the summary was built (persisted)
+}
+
+// BuildTelemetry records the provenance of one database's content
+// summary: what building it cost and what the EM converged to. It is
+// persisted by Save so Load-ed deployments keep it.
+type BuildTelemetry struct {
+	// SampleQueries is the number of queries the sampler (and its
+	// resample probes) sent to the database.
+	SampleQueries int
+	// EMIterations is the Figure 2 iteration count to convergence.
+	EMIterations int
+	// Lambdas is the converged mixture-weight vector, uniform component
+	// first, the database itself last.
+	Lambdas []core.Lambda
 }
 
 // New creates a Metasearcher.
@@ -177,7 +211,68 @@ func New(opts Options) *Metasearcher {
 	if opts.SampleSize == 0 {
 		opts.SampleSize = 300
 	}
-	return &Metasearcher{opts: opts, tree: tree, training: &classify.TrainingSet{}}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	registerPipelineMetrics(reg)
+	return &Metasearcher{
+		opts:     opts,
+		tree:     tree,
+		reg:      reg,
+		tracer:   telemetry.NewTracer(opts.Observer),
+		logger:   opts.Logger,
+		training: &classify.TrainingSet{},
+	}
+}
+
+// Metrics returns the registry this metasearcher records pipeline
+// telemetry in (serve it with telemetry.Registry.Handler, or snapshot
+// it for reports). Never nil.
+func (m *Metasearcher) Metrics() *telemetry.Registry { return m.reg }
+
+// registerPipelineMetrics pre-creates every pipeline series so an
+// exposition endpoint shows the full schema (at zero) before traffic
+// arrives. The names are documented in DESIGN.md §8.
+func registerPipelineMetrics(reg *telemetry.Registry) {
+	for _, c := range []string{
+		"build_runs_total",
+		"sampling_queries_total",
+		"sampling_docs_fetched_total",
+		"classify_probes_total",
+		"em_runs_total",
+		"em_iterations_total",
+		"adaptive_shrinkage_applied_total",
+		"adaptive_shrinkage_skipped_total",
+		"adaptive_mc_samples_total",
+		"select_requests_total",
+		"search_requests_total",
+		"search_db_unavailable_total",
+		"search_results_merged_total",
+		"concurrency_tasks_started_total",
+		"concurrency_tasks_failed_total",
+	} {
+		reg.Counter(c)
+	}
+	for _, g := range []string{"build_databases", "em_iterations", "sampling_vocab_size"} {
+		reg.Gauge(g)
+	}
+	for _, h := range []string{"build_latency", "select_latency", "search_latency", "search_db_latency"} {
+		reg.Histogram(h, nil)
+	}
+}
+
+// logInfo and logWarn guard the optional logger.
+func (m *Metasearcher) logInfo(msg string, args ...interface{}) {
+	if m.logger != nil {
+		m.logger.Info(msg, args...)
+	}
+}
+
+func (m *Metasearcher) logWarn(msg string, args ...interface{}) {
+	if m.logger != nil {
+		m.logger.Warn(msg, args...)
+	}
 }
 
 func toSpec(c *CategorySpec) hierarchy.Spec {
@@ -280,6 +375,12 @@ func (m *Metasearcher) BuildSummaries() error {
 	if len(m.dbs) == 0 {
 		return errors.New("repro: no databases registered")
 	}
+	t0 := time.Now()
+	buildSpan := m.tracer.Span("build", telemetry.Int("databases", len(m.dbs)))
+	defer buildSpan.End()
+	defer m.reg.Histogram("build_latency", nil).ObserveSince(t0)
+	m.reg.Counter("build_runs_total").Inc()
+	m.reg.Gauge("build_databases").Set(float64(len(m.dbs)))
 
 	needProbing := false
 	for _, r := range m.dbs {
@@ -322,16 +423,32 @@ func (m *Metasearcher) BuildSummaries() error {
 		var sample *sampling.Sample
 		var probed hierarchy.NodeID
 		var err error
+		samplerName := "qbs"
 		if useFPS {
-			sample, probed, err = sampling.FPS(searcher, sampling.FPSConfig{Classifier: m.classifier})
+			samplerName = "fps"
+		}
+		sampleSpan := buildSpan.Child("sample",
+			telemetry.String("db", r.name), telemetry.String("sampler", samplerName))
+		if useFPS {
+			sample, probed, err = sampling.FPS(searcher, sampling.FPSConfig{
+				Classifier: m.classifier,
+				Span:       sampleSpan,
+				Metrics:    m.reg,
+			})
+			sampleSpan.End(queriesDocsAttrs(sample)...)
 		} else {
 			sample, err = sampling.QBS(searcher, sampling.QBSConfig{
 				TargetDocs:  m.opts.SampleSize,
 				SeedLexicon: lexicon,
 				Seed:        m.opts.Seed + int64(i),
+				Span:        sampleSpan,
+				Metrics:     m.reg,
 			})
+			sampleSpan.End(queriesDocsAttrs(sample)...)
 			if err == nil && !r.fixedCat {
-				probed = m.classifier.Classify(searcher)
+				classifySpan := buildSpan.Child("classify", telemetry.String("db", r.name))
+				probed = m.classifier.ClassifyTraced(searcher, classifySpan, m.reg)
+				classifySpan.End(telemetry.String("category", m.tree.PathString(probed)))
 			}
 		}
 		if err != nil {
@@ -340,6 +457,11 @@ func (m *Metasearcher) BuildSummaries() error {
 
 		raw := summary.FromSample(sample.Docs)
 		r.sampleLen = raw.SampleSize
+		r.prov = &BuildTelemetry{SampleQueries: sample.Queries}
+		m.reg.Gauge("sampling_vocab_size").Set(float64(raw.Len()))
+		m.logInfo("sampled database",
+			"db", r.name, "sampler", samplerName,
+			"queries", sample.Queries, "docs", len(sample.Docs), "vocab", raw.Len())
 		if strings.EqualFold(m.opts.Scorer, "redde") {
 			r.sampleDocs = sample.Docs
 		}
@@ -362,7 +484,7 @@ func (m *Metasearcher) BuildSummaries() error {
 		}
 		return nil
 	}
-	if err := forEachConcurrently(len(m.dbs), m.opts.Parallelism, buildOne); err != nil {
+	if err := forEachConcurrently(len(m.dbs), m.opts.Parallelism, m.reg, buildOne); err != nil {
 		return err
 	}
 
@@ -372,11 +494,31 @@ func (m *Metasearcher) BuildSummaries() error {
 	}
 	m.cats = core.BuildCategorySummaries(m.tree, classified, core.SizeWeighted)
 	for i, r := range m.dbs {
-		r.shrunk = core.Shrink(m.cats, classified[i], core.ShrinkOptions{})
+		shrinkSpan := buildSpan.Child("shrink", telemetry.String("db", r.name))
+		r.shrunk = core.Shrink(m.cats, classified[i], core.ShrinkOptions{
+			Span:    shrinkSpan,
+			Metrics: m.reg,
+		})
+		shrinkSpan.End(telemetry.Int("em_iterations", r.shrunk.EMIterations()))
+		r.prov.EMIterations = r.shrunk.EMIterations()
+		r.prov.Lambdas = r.shrunk.Lambdas()
 	}
 	m.global = m.cats.Summary(hierarchy.Root)
 	m.built = true
+	m.logInfo("summaries built", "databases", len(m.dbs), "elapsed", time.Since(t0))
 	return nil
+}
+
+// queriesDocsAttrs annotates a sample span's end event (nil-tolerant:
+// sampling may have failed).
+func queriesDocsAttrs(s *sampling.Sample) []telemetry.Attr {
+	if s == nil {
+		return nil
+	}
+	return []telemetry.Attr{
+		telemetry.Int("queries", s.Queries),
+		telemetry.Int("docs", len(s.Docs)),
+	}
 }
 
 // scorer resolves the configured base selection algorithm.
@@ -395,6 +537,12 @@ func (m *Metasearcher) scorer() selection.Scorer {
 // k (possibly fewer: databases indistinguishable from knowing nothing
 // about the query are not selected, as in the paper).
 func (m *Metasearcher) Select(query string, k int) ([]Selection, error) {
+	return m.selectSpanned(nil, query, k)
+}
+
+// selectSpanned is Select under an optional parent span (Search nests
+// its selection step under the search span).
+func (m *Metasearcher) selectSpanned(parent *telemetry.Span, query string, k int) ([]Selection, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if !m.built {
@@ -405,8 +553,18 @@ func (m *Metasearcher) Select(query string, k int) ([]Selection, error) {
 		return nil, errors.New("repro: query has no indexable terms")
 	}
 
+	t0 := time.Now()
+	span := parent.Child("select", telemetry.Int("terms", len(terms)), telemetry.Int("k", k))
+	if parent == nil {
+		span = m.tracer.Span("select", telemetry.Int("terms", len(terms)), telemetry.Int("k", k))
+	}
+	m.reg.Counter("select_requests_total").Inc()
+	defer m.reg.Histogram("select_latency", nil).ObserveSince(t0)
+
 	if strings.EqualFold(m.opts.Scorer, "redde") {
-		return m.selectReDDE(terms, k)
+		out, err := m.selectReDDE(terms, k)
+		span.End(telemetry.Int("selected", len(out)))
+		return out, err
 	}
 
 	base := m.scorer()
@@ -420,6 +578,7 @@ func (m *Metasearcher) Select(query string, k int) ([]Selection, error) {
 		ctx := selection.NewContext(terms, entries, m.global)
 		ranked = selection.Rank(base, terms, entries, ctx)
 		decisions = make([]selection.Decision, len(m.dbs))
+		m.reg.Counter("adaptive_shrinkage_applied_total").Add(int64(len(m.dbs)))
 		for i := range decisions {
 			decisions[i].Shrinkage = true
 		}
@@ -434,7 +593,11 @@ func (m *Metasearcher) Select(query string, k int) ([]Selection, error) {
 				Size:     int(r.sizeEst),
 			}
 		}
-		adaptive := &selection.Adaptive{Base: base, Opts: selection.AdaptiveOptions{Seed: m.opts.Seed}}
+		adaptive := &selection.Adaptive{Base: base, Opts: selection.AdaptiveOptions{
+			Seed:    m.opts.Seed,
+			Span:    span,
+			Metrics: m.reg,
+		}}
 		ranked, decisions = adaptive.Rank(terms, adbs, m.global)
 	}
 
@@ -449,6 +612,7 @@ func (m *Metasearcher) Select(query string, k int) ([]Selection, error) {
 			Shrinkage: decisions[r.Index].Shrinkage,
 		})
 	}
+	span.End(telemetry.Int("selected", len(out)))
 	return out, nil
 }
 
@@ -492,6 +656,12 @@ type DatabaseInfo struct {
 		Component string
 		Weight    float64
 	}
+	// SampleQueries and EMIterations are the build provenance: queries
+	// the sampler issued and Figure 2 EM iterations to convergence.
+	// Both survive a Save/Load round trip (zero when loaded from a save
+	// file that predates telemetry persistence).
+	SampleQueries int
+	EMIterations  int
 }
 
 // Info reports the built state of a database.
@@ -512,7 +682,19 @@ func (m *Metasearcher) Info(name string) (DatabaseInfo, error) {
 			SampleSize:    r.sampleLen,
 			SummaryWords:  r.unshrunk.Len(),
 		}
-		for _, l := range r.shrunk.Lambdas() {
+		lambdas := r.shrunk.Lambdas()
+		if r.prov != nil {
+			info.SampleQueries = r.prov.SampleQueries
+			info.EMIterations = r.prov.EMIterations
+			// Prefer the persisted λ vector: it is the provenance of the
+			// deployed summaries even if a re-run would converge equally.
+			if len(r.prov.Lambdas) > 0 {
+				lambdas = r.prov.Lambdas
+			}
+		} else {
+			info.EMIterations = r.shrunk.EMIterations()
+		}
+		for _, l := range lambdas {
 			info.MixtureWeights = append(info.MixtureWeights, struct {
 				Component string
 				Weight    float64

@@ -3,6 +3,9 @@ package repro
 import (
 	"errors"
 	"sort"
+	"time"
+
+	"repro/internal/telemetry"
 )
 
 // The paper's introduction defines a metasearcher by three steps:
@@ -28,15 +31,31 @@ type Result struct {
 // databases for the query (Figure 3's adaptive selection under the
 // configured scorer), evaluate the query at each selected database, and
 // merge the top perDB documents of each into a single ranking.
+//
+// A selected database without a live handle (registered via RegisterLoaded,
+// or whose connection is otherwise gone) is skipped — counted in
+// search_db_unavailable_total and noted on the trace — rather than
+// failing the whole search. Search errors only when none of the
+// selected databases is reachable.
 func (m *Metasearcher) Search(query string, maxDBs, perDB int) ([]Result, error) {
 	if perDB <= 0 {
 		perDB = 10
 	}
-	sels, err := m.Select(query, maxDBs)
+	span := m.tracer.Span("search",
+		telemetry.String("query", query),
+		telemetry.Int("max_dbs", maxDBs),
+		telemetry.Int("per_db", perDB))
+	m.reg.Counter("search_requests_total").Inc()
+	start := time.Now()
+	defer m.reg.Histogram("search_latency", nil).ObserveSince(start)
+
+	sels, err := m.selectSpanned(span, query, maxDBs)
 	if err != nil {
+		span.End(telemetry.String("error", err.Error()))
 		return nil, err
 	}
 	if len(sels) == 0 {
+		span.End(telemetry.Int("merged", 0))
 		return nil, nil
 	}
 
@@ -62,13 +81,25 @@ func (m *Metasearcher) Search(query string, maxDBs, perDB int) ([]Result, error)
 		maxScore = 1
 	}
 
+	unavailable := m.reg.Counter("search_db_unavailable_total")
+	dbLatency := m.reg.Histogram("search_db_latency", nil)
 	var out []Result
+	queried := 0
 	for _, sel := range sels {
 		db, ok := handles[sel.Database]
 		if !ok {
-			return nil, errors.New("repro: Search needs live database connections (Load-ed state has none)")
+			unavailable.Inc()
+			span.Event("search.db_unavailable", telemetry.String("db", sel.Database))
+			m.logWarn("search: selected database has no live connection, skipping",
+				"db", sel.Database, "query", query)
+			continue
 		}
+		dbSpan := span.Child("search.db", telemetry.String("db", sel.Database))
+		dbStart := time.Now()
 		_, ids := db.Query(terms, perDB)
+		dbLatency.ObserveSince(dbStart)
+		dbSpan.End(telemetry.Int("results", len(ids)))
+		queried++
 		for rank, id := range ids {
 			out = append(out, Result{
 				Database: sel.Database,
@@ -76,6 +107,11 @@ func (m *Metasearcher) Search(query string, maxDBs, perDB int) ([]Result, error)
 				Score:    (sel.Score / maxScore) / float64(rank+1),
 			})
 		}
+	}
+	if queried == 0 {
+		err := errors.New("repro: Search needs live database connections (Load-ed state has none)")
+		span.End(telemetry.String("error", err.Error()))
+		return nil, err
 	}
 	sort.Slice(out, func(a, b int) bool {
 		if out[a].Score != out[b].Score {
@@ -86,5 +122,10 @@ func (m *Metasearcher) Search(query string, maxDBs, perDB int) ([]Result, error)
 		}
 		return out[a].DocID < out[b].DocID
 	})
+	m.reg.Counter("search_results_merged_total").Add(int64(len(out)))
+	span.End(
+		telemetry.Int("selected", len(sels)),
+		telemetry.Int("queried", queried),
+		telemetry.Int("merged", len(out)))
 	return out, nil
 }
