@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race bench smoke clean
+.PHONY: all vet build test race bench smoke smoke-remote check clean
 
 all: vet build test
 
@@ -26,6 +26,14 @@ bench:
 smoke: vet build
 	$(GO) test -race ./internal/telemetry/ .
 	$(GO) test -run='^$$' -bench=BenchmarkTable2 -benchtime=1x .
+
+# End-to-end wire-protocol smoke: build dbnode, serve the sample corpus
+# on an ephemeral port, run one remote query, tear down.
+smoke-remote:
+	GO="$(GO)" sh scripts/smoke_remote.sh
+
+# The full pre-merge gate.
+check: vet build test race smoke-remote
 
 clean:
 	$(GO) clean ./...

@@ -8,9 +8,14 @@
 // Usage:
 //
 //	metasearch [-scale small|default] [-scorer cori|bgloss|lm] [-k 5] \
-//	           [-listen :8080] [-v] [-trace] [query ...]
+//	           [-listen :8080] [-remote host:port,...] [-v] [-trace] [query ...]
 //
 // With no query arguments, queries are read one per line from stdin.
+//
+// With -remote, the metasearcher talks to dbnode servers over the wire
+// protocol instead of registering in-process databases; the nodes must
+// serve shards of the same testbed (same dbnode -scale and -seed) for
+// the term spaces to line up.
 //
 // With -listen, an HTTP server exposes the operational surface while
 // the process runs:
@@ -23,6 +28,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"expvar"
 	"flag"
 	"fmt"
@@ -41,20 +47,13 @@ import (
 	"repro/internal/telemetry"
 )
 
-// The synthetic vocabulary uses underscores (heart_31_3) that the
-// metasearcher's tokenizer treats as word breaks. sanitize maps the
-// testbed's token space into one the full text pipeline preserves; the
-// mapping is injective over the generator's <topic>_<i>_<j> words, so
-// no two distinct words collide.
-func sanitize(w string) string { return strings.ReplaceAll(w, "_", "u") }
+// sanitize and sanitizeAll map the synthetic testbed's underscore
+// vocabulary into the full text pipeline's token space (see
+// experiments.Sanitize); cmd/dbnode applies the same mapping when
+// serving a testbed shard, so -remote mode sees identical terms.
+func sanitize(w string) string { return experiments.Sanitize(w) }
 
-func sanitizeAll(ws []string) []string {
-	out := make([]string, len(ws))
-	for i, w := range ws {
-		out[i] = sanitize(w)
-	}
-	return out
-}
+func sanitizeAll(ws []string) []string { return experiments.SanitizeAll(ws) }
 
 func main() {
 	log.SetFlags(0)
@@ -66,6 +65,7 @@ func main() {
 		perDB      = flag.Int("perdb", 3, "documents to retrieve per selected database")
 		seed       = flag.Int64("seed", 1, "synthetic world seed")
 		listen     = flag.String("listen", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. :8080)")
+		remote     = flag.String("remote", "", "comma-separated dbnode addresses (host:port,...); metasearch over these remote nodes instead of in-process databases (start them with: dbnode -testbed <name> -scale ... -seed ...)")
 		verbose    = flag.Bool("v", false, "log pipeline progress to stderr")
 		trace      = flag.Bool("trace", false, "log structured trace events (spans, EM convergence, adaptive decisions) to stderr")
 	)
@@ -124,17 +124,41 @@ func main() {
 		}()
 	}
 
-	// Register every testbed database under its directory category (the
-	// paper's "existing classification" case, so no probe training is
-	// needed) and build the shrunk content summaries.
-	for _, db := range w.Bed.Databases {
-		docs := make([][]string, db.Index.NumDocs())
-		for id := range docs {
-			docs[id] = sanitizeAll(db.Index.Doc(index.DocID(id)))
+	// Register the databases: either every testbed database in-process
+	// under its directory category (the paper's "existing classification"
+	// case, so no probe training is needed), or — with -remote — the
+	// dbnode servers at the given addresses, each under the category it
+	// advertises. A dbnode serving a shard of the same testbed (same
+	// -scale and -seed) yields the same terms, so the pipeline produces
+	// identical summaries and rankings either way.
+	if *remote != "" {
+		for _, addr := range strings.Split(*remote, ",") {
+			addr = strings.TrimSpace(addr)
+			if addr == "" {
+				continue
+			}
+			rdb, err := repro.DialRemoteDatabase(context.Background(), addr, repro.RemoteDatabaseOptions{
+				Metrics: m.Metrics(),
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("connected to %s: %s (%d docs, category %q)",
+				rdb.BaseURL(), rdb.Name(), rdb.NumDocs(), rdb.Category())
+			if err := m.AddDatabase(rdb, rdb.Category()); err != nil {
+				log.Fatal(err)
+			}
 		}
-		cat := w.Bed.Tree.Node(db.Category).Name
-		if err := m.AddDatabase(repro.NewLocalDatabaseFromTerms(db.Name, docs), cat); err != nil {
-			log.Fatal(err)
+	} else {
+		for _, db := range w.Bed.Databases {
+			docs := make([][]string, db.Index.NumDocs())
+			for id := range docs {
+				docs[id] = sanitizeAll(db.Index.Doc(index.DocID(id)))
+			}
+			cat := w.Bed.Tree.Node(db.Category).Name
+			if err := m.AddDatabase(repro.NewLocalDatabaseFromTerms(db.Name, docs), cat); err != nil {
+				log.Fatal(err)
+			}
 		}
 	}
 	log.Print("sampling databases and building shrunk summaries (QBS + frequency estimation)...")

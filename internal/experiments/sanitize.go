@@ -1,0 +1,20 @@
+package experiments
+
+import "strings"
+
+// The synthetic vocabulary uses underscores (heart_31_3) that the
+// metasearcher's tokenizer treats as word breaks. Sanitize maps the
+// testbed's token space into one the full text pipeline preserves; the
+// mapping is injective over the generator's <topic>_<i>_<j> words, so
+// no two distinct words collide. Both cmd/metasearch and cmd/dbnode use
+// it, so a metasearcher and the nodes it queries agree on term space.
+func Sanitize(w string) string { return strings.ReplaceAll(w, "_", "u") }
+
+// SanitizeAll applies Sanitize to every word.
+func SanitizeAll(ws []string) []string {
+	out := make([]string, len(ws))
+	for i, w := range ws {
+		out[i] = Sanitize(w)
+	}
+	return out
+}

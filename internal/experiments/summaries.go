@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -113,7 +114,7 @@ func (w *World) BuildSummaries(cfg Config) (*DBSummaries, error) {
 		var err error
 		switch cfg.Sampler {
 		case QBS:
-			sample, err = sampling.QBS(searcher, sampling.QBSConfig{
+			sample, err = sampling.QBS(context.Background(), searcher, sampling.QBSConfig{
 				TargetDocs:  w.Scale.SampleTarget,
 				SeedLexicon: w.Lexicon,
 				Seed:        synth.SubSeed(seed, int64(i)),
@@ -132,7 +133,7 @@ func (w *World) BuildSummaries(cfg Config) (*DBSummaries, error) {
 			}
 		case FPS:
 			// FPS derives the classification during sampling.
-			sample, class, err = sampling.FPS(searcher, sampling.FPSConfig{
+			sample, class, err = sampling.FPS(context.Background(), searcher, sampling.FPSConfig{
 				Classifier: w.Classifier,
 				Metrics:    w.Metrics,
 			})

@@ -1,6 +1,7 @@
 package freqest
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -188,7 +189,7 @@ func TestRefineEndToEndImprovesSizeEstimate(t *testing.T) {
 	for i := range lex {
 		lex[i] = g.GlobalVocab().Word(i)
 	}
-	sample, err := sampling.QBS(sampling.IndexSearcher{Ix: ix}, sampling.QBSConfig{
+	sample, err := sampling.QBS(context.Background(), sampling.IndexSearcher{Ix: ix}, sampling.QBSConfig{
 		TargetDocs: 150, SeedLexicon: lex, Seed: 17, CheckpointEvery: 25,
 	})
 	if err != nil {

@@ -1,6 +1,7 @@
 package sampling
 
 import (
+	"context"
 	"errors"
 
 	"repro/internal/classify"
@@ -65,7 +66,10 @@ func (c FPSConfig) withDefaults() FPSConfig {
 // output is both the document sample and the database's classification:
 // the chain of best qualifying children, exactly one category, as the
 // paper's adapted technique produces (Section 5.2).
-func FPS(db Searcher, cfg FPSConfig) (*Sample, hierarchy.NodeID, error) {
+//
+// A probe that fails transiently contributes no matches and no
+// documents; cancelling ctx aborts the run with the context's error.
+func FPS(ctx context.Context, db Searcher, cfg FPSConfig) (*Sample, hierarchy.NodeID, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Classifier == nil {
 		return nil, hierarchy.Root, errors.New("sampling: FPS requires a classifier")
@@ -77,20 +81,31 @@ func FPS(db Searcher, cfg FPSConfig) (*Sample, hierarchy.NodeID, error) {
 
 	// probeCategory issues one category's probes, accumulating sample
 	// documents, and returns the category's total match coverage.
-	probeCategory := func(cat hierarchy.NodeID) int {
+	probeCategory := func(cat hierarchy.NodeID) (int, error) {
 		coverage := 0
 		for _, probe := range cfg.Classifier.Probes(cat) {
+			if err := ctx.Err(); err != nil {
+				return coverage, err
+			}
 			acc.sample.Queries++
 			acc.queries.Inc()
 			probeCount.Inc()
-			matches, ids := db.Query([]string{probe}, cfg.RetrieveLimit)
+			matches, ids, err := db.Query(ctx, []string{probe}, cfg.RetrieveLimit)
+			if err != nil {
+				if cerr := ctx.Err(); cerr != nil {
+					return coverage, cerr
+				}
+				acc.span.Event("sampling.probe_error",
+					telemetry.String("probe", probe), telemetry.String("error", err.Error()))
+				continue // transient failure: this probe contributes nothing
+			}
 			if old, ok := acc.sample.QueryDF[probe]; !ok || matches > old {
 				acc.sample.QueryDF[probe] = matches
 			}
 			coverage += matches
-			acc.add(db, ids, cfg.DocsPerQuery)
+			acc.add(ctx, db, ids, cfg.DocsPerQuery)
 		}
-		return coverage
+		return coverage, nil
 	}
 
 	// First pass: probe and recurse into every qualifying subtree,
@@ -100,15 +115,18 @@ func FPS(db Searcher, cfg FPSConfig) (*Sample, hierarchy.NodeID, error) {
 		qualifies bool
 	}
 	results := make(map[hierarchy.NodeID]probeResult)
-	var visit func(node hierarchy.NodeID)
-	visit = func(node hierarchy.NodeID) {
+	var visit func(node hierarchy.NodeID) error
+	visit = func(node hierarchy.NodeID) error {
 		children := tree.Children(node)
 		if len(children) == 0 {
-			return
+			return nil
 		}
 		total := 0
 		for _, ch := range children {
-			c := probeCategory(ch)
+			c, err := probeCategory(ch)
+			if err != nil {
+				return err
+			}
 			results[ch] = probeResult{coverage: c}
 			total += c
 		}
@@ -121,11 +139,16 @@ func FPS(db Searcher, cfg FPSConfig) (*Sample, hierarchy.NodeID, error) {
 			r.qualifies = r.coverage >= cfg.TauCoverage && spec >= cfg.TauSpecificity
 			results[ch] = r
 			if r.qualifies {
-				visit(ch)
+				if err := visit(ch); err != nil {
+					return err
+				}
 			}
 		}
+		return nil
 	}
-	visit(hierarchy.Root)
+	if err := visit(hierarchy.Root); err != nil {
+		return nil, hierarchy.Root, err
+	}
 
 	// Second pass: the classification is the chain of best qualifying
 	// children from the root down.
@@ -145,5 +168,5 @@ func FPS(db Searcher, cfg FPSConfig) (*Sample, hierarchy.NodeID, error) {
 		}
 		classification = best
 	}
-	return acc.finish(db, cfg.ResampleProbes), classification, nil
+	return acc.finish(ctx, db, cfg.ResampleProbes), classification, nil
 }

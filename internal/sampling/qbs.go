@@ -1,6 +1,7 @@
 package sampling
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 
@@ -66,7 +67,11 @@ func (c QBSConfig) withDefaults() QBSConfig {
 // queries drawn from the words of the sampled documents, each
 // retrieving at most DocsPerQuery unseen documents, until TargetDocs
 // documents are sampled or MaxBarren consecutive queries add nothing.
-func QBS(db Searcher, cfg QBSConfig) (*Sample, error) {
+//
+// A query that fails transiently (the remote node dropped it even after
+// the client's own retries) retrieves nothing and counts as barren;
+// cancelling ctx aborts the run with the context's error.
+func QBS(ctx context.Context, db Searcher, cfg QBSConfig) (*Sample, error) {
 	cfg = cfg.withDefaults()
 	if len(cfg.SeedLexicon) == 0 {
 		return nil, errors.New("sampling: QBS requires a seed lexicon")
@@ -76,17 +81,28 @@ func QBS(db Searcher, cfg QBSConfig) (*Sample, error) {
 	acc.sample.QueryDF = make(map[string]int)
 	used := make(map[string]bool)
 
-	query := func(w string) int {
+	query := func(w string) (int, error) {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		acc.sample.Queries++
 		acc.queries.Inc()
 		used[w] = true
-		matches, ids := db.Query([]string{w}, cfg.RetrieveLimit)
+		matches, ids, err := db.Query(ctx, []string{w}, cfg.RetrieveLimit)
+		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return 0, cerr
+			}
+			acc.span.Event("sampling.query_error",
+				telemetry.String("word", w), telemetry.String("error", err.Error()))
+			return 0, nil // transient failure: this query retrieved nothing
+		}
 		acc.sample.QueryDF[w] = matches
 		max := cfg.DocsPerQuery
 		if remaining := cfg.TargetDocs - len(acc.sample.Docs); remaining < max {
 			max = remaining
 		}
-		return acc.add(db, ids, max)
+		return acc.add(ctx, db, ids, max), nil
 	}
 
 	// Bootstrap: random dictionary words until something comes back.
@@ -96,13 +112,17 @@ func QBS(db Searcher, cfg QBSConfig) (*Sample, error) {
 		if used[w] {
 			continue
 		}
-		if query(w) > 0 {
+		n, err := query(w)
+		if err != nil {
+			return nil, err
+		}
+		if n > 0 {
 			bootstrapped = true
 			break
 		}
 	}
 	if !bootstrapped {
-		return acc.finish(nil, 0), nil // empty or unreachable database
+		return acc.finish(ctx, nil, 0), nil // empty or unreachable database
 	}
 
 	barren := 0
@@ -111,11 +131,15 @@ func QBS(db Searcher, cfg QBSConfig) (*Sample, error) {
 		if !ok {
 			break // every sample word has been tried
 		}
-		if query(w) == 0 {
+		n, err := query(w)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
 			barren++
 		} else {
 			barren = 0
 		}
 	}
-	return acc.finish(db, cfg.ResampleProbes), nil
+	return acc.finish(ctx, db, cfg.ResampleProbes), nil
 }

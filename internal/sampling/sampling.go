@@ -15,10 +15,16 @@
 // Samplers interact with a database only through the Searcher
 // interface — the number of matches for a query and the top-ranked
 // documents — which is exactly what a remote, uncooperative web
-// database exposes.
+// database exposes. The interface is context-aware and fallible,
+// because the database is usually at the other end of a network:
+// cancelling the context aborts a sampling run (and its in-flight
+// probes), while transient per-call failures are tolerated — a failed
+// query retrieves nothing and sampling moves on, mirroring how a
+// metasearcher really behaves against a flaky node.
 package sampling
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 
@@ -28,12 +34,45 @@ import (
 )
 
 // Searcher is the query interface of an uncooperative database.
+// Implementations backed by a network return errors for failed calls
+// and honor context cancellation; in-process implementations may ignore
+// the context and return nil errors.
 type Searcher interface {
 	// Query evaluates a conjunctive query, returning the total number
 	// of matching documents and the top `limit` ranked matches.
-	Query(terms []string, limit int) (matches int, top []index.DocID)
+	Query(ctx context.Context, terms []string, limit int) (matches int, top []index.DocID, err error)
 	// Fetch returns the terms of one document.
+	Fetch(ctx context.Context, id index.DocID) ([]string, error)
+}
+
+// PlainSearcher is the pre-context Searcher shape: infallible,
+// synchronous, no cancellation. Kept as a compatibility shim for
+// in-process databases; adapt one with Plain.
+type PlainSearcher interface {
+	Query(terms []string, limit int) (matches int, top []index.DocID)
 	Fetch(id index.DocID) []string
+}
+
+// Plain adapts a PlainSearcher to the context-aware Searcher interface.
+// The adapter honors cancellation between calls (a canceled context
+// fails the next call before it reaches the database).
+func Plain(db PlainSearcher) Searcher { return plainAdapter{db} }
+
+type plainAdapter struct{ db PlainSearcher }
+
+func (a plainAdapter) Query(ctx context.Context, terms []string, limit int) (int, []index.DocID, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, nil, err
+	}
+	matches, top := a.db.Query(terms, limit)
+	return matches, top, nil
+}
+
+func (a plainAdapter) Fetch(ctx context.Context, id index.DocID) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return a.db.Fetch(id), nil
 }
 
 // IndexSearcher adapts an index.Index to Searcher.
@@ -42,17 +81,19 @@ type IndexSearcher struct {
 }
 
 // Query implements Searcher.
-func (s IndexSearcher) Query(terms []string, limit int) (int, []index.DocID) {
+func (s IndexSearcher) Query(ctx context.Context, terms []string, limit int) (int, []index.DocID, error) {
 	matches, top := s.Ix.Search(terms, limit)
 	ids := make([]index.DocID, len(top))
 	for i, r := range top {
 		ids[i] = r.Doc
 	}
-	return matches, ids
+	return matches, ids, nil
 }
 
 // Fetch implements Searcher.
-func (s IndexSearcher) Fetch(id index.DocID) []string { return s.Ix.Doc(id) }
+func (s IndexSearcher) Fetch(ctx context.Context, id index.DocID) ([]string, error) {
+	return s.Ix.Doc(id), nil
+}
 
 // MatchCount makes IndexSearcher usable as a classify.Prober too.
 func (s IndexSearcher) MatchCount(terms []string) int { return s.Ix.MatchCount(terms) }
@@ -117,8 +158,10 @@ func newAccumulator(checkEvery int, span *telemetry.Span, reg *telemetry.Registr
 }
 
 // add ingests newly retrieved documents, skipping ones already sampled,
-// and returns how many were new.
-func (a *accumulator) add(db Searcher, ids []index.DocID, max int) int {
+// and returns how many were new. A document whose fetch fails is
+// dropped (transient remote failure); fetches stop early once the
+// context is done.
+func (a *accumulator) add(ctx context.Context, db Searcher, ids []index.DocID, max int) int {
 	added := 0
 	for _, id := range ids {
 		if added >= max {
@@ -129,7 +172,15 @@ func (a *accumulator) add(db Searcher, ids []index.DocID, max int) int {
 		}
 		a.seen[id] = true
 		a.fetched.Inc()
-		doc := db.Fetch(id)
+		doc, err := db.Fetch(ctx, id)
+		if err != nil {
+			a.span.Event("sampling.fetch_error",
+				telemetry.Int("doc", int(id)), telemetry.String("error", err.Error()))
+			if ctx.Err() != nil {
+				return added
+			}
+			continue
+		}
 		owned := make([]string, len(doc))
 		copy(owned, doc)
 		a.sample.Docs = append(a.sample.Docs, owned)
@@ -178,7 +229,8 @@ func (a *accumulator) checkpoint() {
 // Frequent words are the reliable resample anchors — rare probed words
 // are self-selecting (their own query pulled their documents into the
 // sample, so df ≈ sample df and the size estimate collapses to |S|).
-func (a *accumulator) finish(db Searcher, resampleProbes int) *Sample {
+// A failed resample probe is skipped (the estimator works with fewer).
+func (a *accumulator) finish(ctx context.Context, db Searcher, resampleProbes int) *Sample {
 	n := len(a.sample.Docs)
 	if n > 0 && (len(a.sample.Checkpoints) == 0 ||
 		a.sample.Checkpoints[len(a.sample.Checkpoints)-1].Size != n) {
@@ -192,9 +244,15 @@ func (a *accumulator) finish(db Searcher, resampleProbes int) *Sample {
 			a.sample.ResampleDF = make(map[string]int)
 		}
 		for _, w := range a.topWordsByDF(resampleProbes) {
+			if ctx.Err() != nil {
+				break
+			}
 			a.sample.Queries++
 			a.queries.Inc()
-			matches, _ := db.Query([]string{w}, 0)
+			matches, _, err := db.Query(ctx, []string{w}, 0)
+			if err != nil {
+				continue
+			}
 			a.sample.QueryDF[w] = matches
 			a.sample.ResampleDF[w] = matches
 		}

@@ -1,6 +1,8 @@
 package sampling
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -76,7 +78,7 @@ func seedLexicon(g *synth.Generator, n int) []string {
 func TestQBSRequiresLexicon(t *testing.T) {
 	_, g := testWorld(t, 1)
 	db := buildDB(t, g, "Heart", 50, 2)
-	if _, err := QBS(IndexSearcher{db}, QBSConfig{}); err == nil {
+	if _, err := QBS(context.Background(), IndexSearcher{db}, QBSConfig{}); err == nil {
 		t.Fatal("missing lexicon accepted")
 	}
 }
@@ -84,7 +86,7 @@ func TestQBSRequiresLexicon(t *testing.T) {
 func TestQBSSamplesTargetDocs(t *testing.T) {
 	_, g := testWorld(t, 2)
 	db := buildDB(t, g, "Heart", 800, 3)
-	s, err := QBS(IndexSearcher{db}, QBSConfig{
+	s, err := QBS(context.Background(), IndexSearcher{db}, QBSConfig{
 		TargetDocs:  100,
 		SeedLexicon: seedLexicon(g, 100),
 		Seed:        7,
@@ -116,7 +118,7 @@ func TestQBSSamplesTargetDocs(t *testing.T) {
 func TestQBSNoDuplicateDocs(t *testing.T) {
 	_, g := testWorld(t, 3)
 	db := buildDB(t, g, "Soccer", 400, 4)
-	s, err := QBS(IndexSearcher{db}, QBSConfig{
+	s, err := QBS(context.Background(), IndexSearcher{db}, QBSConfig{
 		TargetDocs:  150,
 		SeedLexicon: seedLexicon(g, 100),
 		Seed:        8,
@@ -139,7 +141,7 @@ func TestQBSNoDuplicateDocs(t *testing.T) {
 func TestQBSSmallDatabaseExhausts(t *testing.T) {
 	_, g := testWorld(t, 4)
 	db := buildDB(t, g, "Tennis", 25, 5)
-	s, err := QBS(IndexSearcher{db}, QBSConfig{
+	s, err := QBS(context.Background(), IndexSearcher{db}, QBSConfig{
 		TargetDocs:  300,
 		SeedLexicon: seedLexicon(g, 100),
 		MaxBarren:   60,
@@ -159,7 +161,7 @@ func TestQBSSmallDatabaseExhausts(t *testing.T) {
 func TestQBSEmptyDatabase(t *testing.T) {
 	empty := index.NewBuilder(0).Build()
 	_, g := testWorld(t, 5)
-	s, err := QBS(IndexSearcher{empty}, QBSConfig{
+	s, err := QBS(context.Background(), IndexSearcher{empty}, QBSConfig{
 		SeedLexicon: seedLexicon(g, 50),
 		MaxBarren:   30,
 		Seed:        1,
@@ -176,11 +178,11 @@ func TestQBSDeterministic(t *testing.T) {
 	_, g := testWorld(t, 6)
 	db := buildDB(t, g, "Cancer", 300, 6)
 	cfg := QBSConfig{TargetDocs: 80, SeedLexicon: seedLexicon(g, 100), Seed: 42}
-	s1, err := QBS(IndexSearcher{db}, cfg)
+	s1, err := QBS(context.Background(), IndexSearcher{db}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s2, err := QBS(IndexSearcher{db}, cfg)
+	s2, err := QBS(context.Background(), IndexSearcher{db}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +197,7 @@ func TestQBSSampleMissesRareWords(t *testing.T) {
 	// a 1000-doc database misses a substantial part of the vocabulary.
 	_, g := testWorld(t, 7)
 	db := buildDB(t, g, "Heart", 1000, 7)
-	s, err := QBS(IndexSearcher{db}, QBSConfig{
+	s, err := QBS(context.Background(), IndexSearcher{db}, QBSConfig{
 		TargetDocs:  100,
 		SeedLexicon: seedLexicon(g, 100),
 		Seed:        3,
@@ -239,7 +241,7 @@ func trainClassifier(t testing.TB, tree *hierarchy.Tree, g *synth.Generator) *cl
 func TestFPSRequiresClassifier(t *testing.T) {
 	_, g := testWorld(t, 8)
 	db := buildDB(t, g, "Heart", 50, 2)
-	if _, _, err := FPS(IndexSearcher{db}, FPSConfig{}); err == nil {
+	if _, _, err := FPS(context.Background(), IndexSearcher{db}, FPSConfig{}); err == nil {
 		t.Fatal("missing classifier accepted")
 	}
 }
@@ -248,7 +250,7 @@ func TestFPSSamplesAndClassifies(t *testing.T) {
 	tree, g := testWorld(t, 9)
 	c := trainClassifier(t, tree, g)
 	db := buildDB(t, g, "Heart", 600, 11)
-	s, cat, err := FPS(IndexSearcher{db}, FPSConfig{Classifier: c})
+	s, cat, err := FPS(context.Background(), IndexSearcher{db}, FPSConfig{Classifier: c})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,7 +274,7 @@ func TestFPSFocusesQueriesOnTopic(t *testing.T) {
 	tree, g := testWorld(t, 10)
 	c := trainClassifier(t, tree, g)
 	db := buildDB(t, g, "Soccer", 600, 12)
-	s, _, err := FPS(IndexSearcher{db}, FPSConfig{Classifier: c})
+	s, _, err := FPS(context.Background(), IndexSearcher{db}, FPSConfig{Classifier: c})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,7 +290,7 @@ func TestFPSEmptyDatabaseClassifiesAtRoot(t *testing.T) {
 	tree, g := testWorld(t, 11)
 	c := trainClassifier(t, tree, g)
 	empty := index.NewBuilder(0).Build()
-	s, cat, err := FPS(IndexSearcher{empty}, FPSConfig{Classifier: c})
+	s, cat, err := FPS(context.Background(), IndexSearcher{empty}, FPSConfig{Classifier: c})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,16 +308,100 @@ func TestIndexSearcherAdapters(t *testing.T) {
 	b.Add([]string{"a"})
 	ix := b.Build()
 	s := IndexSearcher{ix}
-	matches, ids := s.Query([]string{"a"}, 10)
-	if matches != 2 || len(ids) != 2 {
-		t.Errorf("Query = %d matches, %d ids", matches, len(ids))
+	ctx := context.Background()
+	matches, ids, err := s.Query(ctx, []string{"a"}, 10)
+	if err != nil || matches != 2 || len(ids) != 2 {
+		t.Errorf("Query = %d matches, %d ids, err %v", matches, len(ids), err)
 	}
 	if got := s.MatchCount([]string{"b"}); got != 1 {
 		t.Errorf("MatchCount = %d", got)
 	}
-	doc := s.Fetch(ids[0])
-	if len(doc) == 0 {
-		t.Error("Fetch returned empty document")
+	doc, err := s.Fetch(ctx, ids[0])
+	if err != nil || len(doc) == 0 {
+		t.Errorf("Fetch = %v, err %v", doc, err)
+	}
+}
+
+// plainIndex exposes an index through the pre-context PlainSearcher
+// shape, standing in for legacy Searcher implementations.
+type plainIndex struct{ ix *index.Index }
+
+func (p plainIndex) Query(terms []string, limit int) (int, []index.DocID) {
+	matches, top := p.ix.Search(terms, limit)
+	ids := make([]index.DocID, len(top))
+	for i, r := range top {
+		ids[i] = r.Doc
+	}
+	return matches, ids
+}
+
+func (p plainIndex) Fetch(id index.DocID) []string { return p.ix.Doc(id) }
+
+func TestPlainShimSamplesLikeNative(t *testing.T) {
+	_, g := testWorld(t, 30)
+	db := buildDB(t, g, "Heart", 300, 31)
+	cfg := QBSConfig{TargetDocs: 50, SeedLexicon: seedLexicon(g, 100), Seed: 5}
+	native, err := QBS(context.Background(), IndexSearcher{db}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shimmed, err := QBS(context.Background(), Plain(plainIndex{db}), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(native.Docs) != len(shimmed.Docs) || native.Queries != shimmed.Queries {
+		t.Errorf("shim diverged: %d/%d docs, %d/%d queries",
+			len(native.Docs), len(shimmed.Docs), native.Queries, shimmed.Queries)
+	}
+}
+
+func TestPlainShimHonorsCancellation(t *testing.T) {
+	_, g := testWorld(t, 32)
+	db := buildDB(t, g, "Heart", 300, 33)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := QBS(ctx, Plain(plainIndex{db}), QBSConfig{
+		TargetDocs: 50, SeedLexicon: seedLexicon(g, 100), Seed: 5,
+	})
+	if err != context.Canceled {
+		t.Fatalf("QBS under canceled ctx = %v, want context.Canceled", err)
+	}
+}
+
+// flakySearcher fails every n-th Query with a transient error.
+type flakySearcher struct {
+	Searcher
+	n     int
+	calls int
+	fails int
+}
+
+func (f *flakySearcher) Query(ctx context.Context, terms []string, limit int) (int, []index.DocID, error) {
+	f.calls++
+	if f.calls%f.n == 0 {
+		f.fails++
+		return 0, nil, errors.New("transient node failure")
+	}
+	return f.Searcher.Query(ctx, terms, limit)
+}
+
+func TestQBSSurvivesTransientQueryFailures(t *testing.T) {
+	_, g := testWorld(t, 34)
+	db := buildDB(t, g, "Cancer", 500, 35)
+	flaky := &flakySearcher{Searcher: IndexSearcher{db}, n: 4} // 25% failure
+	s, err := QBS(context.Background(), flaky, QBSConfig{
+		TargetDocs:  80,
+		SeedLexicon: seedLexicon(g, 100),
+		Seed:        6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flaky.fails == 0 {
+		t.Fatal("no failures injected")
+	}
+	if len(s.Docs) != 80 {
+		t.Errorf("sampled %d docs despite retries available, want 80", len(s.Docs))
 	}
 }
 
@@ -325,7 +411,7 @@ func BenchmarkQBS(b *testing.B) {
 	lex := seedLexicon(g, 100)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := QBS(IndexSearcher{db}, QBSConfig{
+		if _, err := QBS(context.Background(), IndexSearcher{db}, QBSConfig{
 			TargetDocs: 100, SeedLexicon: lex, Seed: int64(i),
 		}); err != nil {
 			b.Fatal(err)
@@ -336,7 +422,7 @@ func BenchmarkQBS(b *testing.B) {
 func TestQBSResampleProbes(t *testing.T) {
 	_, g := testWorld(t, 20)
 	db := buildDB(t, g, "Heart", 500, 21)
-	s, err := QBS(IndexSearcher{db}, QBSConfig{
+	s, err := QBS(context.Background(), IndexSearcher{db}, QBSConfig{
 		TargetDocs:     60,
 		SeedLexicon:    seedLexicon(g, 100),
 		ResampleProbes: 5,
@@ -363,7 +449,7 @@ func TestFPSResampleProbes(t *testing.T) {
 	tree, g := testWorld(t, 23)
 	c := trainClassifier(t, tree, g)
 	db := buildDB(t, g, "Cancer", 400, 24)
-	s, _, err := FPS(IndexSearcher{db}, FPSConfig{Classifier: c, ResampleProbes: 4})
+	s, _, err := FPS(context.Background(), IndexSearcher{db}, FPSConfig{Classifier: c, ResampleProbes: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -379,7 +465,7 @@ func TestQBSExactTargetNoOvershoot(t *testing.T) {
 	_, g := testWorld(t, 25)
 	db := buildDB(t, g, "Soccer", 600, 26)
 	for _, target := range []int{37, 50, 99} {
-		s, err := QBS(IndexSearcher{db}, QBSConfig{
+		s, err := QBS(context.Background(), IndexSearcher{db}, QBSConfig{
 			TargetDocs:  target,
 			SeedLexicon: seedLexicon(g, 100),
 			Seed:        int64(target),

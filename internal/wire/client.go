@@ -1,0 +1,303 @@
+package wire
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// sharedTransport is the default http.Transport all wire clients share,
+// so a metasearcher talking to hundreds of nodes reuses a bounded pool
+// of keep-alive connections instead of redialing per request.
+var sharedTransport = &http.Transport{
+	Proxy: http.ProxyFromEnvironment,
+	DialContext: (&net.Dialer{
+		Timeout:   5 * time.Second,
+		KeepAlive: 30 * time.Second,
+	}).DialContext,
+	MaxIdleConns:        256,
+	MaxIdleConnsPerHost: 32,
+	IdleConnTimeout:     90 * time.Second,
+}
+
+// ClientOptions configures a Client. The zero value is usable.
+type ClientOptions struct {
+	// Timeout bounds each attempt, dial to last body byte (default 5s).
+	Timeout time.Duration
+	// MaxRetries is how many times a failed attempt is retried on
+	// transient errors — network failures, timeouts, 5xx, 429 —
+	// before the call fails (default 3; negative disables retries).
+	MaxRetries int
+	// BackoffBase and BackoffMax shape the exponential backoff between
+	// retries: the k-th retry sleeps base·2^k jittered into
+	// [d/2, d), capped at BackoffMax (defaults 50ms and 2s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// CacheSize is the capacity of the in-client LRU document cache
+	// (default 1024; negative disables caching).
+	CacheSize int
+	// Transport overrides the shared keep-alive transport (tests).
+	Transport http.RoundTripper
+	// Metrics receives the wire client series: wire_requests_total,
+	// wire_request_errors_total, wire_client_retries_total,
+	// wire_request_latency, wire_doc_cache_{hits,misses}_total.
+	// May be nil.
+	Metrics *telemetry.Registry
+	// randFloat overrides the jitter source (tests).
+	randFloat func() float64
+}
+
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.Timeout == 0 {
+		o.Timeout = 5 * time.Second
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 3
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.BackoffBase == 0 {
+		o.BackoffBase = 50 * time.Millisecond
+	}
+	if o.BackoffMax == 0 {
+		o.BackoffMax = 2 * time.Second
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 1024
+	}
+	if o.Transport == nil {
+		o.Transport = sharedTransport
+	}
+	return o
+}
+
+// Client speaks the wire protocol to one database node. It is safe for
+// concurrent use.
+type Client struct {
+	base  string
+	hc    *http.Client
+	opts  ClientOptions
+	cache *docCache
+
+	// metric pointers resolved once (all nil-safe no-ops without a
+	// registry).
+	requests    *telemetry.Counter
+	reqErrors   *telemetry.Counter
+	retries     *telemetry.Counter
+	cacheHits   *telemetry.Counter
+	cacheMisses *telemetry.Counter
+	latency     *telemetry.Histogram
+
+	jitterMu sync.Mutex
+	jitter   *rand.Rand
+}
+
+// NewClient creates a client for the node at addr ("host:port" or a
+// full http:// base URL). The client's metric series are registered
+// immediately so an exposition endpoint shows them at zero.
+func NewClient(addr string, opts ClientOptions) *Client {
+	opts = opts.withDefaults()
+	base := strings.TrimSuffix(addr, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	reg := opts.Metrics
+	c := &Client{
+		base:  base,
+		hc:    &http.Client{Transport: opts.Transport},
+		opts:  opts,
+		cache: newDocCache(opts.CacheSize),
+
+		requests:    reg.Counter("wire_requests_total"),
+		reqErrors:   reg.Counter("wire_request_errors_total"),
+		retries:     reg.Counter("wire_client_retries_total"),
+		cacheHits:   reg.Counter("wire_doc_cache_hits_total"),
+		cacheMisses: reg.Counter("wire_doc_cache_misses_total"),
+		latency:     reg.Histogram("wire_request_latency", nil),
+	}
+	if opts.randFloat == nil {
+		c.jitter = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	return c
+}
+
+// BaseURL returns the node's base URL.
+func (c *Client) BaseURL() string { return c.base }
+
+// Info fetches the node's description (GET /v1/info).
+func (c *Client) Info(ctx context.Context) (InfoResponse, error) {
+	var out InfoResponse
+	err := c.do(ctx, http.MethodGet, PathInfo, nil, &out)
+	return out, err
+}
+
+// Query evaluates a conjunctive query at the node (POST /v1/query).
+func (c *Client) Query(ctx context.Context, terms []string, limit int) (int, []int, error) {
+	var out QueryResponse
+	err := c.do(ctx, http.MethodPost, PathQuery, QueryRequest{Terms: terms, Limit: limit}, &out)
+	if err != nil {
+		return 0, nil, err
+	}
+	return out.Matches, out.IDs, nil
+}
+
+// Doc fetches one document's terms (GET /v1/doc/{id}), serving repeat
+// fetches from the in-client LRU. The returned slice is shared with the
+// cache and must not be modified.
+func (c *Client) Doc(ctx context.Context, id int) ([]string, error) {
+	if terms, ok := c.cache.get(id); ok {
+		c.cacheHits.Inc()
+		return terms, nil
+	}
+	c.cacheMisses.Inc()
+	var out DocResponse
+	if err := c.do(ctx, http.MethodGet, PathDocPrefix+strconv.Itoa(id), nil, &out); err != nil {
+		return nil, err
+	}
+	c.cache.put(id, out.Terms)
+	return out.Terms, nil
+}
+
+// CachedDocs reports how many documents the LRU currently holds.
+func (c *Client) CachedDocs() int { return c.cache.len() }
+
+// do runs one logical request: attempt, and on transient failure retry
+// with jittered exponential backoff until MaxRetries is exhausted or
+// ctx is done. One logical request counts once in wire_requests_total
+// and once in wire_request_latency regardless of attempts; each extra
+// attempt counts in wire_client_retries_total; a logical request that
+// ultimately fails counts in wire_request_errors_total.
+func (c *Client) do(ctx context.Context, method, path string, in, out interface{}) error {
+	t0 := time.Now()
+	c.requests.Inc()
+	defer c.latency.ObserveSince(t0)
+
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			c.reqErrors.Inc()
+			return fmt.Errorf("wire: encoding %s request: %w", path, err)
+		}
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		lastErr = c.once(ctx, method, path, body, out)
+		if lastErr == nil {
+			return nil
+		}
+		if !transient(lastErr) || attempt >= c.opts.MaxRetries || ctx.Err() != nil {
+			break
+		}
+		c.retries.Inc()
+		if err := sleepCtx(ctx, c.backoff(attempt)); err != nil {
+			lastErr = err
+			break
+		}
+	}
+	c.reqErrors.Inc()
+	return lastErr
+}
+
+// once performs a single HTTP attempt under the per-attempt timeout.
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out interface{}) error {
+	ctx, cancel := context.WithTimeout(ctx, c.opts.Timeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return fmt.Errorf("wire: building request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	// Drain and close so the keep-alive connection returns to the pool.
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, maxBodyBytes))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		pe := &ProtocolError{Status: resp.StatusCode}
+		var env ErrorEnvelope
+		if json.NewDecoder(io.LimitReader(resp.Body, maxBodyBytes)).Decode(&env) == nil {
+			pe.Code, pe.Message = env.Error.Code, env.Error.Message
+		}
+		return pe
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxBodyBytes)).Decode(out); err != nil {
+		return fmt.Errorf("wire: decoding %s response: %w", path, err)
+	}
+	return nil
+}
+
+// backoff returns the jittered sleep before the (attempt+1)-th retry.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.opts.BackoffBase
+	for i := 0; i < attempt && d < c.opts.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > c.opts.BackoffMax {
+		d = c.opts.BackoffMax
+	}
+	// Jitter into [d/2, d) so a fleet of clients retrying against one
+	// recovering node spreads out instead of thundering back in sync.
+	var f float64
+	if c.opts.randFloat != nil {
+		f = c.opts.randFloat()
+	} else {
+		c.jitterMu.Lock()
+		f = c.jitter.Float64()
+		c.jitterMu.Unlock()
+	}
+	return d/2 + time.Duration(f*float64(d/2))
+}
+
+// transient reports whether err is worth retrying: every network-level
+// failure is (the connection may land on a healthy path next time), as
+// are 5xx and 429 protocol errors; other protocol errors (bad request,
+// not found) are permanent.
+func transient(err error) bool {
+	var pe *ProtocolError
+	if errors.As(err, &pe) {
+		return pe.Transient()
+	}
+	// Everything else reaching here is a transport-level failure
+	// (dial refused, reset, attempt timeout) — retryable unless the
+	// caller's own context ended.
+	return !errors.Is(err, context.Canceled)
+}
+
+// sleepCtx sleeps for d or until ctx is done, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,87 @@
+package wire
+
+import (
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FlakyOptions configures fault injection.
+type FlakyOptions struct {
+	// FailureRate is the probability each request is answered with an
+	// injected 503 instead of being served.
+	FailureRate float64
+	// Latency is added to every served request.
+	Latency time.Duration
+	// HangEvery makes every n-th request hang (no response bytes) for
+	// HangFor or until the client gives up, whichever is first. 0 never
+	// hangs.
+	HangEvery int
+	// HangFor bounds a hang (default 30s — longer than any sane client
+	// attempt timeout).
+	HangFor time.Duration
+	// Seed drives the failure draw, making injected fault sequences
+	// reproducible.
+	Seed int64
+}
+
+// Flaky wraps a node handler with deterministic fault injection:
+// transient 503s, added latency, and hangs. It is the test double for
+// the unreliable networks and overloaded hidden-web servers the paper's
+// setting implies, and it counts what it injects so tests can reconcile
+// client retry telemetry against ground truth.
+type Flaky struct {
+	next http.Handler
+	opts FlakyOptions
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	requests atomic.Int64
+	injected atomic.Int64
+	hangs    atomic.Int64
+}
+
+// NewFlaky wraps next with fault injection.
+func NewFlaky(next http.Handler, opts FlakyOptions) *Flaky {
+	if opts.HangFor == 0 {
+		opts.HangFor = 30 * time.Second
+	}
+	return &Flaky{next: next, opts: opts, rng: rand.New(rand.NewSource(opts.Seed))}
+}
+
+// ServeHTTP implements http.Handler.
+func (f *Flaky) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	n := f.requests.Add(1)
+	if f.opts.HangEvery > 0 && n%int64(f.opts.HangEvery) == 0 {
+		f.hangs.Add(1)
+		select {
+		case <-r.Context().Done(): // client hung up
+		case <-time.After(f.opts.HangFor):
+		}
+		return
+	}
+	if f.opts.Latency > 0 {
+		time.Sleep(f.opts.Latency)
+	}
+	f.mu.Lock()
+	fail := f.rng.Float64() < f.opts.FailureRate
+	f.mu.Unlock()
+	if fail {
+		f.injected.Add(1)
+		WriteError(w, http.StatusServiceUnavailable, CodeUnavailable, "injected transient failure")
+		return
+	}
+	f.next.ServeHTTP(w, r)
+}
+
+// Requests returns how many requests arrived (including failed ones).
+func (f *Flaky) Requests() int64 { return f.requests.Load() }
+
+// Injected returns how many injected 503s were served.
+func (f *Flaky) Injected() int64 { return f.injected.Load() }
+
+// Hangs returns how many requests were hung.
+func (f *Flaky) Hangs() int64 { return f.hangs.Load() }

@@ -1,0 +1,77 @@
+package wire
+
+import (
+	"container/list"
+	"sync"
+)
+
+// docCache is a fixed-capacity LRU of document id → analyzed terms.
+// Sampling re-fetches the top-ranked documents of popular words across
+// QBS rounds, so a small cache absorbs a large share of /v1/doc
+// round trips. Cached slices are shared: callers must not modify them.
+type docCache struct {
+	mu   sync.Mutex
+	cap  int
+	ll   *list.List // front = most recently used
+	byID map[int]*list.Element
+}
+
+type docEntry struct {
+	id    int
+	terms []string
+}
+
+// newDocCache returns a cache holding up to capacity documents, or nil
+// (an always-missing cache) when capacity <= 0.
+func newDocCache(capacity int) *docCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &docCache{cap: capacity, ll: list.New(), byID: make(map[int]*list.Element)}
+}
+
+// get returns the cached terms and whether they were present.
+func (c *docCache) get(id int) ([]string, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byID[id]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*docEntry).terms, true
+}
+
+// put inserts (or refreshes) one document, evicting the least recently
+// used entry when over capacity.
+func (c *docCache) put(id int, terms []string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byID[id]; ok {
+		el.Value.(*docEntry).terms = terms
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byID[id] = c.ll.PushFront(&docEntry{id: id, terms: terms})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byID, oldest.Value.(*docEntry).id)
+	}
+}
+
+// len reports the number of cached documents.
+func (c *docCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,128 @@
+// Package wire is the network protocol between a metasearcher and a
+// remote text database node. The paper's setting is exactly this: the
+// metasearcher may interact with an uncooperative database only through
+// its search interface, over the network. The protocol mirrors the
+// SearchableDatabase interface as a small versioned JSON/HTTP API:
+//
+//	GET  /v1/info      → InfoResponse  (name, protocol version, size)
+//	POST /v1/query     → QueryResponse (match count + ranked doc ids)
+//	GET  /v1/doc/{id}  → DocResponse   (the document's analyzed terms)
+//
+// Errors are returned as an ErrorEnvelope with a machine-readable code.
+// The path prefix (/v1) is the protocol's major version: breaking
+// changes bump it; additive changes extend the JSON objects (decoders
+// ignore unknown fields on both sides). A client checks the version a
+// node advertises in /v1/info before using it.
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// Version is the protocol version this package speaks, advertised by
+// servers in InfoResponse and checked by clients at dial time.
+const Version = 1
+
+// Paths of the protocol endpoints.
+const (
+	PathInfo      = "/v1/info"
+	PathQuery     = "/v1/query"
+	PathDocPrefix = "/v1/doc/"
+)
+
+// maxBodyBytes bounds how much of any request or response body either
+// side will read (a document's terms fit comfortably; a misbehaving
+// peer cannot force unbounded allocation).
+const maxBodyBytes = 8 << 20
+
+// InfoResponse describes a database node (GET /v1/info).
+type InfoResponse struct {
+	// Name identifies the database served by this node.
+	Name string `json:"name"`
+	// Protocol is the wire protocol version the node speaks.
+	Protocol int `json:"protocol"`
+	// NumDocs is the database size |D|. Real hidden-web databases do
+	// not reveal it (the metasearcher estimates it by sample–resample);
+	// nodes advertise it for operability, not for selection.
+	NumDocs int `json:"num_docs,omitempty"`
+	// Category, when non-empty, is the node's self-declared topic
+	// classification — the role a web-directory entry plays in the
+	// paper. Empty means "classify me by probing".
+	Category string `json:"category,omitempty"`
+}
+
+// QueryRequest is a conjunctive query (POST /v1/query).
+type QueryRequest struct {
+	// Terms are the (already analyzed) query words, ANDed.
+	Terms []string `json:"terms"`
+	// Limit caps how many ranked document ids are returned.
+	Limit int `json:"limit"`
+}
+
+// QueryResponse answers a QueryRequest.
+type QueryResponse struct {
+	// Matches is the total number of matching documents (the match
+	// count a search interface reports).
+	Matches int `json:"matches"`
+	// IDs are the top-ranked matching document ids, at most Limit.
+	IDs []int `json:"ids"`
+}
+
+// DocResponse is one document's content (GET /v1/doc/{id}).
+type DocResponse struct {
+	ID int `json:"id"`
+	// Terms are the document's analyzed terms, in order.
+	Terms []string `json:"terms"`
+}
+
+// Error codes shared by server and client.
+const (
+	CodeBadRequest  = "bad_request"
+	CodeNotFound    = "not_found"
+	CodeInternal    = "internal"
+	CodeUnavailable = "unavailable"
+)
+
+// ErrorBody is the payload of an ErrorEnvelope.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// ErrorEnvelope is the JSON shape of every non-200 response.
+type ErrorEnvelope struct {
+	Error ErrorBody `json:"error"`
+}
+
+// ProtocolError is a non-200 response decoded by the client.
+type ProtocolError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Code and Message come from the error envelope (Code may be empty
+	// when the peer did not produce one, e.g. an intermediary 502).
+	Code    string
+	Message string
+}
+
+// Error implements error.
+func (e *ProtocolError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("wire: %s (%d): %s", e.Code, e.Status, e.Message)
+	}
+	return fmt.Sprintf("wire: HTTP %d", e.Status)
+}
+
+// Transient reports whether the failure is worth retrying: the node was
+// overloaded or momentarily broken, not the request malformed.
+func (e *ProtocolError) Transient() bool {
+	return e.Status >= 500 || e.Status == http.StatusTooManyRequests
+}
+
+// WriteError writes an ErrorEnvelope response.
+func WriteError(w http.ResponseWriter, status int, code, message string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(ErrorEnvelope{Error: ErrorBody{Code: code, Message: message}})
+}

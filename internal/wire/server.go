@@ -1,0 +1,129 @@
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/telemetry"
+)
+
+// Backend is what a database node serves: the SearchableDatabase
+// surface plus the size needed to bounds-check document requests.
+// repro.LocalDatabase satisfies it.
+type Backend interface {
+	Name() string
+	Query(terms []string, limit int) (matches int, ids []int)
+	Fetch(id int) []string
+	NumDocs() int
+}
+
+// ServerOptions configures a database node handler.
+type ServerOptions struct {
+	// Category is advertised in /v1/info as the node's self-declared
+	// classification (optional).
+	Category string
+	// MaxLimit caps the per-query result window a client may request
+	// (default 1000) so one request cannot ask for the whole database.
+	MaxLimit int
+	// Metrics receives wire_server_requests_total and
+	// wire_server_errors_total (may be nil).
+	Metrics *telemetry.Registry
+}
+
+// NewServer returns the http.Handler of a database node: the /v1
+// protocol endpoints over db, with panics mapped to internal-error
+// envelopes so a bad request cannot take the node down.
+func NewServer(db Backend, opts ServerOptions) http.Handler {
+	if opts.MaxLimit <= 0 {
+		opts.MaxLimit = 1000
+	}
+	s := &server{db: db, opts: opts,
+		requests: opts.Metrics.Counter("wire_server_requests_total"),
+		errors:   opts.Metrics.Counter("wire_server_errors_total"),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET "+PathInfo, s.info)
+	mux.HandleFunc("POST "+PathQuery, s.query)
+	mux.HandleFunc("GET "+PathDocPrefix+"{id}", s.doc)
+	return s.wrap(mux)
+}
+
+type server struct {
+	db   Backend
+	opts ServerOptions
+
+	requests *telemetry.Counter
+	errors   *telemetry.Counter
+}
+
+// wrap counts requests and converts handler panics into 500 envelopes.
+func (s *server) wrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Inc()
+		defer func() {
+			if p := recover(); p != nil {
+				s.errors.Inc()
+				WriteError(w, http.StatusInternalServerError, CodeInternal,
+					fmt.Sprintf("panic serving %s: %v", r.URL.Path, p))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+func (s *server) fail(w http.ResponseWriter, status int, code, msg string) {
+	s.errors.Inc()
+	WriteError(w, status, code, msg)
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *server) info(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, InfoResponse{
+		Name:     s.db.Name(),
+		Protocol: Version,
+		NumDocs:  s.db.NumDocs(),
+		Category: s.opts.Category,
+	})
+}
+
+func (s *server) query(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, CodeBadRequest, "malformed query request: "+err.Error())
+		return
+	}
+	if len(req.Terms) == 0 {
+		s.fail(w, http.StatusBadRequest, CodeBadRequest, "query needs at least one term")
+		return
+	}
+	limit := req.Limit
+	if limit < 0 {
+		limit = 0
+	}
+	if limit > s.opts.MaxLimit {
+		limit = s.opts.MaxLimit
+	}
+	matches, ids := s.db.Query(req.Terms, limit)
+	writeJSON(w, QueryResponse{Matches: matches, IDs: ids})
+}
+
+func (s *server) doc(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, CodeBadRequest, "document id must be an integer")
+		return
+	}
+	if id < 0 || id >= s.db.NumDocs() {
+		s.fail(w, http.StatusNotFound, CodeNotFound,
+			fmt.Sprintf("no document %d (database has %d)", id, s.db.NumDocs()))
+		return
+	}
+	writeJSON(w, DocResponse{ID: id, Terms: s.db.Fetch(id)})
+}

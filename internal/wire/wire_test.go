@@ -1,0 +1,366 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// fakeDB is a minimal Backend: term → matching doc ids, ranked by id.
+type fakeDB struct {
+	name string
+	docs [][]string
+}
+
+func (f *fakeDB) Name() string { return f.name }
+func (f *fakeDB) NumDocs() int { return len(f.docs) }
+func (f *fakeDB) Fetch(id int) []string {
+	return f.docs[id]
+}
+
+func (f *fakeDB) Query(terms []string, limit int) (int, []int) {
+	var ids []int
+	for id, doc := range f.docs {
+		match := true
+		for _, t := range terms {
+			found := false
+			for _, w := range doc {
+				if w == t {
+					found = true
+					break
+				}
+			}
+			if !found {
+				match = false
+				break
+			}
+		}
+		if match {
+			ids = append(ids, id)
+		}
+	}
+	matches := len(ids)
+	if limit < len(ids) {
+		ids = ids[:limit]
+	}
+	return matches, ids
+}
+
+func testDB() *fakeDB {
+	return &fakeDB{name: "unit", docs: [][]string{
+		{"heart", "blood", "pressure"},
+		{"heart", "attack"},
+		{"soccer", "goal"},
+	}}
+}
+
+func fastOpts(reg *telemetry.Registry) ClientOptions {
+	return ClientOptions{
+		Timeout:     2 * time.Second,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  4 * time.Millisecond,
+		Metrics:     reg,
+	}
+}
+
+func TestServerClientRoundTrip(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	srv := httptest.NewServer(NewServer(testDB(), ServerOptions{Category: "Health", Metrics: reg}))
+	defer srv.Close()
+	c := NewClient(srv.URL, fastOpts(reg))
+	ctx := context.Background()
+
+	info, err := c.Info(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "unit" || info.Protocol != Version || info.NumDocs != 3 || info.Category != "Health" {
+		t.Errorf("info = %+v", info)
+	}
+
+	matches, ids, err := c.Query(ctx, []string{"heart"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matches != 2 || len(ids) != 1 || ids[0] != 0 {
+		t.Errorf("query = %d matches, ids %v", matches, ids)
+	}
+
+	terms, err := c.Doc(ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(terms, " ") != "soccer goal" {
+		t.Errorf("doc 2 = %v", terms)
+	}
+	if reg.Counter("wire_server_requests_total").Value() != 3 {
+		t.Errorf("server requests = %d", reg.Counter("wire_server_requests_total").Value())
+	}
+	if got := reg.Histogram("wire_request_latency", nil).Count(); got != 3 {
+		t.Errorf("latency observations = %d", got)
+	}
+}
+
+func TestServerErrorEnvelopes(t *testing.T) {
+	srv := httptest.NewServer(NewServer(testDB(), ServerOptions{}))
+	defer srv.Close()
+	c := NewClient(srv.URL, fastOpts(nil))
+	ctx := context.Background()
+
+	// Unknown document id → not_found, not retried.
+	_, err := c.Doc(ctx, 99)
+	var pe *ProtocolError
+	if !errors.As(err, &pe) || pe.Code != CodeNotFound || pe.Status != http.StatusNotFound {
+		t.Fatalf("Doc(99) err = %v", err)
+	}
+	if pe.Transient() {
+		t.Error("not_found classified transient")
+	}
+
+	// Empty query → bad_request.
+	_, _, err = c.Query(ctx, nil, 5)
+	if !errors.As(err, &pe) || pe.Code != CodeBadRequest {
+		t.Fatalf("empty query err = %v", err)
+	}
+}
+
+func TestClientRetriesTransientFailures(t *testing.T) {
+	var calls atomic.Int64
+	inner := NewServer(testDB(), ServerOptions{})
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			WriteError(w, http.StatusServiceUnavailable, CodeUnavailable, "warming up")
+			return
+		}
+		inner.ServeHTTP(w, r)
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	reg := telemetry.NewRegistry()
+	c := NewClient(srv.URL, fastOpts(reg))
+	matches, _, err := c.Query(context.Background(), []string{"heart"}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matches != 2 {
+		t.Errorf("matches = %d", matches)
+	}
+	if got := reg.Counter("wire_client_retries_total").Value(); got != 2 {
+		t.Errorf("retries = %d, want 2", got)
+	}
+	if got := reg.Counter("wire_request_errors_total").Value(); got != 0 {
+		t.Errorf("request errors = %d, want 0", got)
+	}
+}
+
+func TestClientRetryExhaustion(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		WriteError(w, http.StatusServiceUnavailable, CodeUnavailable, "down")
+	}))
+	defer srv.Close()
+	reg := telemetry.NewRegistry()
+	opts := fastOpts(reg)
+	opts.MaxRetries = 2
+	c := NewClient(srv.URL, opts)
+	_, _, err := c.Query(context.Background(), []string{"x"}, 1)
+	var pe *ProtocolError
+	if !errors.As(err, &pe) || pe.Status != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v", err)
+	}
+	if got := reg.Counter("wire_client_retries_total").Value(); got != 2 {
+		t.Errorf("retries = %d, want 2", got)
+	}
+	if got := reg.Counter("wire_request_errors_total").Value(); got != 1 {
+		t.Errorf("request errors = %d, want 1", got)
+	}
+}
+
+func TestClientDoesNotRetryPermanentErrors(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		WriteError(w, http.StatusBadRequest, CodeBadRequest, "no")
+	}))
+	defer srv.Close()
+	c := NewClient(srv.URL, fastOpts(nil))
+	if _, _, err := c.Query(context.Background(), []string{"x"}, 1); err == nil {
+		t.Fatal("expected error")
+	}
+	if calls.Load() != 1 {
+		t.Errorf("attempts = %d, want 1 (no retry on 400)", calls.Load())
+	}
+}
+
+func TestClientRetriesConnectionRefused(t *testing.T) {
+	// A node that is down entirely: dial fails, every attempt retried,
+	// the call ultimately errors.
+	reg := telemetry.NewRegistry()
+	opts := fastOpts(reg)
+	opts.MaxRetries = 1
+	c := NewClient("127.0.0.1:1", opts) // reserved port: connection refused
+	if _, err := c.Info(context.Background()); err == nil {
+		t.Fatal("expected dial error")
+	}
+	if got := reg.Counter("wire_client_retries_total").Value(); got != 1 {
+		t.Errorf("retries = %d, want 1", got)
+	}
+}
+
+func TestClientCancellationStopsRetrying(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		WriteError(w, http.StatusServiceUnavailable, CodeUnavailable, "down")
+	}))
+	defer srv.Close()
+	opts := fastOpts(nil)
+	opts.MaxRetries = 1000
+	opts.BackoffBase = 50 * time.Millisecond
+	opts.BackoffMax = 50 * time.Millisecond
+	c := NewClient(srv.URL, opts)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.Query(ctx, []string{"x"}, 1)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("expected error after cancel")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancellation did not stop the retry loop")
+	}
+}
+
+func TestDocCacheLRU(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	var fetches atomic.Int64
+	inner := NewServer(testDB(), ServerOptions{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, PathDocPrefix) {
+			fetches.Add(1)
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+	opts := fastOpts(reg)
+	opts.CacheSize = 2
+	c := NewClient(srv.URL, opts)
+	ctx := context.Background()
+
+	for _, id := range []int{0, 1, 0, 1} { // 2 misses, then 2 hits
+		if _, err := c.Doc(ctx, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fetches.Load() != 2 {
+		t.Errorf("server fetches = %d, want 2", fetches.Load())
+	}
+	if hits := reg.Counter("wire_doc_cache_hits_total").Value(); hits != 2 {
+		t.Errorf("cache hits = %d, want 2", hits)
+	}
+	// Touch a third doc: capacity 2 evicts the LRU entry (doc 0 and 1
+	// were both touched after doc 0's fetch, so doc 0 is evicted).
+	if _, err := c.Doc(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	if c.CachedDocs() != 2 {
+		t.Errorf("cached docs = %d, want 2", c.CachedDocs())
+	}
+	if _, err := c.Doc(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	if fetches.Load() != 4 {
+		t.Errorf("server fetches = %d, want 4 (doc 0 evicted and refetched)", fetches.Load())
+	}
+}
+
+func TestBackoffBoundsAndGrowth(t *testing.T) {
+	opts := ClientOptions{BackoffBase: 10 * time.Millisecond, BackoffMax: 80 * time.Millisecond}
+	opts.randFloat = func() float64 { return 0.999 }
+	c := NewClient("127.0.0.1:1", opts)
+	prev := time.Duration(0)
+	for attempt := 0; attempt < 6; attempt++ {
+		d := c.backoff(attempt)
+		if d < prev {
+			t.Errorf("backoff(%d) = %v shrank below %v", attempt, d, prev)
+		}
+		if d >= opts.BackoffMax {
+			t.Errorf("backoff(%d) = %v ≥ max %v", attempt, d, opts.BackoffMax)
+		}
+		prev = d
+	}
+	// Jitter floor: with randFloat = 0, the sleep is half the nominal.
+	opts.randFloat = func() float64 { return 0 }
+	c = NewClient("127.0.0.1:1", opts)
+	if d := c.backoff(0); d != opts.BackoffBase/2 {
+		t.Errorf("backoff floor = %v, want %v", d, opts.BackoffBase/2)
+	}
+}
+
+func TestFlakyReconciliation(t *testing.T) {
+	// Every injected failure must show up in client telemetry as either
+	// a retry or a terminal request error: injected == retries + errors.
+	reg := telemetry.NewRegistry()
+	flaky := NewFlaky(NewServer(testDB(), ServerOptions{}), FlakyOptions{
+		FailureRate: 0.4,
+		Seed:        7,
+	})
+	srv := httptest.NewServer(flaky)
+	defer srv.Close()
+	opts := fastOpts(reg)
+	opts.MaxRetries = 3
+	c := NewClient(srv.URL, opts)
+	ctx := context.Background()
+
+	for i := 0; i < 60; i++ {
+		c.Query(ctx, []string{"heart"}, 5) // errors allowed; telemetry must balance
+		c.Doc(ctx, i%3)
+	}
+	retries := reg.Counter("wire_client_retries_total").Value()
+	errs := reg.Counter("wire_request_errors_total").Value()
+	if flaky.Injected() == 0 {
+		t.Fatal("flaky injected nothing")
+	}
+	if retries+errs != flaky.Injected() {
+		t.Errorf("retries(%d) + errors(%d) != injected(%d)", retries, errs, flaky.Injected())
+	}
+}
+
+func TestFlakyHangTimesOutAndRecovers(t *testing.T) {
+	flaky := NewFlaky(NewServer(testDB(), ServerOptions{}), FlakyOptions{
+		HangEvery: 2,                      // every second request hangs
+		HangFor:   300 * time.Millisecond, // outlives the client timeout, not the test
+		Seed:      1,
+	})
+	srv := httptest.NewServer(flaky)
+	defer srv.Close()
+	reg := telemetry.NewRegistry()
+	opts := fastOpts(reg)
+	opts.Timeout = 100 * time.Millisecond
+	c := NewClient(srv.URL, opts)
+
+	// First request serves; second hangs, times out, and the retry (an
+	// odd request) succeeds.
+	for i := 0; i < 2; i++ {
+		if _, _, err := c.Query(context.Background(), []string{"heart"}, 1); err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+	if flaky.Hangs() == 0 {
+		t.Error("no hang injected")
+	}
+	if reg.Counter("wire_client_retries_total").Value() == 0 {
+		t.Error("hang did not produce a retry")
+	}
+}

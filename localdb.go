@@ -73,10 +73,17 @@ func defaultLexicon() []string {
 		"reason", "research", "girl", "guy", "moment", "air", "teacher",
 		"force", "education",
 	}
-	// Stem the lexicon so it matches the analyzed term space.
+	// Stem the lexicon so it matches the analyzed term space, deduping
+	// afterwards (distinct words can share a stem, and duplicates would
+	// bias QBS's uniform bootstrap draw towards them).
 	out := make([]string, 0, len(words))
+	seen := make(map[string]bool, len(words))
 	for _, w := range words {
-		out = append(out, textproc.Stem(w))
+		s := textproc.Stem(w)
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
 	}
 	return out
 }

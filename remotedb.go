@@ -1,0 +1,137 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/telemetry"
+	"repro/internal/wire"
+)
+
+// RemoteDatabaseOptions configures the HTTP client behind a
+// RemoteDatabase. The zero value is usable.
+type RemoteDatabaseOptions struct {
+	// Timeout bounds each HTTP attempt, dial to last body byte
+	// (default 5s).
+	Timeout time.Duration
+	// MaxRetries is how many times a failed attempt is retried on
+	// transient errors — network failures, timeouts, 5xx, 429 —
+	// before the call fails (default 3; negative disables retries).
+	MaxRetries int
+	// BackoffBase and BackoffMax shape the jittered exponential backoff
+	// between retries (defaults 50ms and 2s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// CacheSize is the capacity of the in-client LRU document cache;
+	// repeat Fetches of the same document are served without a round
+	// trip (default 1024; negative disables caching).
+	CacheSize int
+	// Metrics receives the wire client series (wire_requests_total,
+	// wire_client_retries_total, wire_request_latency, ...); pass the
+	// metasearcher's registry (Metasearcher.Metrics) to expose remote
+	// traffic alongside the pipeline series. May be nil.
+	Metrics *telemetry.Registry
+	// Transport overrides the shared keep-alive HTTP transport (tests).
+	Transport http.RoundTripper
+}
+
+// RemoteDatabase is a SearchableDatabase served by a dbnode process over
+// the wire protocol. It implements ContextSearchableDatabase, so the
+// pipeline cancels its in-flight calls with the build or search context
+// and treats its failures as transient unavailability. Safe for
+// concurrent use.
+type RemoteDatabase struct {
+	client   *wire.Client
+	name     string
+	category string
+	numDocs  int
+}
+
+var _ ContextSearchableDatabase = (*RemoteDatabase)(nil)
+
+// DialRemoteDatabase connects to the node at addr ("host:port" or a
+// full http:// base URL), fetches its description, and verifies the
+// protocol version. The node must be reachable at dial time; afterwards
+// the database degrades gracefully (failed calls are retried by the
+// client and, if still failing, treated by the pipeline like a missing
+// database).
+func DialRemoteDatabase(ctx context.Context, addr string, opts RemoteDatabaseOptions) (*RemoteDatabase, error) {
+	client := wire.NewClient(addr, wire.ClientOptions{
+		Timeout:     opts.Timeout,
+		MaxRetries:  opts.MaxRetries,
+		BackoffBase: opts.BackoffBase,
+		BackoffMax:  opts.BackoffMax,
+		CacheSize:   opts.CacheSize,
+		Transport:   opts.Transport,
+		Metrics:     opts.Metrics,
+	})
+	info, err := client.Info(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("repro: dialing remote database at %s: %w", addr, err)
+	}
+	if info.Protocol != wire.Version {
+		return nil, fmt.Errorf("repro: remote database at %s speaks protocol %d, want %d",
+			addr, info.Protocol, wire.Version)
+	}
+	if info.Name == "" {
+		return nil, fmt.Errorf("repro: remote database at %s reports no name", addr)
+	}
+	return &RemoteDatabase{
+		client:   client,
+		name:     info.Name,
+		category: info.Category,
+		numDocs:  info.NumDocs,
+	}, nil
+}
+
+// Name implements SearchableDatabase.
+func (d *RemoteDatabase) Name() string { return d.name }
+
+// Category returns the category the node advertises for its corpus
+// ("" when the node has none configured); callers may pass it to
+// AddDatabase as the known classification.
+func (d *RemoteDatabase) Category() string { return d.category }
+
+// NumDocs returns the document count the node advertised at dial time.
+func (d *RemoteDatabase) NumDocs() int { return d.numDocs }
+
+// BaseURL returns the node's base URL.
+func (d *RemoteDatabase) BaseURL() string { return d.client.BaseURL() }
+
+// Ping verifies the node is still reachable.
+func (d *RemoteDatabase) Ping(ctx context.Context) error {
+	_, err := d.client.Info(ctx)
+	return err
+}
+
+// QueryContext implements ContextSearchableDatabase.
+func (d *RemoteDatabase) QueryContext(ctx context.Context, terms []string, limit int) (int, []int, error) {
+	return d.client.Query(ctx, terms, limit)
+}
+
+// FetchContext implements ContextSearchableDatabase.
+func (d *RemoteDatabase) FetchContext(ctx context.Context, id int) ([]string, error) {
+	return d.client.Doc(ctx, id)
+}
+
+// Query implements SearchableDatabase (the infallible compatibility
+// shape): a failed remote query reports zero matches.
+func (d *RemoteDatabase) Query(terms []string, limit int) (int, []int) {
+	matches, ids, err := d.client.Query(context.Background(), terms, limit)
+	if err != nil {
+		return 0, nil
+	}
+	return matches, ids
+}
+
+// Fetch implements SearchableDatabase: a failed remote fetch reports an
+// empty document.
+func (d *RemoteDatabase) Fetch(id int) []string {
+	terms, err := d.client.Doc(context.Background(), id)
+	if err != nil {
+		return nil
+	}
+	return terms
+}

@@ -25,6 +25,7 @@
 package repro
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -57,6 +58,22 @@ type SearchableDatabase interface {
 	Query(terms []string, limit int) (matches int, ids []int)
 	// Fetch returns the text terms of one document.
 	Fetch(id int) []string
+}
+
+// ContextSearchableDatabase extends SearchableDatabase with
+// cancellable, fallible calls — the honest shape of a database at the
+// other end of a network. The pipeline prefers these methods when a
+// database implements them: BuildSummariesContext cancellation aborts
+// in-flight probes, and SearchContext treats a query error as "node
+// unreachable" (the database is skipped, like a missing handle).
+// The plain SearchableDatabase methods remain the compatibility shim
+// for in-process databases, which cannot fail.
+type ContextSearchableDatabase interface {
+	SearchableDatabase
+	// QueryContext is Query under a context.
+	QueryContext(ctx context.Context, terms []string, limit int) (matches int, ids []int, err error)
+	// FetchContext is Fetch under a context.
+	FetchContext(ctx context.Context, id int) ([]string, error)
 }
 
 // Options configures a Metasearcher. The zero value is usable.
@@ -370,6 +387,14 @@ func (m *Metasearcher) analyzeTerms(terms []string) []string {
 // summaries. It must be called after registering databases and before
 // Select.
 func (m *Metasearcher) BuildSummaries() error {
+	return m.BuildSummariesContext(context.Background())
+}
+
+// BuildSummariesContext is BuildSummaries under a context. Cancelling
+// ctx aborts the build: samplers stop between probes, and databases
+// implementing ContextSearchableDatabase have their in-flight remote
+// calls cancelled too.
+func (m *Metasearcher) BuildSummariesContext(ctx context.Context) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if len(m.dbs) == 0 {
@@ -419,7 +444,7 @@ func (m *Metasearcher) BuildSummaries() error {
 	// latency-bound, which is where the concurrency pays off.
 	buildOne := func(i int) error {
 		r := m.dbs[i]
-		searcher := &dbSearcher{m: m, db: r.db}
+		searcher := &dbSearcher{m: m, db: r.db, ctx: ctx}
 		var sample *sampling.Sample
 		var probed hierarchy.NodeID
 		var err error
@@ -430,14 +455,14 @@ func (m *Metasearcher) BuildSummaries() error {
 		sampleSpan := buildSpan.Child("sample",
 			telemetry.String("db", r.name), telemetry.String("sampler", samplerName))
 		if useFPS {
-			sample, probed, err = sampling.FPS(searcher, sampling.FPSConfig{
+			sample, probed, err = sampling.FPS(ctx, searcher, sampling.FPSConfig{
 				Classifier: m.classifier,
 				Span:       sampleSpan,
 				Metrics:    m.reg,
 			})
 			sampleSpan.End(queriesDocsAttrs(sample)...)
 		} else {
-			sample, err = sampling.QBS(searcher, sampling.QBSConfig{
+			sample, err = sampling.QBS(ctx, searcher, sampling.QBSConfig{
 				TargetDocs:  m.opts.SampleSize,
 				SeedLexicon: lexicon,
 				Seed:        m.opts.Seed + int64(i),
@@ -705,27 +730,61 @@ func (m *Metasearcher) Info(name string) (DatabaseInfo, error) {
 	return DatabaseInfo{}, fmt.Errorf("repro: unknown database %q", name)
 }
 
-// dbSearcher adapts a SearchableDatabase to the internal sampling
-// interfaces, applying the text pipeline to fetched documents.
+// dbSearcher adapts a SearchableDatabase to the internal sampling and
+// classification interfaces, applying the text pipeline to fetched
+// documents. When the database implements ContextSearchableDatabase
+// the context-aware methods are used, so remote calls can fail softly
+// and are cancelled with the build; plain databases fall back to the
+// infallible methods after a cancellation check.
 type dbSearcher struct {
-	m  *Metasearcher
-	db SearchableDatabase
+	m   *Metasearcher
+	db  SearchableDatabase
+	ctx context.Context // the build's context (for MatchCount, which has no ctx parameter)
 }
 
-func (s *dbSearcher) Query(terms []string, limit int) (int, []index.DocID) {
-	matches, ids := s.db.Query(terms, limit)
+func (s *dbSearcher) Query(ctx context.Context, terms []string, limit int) (int, []index.DocID, error) {
+	var matches int
+	var ids []int
+	if cdb, ok := s.db.(ContextSearchableDatabase); ok {
+		var err error
+		matches, ids, err = cdb.QueryContext(ctx, terms, limit)
+		if err != nil {
+			return 0, nil, err
+		}
+	} else {
+		if err := ctx.Err(); err != nil {
+			return 0, nil, err
+		}
+		matches, ids = s.db.Query(terms, limit)
+	}
 	out := make([]index.DocID, len(ids))
 	for i, id := range ids {
 		out[i] = index.DocID(id)
 	}
-	return matches, out
+	return matches, out, nil
 }
 
-func (s *dbSearcher) Fetch(id index.DocID) []string {
-	return s.m.analyzeTerms(s.db.Fetch(int(id)))
+func (s *dbSearcher) Fetch(ctx context.Context, id index.DocID) ([]string, error) {
+	if cdb, ok := s.db.(ContextSearchableDatabase); ok {
+		terms, err := cdb.FetchContext(ctx, int(id))
+		if err != nil {
+			return nil, err
+		}
+		return s.m.analyzeTerms(terms), nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.m.analyzeTerms(s.db.Fetch(int(id))), nil
 }
 
+// MatchCount implements classify.Prober under the build's context.
+// A failed remote probe counts zero matches (the classifier treats the
+// probe as matching nothing, exactly like a barren query).
 func (s *dbSearcher) MatchCount(terms []string) int {
-	matches, _ := s.db.Query(terms, 0)
+	matches, _, err := s.Query(s.ctx, terms, 0)
+	if err != nil {
+		return 0
+	}
 	return matches
 }

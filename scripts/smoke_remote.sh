@@ -1,0 +1,55 @@
+#!/bin/sh
+# smoke_remote.sh — end-to-end smoke test of the remote wire protocol:
+# build dbnode, serve the sample corpus on an ephemeral port, run one
+# remote query against it, and tear everything down. Fails if the query
+# does not come back with matches.
+set -eu
+
+GO="${GO:-go}"
+TMP="$(mktemp -d)"
+NODE_PID=""
+
+cleanup() {
+    [ -n "$NODE_PID" ] && kill "$NODE_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+echo "smoke-remote: building dbnode..."
+"$GO" build -o "$TMP/dbnode" ./cmd/dbnode
+
+"$TMP/dbnode" -corpus cmd/dbnode/testdata/smoke.txt -name smoke -category Health \
+    >"$TMP/node.log" 2>&1 &
+NODE_PID=$!
+
+# The node logs "serving smoke (N docs) on http://host:port" once the
+# ephemeral listener is up.
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR="$(sed -n 's|.*on http://||p' "$TMP/node.log" | head -n 1)"
+    [ -n "$ADDR" ] && break
+    kill -0 "$NODE_PID" 2>/dev/null || { cat "$TMP/node.log"; exit 1; }
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "smoke-remote: node never came up" >&2
+    cat "$TMP/node.log" >&2
+    exit 1
+fi
+echo "smoke-remote: node up at $ADDR"
+
+"$TMP/dbnode" -node "$ADDR" -info
+OUT="$("$TMP/dbnode" -node "$ADDR" -query "blood pressure")"
+echo "$OUT"
+case "$OUT" in
+*"0 matches"*)
+    echo "smoke-remote: remote query returned no matches" >&2
+    exit 1
+    ;;
+*matches*) ;;
+*)
+    echo "smoke-remote: unexpected query output" >&2
+    exit 1
+    ;;
+esac
+echo "smoke-remote: OK"

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"errors"
 	"sort"
 	"time"
@@ -35,9 +36,18 @@ type Result struct {
 // A selected database without a live handle (registered via RegisterLoaded,
 // or whose connection is otherwise gone) is skipped — counted in
 // search_db_unavailable_total and noted on the trace — rather than
-// failing the whole search. Search errors only when none of the
-// selected databases is reachable.
+// failing the whole search. A ContextSearchableDatabase whose query
+// errors (e.g. a RemoteDatabase whose node is down, even after the
+// client's retries) is treated exactly the same way. Search errors
+// only when none of the selected databases is reachable.
 func (m *Metasearcher) Search(query string, maxDBs, perDB int) ([]Result, error) {
+	return m.SearchContext(context.Background(), query, maxDBs, perDB)
+}
+
+// SearchContext is Search under a context: cancelling ctx cancels
+// in-flight remote queries (databases implementing
+// ContextSearchableDatabase) and stops the fan-out.
+func (m *Metasearcher) SearchContext(ctx context.Context, query string, maxDBs, perDB int) ([]Result, error) {
 	if perDB <= 0 {
 		perDB = 10
 	}
@@ -86,6 +96,10 @@ func (m *Metasearcher) Search(query string, maxDBs, perDB int) ([]Result, error)
 	var out []Result
 	queried := 0
 	for _, sel := range sels {
+		if err := ctx.Err(); err != nil {
+			span.End(telemetry.String("error", err.Error()))
+			return nil, err
+		}
 		db, ok := handles[sel.Database]
 		if !ok {
 			unavailable.Inc()
@@ -96,7 +110,29 @@ func (m *Metasearcher) Search(query string, maxDBs, perDB int) ([]Result, error)
 		}
 		dbSpan := span.Child("search.db", telemetry.String("db", sel.Database))
 		dbStart := time.Now()
-		_, ids := db.Query(terms, perDB)
+		var ids []int
+		if cdb, ok := db.(ContextSearchableDatabase); ok {
+			var qerr error
+			_, ids, qerr = cdb.QueryContext(ctx, terms, perDB)
+			if qerr != nil {
+				dbLatency.ObserveSince(dbStart)
+				dbSpan.End(telemetry.String("error", qerr.Error()))
+				if cerr := ctx.Err(); cerr != nil {
+					span.End(telemetry.String("error", cerr.Error()))
+					return nil, cerr
+				}
+				// The node is down (the client already retried): skip it,
+				// exactly like a database with no live handle.
+				unavailable.Inc()
+				span.Event("search.db_unavailable",
+					telemetry.String("db", sel.Database), telemetry.String("error", qerr.Error()))
+				m.logWarn("search: selected database unreachable, skipping",
+					"db", sel.Database, "query", query, "error", qerr)
+				continue
+			}
+		} else {
+			_, ids = db.Query(terms, perDB)
+		}
 		dbLatency.ObserveSince(dbStart)
 		dbSpan.End(telemetry.Int("results", len(ids)))
 		queried++
