@@ -40,6 +40,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -67,6 +68,7 @@ func main() {
 		scale    = flag.String("scale", "small", "testbed scale: small | default")
 		seed     = flag.Int64("seed", 1, "testbed seed (must match the metasearcher's)")
 		list     = flag.Bool("list", false, "list the testbed's shard names and exit")
+		trace    = flag.Bool("trace", false, "log one wire.serve span per request to stderr, joined to the caller's propagated trace (X-Trace-Id / X-Parent-Span)")
 		node     = flag.String("node", "", "client mode: address of a running dbnode")
 		query    = flag.String("query", "", "client mode: evaluate this query at -node")
 		info     = flag.Bool("info", false, "client mode: print the -node description")
@@ -90,8 +92,13 @@ func main() {
 
 	reg := telemetry.NewRegistry()
 	reg.PublishExpvar("dbnode")
+	var tracer *telemetry.Tracer
+	if *trace {
+		h := slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelDebug})
+		tracer = telemetry.NewTracer(telemetry.NewLogObserver(slog.New(h)))
+	}
 	mux := http.NewServeMux()
-	mux.Handle("/v1/", wire.NewServer(db, wire.ServerOptions{Category: cat, Metrics: reg}))
+	mux.Handle("/v1/", wire.NewServer(db, wire.ServerOptions{Category: cat, Metrics: reg, Tracer: tracer}))
 	mux.Handle("/metrics", reg.Handler())
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -58,8 +58,20 @@ func main() {
 	}
 	if *telem {
 		defer func() {
+			snap := r.reg.Snapshot()
 			fmt.Fprintln(os.Stderr, "\npipeline telemetry:")
-			fmt.Fprintln(os.Stderr, r.reg.Snapshot().Summary())
+			fmt.Fprintln(os.Stderr, snap.Summary())
+			// Audit summary: how often the paper's adaptive criterion
+			// actually fired, per query and per query-database decision.
+			if q := snap.Counters["adaptive_queries_total"]; q > 0 {
+				shrunk := snap.Counters["adaptive_queries_shrunk_total"]
+				applied := snap.Counters["adaptive_shrinkage_applied_total"]
+				decided := applied + snap.Counters["adaptive_shrinkage_skipped_total"]
+				fmt.Fprintf(os.Stderr,
+					"selection audit: shrinkage fired on %d/%d queries (%.1f%%); %d/%d per-database decisions shrunk (%.1f%%)\n",
+					shrunk, q, 100*float64(shrunk)/float64(q),
+					applied, decided, 100*float64(applied)/float64(max(decided, 1)))
+			}
 		}()
 	}
 

@@ -8,22 +8,34 @@
 // Usage:
 //
 //	metasearch [-scale small|default] [-scorer cori|bgloss|lm] [-k 5] \
-//	           [-listen :8080] [-remote host:port,...] [-v] [-trace] [query ...]
+//	           [-listen :8080] [-remote host:port,...] [-v] [-trace] \
+//	           [-explain] [-audit queries.jsonl] [query ...]
 //
 // With no query arguments, queries are read one per line from stdin.
 //
 // With -remote, the metasearcher talks to dbnode servers over the wire
 // protocol instead of registering in-process databases; the nodes must
 // serve shards of the same testbed (same dbnode -scale and -seed) for
-// the term spaces to line up.
+// the term spaces to line up. Every wire request carries the query's
+// trace context (X-Trace-Id / X-Parent-Span), so a dbnode started with
+// -trace logs spans that join this process's traces.
+//
+// With -explain, each query is followed by its selection audit record:
+// every candidate database's score, the shrink-or-not verdict with the
+// Monte-Carlo mean/σ behind it and the λ mixture used, per-node call
+// costs, and merged-result provenance. -audit appends the same records
+// as JSONL to a file.
 //
 // With -listen, an HTTP server exposes the operational surface while
 // the process runs:
 //
-//	/metrics      pipeline counters/gauges/histograms (Prometheus text;
-//	              ?format=json for a JSON snapshot)
-//	/debug/vars   the same registry as an expvar under "metasearch"
-//	/debug/pprof  the standard Go profiling endpoints
+//	/metrics           pipeline counters/gauges/histograms and p50/p95/p99
+//	                   latency windows (Prometheus text; ?format=json for
+//	                   a JSON snapshot)
+//	/debug/vars        the same registry as an expvar under "metasearch"
+//	/debug/queries     recent per-query audit records (?n=50 for more);
+//	                   /debug/queries/{id} returns one record by id
+//	/debug/pprof       the standard Go profiling endpoints
 package main
 
 import (
@@ -68,6 +80,8 @@ func main() {
 		remote     = flag.String("remote", "", "comma-separated dbnode addresses (host:port,...); metasearch over these remote nodes instead of in-process databases (start them with: dbnode -testbed <name> -scale ... -seed ...)")
 		verbose    = flag.Bool("v", false, "log pipeline progress to stderr")
 		trace      = flag.Bool("trace", false, "log structured trace events (spans, EM convergence, adaptive decisions) to stderr")
+		explain    = flag.Bool("explain", false, "print each query's selection audit record (scores, shrinkage verdicts, per-node costs)")
+		auditFile  = flag.String("audit", "", "append every query's audit record to this file as JSONL")
 	)
 	flag.Parse()
 
@@ -104,6 +118,14 @@ func main() {
 		h := slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelDebug})
 		opts.Observer = telemetry.NewLogObserver(slog.New(h))
 	}
+	if *auditFile != "" {
+		f, err := os.OpenFile(*auditFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("audit log: %v", err)
+		}
+		defer f.Close()
+		opts.AuditLog = f
+	}
 	m := repro.New(opts)
 
 	if *listen != "" {
@@ -111,6 +133,8 @@ func main() {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", m.Metrics().Handler())
 		mux.Handle("/debug/vars", expvar.Handler())
+		mux.Handle("/debug/queries", m.Audit().Handler())
+		mux.Handle("/debug/queries/", m.Audit().Handler())
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -191,6 +215,9 @@ func main() {
 		results, err := m.Search(query, *k, *perDB)
 		if err != nil {
 			fmt.Printf("  search: %v\n", err)
+			if *explain {
+				m.Audit().Last().Format(os.Stdout)
+			}
 			return
 		}
 		if len(results) > 8 {
@@ -198,6 +225,9 @@ func main() {
 		}
 		for _, res := range results {
 			fmt.Printf("     doc %s/%d  %.4f\n", res.Database, res.DocID, res.Score)
+		}
+		if *explain {
+			m.Audit().Last().Format(os.Stdout)
 		}
 	}
 

@@ -1,0 +1,85 @@
+package audit
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Format pretty-prints the record as an indented, human-readable
+// explanation of the selection decision — what the -explain flag shows
+// after each interactive query.
+func (r *QueryRecord) Format(w io.Writer) {
+	if r == nil {
+		fmt.Fprintln(w, "no query record")
+		return
+	}
+	fmt.Fprintf(w, "query #%d %q", r.ID, r.Query)
+	if r.TraceID != "" {
+		fmt.Fprintf(w, "  trace=%s", r.TraceID)
+	}
+	fmt.Fprintf(w, "  (%.1fms)\n", r.ElapsedSeconds*1e3)
+	if r.Error != "" {
+		fmt.Fprintf(w, "  error: %s\n", r.Error)
+	}
+	if len(r.Terms) > 0 {
+		fmt.Fprintf(w, "  terms: %s\n", strings.Join(r.Terms, " "))
+	}
+	if r.Scorer != "" {
+		fmt.Fprintf(w, "  scorer: %s  (max_dbs=%d per_db=%d)\n", r.Scorer, r.MaxDBs, r.PerDB)
+	}
+	if len(r.Candidates) > 0 {
+		fmt.Fprintf(w, "  selection (%d candidates, shrinkage fired for %d):\n",
+			len(r.Candidates), r.ShrinkageCount())
+		for _, c := range r.Candidates {
+			mark := " "
+			if c.Selected {
+				mark = "*"
+			}
+			fmt.Fprintf(w, "   %s %-24s score=%-12.6g mc mean=%.6g sd=%.6g n=%d",
+				mark, c.Database, c.Score, c.MCMean, c.MCStdDev, c.MCSamples)
+			if c.Shrinkage {
+				fmt.Fprintf(w, "  SHRUNK %s", formatLambdas(c.Lambdas))
+			} else {
+				fmt.Fprint(w, "  unshrunk")
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	if len(r.Nodes) > 0 {
+		fmt.Fprintln(w, "  nodes:")
+		for _, n := range r.Nodes {
+			fmt.Fprintf(w, "    %-24s %7.1fms  results=%d", n.Database, n.LatencySeconds*1e3, n.Results)
+			if n.Attempts > 0 {
+				fmt.Fprintf(w, "  attempts=%d retries=%d", n.Attempts, n.Retries)
+			}
+			if n.Unavailable {
+				fmt.Fprint(w, "  UNAVAILABLE")
+			}
+			if n.Error != "" {
+				fmt.Fprintf(w, "  error=%s", n.Error)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	fmt.Fprintf(w, "  merged: %d results", r.Merged)
+	if len(r.TopHits) > 0 {
+		fmt.Fprint(w, "; top hits:")
+		for _, h := range r.TopHits {
+			fmt.Fprintf(w, " %s/%d(%.4g)", h.Database, h.DocID, h.Score)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// formatLambdas renders a shrinkage mixture as "λ[comp=w ...]".
+func formatLambdas(ls []Lambda) string {
+	if len(ls) == 0 {
+		return "λ[?]"
+	}
+	parts := make([]string, len(ls))
+	for i, l := range ls {
+		parts[i] = fmt.Sprintf("%s=%.3f", l.Component, l.Weight)
+	}
+	return "λ[" + strings.Join(parts, " ") + "]"
+}

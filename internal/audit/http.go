@@ -1,0 +1,55 @@
+package audit
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// DefaultRecent is how many records the list endpoint returns when the
+// request does not say.
+const DefaultRecent = 20
+
+// Handler serves the audit trail over HTTP:
+//
+//	GET <prefix>         — the most recent records, newest first
+//	                       (?n=<count> adjusts how many)
+//	GET <prefix>/<id>    — one record by sequence ID (404 when the ID
+//	                       never existed or has been evicted)
+//
+// The handler keys on the final path segment: a numeric segment is a
+// record ID, anything else is the list. Mount it at both
+// "/debug/queries" and "/debug/queries/" so both forms resolve.
+func (l *Log) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		last := r.URL.Path[strings.LastIndex(r.URL.Path, "/")+1:]
+		if id, err := strconv.ParseUint(last, 10, 64); err == nil {
+			rec := l.Get(id)
+			if rec == nil {
+				http.Error(w, `{"error":"no such query record (never existed or evicted)"}`, http.StatusNotFound)
+				return
+			}
+			writeIndented(w, rec)
+			return
+		}
+		n := DefaultRecent
+		if v := r.URL.Query().Get("n"); v != "" {
+			if parsed, err := strconv.Atoi(v); err == nil && parsed > 0 {
+				n = parsed
+			}
+		}
+		recs := l.Recent(n)
+		if recs == nil {
+			recs = []*QueryRecord{} // render an empty list, not null
+		}
+		writeIndented(w, recs)
+	})
+}
+
+func writeIndented(w http.ResponseWriter, v interface{}) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

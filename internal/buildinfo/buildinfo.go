@@ -1,0 +1,42 @@
+// Package buildinfo derives a human-readable version string for this
+// build, used wherever the process identifies itself to the outside
+// world (the wire client's User-Agent, operational endpoints). It reads
+// the toolchain-stamped module and VCS metadata, so no release process
+// has to remember to bump a constant.
+package buildinfo
+
+import "runtime/debug"
+
+// Version returns the build's version: the module version for released
+// builds, the (possibly dirty-marked) VCS revision for source builds,
+// or "dev" when the binary carries no build info (e.g. some test
+// binaries).
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "dev"
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	var rev string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "dev"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "-dirty"
+	}
+	return rev
+}

@@ -107,6 +107,9 @@ type Decision struct {
 	Mean, StdDev float64
 	// Combos is the number of d1..dn combinations examined.
 	Combos int
+	// Score is s(q, D) under the chosen summary view — the score the
+	// final ranking used (filled by Rank, zero after Choose alone).
+	Score float64
 }
 
 // Choose runs the "Content Summary Selection" step for every database,
@@ -120,6 +123,7 @@ func (a *Adaptive) Choose(q []string, dbs []*DB, ctx *Context) ([]summary.View, 
 	mcSamples := opts.Metrics.Counter("adaptive_mc_samples_total")
 	views := make([]summary.View, len(dbs))
 	decisions := make([]Decision, len(dbs))
+	anyShrunk := false
 	for i, db := range dbs {
 		d := a.decide(q, db, ctx, opts, int64(i))
 		decisions[i] = d
@@ -131,6 +135,7 @@ func (a *Adaptive) Choose(q []string, dbs []*DB, ctx *Context) ([]summary.View, 
 		mcSamples.Add(int64(d.Combos))
 		if d.Shrinkage {
 			applied.Inc()
+			anyShrunk = true
 		} else {
 			skipped.Inc()
 		}
@@ -140,6 +145,13 @@ func (a *Adaptive) Choose(q []string, dbs []*DB, ctx *Context) ([]summary.View, 
 			telemetry.Float("stddev", d.StdDev),
 			telemetry.Int("combos", d.Combos),
 			telemetry.Bool("shrinkage", d.Shrinkage))
+	}
+	// Per-query application rate (the paper's adaptive criterion fires
+	// per query-database pair; operators also want "how many queries saw
+	// shrinkage at all").
+	opts.Metrics.Counter("adaptive_queries_total").Inc()
+	if anyShrunk {
+		opts.Metrics.Counter("adaptive_queries_shrunk_total").Inc()
 	}
 	return views, decisions
 }
@@ -160,7 +172,11 @@ func (a *Adaptive) Rank(q []string, dbs []*DB, global summary.View) ([]Ranked, [
 		chosen[i] = Entry{Name: dbs[i].Name, View: v}
 	}
 	ctx1 := NewContext(q, chosen, global)
-	return Rank(a.Base, q, chosen, ctx1), decisions
+	ranked, scores := RankWithScores(a.Base, q, chosen, ctx1)
+	for i := range decisions {
+		decisions[i].Score = scores[i]
+	}
+	return ranked, decisions
 }
 
 // decide estimates the score distribution of one database and applies

@@ -94,9 +94,20 @@ type Ranked struct {
 // excluded (not selected), which can yield fewer databases than were
 // given — exactly as in the paper's evaluation.
 func Rank(s Scorer, q []string, entries []Entry, ctx *Context) []Ranked {
+	ranked, _ := RankWithScores(s, q, entries, ctx)
+	return ranked
+}
+
+// RankWithScores is Rank plus the raw score of every entry in input
+// order, including the entries the selection cut excluded — the
+// per-query audit trail records why a database was *not* selected,
+// which the Ranked slice alone cannot show.
+func RankWithScores(s Scorer, q []string, entries []Entry, ctx *Context) ([]Ranked, []float64) {
+	scores := make([]float64, len(entries))
 	out := make([]Ranked, 0, len(entries))
 	for i, e := range entries {
 		score := s.Score(q, e.View, ctx)
+		scores[i] = score
 		def := s.DefaultScore(q, e.View, ctx)
 		if !aboveDefault(score, def) {
 			continue
@@ -109,7 +120,7 @@ func Rank(s Scorer, q []string, entries []Entry, ctx *Context) []Ranked {
 		}
 		return out[a].Name < out[b].Name
 	})
-	return out
+	return out, scores
 }
 
 // aboveDefault reports whether a score meaningfully exceeds the

@@ -130,8 +130,14 @@ func (o logObserver) Observe(e Event) {
 	if e.Kind == KindSpanStart {
 		return // the end event carries the same name plus the duration
 	}
-	args := make([]interface{}, 0, 2*len(e.Attrs)+4)
+	args := make([]interface{}, 0, 2*len(e.Attrs)+8)
+	if e.Trace != "" {
+		args = append(args, "trace", e.Trace)
+	}
 	args = append(args, "span", e.Span)
+	if e.Parent != 0 {
+		args = append(args, "parent", e.Parent)
+	}
 	if e.Kind == KindSpanEnd {
 		args = append(args, "duration", e.Duration)
 	}

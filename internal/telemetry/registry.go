@@ -128,15 +128,109 @@ func (h *Histogram) Sum() float64 {
 	return h.sum.Value()
 }
 
+// DefWindowSize is the default sliding-window capacity: the last 1024
+// observations, enough for stable tail quantiles without unbounded
+// memory.
+const DefWindowSize = 1024
+
+// Window is a sliding-window reservoir over the last N observations,
+// reporting order statistics (p50/p95/p99) that fixed-bucket histograms
+// can only bound. A histogram answers "how many requests were slower
+// than 25ms, ever"; a window answers "what is p99 right now". All
+// methods are safe on a nil receiver.
+type Window struct {
+	mu    sync.Mutex
+	buf   []float64
+	next  int   // ring write position
+	count int64 // total observations (len(buf) is min(count, cap))
+	full  bool
+}
+
+func newWindow(size int) *Window {
+	if size <= 0 {
+		size = DefWindowSize
+	}
+	return &Window{buf: make([]float64, 0, size)}
+}
+
+// Observe records one value, evicting the oldest once the window is
+// full.
+func (w *Window) Observe(v float64) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	if len(w.buf) < cap(w.buf) {
+		w.buf = append(w.buf, v)
+	} else {
+		w.buf[w.next] = v
+		w.full = true
+	}
+	w.next = (w.next + 1) % cap(w.buf)
+	w.count++
+	w.mu.Unlock()
+}
+
+// ObserveSince records the elapsed time since start, in seconds.
+func (w *Window) ObserveSince(start time.Time) {
+	if w == nil {
+		return
+	}
+	w.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the total number of observations (including evicted
+// ones).
+func (w *Window) Count() int64 {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.count
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1, nearest-rank) of the
+// values currently in the window; an empty window yields 0.
+func (w *Window) Quantile(q float64) float64 {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	sorted := make([]float64, len(w.buf))
+	copy(sorted, w.buf)
+	w.mu.Unlock()
+	sort.Float64s(sorted)
+	return quantileOf(sorted, q)
+}
+
+// quantileOf computes the nearest-rank quantile of sorted values:
+// the smallest value with at least ⌈q·N⌉ values at or below it.
+func quantileOf(vals []float64, q float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(vals)))) - 1
+	if i >= len(vals) {
+		i = len(vals) - 1
+	}
+	if i < 0 {
+		i = 0
+	}
+	return vals[i]
+}
+
 // Registry holds named metrics. Lookup takes a read lock; updates on
-// the returned metric are lock-free, so hot paths resolve a metric once
-// and hammer the pointer. All methods are safe on a nil receiver,
-// returning nil metrics whose methods no-op.
+// the returned metric are lock-free (windows take a short internal
+// lock), so hot paths resolve a metric once and hammer the pointer. All
+// methods are safe on a nil receiver, returning nil metrics whose
+// methods no-op.
 type Registry struct {
 	mu       sync.RWMutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	windows  map[string]*Window
 }
 
 // NewRegistry creates an empty registry.
@@ -145,6 +239,7 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		windows:  make(map[string]*Window),
 	}
 }
 
@@ -213,6 +308,28 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
+// Window returns the named sliding window, creating it with the given
+// capacity on first use (size <= 0 selects DefWindowSize). Later calls
+// return the existing window regardless of size.
+func (r *Registry) Window(name string, size int) *Window {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	w := r.windows[name]
+	r.mu.RUnlock()
+	if w != nil {
+		return w
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if w = r.windows[name]; w == nil {
+		w = newWindow(size)
+		r.windows[name] = w
+	}
+	return w
+}
+
 // HistogramSnapshot is one histogram's frozen state.
 type HistogramSnapshot struct {
 	// Bounds are the upper bucket limits; Counts has one extra entry for
@@ -223,11 +340,23 @@ type HistogramSnapshot struct {
 	Count  int64     `json:"count"`
 }
 
+// WindowSnapshot is one sliding window's frozen quantiles.
+type WindowSnapshot struct {
+	// Count is the total number of observations (including ones that
+	// have slid out of the window).
+	Count int64 `json:"count"`
+	// P50, P95, P99 are the quantiles over the current window contents.
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+}
+
 // Snapshot is a point-in-time copy of every metric in a registry.
 type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
 	Gauges     map[string]float64           `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Windows    map[string]WindowSnapshot    `json:"windows,omitempty"`
 }
 
 // Snapshot copies the registry's current state. Individual metric reads
@@ -237,6 +366,7 @@ func (r *Registry) Snapshot() Snapshot {
 		Counters:   map[string]int64{},
 		Gauges:     map[string]float64{},
 		Histograms: map[string]HistogramSnapshot{},
+		Windows:    map[string]WindowSnapshot{},
 	}
 	if r == nil {
 		return snap
@@ -261,5 +391,24 @@ func (r *Registry) Snapshot() Snapshot {
 		}
 		snap.Histograms[name] = hs
 	}
+	for name, w := range r.windows {
+		snap.Windows[name] = w.snapshot()
+	}
 	return snap
+}
+
+// snapshot freezes a window's quantiles with one sort.
+func (w *Window) snapshot() WindowSnapshot {
+	w.mu.Lock()
+	sorted := make([]float64, len(w.buf))
+	copy(sorted, w.buf)
+	count := w.count
+	w.mu.Unlock()
+	sort.Float64s(sorted)
+	return WindowSnapshot{
+		Count: count,
+		P50:   quantileOf(sorted, 0.50),
+		P95:   quantileOf(sorted, 0.95),
+		P99:   quantileOf(sorted, 0.99),
+	}
 }

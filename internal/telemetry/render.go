@@ -34,7 +34,7 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 		var cum int64
 		for i, b := range h.Bounds {
 			cum += h.Counts[i]
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(b), cum); err != nil {
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, escapeLabel(formatFloat(b)), cum); err != nil {
 				return err
 			}
 		}
@@ -43,7 +43,46 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 			return err
 		}
 	}
+	for _, name := range sortedKeys(s.Windows) {
+		ws := s.Windows[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", name); err != nil {
+			return err
+		}
+		for _, qv := range []struct {
+			q string
+			v float64
+		}{{"0.5", ws.P50}, {"0.95", ws.P95}, {"0.99", ws.P99}} {
+			if _, err := fmt.Fprintf(w, "%s{quantile=\"%s\"} %s\n", name, escapeLabel(qv.q), formatFloat(qv.v)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_count %d\n", name, ws.Count); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// escapeLabel escapes a Prometheus label value: backslash, double
+// quote, and newline must be backslash-escaped inside the quotes.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
 }
 
 // WriteJSON renders the snapshot as JSON.
@@ -54,9 +93,10 @@ func (s Snapshot) WriteJSON(w io.Writer) error {
 }
 
 // Series counts the distinct exposed series: one per counter, one per
-// gauge, and one per histogram (its buckets expand on render).
+// gauge, one per histogram (its buckets expand on render), and one per
+// window (its quantiles expand on render).
 func (s Snapshot) Series() int {
-	return len(s.Counters) + len(s.Gauges) + len(s.Histograms)
+	return len(s.Counters) + len(s.Gauges) + len(s.Histograms) + len(s.Windows)
 }
 
 // Summary renders an aligned, human-readable table of every metric, for
@@ -69,7 +109,7 @@ func (s Snapshot) Summary() string {
 		return b.String()
 	}
 	width := 0
-	for _, m := range []([]string){sortedKeys(s.Counters), sortedKeys(s.Gauges), sortedKeys(s.Histograms)} {
+	for _, m := range []([]string){sortedKeys(s.Counters), sortedKeys(s.Gauges), sortedKeys(s.Histograms), sortedKeys(s.Windows)} {
 		for _, name := range m {
 			if len(name) > width {
 				width = len(name)
@@ -90,6 +130,11 @@ func (s Snapshot) Summary() string {
 		}
 		fmt.Fprintf(&b, "  %-*s  count=%d sum=%s mean=%s\n",
 			width, name, h.Count, formatFloat(h.Sum), formatFloat(mean))
+	}
+	for _, name := range sortedKeys(s.Windows) {
+		ws := s.Windows[name]
+		fmt.Fprintf(&b, "  %-*s  count=%d p50=%s p95=%s p99=%s\n",
+			width, name, ws.Count, formatFloat(ws.P50), formatFloat(ws.P95), formatFloat(ws.P99))
 	}
 	return b.String()
 }

@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestEscapeLabel(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", "plain"},
+		{"0.005", "0.005"},
+		{`back\slash`, `back\\slash`},
+		{`say "hi"`, `say \"hi\"`},
+		{"line\nbreak", `line\nbreak`},
+		{"\\\"\n", `\\\"\n`},
+	}
+	for _, c := range cases {
+		if got := escapeLabel(c.in); got != c.want {
+			t.Errorf("escapeLabel(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPrometheusHistogramBucketsCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("req_latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Buckets must be cumulative: 2 under 0.01, 3 under 0.1, 4 under 1,
+	// 5 under +Inf.
+	for _, want := range []string{
+		`req_latency_bucket{le="0.01"} 2`,
+		`req_latency_bucket{le="0.1"} 3`,
+		`req_latency_bucket{le="1"} 4`,
+		`req_latency_bucket{le="+Inf"} 5`,
+		`req_latency_count 5`,
+		"# TYPE req_latency histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// The +Inf bucket must equal _count (exposition-format invariant).
+	if !strings.Contains(out, `req_latency_bucket{le="+Inf"} 5`) || !strings.Contains(out, "req_latency_count 5") {
+		t.Error("le=\"+Inf\" bucket must equal _count")
+	}
+}
+
+func TestWindowQuantilesAcrossFormats(t *testing.T) {
+	r := NewRegistry()
+	w := r.Window("req_latency_window", 256)
+	for i := 1; i <= 100; i++ {
+		w.Observe(float64(i))
+	}
+
+	// Prometheus: summary type with quantile labels and a _count.
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	prom := buf.String()
+	for _, want := range []string{
+		"# TYPE req_latency_window summary",
+		`req_latency_window{quantile="0.5"} 50`,
+		`req_latency_window{quantile="0.95"} 95`,
+		`req_latency_window{quantile="0.99"} 99`,
+		"req_latency_window_count 100",
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("Prometheus output missing %q:\n%s", want, prom)
+		}
+	}
+
+	// JSON: the windows map round-trips with all three quantiles.
+	buf.Reset()
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Windows map[string]WindowSnapshot `json:"windows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	ws, ok := snap.Windows["req_latency_window"]
+	if !ok {
+		t.Fatalf("JSON snapshot lacks the window: %s", buf.String())
+	}
+	if ws.Count != 100 || ws.P50 != 50 || ws.P95 != 95 || ws.P99 != 99 {
+		t.Errorf("JSON window = %+v", ws)
+	}
+
+	// Summary: one aligned row per window.
+	sum := r.Snapshot().Summary()
+	if !strings.Contains(sum, "req_latency_window") ||
+		!strings.Contains(sum, "count=100 p50=50 p95=95 p99=99") {
+		t.Errorf("Summary missing window row:\n%s", sum)
+	}
+
+	// Series counts the window as one series.
+	if got := r.Snapshot().Series(); got != 1 {
+		t.Errorf("Series = %d, want 1", got)
+	}
+}
+
+func TestSummaryEmptyRegistry(t *testing.T) {
+	if got := NewRegistry().Snapshot().Summary(); !strings.Contains(got, "no metrics recorded") {
+		t.Errorf("empty summary = %q", got)
+	}
+}

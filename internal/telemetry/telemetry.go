@@ -80,6 +80,7 @@ func (k Kind) String() string {
 type Event struct {
 	Kind     Kind
 	Name     string
+	Trace    string // trace id: shared by every span of one request, across processes
 	Span     uint64 // id of the span this event belongs to
 	Parent   uint64 // id of the enclosing span (0 = root)
 	Time     time.Time

@@ -1,0 +1,48 @@
+package wire
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// CallStats accumulates per-call transport statistics. The registry's
+// wire counters are process-global; a caller that needs to know what
+// one specific logical call cost (the search fan-out records per-node
+// latency and retries in its query audit) attaches a CallStats to the
+// context and reads it after the call returns. Safe for concurrent use.
+type CallStats struct {
+	attempts atomic.Int64
+	retries  atomic.Int64
+}
+
+// Attempts returns how many HTTP attempts were made under this context
+// (at least one per logical request).
+func (s *CallStats) Attempts() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.attempts.Load()
+}
+
+// Retries returns how many of those attempts were retries.
+func (s *CallStats) Retries() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.retries.Load()
+}
+
+type callStatsKey struct{}
+
+// WithCallStats returns a context whose wire-client calls accumulate
+// into the returned CallStats.
+func WithCallStats(ctx context.Context) (context.Context, *CallStats) {
+	s := &CallStats{}
+	return context.WithValue(ctx, callStatsKey{}, s), s
+}
+
+// statsFromContext returns the attached CallStats, or nil.
+func statsFromContext(ctx context.Context) *CallStats {
+	s, _ := ctx.Value(callStatsKey{}).(*CallStats)
+	return s
+}

@@ -13,10 +13,21 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/telemetry"
 )
+
+// userAgent identifies this client in node access logs.
+var userAgent = "metasearch-repro/" + buildinfo.Version()
+
+// reqSeq numbers logical requests process-wide; the per-attempt request
+// ID "r<seq>.<attempt>" lands in the X-Request-Id header and on the
+// caller's trace, so a retried attempt is distinguishable from a fresh
+// call in both processes' records.
+var reqSeq atomic.Uint64
 
 // sharedTransport is the default http.Transport all wire clients share,
 // so a metasearcher talking to hundreds of nodes reuses a bounded pool
@@ -51,9 +62,11 @@ type ClientOptions struct {
 	// Transport overrides the shared keep-alive transport (tests).
 	Transport http.RoundTripper
 	// Metrics receives the wire client series: wire_requests_total,
+	// wire_requests_{info,query,doc}_total, wire_client_attempts_total,
 	// wire_request_errors_total, wire_client_retries_total,
-	// wire_request_latency, wire_doc_cache_{hits,misses}_total.
-	// May be nil.
+	// wire_client_inflight, wire_request_latency (histogram),
+	// wire_request_latency_window (p50/p95/p99 of recent requests), and
+	// wire_doc_cache_{hits,misses}_total. May be nil.
 	Metrics *telemetry.Registry
 	// randFloat overrides the jitter source (tests).
 	randFloat func() float64
@@ -95,11 +108,17 @@ type Client struct {
 	// metric pointers resolved once (all nil-safe no-ops without a
 	// registry).
 	requests    *telemetry.Counter
+	reqInfo     *telemetry.Counter
+	reqQuery    *telemetry.Counter
+	reqDoc      *telemetry.Counter
+	attempts    *telemetry.Counter
 	reqErrors   *telemetry.Counter
 	retries     *telemetry.Counter
 	cacheHits   *telemetry.Counter
 	cacheMisses *telemetry.Counter
+	inflight    *telemetry.Gauge
 	latency     *telemetry.Histogram
+	latencyWin  *telemetry.Window
 
 	jitterMu sync.Mutex
 	jitter   *rand.Rand
@@ -122,11 +141,17 @@ func NewClient(addr string, opts ClientOptions) *Client {
 		cache: newDocCache(opts.CacheSize),
 
 		requests:    reg.Counter("wire_requests_total"),
+		reqInfo:     reg.Counter("wire_requests_info_total"),
+		reqQuery:    reg.Counter("wire_requests_query_total"),
+		reqDoc:      reg.Counter("wire_requests_doc_total"),
+		attempts:    reg.Counter("wire_client_attempts_total"),
 		reqErrors:   reg.Counter("wire_request_errors_total"),
 		retries:     reg.Counter("wire_client_retries_total"),
 		cacheHits:   reg.Counter("wire_doc_cache_hits_total"),
 		cacheMisses: reg.Counter("wire_doc_cache_misses_total"),
+		inflight:    reg.Gauge("wire_client_inflight"),
 		latency:     reg.Histogram("wire_request_latency", nil),
+		latencyWin:  reg.Window("wire_request_latency_window", 0),
 	}
 	if opts.randFloat == nil {
 		c.jitter = rand.New(rand.NewSource(time.Now().UnixNano()))
@@ -174,16 +199,41 @@ func (c *Client) Doc(ctx context.Context, id int) ([]string, error) {
 // CachedDocs reports how many documents the LRU currently holds.
 func (c *Client) CachedDocs() int { return c.cache.len() }
 
+// endpointCounter resolves the per-endpoint request counter, so a
+// /metrics reader can tell which protocol calls drive the volume.
+func (c *Client) endpointCounter(path string) *telemetry.Counter {
+	switch {
+	case path == PathInfo:
+		return c.reqInfo
+	case path == PathQuery:
+		return c.reqQuery
+	case strings.HasPrefix(path, PathDocPrefix):
+		return c.reqDoc
+	}
+	return nil
+}
+
 // do runs one logical request: attempt, and on transient failure retry
 // with jittered exponential backoff until MaxRetries is exhausted or
 // ctx is done. One logical request counts once in wire_requests_total
-// and once in wire_request_latency regardless of attempts; each extra
-// attempt counts in wire_client_retries_total; a logical request that
-// ultimately fails counts in wire_request_errors_total.
+// (and its per-endpoint counter) and once in wire_request_latency
+// regardless of attempts; each attempt counts in
+// wire_client_attempts_total and each extra one in
+// wire_client_retries_total; a logical request that ultimately fails
+// counts in wire_request_errors_total.
+//
+// Trace context propagates from the span carried by ctx: every attempt
+// sends X-Trace-Id/X-Parent-Span (so the node's handler span parents
+// under the caller's span) plus a per-attempt X-Request-Id, and is
+// noted as a wire.attempt event on the caller's span.
 func (c *Client) do(ctx context.Context, method, path string, in, out interface{}) error {
 	t0 := time.Now()
 	c.requests.Inc()
+	c.endpointCounter(path).Inc()
+	c.inflight.Add(1)
+	defer c.inflight.Add(-1)
 	defer c.latency.ObserveSince(t0)
+	defer c.latencyWin.ObserveSince(t0)
 
 	var body []byte
 	if in != nil {
@@ -193,9 +243,21 @@ func (c *Client) do(ctx context.Context, method, path string, in, out interface{
 			return fmt.Errorf("wire: encoding %s request: %w", path, err)
 		}
 	}
+	span := telemetry.SpanFromContext(ctx)
+	stats := statsFromContext(ctx)
+	reqBase := reqSeq.Add(1)
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		lastErr = c.once(ctx, method, path, body, out)
+		c.attempts.Inc()
+		if stats != nil {
+			stats.attempts.Add(1)
+		}
+		reqID := fmt.Sprintf("r%d.%d", reqBase, attempt)
+		span.Event("wire.attempt",
+			telemetry.String("path", path),
+			telemetry.Int("attempt", attempt),
+			telemetry.String("request_id", reqID))
+		lastErr = c.once(ctx, method, path, body, out, span.Context(), reqID)
 		if lastErr == nil {
 			return nil
 		}
@@ -203,6 +265,9 @@ func (c *Client) do(ctx context.Context, method, path string, in, out interface{
 			break
 		}
 		c.retries.Inc()
+		if stats != nil {
+			stats.retries.Add(1)
+		}
 		if err := sleepCtx(ctx, c.backoff(attempt)); err != nil {
 			lastErr = err
 			break
@@ -213,7 +278,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out interface{
 }
 
 // once performs a single HTTP attempt under the per-attempt timeout.
-func (c *Client) once(ctx context.Context, method, path string, body []byte, out interface{}) error {
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out interface{}, sc telemetry.SpanContext, reqID string) error {
 	ctx, cancel := context.WithTimeout(ctx, c.opts.Timeout)
 	defer cancel()
 	var rd io.Reader
@@ -227,6 +292,9 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	req.Header.Set("User-Agent", userAgent)
+	req.Header.Set(telemetry.HeaderRequestID, reqID)
+	telemetry.Inject(sc, req.Header)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err

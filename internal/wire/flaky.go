@@ -77,6 +77,40 @@ func (f *Flaky) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	f.next.ServeHTTP(w, r)
 }
 
+// FailOnceHandler fails exactly one request with an injected transient
+// 503 each time it is armed, serving everything else untouched. Where
+// Flaky injects a reproducible random fault sequence, FailOnceHandler
+// places a single fault at a chosen moment — the tool for asserting
+// exactly-one-retry behavior (request IDs r<seq>.0 then r<seq>.1, one
+// extra attempt in CallStats) in tracing tests.
+type FailOnceHandler struct {
+	next  http.Handler
+	armed atomic.Bool
+
+	injected atomic.Int64
+}
+
+// FailOnce wraps next; call Arm to schedule the next request to fail.
+func FailOnce(next http.Handler) *FailOnceHandler {
+	return &FailOnceHandler{next: next}
+}
+
+// Arm makes the next request fail with a transient 503.
+func (f *FailOnceHandler) Arm() { f.armed.Store(true) }
+
+// Injected returns how many 503s were injected across all armings.
+func (f *FailOnceHandler) Injected() int64 { return f.injected.Load() }
+
+// ServeHTTP implements http.Handler.
+func (f *FailOnceHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if f.armed.CompareAndSwap(true, false) {
+		f.injected.Add(1)
+		WriteError(w, http.StatusServiceUnavailable, CodeUnavailable, "injected transient failure (armed)")
+		return
+	}
+	f.next.ServeHTTP(w, r)
+}
+
 // Requests returns how many requests arrived (including failed ones).
 func (f *Flaky) Requests() int64 { return f.requests.Load() }
 

@@ -30,6 +30,12 @@ type ServerOptions struct {
 	// Metrics receives wire_server_requests_total and
 	// wire_server_errors_total (may be nil).
 	Metrics *telemetry.Registry
+	// Tracer, when non-nil, records one wire.serve span per request.
+	// The span joins the trace propagated in the X-Trace-Id /
+	// X-Parent-Span headers (so it parents under the metasearcher's
+	// query span) and carries the caller's per-attempt X-Request-Id,
+	// making client retries distinguishable on the node's own trace.
+	Tracer *telemetry.Tracer
 }
 
 // NewServer returns the http.Handler of a database node: the /v1
@@ -58,19 +64,39 @@ type server struct {
 	errors   *telemetry.Counter
 }
 
-// wrap counts requests and converts handler panics into 500 envelopes.
+// wrap counts requests, opens the per-request trace span (joined to
+// the caller's propagated trace context), and converts handler panics
+// into 500 envelopes.
 func (s *server) wrap(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Inc()
+		span := s.opts.Tracer.SpanWithRemoteParent("wire.serve",
+			telemetry.Extract(r.Header),
+			telemetry.String("method", r.Method),
+			telemetry.String("path", r.URL.Path),
+			telemetry.String("request_id", r.Header.Get(telemetry.HeaderRequestID)))
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		defer func() {
 			if p := recover(); p != nil {
 				s.errors.Inc()
-				WriteError(w, http.StatusInternalServerError, CodeInternal,
+				WriteError(sw, http.StatusInternalServerError, CodeInternal,
 					fmt.Sprintf("panic serving %s: %v", r.URL.Path, p))
 			}
+			span.End(telemetry.Int("status", sw.status))
 		}()
-		next.ServeHTTP(w, r)
+		next.ServeHTTP(sw, r)
 	})
+}
+
+// statusWriter records the response status for the request span.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
 }
 
 func (s *server) fail(w http.ResponseWriter, status int, code, msg string) {

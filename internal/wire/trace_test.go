@@ -1,0 +1,245 @@
+package wire
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// attrValue extracts one attribute from a trace event (nil if absent).
+func attrValue(e telemetry.Event, key string) interface{} {
+	for _, a := range e.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return nil
+}
+
+func TestClientSendsIdentityAndTraceHeaders(t *testing.T) {
+	var mu sync.Mutex
+	var got []http.Header
+	inner := NewServer(testDB(), ServerOptions{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		got = append(got, r.Header.Clone())
+		mu.Unlock()
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	cap := &telemetry.Capture{}
+	tracer := telemetry.NewTracer(cap)
+	span := tracer.Span("caller")
+	ctx := telemetry.ContextWithSpan(context.Background(), span)
+
+	c := NewClient(srv.URL, fastOpts(nil))
+	if _, _, err := c.Query(ctx, []string{"heart"}, 1); err != nil {
+		t.Fatal(err)
+	}
+	span.End()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 {
+		t.Fatalf("server saw %d requests, want 1", len(got))
+	}
+	h := got[0]
+	if ua := h.Get("User-Agent"); !strings.HasPrefix(ua, "metasearch-repro/") {
+		t.Errorf("User-Agent = %q, want metasearch-repro/<version>", ua)
+	}
+	if tr := h.Get(telemetry.HeaderTraceID); tr != span.Context().TraceID {
+		t.Errorf("X-Trace-Id = %q, want %q", tr, span.Context().TraceID)
+	}
+	if ps := telemetry.ParseSpanID(h.Get(telemetry.HeaderParentSpan)); ps != span.Context().SpanID {
+		t.Errorf("X-Parent-Span = %q, want span %d", h.Get(telemetry.HeaderParentSpan), span.Context().SpanID)
+	}
+	reqID := h.Get(telemetry.HeaderRequestID)
+	if !strings.HasPrefix(reqID, "r") || !strings.HasSuffix(reqID, ".0") {
+		t.Errorf("X-Request-Id = %q, want r<seq>.0", reqID)
+	}
+	// The caller's span carries a matching wire.attempt event.
+	node := cap.Find("caller")
+	if node == nil || len(node.Events) != 1 {
+		t.Fatalf("caller span events = %+v", node)
+	}
+	if got := attrValue(node.Events[0], "request_id"); got != reqID {
+		t.Errorf("wire.attempt request_id = %v, header said %q", got, reqID)
+	}
+}
+
+func TestClientWithoutSpanSendsNoTraceHeaders(t *testing.T) {
+	var mu sync.Mutex
+	var h http.Header
+	inner := NewServer(testDB(), ServerOptions{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		h = r.Header.Clone()
+		mu.Unlock()
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+	c := NewClient(srv.URL, fastOpts(nil))
+	if _, err := c.Info(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if h.Get(telemetry.HeaderTraceID) != "" || h.Get(telemetry.HeaderParentSpan) != "" {
+		t.Errorf("untraced call sent trace headers: %v / %v",
+			h.Get(telemetry.HeaderTraceID), h.Get(telemetry.HeaderParentSpan))
+	}
+	if h.Get(telemetry.HeaderRequestID) == "" {
+		t.Error("request id must be stamped even without a trace")
+	}
+}
+
+func TestPerEndpointCountersAndInflight(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	srv := httptest.NewServer(NewServer(testDB(), ServerOptions{}))
+	defer srv.Close()
+	c := NewClient(srv.URL, fastOpts(reg))
+	ctx := context.Background()
+
+	if _, err := c.Info(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Query(ctx, []string{"heart"}, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []int{0, 1} {
+		if _, err := c.Doc(ctx, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, want := range map[string]int64{
+		"wire_requests_info_total":   1,
+		"wire_requests_query_total":  1,
+		"wire_requests_doc_total":    2,
+		"wire_requests_total":        4,
+		"wire_client_attempts_total": 4,
+	} {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if got := reg.Gauge("wire_client_inflight").Value(); got != 0 {
+		t.Errorf("inflight after quiesce = %v, want 0", got)
+	}
+	if got := reg.Window("wire_request_latency_window", 0).Count(); got != 4 {
+		t.Errorf("latency window count = %d, want 4", got)
+	}
+}
+
+func TestCallStatsAttributeRetriesPerCall(t *testing.T) {
+	fail := FailOnce(NewServer(testDB(), ServerOptions{}))
+	srv := httptest.NewServer(fail)
+	defer srv.Close()
+	c := NewClient(srv.URL, fastOpts(nil))
+
+	ctx, stats := WithCallStats(context.Background())
+	fail.Arm()
+	if _, _, err := c.Query(ctx, []string{"heart"}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Attempts() != 2 || stats.Retries() != 1 {
+		t.Errorf("stats = %d attempts / %d retries, want 2/1", stats.Attempts(), stats.Retries())
+	}
+
+	// A fresh stats context starts clean — per-call, not per-client.
+	ctx2, stats2 := WithCallStats(context.Background())
+	if _, _, err := c.Query(ctx2, []string{"heart"}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Attempts() != 1 || stats2.Retries() != 0 {
+		t.Errorf("stats2 = %d attempts / %d retries, want 1/0", stats2.Attempts(), stats2.Retries())
+	}
+	// Nil stats accessors are safe (no stats attached).
+	var nilStats *CallStats
+	if nilStats.Attempts() != 0 || nilStats.Retries() != 0 {
+		t.Error("nil CallStats accessors must return 0")
+	}
+}
+
+func TestRetryAttemptsShareSeqWithDistinctRequestIDs(t *testing.T) {
+	fail := FailOnce(NewServer(testDB(), ServerOptions{}))
+	srv := httptest.NewServer(fail)
+	defer srv.Close()
+
+	cap := &telemetry.Capture{}
+	tracer := telemetry.NewTracer(cap)
+	span := tracer.Span("caller")
+	ctx := telemetry.ContextWithSpan(context.Background(), span)
+
+	c := NewClient(srv.URL, fastOpts(nil))
+	fail.Arm()
+	if _, _, err := c.Query(ctx, []string{"heart"}, 1); err != nil {
+		t.Fatal(err)
+	}
+	span.End()
+
+	node := cap.Find("caller")
+	if node == nil || len(node.Events) != 2 {
+		t.Fatalf("want 2 wire.attempt events, got %+v", node)
+	}
+	id0, _ := attrValue(node.Events[0], "request_id").(string)
+	id1, _ := attrValue(node.Events[1], "request_id").(string)
+	base0 := strings.TrimSuffix(id0, ".0")
+	base1 := strings.TrimSuffix(id1, ".1")
+	if base0 == id0 || base1 == id1 || base0 != base1 {
+		t.Errorf("attempt ids = %q, %q: want same r<seq> with .0/.1 suffixes", id0, id1)
+	}
+}
+
+func TestServerSpanJoinsPropagatedTrace(t *testing.T) {
+	serverCap := &telemetry.Capture{}
+	srv := httptest.NewServer(NewServer(testDB(), ServerOptions{
+		Tracer: telemetry.NewTracer(serverCap),
+	}))
+	defer srv.Close()
+
+	clientCap := &telemetry.Capture{}
+	tracer := telemetry.NewTracer(clientCap)
+	span := tracer.Span("caller")
+	ctx := telemetry.ContextWithSpan(context.Background(), span)
+
+	c := NewClient(srv.URL, fastOpts(nil))
+	if _, _, err := c.Query(ctx, []string{"heart"}, 1); err != nil {
+		t.Fatal(err)
+	}
+	span.End()
+
+	serve := serverCap.Find("wire.serve")
+	if serve == nil {
+		t.Fatal("server recorded no wire.serve span")
+	}
+	if serve.Start.Trace != span.Context().TraceID {
+		t.Errorf("server trace = %q, client trace = %q", serve.Start.Trace, span.Context().TraceID)
+	}
+	if serve.Start.Parent != span.Context().SpanID {
+		t.Errorf("server span parent = %d, client span = %d", serve.Start.Parent, span.Context().SpanID)
+	}
+	if got, _ := attrValue(serve.Start, "path").(string); got != PathQuery {
+		t.Errorf("serve span path = %q", got)
+	}
+	if got, _ := attrValue(serve.End, "status").(int64); got != http.StatusOK {
+		t.Errorf("serve span status = %v", attrValue(serve.End, "status"))
+	}
+	// Without propagated context the server starts its own root trace.
+	serverCap.Reset()
+	if _, err := c.Info(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	serve = serverCap.Find("wire.serve")
+	if serve == nil || serve.Start.Parent != 0 || serve.Start.Trace == "" {
+		t.Errorf("untraced request should yield a fresh root span, got %+v", serve)
+	}
+	if serve.Start.Trace == span.Context().TraceID {
+		t.Error("fresh root span reused the old trace id")
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/classify"
 	"repro/internal/core"
 	"repro/internal/freqest"
@@ -125,6 +126,15 @@ type Options struct {
 	// retrievable via Metasearcher.Metrics; pass a shared registry to
 	// aggregate several metasearchers into one /metrics endpoint.
 	Metrics *telemetry.Registry
+	// AuditSize bounds the in-memory ring of per-query audit records
+	// (audit.QueryRecord: selection scores, shrinkage verdicts, per-node
+	// costs, merged-result provenance) retrievable via Audit and served
+	// at /debug/queries. 0 selects audit.DefaultCapacity; negative
+	// disables query auditing entirely.
+	AuditSize int
+	// AuditLog, when non-nil, additionally receives every audit record
+	// as one JSON line (JSONL) — a durable selection audit trail.
+	AuditLog io.Writer
 }
 
 // CategorySpec mirrors a topic-hierarchy node for Options.
@@ -176,6 +186,7 @@ type Metasearcher struct {
 	reg    *telemetry.Registry
 	tracer *telemetry.Tracer
 	logger *slog.Logger // nil = logging disabled
+	audit  *audit.Log   // nil = query auditing disabled
 
 	mu       sync.Mutex
 	training *classify.TrainingSet
@@ -233,12 +244,18 @@ func New(opts Options) *Metasearcher {
 		reg = telemetry.NewRegistry()
 	}
 	registerPipelineMetrics(reg)
+	var alog *audit.Log
+	if opts.AuditSize >= 0 {
+		alog = audit.NewLog(opts.AuditSize)
+		alog.SetSink(opts.AuditLog)
+	}
 	return &Metasearcher{
 		opts:     opts,
 		tree:     tree,
 		reg:      reg,
 		tracer:   telemetry.NewTracer(opts.Observer),
 		logger:   opts.Logger,
+		audit:    alog,
 		training: &classify.TrainingSet{},
 	}
 }
@@ -247,6 +264,15 @@ func New(opts Options) *Metasearcher {
 // telemetry in (serve it with telemetry.Registry.Handler, or snapshot
 // it for reports). Never nil.
 func (m *Metasearcher) Metrics() *telemetry.Registry { return m.reg }
+
+// Audit returns the per-query audit trail: one audit.QueryRecord per
+// Search call, newest last, holding the selection evidence (scores,
+// shrinkage verdicts with λ mixtures, Monte-Carlo statistics), per-node
+// call costs, and merged-result provenance. Serve it over HTTP with
+// Audit().Handler() (the /debug/queries endpoints), or inspect it with
+// Last/Get/Recent. Nil when Options.AuditSize is negative — and every
+// audit.Log method is nil-safe, so callers need no guard.
+func (m *Metasearcher) Audit() *audit.Log { return m.audit }
 
 // registerPipelineMetrics pre-creates every pipeline series so an
 // exposition endpoint shows the full schema (at zero) before traffic
@@ -262,6 +288,8 @@ func registerPipelineMetrics(reg *telemetry.Registry) {
 		"adaptive_shrinkage_applied_total",
 		"adaptive_shrinkage_skipped_total",
 		"adaptive_mc_samples_total",
+		"adaptive_queries_total",
+		"adaptive_queries_shrunk_total",
 		"select_requests_total",
 		"search_requests_total",
 		"search_db_unavailable_total",
@@ -276,6 +304,11 @@ func registerPipelineMetrics(reg *telemetry.Registry) {
 	}
 	for _, h := range []string{"build_latency", "select_latency", "search_latency", "search_db_latency"} {
 		reg.Histogram(h, nil)
+	}
+	// Sliding-window latency quantiles (p50/p95/p99 of recent requests,
+	// where the histograms above accumulate since process start).
+	for _, w := range []string{"select_latency_window", "search_latency_window"} {
+		reg.Window(w, 0)
 	}
 }
 
@@ -444,7 +477,6 @@ func (m *Metasearcher) BuildSummariesContext(ctx context.Context) error {
 	// latency-bound, which is where the concurrency pays off.
 	buildOne := func(i int) error {
 		r := m.dbs[i]
-		searcher := &dbSearcher{m: m, db: r.db, ctx: ctx}
 		var sample *sampling.Sample
 		var probed hierarchy.NodeID
 		var err error
@@ -454,15 +486,19 @@ func (m *Metasearcher) BuildSummariesContext(ctx context.Context) error {
 		}
 		sampleSpan := buildSpan.Child("sample",
 			telemetry.String("db", r.name), telemetry.String("sampler", samplerName))
+		// Remote probes issued under sctx carry the build trace on the
+		// wire, so a dbnode's sampling-time spans join this build's trace.
+		sctx := telemetry.ContextWithSpan(ctx, sampleSpan)
+		searcher := &dbSearcher{m: m, db: r.db, ctx: sctx}
 		if useFPS {
-			sample, probed, err = sampling.FPS(ctx, searcher, sampling.FPSConfig{
+			sample, probed, err = sampling.FPS(sctx, searcher, sampling.FPSConfig{
 				Classifier: m.classifier,
 				Span:       sampleSpan,
 				Metrics:    m.reg,
 			})
 			sampleSpan.End(queriesDocsAttrs(sample)...)
 		} else {
-			sample, err = sampling.QBS(ctx, searcher, sampling.QBSConfig{
+			sample, err = sampling.QBS(sctx, searcher, sampling.QBSConfig{
 				TargetDocs:  m.opts.SampleSize,
 				SeedLexicon: lexicon,
 				Seed:        m.opts.Seed + int64(i),
@@ -568,14 +604,32 @@ func (m *Metasearcher) Select(query string, k int) ([]Selection, error) {
 // selectSpanned is Select under an optional parent span (Search nests
 // its selection step under the search span).
 func (m *Metasearcher) selectSpanned(parent *telemetry.Span, query string, k int) ([]Selection, error) {
+	out, _, err := m.selectExplained(parent, query, k)
+	return out, err
+}
+
+// selectionExplain is the selection step's audit evidence: everything
+// a QueryRecord needs that only the selection code knows.
+type selectionExplain struct {
+	terms      []string
+	scorer     string
+	candidates []audit.Candidate
+}
+
+// selectExplained is selectSpanned plus the audit evidence: the
+// analyzed terms, the scorer used, and one audit.Candidate per
+// registered database (in registration order) carrying the score,
+// the shrinkage verdict with its Monte-Carlo statistics, and — when
+// shrinkage fired — the λ mixture the shrunk summary was built with.
+func (m *Metasearcher) selectExplained(parent *telemetry.Span, query string, k int) ([]Selection, *selectionExplain, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if !m.built {
-		return nil, errors.New("repro: BuildSummaries has not been run")
+		return nil, nil, errors.New("repro: BuildSummaries has not been run")
 	}
 	terms := m.analyze(query)
 	if len(terms) == 0 {
-		return nil, errors.New("repro: query has no indexable terms")
+		return nil, nil, errors.New("repro: query has no indexable terms")
 	}
 
 	t0 := time.Now()
@@ -585,11 +639,23 @@ func (m *Metasearcher) selectSpanned(parent *telemetry.Span, query string, k int
 	}
 	m.reg.Counter("select_requests_total").Inc()
 	defer m.reg.Histogram("select_latency", nil).ObserveSince(t0)
+	defer m.reg.Window("select_latency_window", 0).ObserveSince(t0)
 
 	if strings.EqualFold(m.opts.Scorer, "redde") {
 		out, err := m.selectReDDE(terms, k)
 		span.End(telemetry.Int("selected", len(out)))
-		return out, err
+		if err != nil {
+			return nil, nil, err
+		}
+		// ReDDE bypasses the summary machinery: audit evidence is the
+		// selected set's scores only (no shrinkage verdicts to explain).
+		ex := &selectionExplain{terms: terms, scorer: "ReDDE"}
+		for _, s := range out {
+			ex.candidates = append(ex.candidates, audit.Candidate{
+				Database: s.Database, Score: s.Score, Selected: true,
+			})
+		}
+		return out, ex, nil
 	}
 
 	base := m.scorer()
@@ -601,11 +667,13 @@ func (m *Metasearcher) selectSpanned(parent *telemetry.Span, query string, k int
 			entries[i] = selection.Entry{Name: r.name, View: r.shrunk}
 		}
 		ctx := selection.NewContext(terms, entries, m.global)
-		ranked = selection.Rank(base, terms, entries, ctx)
+		var scores []float64
+		ranked, scores = selection.RankWithScores(base, terms, entries, ctx)
 		decisions = make([]selection.Decision, len(m.dbs))
 		m.reg.Counter("adaptive_shrinkage_applied_total").Add(int64(len(m.dbs)))
 		for i := range decisions {
 			decisions[i].Shrinkage = true
+			decisions[i].Score = scores[i]
 		}
 	} else {
 		adbs := make([]*selection.DB, len(m.dbs))
@@ -630,15 +698,40 @@ func (m *Metasearcher) selectSpanned(parent *telemetry.Span, query string, k int
 		k = len(ranked)
 	}
 	out := make([]Selection, 0, k)
+	selected := make(map[string]bool, k)
 	for _, r := range ranked[:k] {
 		out = append(out, Selection{
 			Database:  r.Name,
 			Score:     r.Score,
 			Shrinkage: decisions[r.Index].Shrinkage,
 		})
+		selected[r.Name] = true
+	}
+	ex := &selectionExplain{
+		terms:      terms,
+		scorer:     base.Name(),
+		candidates: make([]audit.Candidate, len(m.dbs)),
+	}
+	for i, r := range m.dbs {
+		d := decisions[i]
+		c := audit.Candidate{
+			Database:  r.name,
+			Score:     d.Score,
+			Selected:  selected[r.name],
+			Shrinkage: d.Shrinkage,
+			MCMean:    d.Mean,
+			MCStdDev:  d.StdDev,
+			MCSamples: d.Combos,
+		}
+		if d.Shrinkage && r.shrunk != nil {
+			for _, l := range r.shrunk.Lambdas() {
+				c.Lambdas = append(c.Lambdas, audit.Lambda{Component: l.Component, Weight: l.Weight})
+			}
+		}
+		ex.candidates[i] = c
 	}
 	span.End(telemetry.Int("selected", len(out)))
-	return out, nil
+	return out, ex, nil
 }
 
 // selectReDDE ranks with the ReDDE algorithm (Si & Callan) over the

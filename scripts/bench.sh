@@ -1,0 +1,40 @@
+#!/bin/sh
+# bench.sh — run every benchmark with allocation stats and record the
+# results as a JSON document (BENCH_pr3.json) so benchmark output is
+# diffable across PRs instead of scrolling away in CI logs.
+#
+# Usage: scripts/bench.sh [output-file]
+set -eu
+
+GO="${GO:-go}"
+OUT="${1:-BENCH_pr3.json}"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT INT TERM
+
+echo "bench: running go test -bench . -benchmem ./..." >&2
+"$GO" test -run='^$' -bench . -benchmem ./... | tee "$TMP" >&2
+
+# Convert `go test -bench` lines into a JSON array. Benchmark rows look
+# like:
+#   BenchmarkName-8   1000  1234 ns/op  56 B/op  7 allocs/op
+awk '
+BEGIN { print "{"; printf "  \"benchmarks\": [" ; n = 0 }
+/^Benchmark/ {
+    name = $1; iters = $2
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op")     ns = $i
+        if ($(i+1) == "B/op")      bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (n++) printf ","
+    printf "\n    {\"name\": \"%s\", \"iterations\": %s", name, iters
+    if (ns != "")     printf ", \"ns_per_op\": %s", ns
+    if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    printf "}"
+}
+END { print "\n  ]"; print "}" }
+' "$TMP" >"$OUT"
+
+echo "bench: wrote $OUT ($(grep -c '"name"' "$OUT" || true) benchmarks)" >&2

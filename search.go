@@ -6,8 +6,14 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/telemetry"
+	"repro/internal/wire"
 )
+
+// auditTopHits caps how many merged results a QueryRecord retains for
+// provenance.
+const auditTopHits = 10
 
 // The paper's introduction defines a metasearcher by three steps:
 // select the best databases for the query, evaluate the query at each,
@@ -58,14 +64,43 @@ func (m *Metasearcher) SearchContext(ctx context.Context, query string, maxDBs, 
 	m.reg.Counter("search_requests_total").Inc()
 	start := time.Now()
 	defer m.reg.Histogram("search_latency", nil).ObserveSince(start)
+	defer m.reg.Window("search_latency_window", 0).ObserveSince(start)
 
-	sels, err := m.selectSpanned(span, query, maxDBs)
+	// The audit record is assembled as the search progresses and
+	// published exactly once, on every exit path — failed queries leave
+	// records too (that is when an explanation matters most).
+	rec := &audit.QueryRecord{
+		TraceID: span.Context().TraceID,
+		Time:    start,
+		Query:   query,
+		MaxDBs:  maxDBs,
+		PerDB:   perDB,
+	}
+	finish := func(err error) {
+		rec.ElapsedSeconds = time.Since(start).Seconds()
+		if err != nil {
+			rec.Error = err.Error()
+		}
+		m.audit.Add(rec)
+	}
+
+	sels, explain, err := m.selectExplained(span, query, maxDBs)
+	if explain != nil {
+		rec.Terms = explain.terms
+		rec.Scorer = explain.scorer
+		rec.Candidates = explain.candidates
+	}
 	if err != nil {
 		span.End(telemetry.String("error", err.Error()))
+		finish(err)
 		return nil, err
+	}
+	for _, s := range sels {
+		rec.Selected = append(rec.Selected, s.Database)
 	}
 	if len(sels) == 0 {
 		span.End(telemetry.Int("merged", 0))
+		finish(nil)
 		return nil, nil
 	}
 
@@ -98,6 +133,7 @@ func (m *Metasearcher) SearchContext(ctx context.Context, query string, maxDBs, 
 	for _, sel := range sels {
 		if err := ctx.Err(); err != nil {
 			span.End(telemetry.String("error", err.Error()))
+			finish(err)
 			return nil, err
 		}
 		db, ok := handles[sel.Database]
@@ -106,19 +142,34 @@ func (m *Metasearcher) SearchContext(ctx context.Context, query string, maxDBs, 
 			span.Event("search.db_unavailable", telemetry.String("db", sel.Database))
 			m.logWarn("search: selected database has no live connection, skipping",
 				"db", sel.Database, "query", query)
+			rec.Nodes = append(rec.Nodes, audit.NodeCall{Database: sel.Database, Unavailable: true})
 			continue
 		}
 		dbSpan := span.Child("search.db", telemetry.String("db", sel.Database))
 		dbStart := time.Now()
 		var ids []int
 		if cdb, ok := db.(ContextSearchableDatabase); ok {
+			// Carry the db span on the wire (the remote node's serve span
+			// parents under it) and collect per-call transport stats so
+			// the audit record can attribute retries to this database.
+			cctx := telemetry.ContextWithSpan(ctx, dbSpan)
+			cctx, stats := wire.WithCallStats(cctx)
 			var qerr error
-			_, ids, qerr = cdb.QueryContext(ctx, terms, perDB)
+			_, ids, qerr = cdb.QueryContext(cctx, terms, perDB)
 			if qerr != nil {
 				dbLatency.ObserveSince(dbStart)
 				dbSpan.End(telemetry.String("error", qerr.Error()))
+				rec.Nodes = append(rec.Nodes, audit.NodeCall{
+					Database:       sel.Database,
+					LatencySeconds: time.Since(dbStart).Seconds(),
+					Attempts:       stats.Attempts(),
+					Retries:        stats.Retries(),
+					Error:          qerr.Error(),
+					Unavailable:    true,
+				})
 				if cerr := ctx.Err(); cerr != nil {
 					span.End(telemetry.String("error", cerr.Error()))
+					finish(cerr)
 					return nil, cerr
 				}
 				// The node is down (the client already retried): skip it,
@@ -130,8 +181,20 @@ func (m *Metasearcher) SearchContext(ctx context.Context, query string, maxDBs, 
 					"db", sel.Database, "query", query, "error", qerr)
 				continue
 			}
+			rec.Nodes = append(rec.Nodes, audit.NodeCall{
+				Database:       sel.Database,
+				LatencySeconds: time.Since(dbStart).Seconds(),
+				Attempts:       stats.Attempts(),
+				Retries:        stats.Retries(),
+				Results:        len(ids),
+			})
 		} else {
 			_, ids = db.Query(terms, perDB)
+			rec.Nodes = append(rec.Nodes, audit.NodeCall{
+				Database:       sel.Database,
+				LatencySeconds: time.Since(dbStart).Seconds(),
+				Results:        len(ids),
+			})
 		}
 		dbLatency.ObserveSince(dbStart)
 		dbSpan.End(telemetry.Int("results", len(ids)))
@@ -147,6 +210,7 @@ func (m *Metasearcher) SearchContext(ctx context.Context, query string, maxDBs, 
 	if queried == 0 {
 		err := errors.New("repro: Search needs live database connections (Load-ed state has none)")
 		span.End(telemetry.String("error", err.Error()))
+		finish(err)
 		return nil, err
 	}
 	sort.Slice(out, func(a, b int) bool {
@@ -159,9 +223,17 @@ func (m *Metasearcher) SearchContext(ctx context.Context, query string, maxDBs, 
 		return out[a].DocID < out[b].DocID
 	})
 	m.reg.Counter("search_results_merged_total").Add(int64(len(out)))
+	rec.Merged = len(out)
+	for i, r := range out {
+		if i >= auditTopHits {
+			break
+		}
+		rec.TopHits = append(rec.TopHits, audit.Hit{Database: r.Database, DocID: r.DocID, Score: r.Score})
+	}
 	span.End(
 		telemetry.Int("selected", len(sels)),
 		telemetry.Int("queried", queried),
 		telemetry.Int("merged", len(out)))
+	finish(nil)
 	return out, nil
 }
