@@ -20,7 +20,12 @@
 // The default -listen 127.0.0.1:0 picks an ephemeral port; the chosen
 // address is logged as "serving <name> (<n> docs) on http://host:port".
 // The same listener also exposes /metrics, /debug/vars, and
-// /debug/pprof for operations.
+// /debug/pprof for operations, plus GET /v1/health (200 ok while
+// serving, 503 once draining). -max-inflight bounds concurrent protocol
+// requests — excess load is shed with 429 + Retry-After instead of
+// queueing — and SIGINT/SIGTERM triggers a graceful drain: health goes
+// 503, in-flight requests finish (up to -drain-timeout), then the
+// process exits.
 //
 // Client mode — poke a running node:
 //
@@ -45,8 +50,11 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro"
 	"repro/internal/experiments"
@@ -61,6 +69,8 @@ func main() {
 	log.SetPrefix("dbnode: ")
 	var (
 		listen   = flag.String("listen", "127.0.0.1:0", "address to serve on (port 0 picks an ephemeral port)")
+		maxInfl  = flag.Int("max-inflight", 0, "admission gate: shed protocol requests with 429 + Retry-After past this many in flight (0 = unlimited)")
+		drainFor = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown deadline: how long to wait for in-flight requests after SIGINT/SIGTERM")
 		corpus   = flag.String("corpus", "", "serve this corpus file (one document per line)")
 		name     = flag.String("name", "", "database name (default: corpus file base name / testbed shard name)")
 		category = flag.String("category", "", "topic category to advertise in /v1/info")
@@ -98,7 +108,13 @@ func main() {
 		tracer = telemetry.NewTracer(telemetry.NewLogObserver(slog.New(h)))
 	}
 	mux := http.NewServeMux()
-	mux.Handle("/v1/", wire.NewServer(db, wire.ServerOptions{Category: cat, Metrics: reg, Tracer: tracer}))
+	srvNode := wire.NewNode(db, wire.ServerOptions{
+		Category:    cat,
+		MaxInflight: *maxInfl,
+		Metrics:     reg,
+		Tracer:      tracer,
+	})
+	mux.Handle("/v1/", srvNode)
 	mux.Handle("/metrics", reg.Handler())
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -112,7 +128,30 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("serving %s (%d docs) on http://%s", db.Name(), db.NumDocs(), ln.Addr())
-	log.Fatal(http.Serve(ln, mux))
+
+	// Graceful shutdown: on SIGINT/SIGTERM, fail /v1/health first (so
+	// probes and breakers steer new traffic away), then drain in-flight
+	// requests via http.Server.Shutdown under the -drain-timeout
+	// deadline before the listener closes.
+	srv := &http.Server{Handler: mux}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	srvNode.SetDraining(true)
+	log.Printf("draining (up to %v, %d in flight)", *drainFor, srvNode.Inflight())
+	sctx, cancel := context.WithTimeout(context.Background(), *drainFor)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		log.Fatalf("drain deadline exceeded: %v", err)
+	}
+	log.Print("drained, exiting")
 }
 
 // buildBackend assembles the database to serve from either a corpus

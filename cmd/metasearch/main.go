@@ -9,7 +9,10 @@
 //
 //	metasearch [-scale small|default] [-scorer cori|bgloss|lm] [-k 5] \
 //	           [-listen :8080] [-remote host:port,...] [-v] [-trace] \
-//	           [-explain] [-audit queries.jsonl] [query ...]
+//	           [-explain] [-audit queries.jsonl] \
+//	           [-save state.json] [-load state.json] \
+//	           [-deadline 2s] [-hedge-after 100ms] [-probe-interval 2s] \
+//	           [query ...]
 //
 // With no query arguments, queries are read one per line from stdin.
 //
@@ -35,7 +38,17 @@
 //	/debug/vars        the same registry as an expvar under "metasearch"
 //	/debug/queries     recent per-query audit records (?n=50 for more);
 //	                   /debug/queries/{id} returns one record by id
+//	/debug/breakers    every node's circuit-breaker state (state, window,
+//	                   trips, short-circuits)
 //	/debug/pprof       the standard Go profiling endpoints
+//
+// -deadline bounds each query's whole fan-out; -hedge-after tunes when a
+// slow node query is hedged with a duplicate (0 auto-derives the
+// threshold from the observed wire p95); -probe-interval enables
+// background health probes that close a tripped node's breaker as soon
+// as it recovers. -save persists built summaries (atomic write, content
+// checksum); -load restores them, skipping sampling — with -remote, the
+// dialed nodes keep their live handles, so Search works immediately.
 package main
 
 import (
@@ -82,6 +95,11 @@ func main() {
 		trace      = flag.Bool("trace", false, "log structured trace events (spans, EM convergence, adaptive decisions) to stderr")
 		explain    = flag.Bool("explain", false, "print each query's selection audit record (scores, shrinkage verdicts, per-node costs)")
 		auditFile  = flag.String("audit", "", "append every query's audit record to this file as JSONL")
+		saveFile   = flag.String("save", "", "after building summaries, save them to this file (atomic write + checksum)")
+		loadFile   = flag.String("load", "", "load summaries from this file instead of sampling (pairs with -remote for live handles)")
+		deadline   = flag.Duration("deadline", 0, "overall per-query fan-out deadline budget (0 = none)")
+		hedgeAfter = flag.Duration("hedge-after", 0, "hedge a node query after this latency (0 = auto from observed p95, negative = off)")
+		probeEvery = flag.Duration("probe-interval", 0, "background health-probe interval for tripped nodes (0 = off)")
 	)
 	flag.Parse()
 
@@ -110,6 +128,10 @@ func main() {
 		// removal would mangle its token space.
 		KeepStopwords: true,
 		NoStemming:    true,
+		Resilience: repro.ResilienceOptions{
+			DeadlineBudget: *deadline,
+			HedgeAfter:     *hedgeAfter,
+		},
 	}
 	if *verbose {
 		opts.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -135,6 +157,7 @@ func main() {
 		mux.Handle("/debug/vars", expvar.Handler())
 		mux.Handle("/debug/queries", m.Audit().Handler())
 		mux.Handle("/debug/queries/", m.Audit().Handler())
+		mux.Handle("/debug/breakers", m.Breakers().Handler())
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -185,9 +208,26 @@ func main() {
 			}
 		}
 	}
-	log.Print("sampling databases and building shrunk summaries (QBS + frequency estimation)...")
-	if err := m.BuildSummaries(); err != nil {
-		log.Fatal(err)
+	if *loadFile != "" {
+		log.Printf("loading summaries from %s...", *loadFile)
+		if err := m.LoadFile(*loadFile); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		log.Print("sampling databases and building shrunk summaries (QBS + frequency estimation)...")
+		if err := m.BuildSummaries(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *saveFile != "" {
+		if err := m.SaveFile(*saveFile); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("summaries saved to %s", *saveFile)
+	}
+	if *probeEvery > 0 {
+		stop := m.StartHealthProbes(*probeEvery)
+		defer stop()
 	}
 
 	answer := func(query string) {

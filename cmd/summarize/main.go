@@ -8,15 +8,23 @@
 // Usage:
 //
 //	summarize [-db www.heart-1.example] [-sampler qbs|fps] [-freqest]
-//	          [-scale small|default] [-seed 1] [-words 15]
+//	          [-scale small|default] [-seed 1] [-words 15] [-out report.txt]
+//
+// -out writes the report to a file instead of stdout, atomically: the
+// report lands in a temp file and is renamed into place only once fully
+// written, so a crash cannot leave a truncated report behind.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"sort"
 
+	"repro/internal/atomicfile"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 )
@@ -31,8 +39,15 @@ func main() {
 		scale   = flag.String("scale", "small", "testbed scale: small | default")
 		seed    = flag.Int64("seed", 1, "synthetic world seed")
 		words   = flag.Int("words", 15, "words to display")
+		outFile = flag.String("out", "", "write the report to this file (atomic write) instead of stdout")
 	)
 	flag.Parse()
+
+	var buf bytes.Buffer
+	out := io.Writer(os.Stdout)
+	if *outFile != "" {
+		out = &buf
+	}
 
 	sc := experiments.TestScale()
 	if *scale == "default" {
@@ -73,30 +88,30 @@ func main() {
 	unshrunk := sums.Unshrunk[di]
 	shrunk := sums.Shrunk[di]
 
-	fmt.Printf("Database %s\n", db.Name)
-	fmt.Printf("  true classification: %s\n", w.Bed.Tree.PathString(db.Category))
-	fmt.Printf("  classification used: %s\n", w.Bed.Tree.PathString(sums.Class[di]))
-	fmt.Printf("  |D| = %d true, %.0f estimated (sample of %d docs)\n\n",
+	fmt.Fprintf(out, "Database %s\n", db.Name)
+	fmt.Fprintf(out, "  true classification: %s\n", w.Bed.Tree.PathString(db.Category))
+	fmt.Fprintf(out, "  classification used: %s\n", w.Bed.Tree.PathString(sums.Class[di]))
+	fmt.Fprintf(out, "  |D| = %d true, %.0f estimated (sample of %d docs)\n\n",
 		db.Size(), sums.SizeEst[di], unshrunk.SampleSize)
 
-	fmt.Println("Mixture weights λ (Figure 2 EM):")
+	fmt.Fprintln(out, "Mixture weights λ (Figure 2 EM):")
 	for _, l := range shrunk.Lambdas() {
-		fmt.Printf("  %-24s %6.3f\n", l.Component, l.Weight)
+		fmt.Fprintf(out, "  %-24s %6.3f\n", l.Component, l.Weight)
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
 
 	mat := shrunk.Materialize(1)
-	fmt.Printf("Summary quality vs the perfect S(D):\n")
-	fmt.Printf("  %-22s %10s %10s\n", "metric", "unshrunk", "shrunk")
+	fmt.Fprintf(out, "Summary quality vs the perfect S(D):\n")
+	fmt.Fprintf(out, "  %-22s %10s %10s\n", "metric", "unshrunk", "shrunk")
 	un := metrics.ApplyRoundRule(unshrunk)
-	fmt.Printf("  %-22s %10.3f %10.3f\n", "weighted recall", metrics.WeightedRecall(truth, un), metrics.WeightedRecall(truth, mat))
-	fmt.Printf("  %-22s %10.3f %10.3f\n", "unweighted recall", metrics.UnweightedRecall(truth, un), metrics.UnweightedRecall(truth, mat))
-	fmt.Printf("  %-22s %10.3f %10.3f\n", "weighted precision", metrics.WeightedPrecision(truth, un), metrics.WeightedPrecision(truth, mat))
-	fmt.Printf("  %-22s %10.3f %10.3f\n", "unweighted precision", metrics.UnweightedPrecision(truth, un), metrics.UnweightedPrecision(truth, mat))
-	fmt.Printf("  %-22s %10d %10d\n", "vocabulary", un.Len(), mat.Len())
-	fmt.Println()
+	fmt.Fprintf(out, "  %-22s %10.3f %10.3f\n", "weighted recall", metrics.WeightedRecall(truth, un), metrics.WeightedRecall(truth, mat))
+	fmt.Fprintf(out, "  %-22s %10.3f %10.3f\n", "unweighted recall", metrics.UnweightedRecall(truth, un), metrics.UnweightedRecall(truth, mat))
+	fmt.Fprintf(out, "  %-22s %10.3f %10.3f\n", "weighted precision", metrics.WeightedPrecision(truth, un), metrics.WeightedPrecision(truth, mat))
+	fmt.Fprintf(out, "  %-22s %10.3f %10.3f\n", "unweighted precision", metrics.UnweightedPrecision(truth, un), metrics.UnweightedPrecision(truth, mat))
+	fmt.Fprintf(out, "  %-22s %10d %10d\n", "vocabulary", un.Len(), mat.Len())
+	fmt.Fprintln(out)
 
-	fmt.Printf("Words recovered by shrinkage (in S(D), missed by the sample):\n")
+	fmt.Fprintf(out, "Words recovered by shrinkage (in S(D), missed by the sample):\n")
 	type rec struct {
 		w          string
 		truthP, pr float64
@@ -111,8 +126,18 @@ func main() {
 	if len(recovered) > *words {
 		recovered = recovered[:*words]
 	}
-	fmt.Printf("  %-24s %12s %12s\n", "word", "true p(w|D)", "p̂R(w|D)")
+	fmt.Fprintf(out, "  %-24s %12s %12s\n", "word", "true p(w|D)", "p̂R(w|D)")
 	for _, r := range recovered {
-		fmt.Printf("  %-24s %12.5f %12.5f\n", r.w, r.truthP, r.pr)
+		fmt.Fprintf(out, "  %-24s %12.5f %12.5f\n", r.w, r.truthP, r.pr)
+	}
+
+	if *outFile != "" {
+		if err := atomicfile.Write(*outFile, 0o644, func(f *os.File) error {
+			_, err := f.Write(buf.Bytes())
+			return err
+		}); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("report written to %s", *outFile)
 	}
 }

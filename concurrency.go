@@ -64,3 +64,15 @@ func forEachConcurrently(n, workers int, reg *telemetry.Registry, fn func(i int)
 	wg.Wait()
 	return first
 }
+
+// forEachCollect runs fn(i) for i in [0, n) over a bounded worker pool
+// and always visits every index: unlike forEachConcurrently there is no
+// early stop, because the search fan-out needs an outcome per selected
+// database (a failed node is an outcome, not a reason to abandon the
+// rest). Callers write results into pre-sized per-index slots.
+func forEachCollect(n, workers int, reg *telemetry.Registry, fn func(i int)) {
+	forEachConcurrently(n, workers, reg, func(i int) error {
+		fn(i)
+		return nil
+	})
+}

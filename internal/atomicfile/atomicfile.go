@@ -1,0 +1,51 @@
+// Package atomicfile writes files crash-safely: content goes to a
+// temporary file in the destination's directory, is fsynced, and is
+// renamed over the destination only once fully written. A crash or
+// failed write leaves the previous file intact — there is never a
+// moment where the destination holds a truncated or partial file.
+package atomicfile
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Write atomically replaces path with the bytes fill writes. The
+// temporary file lives in path's directory (rename must not cross
+// filesystems) and is removed on any failure.
+func Write(path string, perm os.FileMode, fill func(*os.File) error) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, "."+base+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err := fill(tmp); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("atomicfile: sync %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return fmt.Errorf("atomicfile: chmod %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("atomicfile: close %s: %w", tmp.Name(), err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		tmp = nil
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	tmp = nil
+	return nil
+}

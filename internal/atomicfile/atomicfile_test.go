@@ -1,0 +1,56 @@
+package atomicfile
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteCreatesAndReplaces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	if err := Write(path, 0o644, func(f *os.File) error {
+		_, err := f.WriteString("v1")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := os.ReadFile(path); string(b) != "v1" {
+		t.Fatalf("content = %q, want v1", b)
+	}
+	if err := Write(path, 0o644, func(f *os.File) error {
+		_, err := f.WriteString("v2")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := os.ReadFile(path); string(b) != "v2" {
+		t.Fatalf("content = %q, want v2", b)
+	}
+}
+
+func TestFailedWriteLeavesOriginalIntact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	if err := os.WriteFile(path, []byte("original"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("disk on fire")
+	if err := Write(path, 0o644, func(f *os.File) error {
+		f.WriteString("partial garbage")
+		return boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the fill error", err)
+	}
+	if b, _ := os.ReadFile(path); string(b) != "original" {
+		t.Fatalf("content = %q; a failed write must leave the original", b)
+	}
+	// No temp files left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("dir holds %d entries, want just the original", len(entries))
+	}
+}

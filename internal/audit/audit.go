@@ -60,8 +60,23 @@ type NodeCall struct {
 	// in-process databases).
 	Attempts int64 `json:"attempts,omitempty"`
 	Retries  int64 `json:"retries,omitempty"`
+	// Sheds is how many of those attempts the node's admission gate
+	// rejected with 429 (backpressure, not failure).
+	Sheds int64 `json:"sheds,omitempty"`
 	// Results is how many documents the database returned.
 	Results int `json:"results"`
+	// Hedged reports that a hedge request was launched against this
+	// node (its primary attempt outlived the hedge threshold); HedgeWon
+	// that the hedge, not the primary, produced the answer.
+	Hedged   bool `json:"hedged,omitempty"`
+	HedgeWon bool `json:"hedge_won,omitempty"`
+	// BreakerState is the node's circuit-breaker state when the call
+	// was admitted ("closed", "half_open", "open"; empty when breakers
+	// are disabled). BreakerOpen marks calls the breaker short-circuited
+	// without touching the node — distinct from Unavailable, which means
+	// the node was actually tried (or had no handle at all).
+	BreakerState string `json:"breaker_state,omitempty"`
+	BreakerOpen  bool   `json:"breaker_open,omitempty"`
 	// Error is set when the call failed; Unavailable marks databases
 	// skipped because no live handle (or no reachable node) existed.
 	Error       string `json:"error,omitempty"`

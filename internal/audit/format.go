@@ -53,7 +53,21 @@ func (r *QueryRecord) Format(w io.Writer) {
 			if n.Attempts > 0 {
 				fmt.Fprintf(w, "  attempts=%d retries=%d", n.Attempts, n.Retries)
 			}
-			if n.Unavailable {
+			if n.Sheds > 0 {
+				fmt.Fprintf(w, "  sheds=%d", n.Sheds)
+			}
+			if n.Hedged {
+				fmt.Fprint(w, "  HEDGED")
+				if n.HedgeWon {
+					fmt.Fprint(w, "(won)")
+				}
+			}
+			if n.BreakerState != "" && n.BreakerState != "closed" {
+				fmt.Fprintf(w, "  breaker=%s", n.BreakerState)
+			}
+			if n.BreakerOpen {
+				fmt.Fprint(w, "  BREAKER-OPEN")
+			} else if n.Unavailable {
 				fmt.Fprint(w, "  UNAVAILABLE")
 			}
 			if n.Error != "" {

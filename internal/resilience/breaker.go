@@ -1,0 +1,295 @@
+// Package resilience is the fault-tolerance layer of the search
+// fan-out: per-node circuit breakers that stop paying the retry budget
+// for databases that keep failing, hedged requests that cut the tail
+// latency a single slow node would otherwise impose on every query, and
+// a background health prober that lets an open breaker close as soon as
+// its node recovers.
+//
+// The paper's metasearcher fronts autonomous hidden-web databases that
+// are slow, overloaded, or down; none of that may stall the merged
+// answer. Everything in this package is mechanism only — the search
+// fan-out (search.go) decides policy: what counts as a failure, what a
+// shed response means, and how outcomes are audited.
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// State is a circuit breaker's position.
+type State int
+
+const (
+	// Closed: calls flow normally; outcomes are tallied.
+	Closed State = iota
+	// HalfOpen: one trial call is allowed through; its outcome decides
+	// between Closed and Open.
+	HalfOpen
+	// Open: calls are short-circuited without touching the node.
+	Open
+)
+
+// String renders the state the way audit records and /debug/breakers
+// spell it.
+func (s State) String() string {
+	switch s {
+	case HalfOpen:
+		return "half_open"
+	case Open:
+		return "open"
+	default:
+		return "closed"
+	}
+}
+
+// BreakerOptions tunes one breaker. The zero value selects the
+// defaults.
+type BreakerOptions struct {
+	// Window is how many recent call outcomes the failure rate is
+	// computed over (default 20).
+	Window int
+	// FailureThreshold trips the breaker when the windowed failure
+	// fraction reaches it (default 0.5).
+	FailureThreshold float64
+	// MinSamples is how many outcomes the window needs before the rate
+	// is trusted: a single failure on a cold breaker must not black-hole
+	// a node (default 3).
+	MinSamples int
+	// Cooldown is how long an open breaker waits before letting one
+	// half-open trial through (default 5s).
+	Cooldown time.Duration
+	// Clock overrides time.Now (tests).
+	Clock func() time.Time
+}
+
+func (o BreakerOptions) withDefaults() BreakerOptions {
+	if o.Window <= 0 {
+		o.Window = 20
+	}
+	if o.FailureThreshold <= 0 {
+		o.FailureThreshold = 0.5
+	}
+	if o.MinSamples <= 0 {
+		o.MinSamples = 3
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = 5 * time.Second
+	}
+	if o.Clock == nil {
+		o.Clock = time.Now
+	}
+	return o
+}
+
+// Breaker is a closed/open/half-open circuit breaker over one node.
+// All methods are safe for concurrent use and on a nil receiver (a nil
+// breaker admits everything), so disabling breakers needs no
+// conditionals at call sites.
+//
+// The contract is Allow-then-Record: every call the breaker admits must
+// report its outcome with exactly one Record or RecordNeutral, or a
+// half-open breaker would leak its single trial slot.
+type Breaker struct {
+	opts     BreakerOptions
+	onChange func(from, to State) // called with mu held; must not re-enter
+
+	mu        sync.Mutex
+	state     State
+	outcomes  []bool // ring of the last Window outcomes
+	next      int
+	samples   int
+	failures  int
+	openedAt  time.Time
+	changedAt time.Time
+	probing   bool // a half-open trial is in flight
+
+	trips         int64
+	shortCircuits int64
+}
+
+// NewBreaker builds a standalone breaker (breakers inside a Set are
+// created by Set.Get).
+func NewBreaker(opts BreakerOptions) *Breaker {
+	return newBreaker(opts, nil)
+}
+
+func newBreaker(opts BreakerOptions, onChange func(from, to State)) *Breaker {
+	o := opts.withDefaults()
+	return &Breaker{
+		opts:      o,
+		onChange:  onChange,
+		outcomes:  make([]bool, 0, o.Window),
+		changedAt: o.Clock(),
+	}
+}
+
+// Allow reports whether a call to the node may proceed. An open breaker
+// whose cooldown has elapsed transitions to half-open and admits the
+// caller as its single trial.
+func (b *Breaker) Allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if b.opts.Clock().Sub(b.openedAt) >= b.opts.Cooldown {
+			b.transition(HalfOpen)
+			b.probing = true
+			return true
+		}
+		b.shortCircuits++
+		return false
+	default: // HalfOpen
+		if b.probing {
+			b.shortCircuits++
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Record reports the outcome of an admitted call. A half-open trial's
+// outcome decides the next state; in the closed state the outcome joins
+// the window and may trip the breaker.
+func (b *Breaker) Record(ok bool) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == HalfOpen {
+		b.probing = false
+		if ok {
+			b.reset()
+			b.transition(Closed)
+		} else {
+			b.openedAt = b.opts.Clock()
+			b.transition(Open)
+		}
+		return
+	}
+	if b.state == Open {
+		// A straggler from before the trip; the window restarted.
+		return
+	}
+	b.push(ok)
+	if b.samples >= b.opts.MinSamples &&
+		float64(b.failures) >= b.opts.FailureThreshold*float64(b.samples) {
+		b.trips++
+		b.openedAt = b.opts.Clock()
+		b.reset()
+		b.transition(Open)
+	}
+}
+
+// RecordNeutral releases an admitted call's slot without a health
+// verdict. A shed (429) response is the canonical case: the node is
+// alive but overloaded — neither evidence for closing nor for tripping.
+func (b *Breaker) RecordNeutral() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == HalfOpen {
+		b.probing = false
+	}
+}
+
+// State returns the current state (an open breaker past its cooldown
+// still reports Open until a caller's Allow starts the trial).
+func (b *Breaker) State() State {
+	if b == nil {
+		return Closed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// push adds one outcome to the ring window.
+func (b *Breaker) push(ok bool) {
+	if len(b.outcomes) < cap(b.outcomes) {
+		b.outcomes = append(b.outcomes, ok)
+	} else {
+		if !b.outcomes[b.next] {
+			b.failures--
+		}
+		b.outcomes[b.next] = ok
+		b.next = (b.next + 1) % cap(b.outcomes)
+	}
+	if b.samples < cap(b.outcomes) {
+		b.samples++
+	}
+	if !ok {
+		b.failures++
+	}
+}
+
+// reset clears the outcome window.
+func (b *Breaker) reset() {
+	b.outcomes = b.outcomes[:0]
+	b.next = 0
+	b.samples = 0
+	b.failures = 0
+}
+
+// transition moves to a new state (mu held).
+func (b *Breaker) transition(to State) {
+	from := b.state
+	if from == to {
+		return
+	}
+	b.state = to
+	b.changedAt = b.opts.Clock()
+	if b.onChange != nil {
+		b.onChange(from, to)
+	}
+}
+
+// BreakerSnapshot is one breaker's observable state, as served at
+// /debug/breakers.
+type BreakerSnapshot struct {
+	// Database names the node (set by Set.Snapshot).
+	Database string `json:"database,omitempty"`
+	// State is "closed", "half_open", or "open".
+	State string `json:"state"`
+	// Samples and Failures describe the current outcome window.
+	Samples  int `json:"samples"`
+	Failures int `json:"failures"`
+	// Trips counts closed→open transitions; ShortCircuits counts calls
+	// denied without touching the node.
+	Trips         int64 `json:"trips"`
+	ShortCircuits int64 `json:"short_circuits"`
+	// OpenedAt is when the breaker last tripped (zero if never).
+	OpenedAt time.Time `json:"opened_at,omitempty"`
+	// ChangedAt is the last state transition.
+	ChangedAt time.Time `json:"changed_at"`
+	// CooldownSeconds is the configured open→half-open delay.
+	CooldownSeconds float64 `json:"cooldown_seconds"`
+}
+
+// Snapshot captures the breaker's state for debugging.
+func (b *Breaker) Snapshot() BreakerSnapshot {
+	if b == nil {
+		return BreakerSnapshot{State: Closed.String()}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerSnapshot{
+		State:           b.state.String(),
+		Samples:         b.samples,
+		Failures:        b.failures,
+		Trips:           b.trips,
+		ShortCircuits:   b.shortCircuits,
+		OpenedAt:        b.openedAt,
+		ChangedAt:       b.changedAt,
+		CooldownSeconds: b.opts.Cooldown.Seconds(),
+	}
+}

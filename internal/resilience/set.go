@@ -1,0 +1,131 @@
+package resilience
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+// Set is the per-node breaker collection of one metasearcher: one
+// Breaker per database name, created on first use. It keeps the
+// aggregate state gauges (breakers_closed / breakers_half_open /
+// breakers_open) and the breaker_trips_total counter current, and
+// serves per-node detail at /debug/breakers. All methods are safe for
+// concurrent use and on a nil receiver (the disabled-breakers case).
+type Set struct {
+	opts BreakerOptions
+
+	mu sync.RWMutex
+	m  map[string]*Breaker
+
+	closed   *telemetry.Gauge
+	halfOpen *telemetry.Gauge
+	open     *telemetry.Gauge
+	trips    *telemetry.Counter
+}
+
+// NewSet creates a breaker set; every breaker it mints uses opts. The
+// gauge and counter series are registered immediately (reg may be nil).
+func NewSet(opts BreakerOptions, reg *telemetry.Registry) *Set {
+	return &Set{
+		opts:     opts,
+		m:        make(map[string]*Breaker),
+		closed:   reg.Gauge("breakers_closed"),
+		halfOpen: reg.Gauge("breakers_half_open"),
+		open:     reg.Gauge("breakers_open"),
+		trips:    reg.Counter("breaker_trips_total"),
+	}
+}
+
+// Get returns the node's breaker, creating it (closed) on first use.
+// A nil set returns a nil breaker, which admits everything.
+func (s *Set) Get(name string) *Breaker {
+	if s == nil {
+		return nil
+	}
+	s.mu.RLock()
+	b := s.m[name]
+	s.mu.RUnlock()
+	if b != nil {
+		return b
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b = s.m[name]; b != nil {
+		return b
+	}
+	b = newBreaker(s.opts, s.onChange)
+	s.m[name] = b
+	s.closed.Add(1)
+	return b
+}
+
+// stateGauge maps a state to its aggregate gauge.
+func (s *Set) stateGauge(st State) *telemetry.Gauge {
+	switch st {
+	case HalfOpen:
+		return s.halfOpen
+	case Open:
+		return s.open
+	default:
+		return s.closed
+	}
+}
+
+// onChange keeps the aggregate gauges and trip counter in step with
+// breaker transitions.
+func (s *Set) onChange(from, to State) {
+	s.stateGauge(from).Add(-1)
+	s.stateGauge(to).Add(1)
+	if to == Open {
+		s.trips.Inc()
+	}
+}
+
+// Snapshot returns every breaker's state, sorted by database name.
+func (s *Set) Snapshot() []BreakerSnapshot {
+	if s == nil {
+		return nil
+	}
+	s.mu.RLock()
+	names := make([]string, 0, len(s.m))
+	for name := range s.m {
+		names = append(names, name)
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+	out := make([]BreakerSnapshot, 0, len(names))
+	for _, name := range names {
+		s.mu.RLock()
+		b := s.m[name]
+		s.mu.RUnlock()
+		snap := b.Snapshot()
+		snap.Database = name
+		out = append(out, snap)
+	}
+	return out
+}
+
+// Handler serves the set as JSON — the /debug/breakers endpoint:
+//
+//	{"breakers": [{"database": ..., "state": "open", ...}, ...]}
+//
+// A nil set serves an empty list, so the endpoint can be mounted
+// unconditionally.
+func (s *Set) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		snaps := s.Snapshot()
+		if snaps == nil {
+			snaps = []BreakerSnapshot{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Breakers []BreakerSnapshot `json:"breakers"`
+		}{snaps})
+	})
+}

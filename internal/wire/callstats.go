@@ -13,6 +13,7 @@ import (
 type CallStats struct {
 	attempts atomic.Int64
 	retries  atomic.Int64
+	sheds    atomic.Int64
 }
 
 // Attempts returns how many HTTP attempts were made under this context
@@ -32,13 +33,30 @@ func (s *CallStats) Retries() int64 {
 	return s.retries.Load()
 }
 
+// Sheds returns how many attempts the node's admission gate rejected
+// with 429 (each also counts as an attempt, and as a retry if the call
+// tried again).
+func (s *CallStats) Sheds() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.sheds.Load()
+}
+
 type callStatsKey struct{}
 
 // WithCallStats returns a context whose wire-client calls accumulate
 // into the returned CallStats.
 func WithCallStats(ctx context.Context) (context.Context, *CallStats) {
 	s := &CallStats{}
-	return context.WithValue(ctx, callStatsKey{}, s), s
+	return ContextWithCallStats(ctx, s), s
+}
+
+// ContextWithCallStats attaches a caller-allocated CallStats to ctx.
+// The hedged fan-out pre-allocates one per attempt so it can sum both
+// attempts' costs even while the losing attempt is still in flight.
+func ContextWithCallStats(ctx context.Context, s *CallStats) context.Context {
+	return context.WithValue(ctx, callStatsKey{}, s)
 }
 
 // statsFromContext returns the attached CallStats, or nil.

@@ -114,6 +114,8 @@ type Client struct {
 	attempts    *telemetry.Counter
 	reqErrors   *telemetry.Counter
 	retries     *telemetry.Counter
+	sheds       *telemetry.Counter
+	healthReqs  *telemetry.Counter
 	cacheHits   *telemetry.Counter
 	cacheMisses *telemetry.Counter
 	inflight    *telemetry.Gauge
@@ -147,6 +149,8 @@ func NewClient(addr string, opts ClientOptions) *Client {
 		attempts:    reg.Counter("wire_client_attempts_total"),
 		reqErrors:   reg.Counter("wire_request_errors_total"),
 		retries:     reg.Counter("wire_client_retries_total"),
+		sheds:       reg.Counter("wire_client_sheds_total"),
+		healthReqs:  reg.Counter("wire_health_probes_total"),
 		cacheHits:   reg.Counter("wire_doc_cache_hits_total"),
 		cacheMisses: reg.Counter("wire_doc_cache_misses_total"),
 		inflight:    reg.Gauge("wire_client_inflight"),
@@ -198,6 +202,20 @@ func (c *Client) Doc(ctx context.Context, id int) ([]string, error) {
 
 // CachedDocs reports how many documents the LRU currently holds.
 func (c *Client) CachedDocs() int { return c.cache.len() }
+
+// Health checks the node's /v1/health in a single attempt — no
+// retries, because a probe exists to measure the node as it is right
+// now, and no latency-window observation, because probe latency must
+// not pollute the p95 that drives query hedging. A nil error means the
+// node is up and accepting traffic (a draining node's 503 is an error).
+func (c *Client) Health(ctx context.Context) (HealthResponse, error) {
+	c.healthReqs.Inc()
+	var out HealthResponse
+	span := telemetry.SpanFromContext(ctx)
+	reqID := fmt.Sprintf("r%d.0", reqSeq.Add(1))
+	err := c.once(ctx, http.MethodGet, PathHealth, nil, &out, span.Context(), reqID)
+	return out, err
+}
 
 // endpointCounter resolves the per-endpoint request counter, so a
 // /metrics reader can tell which protocol calls drive the volume.
@@ -261,6 +279,12 @@ func (c *Client) do(ctx context.Context, method, path string, in, out interface{
 		if lastErr == nil {
 			return nil
 		}
+		if IsShed(lastErr) {
+			c.sheds.Inc()
+			if stats != nil {
+				stats.sheds.Add(1)
+			}
+		}
 		if !transient(lastErr) || attempt >= c.opts.MaxRetries || ctx.Err() != nil {
 			break
 		}
@@ -268,7 +292,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out interface{
 		if stats != nil {
 			stats.retries.Add(1)
 		}
-		if err := sleepCtx(ctx, c.backoff(attempt)); err != nil {
+		if err := sleepCtx(ctx, c.retryDelay(attempt, lastErr)); err != nil {
 			lastErr = err
 			break
 		}
@@ -306,6 +330,11 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 	}()
 	if resp.StatusCode != http.StatusOK {
 		pe := &ProtocolError{Status: resp.StatusCode}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+				pe.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
 		var env ErrorEnvelope
 		if json.NewDecoder(io.LimitReader(resp.Body, maxBodyBytes)).Decode(&env) == nil {
 			pe.Code, pe.Message = env.Error.Code, env.Error.Message
@@ -319,6 +348,21 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 		return fmt.Errorf("wire: decoding %s response: %w", path, err)
 	}
 	return nil
+}
+
+// retryDelay picks the sleep before the (attempt+1)-th retry: when the
+// node shed the request and named its price in Retry-After, honor it
+// (capped at BackoffMax — a peer cannot stall the client arbitrarily);
+// otherwise fall back to jittered exponential backoff.
+func (c *Client) retryDelay(attempt int, lastErr error) time.Duration {
+	var pe *ProtocolError
+	if errors.As(lastErr, &pe) && pe.Shed() && pe.RetryAfter > 0 {
+		if pe.RetryAfter > c.opts.BackoffMax {
+			return c.opts.BackoffMax
+		}
+		return pe.RetryAfter
+	}
+	return c.backoff(attempt)
 }
 
 // backoff returns the jittered sleep before the (attempt+1)-th retry.

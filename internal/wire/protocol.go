@@ -4,11 +4,15 @@
 // its search interface, over the network. The protocol mirrors the
 // SearchableDatabase interface as a small versioned JSON/HTTP API:
 //
-//	GET  /v1/info      → InfoResponse  (name, protocol version, size)
-//	POST /v1/query     → QueryResponse (match count + ranked doc ids)
-//	GET  /v1/doc/{id}  → DocResponse   (the document's analyzed terms)
+//	GET  /v1/info      → InfoResponse   (name, protocol version, size)
+//	POST /v1/query     → QueryResponse  (match count + ranked doc ids)
+//	GET  /v1/doc/{id}  → DocResponse    (the document's analyzed terms)
+//	GET  /v1/health    → HealthResponse (accepting traffic? 200 ok / 503 draining)
 //
 // Errors are returned as an ErrorEnvelope with a machine-readable code.
+// An overloaded node sheds protocol requests with 429 + Retry-After
+// (code "overloaded"); clients treat a shed as backpressure — back off
+// for the advertised interval — not as node failure.
 // The path prefix (/v1) is the protocol's major version: breaking
 // changes bump it; additive changes extend the JSON objects (decoders
 // ignore unknown fields on both sides). A client checks the version a
@@ -17,8 +21,10 @@ package wire
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"time"
 )
 
 // Version is the protocol version this package speaks, advertised by
@@ -30,6 +36,7 @@ const (
 	PathInfo      = "/v1/info"
 	PathQuery     = "/v1/query"
 	PathDocPrefix = "/v1/doc/"
+	PathHealth    = "/v1/health"
 )
 
 // maxBodyBytes bounds how much of any request or response body either
@@ -77,12 +84,30 @@ type DocResponse struct {
 	Terms []string `json:"terms"`
 }
 
+// HealthResponse answers GET /v1/health. A node accepting traffic
+// serves it with 200; a draining node (graceful shutdown in progress)
+// serves it with 503 so probes and breakers route away before the
+// listener closes.
+type HealthResponse struct {
+	// Status is "ok" or "draining".
+	Status string `json:"status"`
+	// Draining mirrors Status == "draining" for programmatic checks.
+	Draining bool `json:"draining,omitempty"`
+	// Inflight is how many protocol requests the node is serving right
+	// now; MaxInflight the admission cap (0 = unlimited).
+	Inflight    int64 `json:"inflight"`
+	MaxInflight int   `json:"max_inflight,omitempty"`
+}
+
 // Error codes shared by server and client.
 const (
 	CodeBadRequest  = "bad_request"
 	CodeNotFound    = "not_found"
 	CodeInternal    = "internal"
 	CodeUnavailable = "unavailable"
+	// CodeOverloaded marks a request shed by the node's admission gate
+	// (HTTP 429 + Retry-After): the node is healthy but at capacity.
+	CodeOverloaded = "overloaded"
 )
 
 // ErrorBody is the payload of an ErrorEnvelope.
@@ -104,6 +129,10 @@ type ProtocolError struct {
 	// when the peer did not produce one, e.g. an intermediary 502).
 	Code    string
 	Message string
+	// RetryAfter is the backoff the peer's Retry-After header asked for
+	// (zero when absent). The client honors it between retries of a shed
+	// request.
+	RetryAfter time.Duration
 }
 
 // Error implements error.
@@ -118,6 +147,21 @@ func (e *ProtocolError) Error() string {
 // overloaded or momentarily broken, not the request malformed.
 func (e *ProtocolError) Transient() bool {
 	return e.Status >= 500 || e.Status == http.StatusTooManyRequests
+}
+
+// Shed reports whether the failure was the node's admission gate
+// shedding load (429). Sheds are backpressure, not node failure: the
+// node answered, promptly, saying "not now".
+func (e *ProtocolError) Shed() bool {
+	return e.Status == http.StatusTooManyRequests
+}
+
+// IsShed reports whether err is (or wraps) a shed response. The search
+// fan-out uses it to keep 429s from counting against a node's circuit
+// breaker.
+func IsShed(err error) bool {
+	var pe *ProtocolError
+	return errors.As(err, &pe) && pe.Shed()
 }
 
 // WriteError writes an ErrorEnvelope response.

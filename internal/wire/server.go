@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 
 	"repro/internal/telemetry"
 )
@@ -27,8 +28,18 @@ type ServerOptions struct {
 	// MaxLimit caps the per-query result window a client may request
 	// (default 1000) so one request cannot ask for the whole database.
 	MaxLimit int
-	// Metrics receives wire_server_requests_total and
-	// wire_server_errors_total (may be nil).
+	// MaxInflight is the admission gate: when more than this many
+	// protocol requests are in flight, further ones are shed with
+	// 429 + Retry-After instead of queueing behind a saturated node.
+	// Zero or negative means unlimited. /v1/health is exempt — an
+	// overloaded node must still answer "am I alive".
+	MaxInflight int
+	// RetryAfter is the backoff advertised on shed responses
+	// (default 1s).
+	RetryAfter int
+	// Metrics receives wire_server_requests_total,
+	// wire_server_errors_total, wire_server_inflight, and
+	// wire_server_shed_total (may be nil).
 	Metrics *telemetry.Registry
 	// Tracer, when non-nil, records one wire.serve span per request.
 	// The span joins the trace propagated in the X-Trace-Id /
@@ -38,54 +49,107 @@ type ServerOptions struct {
 	Tracer *telemetry.Tracer
 }
 
-// NewServer returns the http.Handler of a database node: the /v1
-// protocol endpoints over db, with panics mapped to internal-error
-// envelopes so a bad request cannot take the node down.
+// NewServer returns the http.Handler of a database node. Kept for
+// callers that only need the handler; NewNode exposes the node's
+// drain/inflight controls for graceful shutdown and load shedding.
 func NewServer(db Backend, opts ServerOptions) http.Handler {
-	if opts.MaxLimit <= 0 {
-		opts.MaxLimit = 1000
-	}
-	s := &server{db: db, opts: opts,
-		requests: opts.Metrics.Counter("wire_server_requests_total"),
-		errors:   opts.Metrics.Counter("wire_server_errors_total"),
-	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET "+PathInfo, s.info)
-	mux.HandleFunc("POST "+PathQuery, s.query)
-	mux.HandleFunc("GET "+PathDocPrefix+"{id}", s.doc)
-	return s.wrap(mux)
+	return NewNode(db, opts)
 }
 
-type server struct {
+// Node is one database node's HTTP server state: the /v1 protocol
+// endpoints over a Backend, an admission gate that sheds load past
+// MaxInflight, and a draining flag that fails /v1/health during
+// graceful shutdown so probes route away before the listener closes.
+type Node struct {
 	db   Backend
 	opts ServerOptions
+	mux  http.Handler
+
+	inflightN atomic.Int64
+	draining  atomic.Bool
 
 	requests *telemetry.Counter
 	errors   *telemetry.Counter
+	shed     *telemetry.Counter
+	inflight *telemetry.Gauge
 }
 
-// wrap counts requests, opens the per-request trace span (joined to
-// the caller's propagated trace context), and converts handler panics
-// into 500 envelopes.
-func (s *server) wrap(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		s.requests.Inc()
-		span := s.opts.Tracer.SpanWithRemoteParent("wire.serve",
-			telemetry.Extract(r.Header),
-			telemetry.String("method", r.Method),
-			telemetry.String("path", r.URL.Path),
-			telemetry.String("request_id", r.Header.Get(telemetry.HeaderRequestID)))
-		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		defer func() {
-			if p := recover(); p != nil {
-				s.errors.Inc()
-				WriteError(sw, http.StatusInternalServerError, CodeInternal,
-					fmt.Sprintf("panic serving %s: %v", r.URL.Path, p))
-			}
-			span.End(telemetry.Int("status", sw.status))
-		}()
-		next.ServeHTTP(sw, r)
-	})
+// NewNode builds a database node over db: an http.Handler with panic
+// recovery, tracing, and (when opts.MaxInflight > 0) load shedding.
+func NewNode(db Backend, opts ServerOptions) *Node {
+	if opts.MaxLimit <= 0 {
+		opts.MaxLimit = 1000
+	}
+	if opts.RetryAfter <= 0 {
+		opts.RetryAfter = 1
+	}
+	n := &Node{db: db, opts: opts,
+		requests: opts.Metrics.Counter("wire_server_requests_total"),
+		errors:   opts.Metrics.Counter("wire_server_errors_total"),
+		shed:     opts.Metrics.Counter("wire_server_shed_total"),
+		inflight: opts.Metrics.Gauge("wire_server_inflight"),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET "+PathInfo, n.info)
+	mux.HandleFunc("POST "+PathQuery, n.query)
+	mux.HandleFunc("GET "+PathDocPrefix+"{id}", n.doc)
+	n.mux = mux
+	return n
+}
+
+// SetDraining marks the node as draining (or not). A draining node
+// keeps serving in-flight protocol requests — http.Server.Shutdown
+// waits for them — but answers /v1/health with 503 so health probes
+// and breakers steer new traffic elsewhere.
+func (n *Node) SetDraining(v bool) { n.draining.Store(v) }
+
+// Draining reports whether the node is draining.
+func (n *Node) Draining() bool { return n.draining.Load() }
+
+// Inflight reports how many protocol requests are being served right
+// now (health checks excluded).
+func (n *Node) Inflight() int64 { return n.inflightN.Load() }
+
+// ServeHTTP counts requests, applies the admission gate, opens the
+// per-request trace span (joined to the caller's propagated trace
+// context), and converts handler panics into 500 envelopes.
+func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	// Health is exempt from the gate and the protocol counters: probes
+	// must see through overload, and their volume must not distort the
+	// node's request rate.
+	if r.URL.Path == PathHealth {
+		n.health(w, r)
+		return
+	}
+	n.requests.Inc()
+	cur := n.inflightN.Add(1)
+	n.inflight.Add(1)
+	defer func() {
+		n.inflightN.Add(-1)
+		n.inflight.Add(-1)
+	}()
+	if n.opts.MaxInflight > 0 && cur > int64(n.opts.MaxInflight) {
+		n.shed.Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(n.opts.RetryAfter))
+		WriteError(w, http.StatusTooManyRequests, CodeOverloaded,
+			fmt.Sprintf("node at capacity (%d in flight, max %d)", cur, n.opts.MaxInflight))
+		return
+	}
+	span := n.opts.Tracer.SpanWithRemoteParent("wire.serve",
+		telemetry.Extract(r.Header),
+		telemetry.String("method", r.Method),
+		telemetry.String("path", r.URL.Path),
+		telemetry.String("request_id", r.Header.Get(telemetry.HeaderRequestID)))
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	defer func() {
+		if p := recover(); p != nil {
+			n.errors.Inc()
+			WriteError(sw, http.StatusInternalServerError, CodeInternal,
+				fmt.Sprintf("panic serving %s: %v", r.URL.Path, p))
+		}
+		span.End(telemetry.Int("status", sw.status))
+	}()
+	n.mux.ServeHTTP(sw, r)
 }
 
 // statusWriter records the response status for the request span.
@@ -99,8 +163,8 @@ func (w *statusWriter) WriteHeader(status int) {
 	w.ResponseWriter.WriteHeader(status)
 }
 
-func (s *server) fail(w http.ResponseWriter, status int, code, msg string) {
-	s.errors.Inc()
+func (n *Node) fail(w http.ResponseWriter, status int, code, msg string) {
+	n.errors.Inc()
 	WriteError(w, status, code, msg)
 }
 
@@ -109,47 +173,64 @@ func writeJSON(w http.ResponseWriter, v interface{}) {
 	json.NewEncoder(w).Encode(v)
 }
 
-func (s *server) info(w http.ResponseWriter, r *http.Request) {
+func (n *Node) health(w http.ResponseWriter, r *http.Request) {
+	resp := HealthResponse{
+		Status:      "ok",
+		Inflight:    n.inflightN.Load(),
+		MaxInflight: n.opts.MaxInflight,
+	}
+	if n.draining.Load() {
+		resp.Status = "draining"
+		resp.Draining = true
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(resp)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func (n *Node) info(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, InfoResponse{
-		Name:     s.db.Name(),
+		Name:     n.db.Name(),
 		Protocol: Version,
-		NumDocs:  s.db.NumDocs(),
-		Category: s.opts.Category,
+		NumDocs:  n.db.NumDocs(),
+		Category: n.opts.Category,
 	})
 }
 
-func (s *server) query(w http.ResponseWriter, r *http.Request) {
+func (n *Node) query(w http.ResponseWriter, r *http.Request) {
 	var req QueryRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err := dec.Decode(&req); err != nil {
-		s.fail(w, http.StatusBadRequest, CodeBadRequest, "malformed query request: "+err.Error())
+		n.fail(w, http.StatusBadRequest, CodeBadRequest, "malformed query request: "+err.Error())
 		return
 	}
 	if len(req.Terms) == 0 {
-		s.fail(w, http.StatusBadRequest, CodeBadRequest, "query needs at least one term")
+		n.fail(w, http.StatusBadRequest, CodeBadRequest, "query needs at least one term")
 		return
 	}
 	limit := req.Limit
 	if limit < 0 {
 		limit = 0
 	}
-	if limit > s.opts.MaxLimit {
-		limit = s.opts.MaxLimit
+	if limit > n.opts.MaxLimit {
+		limit = n.opts.MaxLimit
 	}
-	matches, ids := s.db.Query(req.Terms, limit)
+	matches, ids := n.db.Query(req.Terms, limit)
 	writeJSON(w, QueryResponse{Matches: matches, IDs: ids})
 }
 
-func (s *server) doc(w http.ResponseWriter, r *http.Request) {
+func (n *Node) doc(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, CodeBadRequest, "document id must be an integer")
+		n.fail(w, http.StatusBadRequest, CodeBadRequest, "document id must be an integer")
 		return
 	}
-	if id < 0 || id >= s.db.NumDocs() {
-		s.fail(w, http.StatusNotFound, CodeNotFound,
-			fmt.Sprintf("no document %d (database has %d)", id, s.db.NumDocs()))
+	if id < 0 || id >= n.db.NumDocs() {
+		n.fail(w, http.StatusNotFound, CodeNotFound,
+			fmt.Sprintf("no document %d (database has %d)", id, n.db.NumDocs()))
 		return
 	}
-	writeJSON(w, DocResponse{ID: id, Terms: s.db.Fetch(id)})
+	writeJSON(w, DocResponse{ID: id, Terms: n.db.Fetch(id)})
 }

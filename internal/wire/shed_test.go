@@ -1,0 +1,181 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func TestHealthEndpointAndDraining(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	node := NewNode(testDB(), ServerOptions{Metrics: reg})
+	srv := httptest.NewServer(node)
+	defer srv.Close()
+	c := NewClient(srv.URL, fastOpts(reg))
+
+	h, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatalf("Health on a live node: %v", err)
+	}
+	if h.Status != "ok" || h.Draining {
+		t.Fatalf("health = %+v, want ok/not-draining", h)
+	}
+
+	node.SetDraining(true)
+	if !node.Draining() {
+		t.Fatal("Draining() did not reflect SetDraining(true)")
+	}
+	_, err = c.Health(context.Background())
+	var pe *ProtocolError
+	if !errors.As(err, &pe) || pe.Status != 503 {
+		t.Fatalf("Health on a draining node: err = %v, want 503 ProtocolError", err)
+	}
+	// Draining fails health but in-flight protocol traffic still works:
+	// Shutdown drains those, not the handler.
+	if _, _, err := c.Query(context.Background(), []string{"heart"}, 10); err != nil {
+		t.Fatalf("Query on a draining node: %v (drain must not reject protocol requests)", err)
+	}
+	// Health probes do not observe the latency window (would pollute the
+	// p95 hedging signal) but do count in their own series.
+	if got := reg.Counter("wire_health_probes_total").Value(); got != 2 {
+		t.Errorf("wire_health_probes_total = %v, want 2", got)
+	}
+}
+
+func TestAdmissionGateShedsWithRetryAfter(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	release := make(chan struct{})
+	db := &slowDB{fakeDB: testDB(), gate: release}
+	node := NewNode(db, ServerOptions{MaxInflight: 1, RetryAfter: 7, Metrics: reg})
+	srv := httptest.NewServer(node)
+	defer srv.Close()
+
+	// Occupy the node's single slot with a hung query.
+	blockedErr := make(chan error, 1)
+	c1 := NewClient(srv.URL, ClientOptions{Timeout: 5 * time.Second, MaxRetries: -1, Metrics: reg})
+	go func() {
+		_, _, err := c1.Query(context.Background(), []string{"heart"}, 10)
+		blockedErr <- err
+	}()
+	waitFor(t, func() bool { return node.Inflight() == 1 })
+
+	// A second request must be shed, not queued — and the 429 must carry
+	// the configured Retry-After through to the ProtocolError.
+	c2 := NewClient(srv.URL, ClientOptions{Timeout: time.Second, MaxRetries: -1, Metrics: reg})
+	_, _, err := c2.Query(context.Background(), []string{"heart"}, 10)
+	var pe *ProtocolError
+	if !errors.As(err, &pe) {
+		t.Fatalf("shed query err = %v, want ProtocolError", err)
+	}
+	if !pe.Shed() || !IsShed(err) || pe.Code != CodeOverloaded {
+		t.Fatalf("shed query err = %+v, want 429/overloaded", pe)
+	}
+	if pe.RetryAfter != 7*time.Second {
+		t.Fatalf("RetryAfter = %v, want 7s", pe.RetryAfter)
+	}
+	if got := reg.Counter("wire_server_shed_total").Value(); got != 1 {
+		t.Errorf("wire_server_shed_total = %v, want 1", got)
+	}
+	if got := reg.Counter("wire_client_sheds_total").Value(); got != 1 {
+		t.Errorf("wire_client_sheds_total = %v, want 1", got)
+	}
+
+	// Health sees through the overload: it is exempt from the gate.
+	if _, err := c2.Health(context.Background()); err != nil {
+		t.Fatalf("Health on a saturated node: %v", err)
+	}
+
+	close(release)
+	if err := <-blockedErr; err != nil {
+		t.Fatalf("occupying query failed: %v", err)
+	}
+	waitFor(t, func() bool { return node.Inflight() == 0 })
+}
+
+func TestClientHonorsRetryAfterOnShedRetries(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	release := make(chan struct{})
+	db := &slowDB{fakeDB: testDB(), gate: release}
+	node := NewNode(db, ServerOptions{MaxInflight: 1, RetryAfter: 1, Metrics: reg})
+	srv := httptest.NewServer(node)
+	defer srv.Close()
+
+	blockedErr := make(chan error, 1)
+	c1 := NewClient(srv.URL, ClientOptions{Timeout: 5 * time.Second, MaxRetries: -1, Metrics: reg})
+	go func() {
+		_, _, err := c1.Query(context.Background(), []string{"heart"}, 10)
+		blockedErr <- err
+	}()
+	waitFor(t, func() bool { return node.Inflight() == 1 })
+
+	// Retry-After (1s) exceeds BackoffMax (20ms): the cap must win, so
+	// 2 retries complete in well under a second — a peer cannot stall
+	// the client past its own backoff ceiling.
+	c2 := NewClient(srv.URL, ClientOptions{
+		Timeout: time.Second, MaxRetries: 2,
+		BackoffBase: time.Millisecond, BackoffMax: 20 * time.Millisecond,
+		Metrics: reg,
+	})
+	ctx, stats := WithCallStats(context.Background())
+	t0 := time.Now()
+	_, _, err := c2.Query(ctx, []string{"heart"}, 10)
+	if !IsShed(err) {
+		t.Fatalf("err = %v, want shed after exhausting retries", err)
+	}
+	if elapsed := time.Since(t0); elapsed > 500*time.Millisecond {
+		t.Fatalf("retries took %v; Retry-After must be capped at BackoffMax", elapsed)
+	}
+	if stats.Attempts() != 3 || stats.Retries() != 2 || stats.Sheds() != 3 {
+		t.Fatalf("stats = attempts %d retries %d sheds %d, want 3/2/3",
+			stats.Attempts(), stats.Retries(), stats.Sheds())
+	}
+
+	close(release)
+	<-blockedErr
+}
+
+func TestContextWithCallStatsSharedAcrossCalls(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	srv := httptest.NewServer(NewServer(testDB(), ServerOptions{Metrics: reg}))
+	defer srv.Close()
+	c := NewClient(srv.URL, fastOpts(reg))
+
+	s := &CallStats{}
+	ctx := ContextWithCallStats(context.Background(), s)
+	if _, _, err := c.Query(ctx, []string{"heart"}, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Info(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if s.Attempts() != 2 {
+		t.Fatalf("attempts = %d, want 2 (one per call, shared stats)", s.Attempts())
+	}
+}
+
+// slowDB blocks Query until gate closes, so tests can hold a node's
+// inflight slot open deterministically.
+type slowDB struct {
+	*fakeDB
+	gate <-chan struct{}
+}
+
+func (s *slowDB) Query(terms []string, limit int) (int, []int) {
+	<-s.gate
+	return s.fakeDB.Query(terms, limit)
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

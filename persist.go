@@ -3,11 +3,15 @@ package repro
 import (
 	"bufio"
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"os"
 
+	"repro/internal/atomicfile"
 	"repro/internal/core"
 	"repro/internal/hierarchy"
 	"repro/internal/summary"
@@ -27,6 +31,21 @@ type persistEnvelope struct {
 	Version   int         `json:"version"`
 	Databases []persistDB `json:"databases"`
 	Training  int         `json:"training_docs"` // informational
+	// Checksum is "sha256:<hex>" over the canonical JSON encoding of
+	// Databases, verified by Load so a torn or corrupted save file is
+	// rejected loudly instead of silently loading garbage summaries.
+	// Empty in files from before the field existed (still loadable).
+	Checksum string `json:"checksum,omitempty"`
+}
+
+// databasesChecksum computes the envelope's content checksum.
+func databasesChecksum(dbs []persistDB) (string, error) {
+	b, err := json.Marshal(dbs)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return "sha256:" + hex.EncodeToString(sum[:]), nil
 }
 
 type persistDB struct {
@@ -86,6 +105,11 @@ func (m *Metasearcher) Save(w io.Writer) error {
 		}
 		env.Databases = append(env.Databases, pd)
 	}
+	sum, err := databasesChecksum(env.Databases)
+	if err != nil {
+		return fmt.Errorf("repro: save: %w", err)
+	}
+	env.Checksum = sum
 	bw := bufio.NewWriter(w)
 	if err := json.NewEncoder(bw).Encode(env); err != nil {
 		return fmt.Errorf("repro: save: %w", err)
@@ -93,11 +117,36 @@ func (m *Metasearcher) Save(w io.Writer) error {
 	return bw.Flush()
 }
 
+// SaveFile writes the built summaries to path crash-safely: the bytes
+// land in a temp file first and are renamed over path only once fully
+// written, so a crash mid-save cannot leave a truncated state file
+// behind (Load would reject one anyway, via the checksum).
+func (m *Metasearcher) SaveFile(path string) error {
+	return atomicfile.Write(path, 0o644, func(f *os.File) error {
+		return m.Save(f)
+	})
+}
+
+// LoadFile restores summaries previously written by SaveFile (or any
+// Save output on disk).
+func (m *Metasearcher) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("repro: load: %w", err)
+	}
+	defer f.Close()
+	return m.Load(f)
+}
+
 // Load restores summaries previously written by Save into this
 // metasearcher, replacing any registered databases, and rebuilds the
 // category summaries and shrunk summaries. The metasearcher must have
 // been created with the same hierarchy the state was saved under
-// (category names are matched by name).
+// (category names are matched by name). A database already registered
+// under a name the save file mentions keeps its live handle, so a
+// deployment can dial remote nodes first, Load offline-built
+// summaries second, and Search immediately. Files carrying a content
+// checksum are verified; checksum-less files (older saves) still load.
 func (m *Metasearcher) Load(r io.Reader) error {
 	var env persistEnvelope
 	if err := json.NewDecoder(bufio.NewReader(r)).Decode(&env); err != nil {
@@ -106,8 +155,30 @@ func (m *Metasearcher) Load(r io.Reader) error {
 	if env.Version != persistVersion {
 		return fmt.Errorf("repro: unsupported save version %d", env.Version)
 	}
+	if env.Checksum != "" {
+		// Decode→re-encode round-trips canonically (RawMessage passes
+		// through verbatim), so the recomputed sum matches Save's unless
+		// the content was corrupted.
+		sum, err := databasesChecksum(env.Databases)
+		if err != nil {
+			return fmt.Errorf("repro: load: %w", err)
+		}
+		if sum != env.Checksum {
+			return fmt.Errorf("repro: load: checksum mismatch (file says %s, content is %s) — save file is corrupted or was torn mid-write", env.Checksum, sum)
+		}
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+
+	// Databases already registered with live handles keep them when the
+	// loaded state names them: a deployment can dial its remote nodes,
+	// then Load offline-built summaries, and Search immediately.
+	handles := make(map[string]SearchableDatabase, len(m.dbs))
+	for _, r := range m.dbs {
+		if r.db != nil {
+			handles[r.name] = r.db
+		}
+	}
 
 	dbs := make([]*registeredDB, 0, len(env.Databases))
 	seen := make(map[string]bool, len(env.Databases))
@@ -126,6 +197,7 @@ func (m *Metasearcher) Load(r io.Reader) error {
 		}
 		rdb := &registeredDB{
 			name:      pd.Name,
+			db:        handles[pd.Name],
 			category:  cat,
 			fixedCat:  true,
 			assigned:  cat,

@@ -2,8 +2,16 @@ package repro
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
+
+	"repro/internal/wire"
 )
 
 func TestSaveLoadRoundTrip(t *testing.T) {
@@ -113,6 +121,153 @@ func TestLoadRejectsBadInput(t *testing.T) {
 		if err := m.Load(strings.NewReader(in)); err == nil {
 			t.Errorf("%s: accepted", name)
 		}
+	}
+}
+
+func TestSaveFileLoadFileRoundTrip(t *testing.T) {
+	m := buildTestMetasearcher(t, Options{Seed: 35})
+	path := filepath.Join(t.TempDir(), "state.json")
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"checksum":"sha256:`) {
+		t.Error("save file carries no content checksum")
+	}
+	m2 := New(Options{})
+	if err := m2.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.Select("blood pressure hypertension", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m2.Select("blood pressure hypertension", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 || len(want) == 0 || got[0].Database != want[0].Database {
+		t.Errorf("loaded selection %v, original %v", got, want)
+	}
+}
+
+func TestLoadRejectsCorruptedFile(t *testing.T) {
+	m := buildTestMetasearcher(t, Options{Seed: 36})
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the content without breaking the JSON: the kind of damage
+	// a torn write or bit flip leaves that version checks cannot catch.
+	corrupt := bytes.Replace(buf.Bytes(), []byte(`"name":"cardio"`), []byte(`"name":"cardiX"`), 1)
+	if bytes.Equal(corrupt, buf.Bytes()) {
+		t.Fatal("corruption did not change the save bytes")
+	}
+	m2 := New(Options{})
+	err := m2.Load(bytes.NewReader(corrupt))
+	if err == nil {
+		t.Fatal("corrupted save file loaded without error")
+	}
+	if !strings.Contains(err.Error(), "checksum mismatch") {
+		t.Errorf("corruption error = %v, want a checksum mismatch", err)
+	}
+}
+
+func TestLoadAcceptsChecksumlessFile(t *testing.T) {
+	m := buildTestMetasearcher(t, Options{Seed: 37})
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// A save from before the checksum field existed: same content, no
+	// checksum key. It must still load.
+	var env map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := env["checksum"]; !ok {
+		t.Fatal("save output carries no checksum to strip")
+	}
+	delete(env, "checksum")
+	legacy, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := New(Options{})
+	if err := m2.Load(bytes.NewReader(legacy)); err != nil {
+		t.Fatalf("checksum-less save rejected: %v", err)
+	}
+	if _, err := m2.Select("blood pressure hypertension", 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadKeepsLiveHandles covers the -load + -remote deployment: dial
+// the nodes first, load offline-built summaries second, and Search
+// works immediately because the registered handles survive the load.
+func TestLoadKeepsLiveHandles(t *testing.T) {
+	shards, lexicon := testbedShards(t, 2)
+	query := strings.Join([]string{shards[0].docs[0][0], shards[0].docs[0][1]}, " ")
+
+	m := New(testbedOptions(lexicon))
+	for _, s := range shards {
+		if err := m.AddDatabase(NewLocalDatabaseFromTerms(s.name, s.docs), s.category); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.BuildSummaries(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "state.json")
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.Search(query, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("search before persistence returned no results")
+	}
+
+	// Without live handles a loaded metasearcher can Select but not
+	// Search — the error must say so.
+	bare := New(testbedOptions(lexicon))
+	if err := bare.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bare.Search(query, 2, 5); err == nil {
+		t.Error("search without live handles reported success")
+	}
+
+	// With the same databases dialed before the load, the handles are
+	// kept and the search matches the original.
+	live := New(testbedOptions(lexicon))
+	for _, s := range shards {
+		srv := httptest.NewServer(wire.NewServer(
+			NewLocalDatabaseFromTerms(s.name, s.docs),
+			wire.ServerOptions{Category: s.category}))
+		t.Cleanup(srv.Close)
+		rdb, err := DialRemoteDatabase(context.Background(), srv.URL, RemoteDatabaseOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := live.AddDatabase(rdb, rdb.Category()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := live.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := live.Search(query, 2, 5)
+	if err != nil {
+		t.Fatalf("search after load with live handles: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("search after load diverges:\n got: %+v\nwant: %+v", got, want)
 	}
 }
 

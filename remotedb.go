@@ -2,6 +2,7 @@ package repro
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
@@ -100,9 +101,17 @@ func (d *RemoteDatabase) NumDocs() int { return d.numDocs }
 // BaseURL returns the node's base URL.
 func (d *RemoteDatabase) BaseURL() string { return d.client.BaseURL() }
 
-// Ping verifies the node is still reachable.
+// Ping verifies the node is still reachable and accepting traffic,
+// via /v1/health (a single attempt, no retries — health probes measure
+// the node as it is now). Nodes from before the health endpoint answer
+// 404; Ping falls back to /v1/info for those, so probing still works
+// against an old fleet.
 func (d *RemoteDatabase) Ping(ctx context.Context) error {
-	_, err := d.client.Info(ctx)
+	_, err := d.client.Health(ctx)
+	var pe *wire.ProtocolError
+	if errors.As(err, &pe) && pe.Status == http.StatusNotFound {
+		_, err = d.client.Info(ctx)
+	}
 	return err
 }
 

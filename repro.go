@@ -40,6 +40,7 @@ import (
 	"repro/internal/freqest"
 	"repro/internal/hierarchy"
 	"repro/internal/index"
+	"repro/internal/resilience"
 	"repro/internal/sampling"
 	"repro/internal/selection"
 	"repro/internal/summary"
@@ -135,6 +136,43 @@ type Options struct {
 	// AuditLog, when non-nil, additionally receives every audit record
 	// as one JSON line (JSONL) — a durable selection audit trail.
 	AuditLog io.Writer
+	// Resilience tunes the search fan-out's fault tolerance: deadline
+	// budget, hedging, and per-node circuit breakers. The zero value
+	// selects sensible defaults (breakers on, hedging auto-tuned from
+	// the observed wire p95, no overall deadline).
+	Resilience ResilienceOptions
+}
+
+// ResilienceOptions tunes how SearchContext fans out over selected
+// databases when some of them are slow, overloaded, or down.
+type ResilienceOptions struct {
+	// DeadlineBudget bounds the whole fan-out: every node call runs
+	// under a context that expires this long after the fan-out starts,
+	// so one hung node cannot stall the merged answer. 0 = no budget
+	// (the caller's context still applies).
+	DeadlineBudget time.Duration
+	// HedgeAfter is the latency threshold past which a node call is
+	// hedged with a second identical request (first success wins, loser
+	// cancelled). 0 = auto: the observed p95 of recent wire requests
+	// (wire_request_latency_window), floored at HedgeFloor. Negative
+	// disables hedging.
+	HedgeAfter time.Duration
+	// HedgeFloor is the minimum auto-derived hedge threshold (default
+	// 250ms): with too few observations the p95 is noise, and hedging
+	// below the floor would double traffic for no tail to cut.
+	HedgeFloor time.Duration
+	// Concurrency bounds how many node queries run at once (0 = all
+	// selected databases in parallel).
+	Concurrency int
+	// DisableBreakers turns the per-node circuit breakers off: every
+	// selected database is always tried.
+	DisableBreakers bool
+	// Breaker tuning (zero values select the resilience package
+	// defaults: window 20, threshold 0.5, min samples 3, cooldown 5s).
+	BreakerWindow           int
+	BreakerFailureThreshold float64
+	BreakerMinSamples       int
+	BreakerCooldown         time.Duration
 }
 
 // CategorySpec mirrors a topic-hierarchy node for Options.
@@ -181,12 +219,13 @@ type Selection struct {
 // Metasearcher is the end-to-end system of the paper. Methods are safe
 // for concurrent use after BuildSummaries has returned.
 type Metasearcher struct {
-	opts   Options
-	tree   *hierarchy.Tree
-	reg    *telemetry.Registry
-	tracer *telemetry.Tracer
-	logger *slog.Logger // nil = logging disabled
-	audit  *audit.Log   // nil = query auditing disabled
+	opts     Options
+	tree     *hierarchy.Tree
+	reg      *telemetry.Registry
+	tracer   *telemetry.Tracer
+	logger   *slog.Logger    // nil = logging disabled
+	audit    *audit.Log      // nil = query auditing disabled
+	breakers *resilience.Set // nil = breakers disabled
 
 	mu       sync.Mutex
 	training *classify.TrainingSet
@@ -249,6 +288,15 @@ func New(opts Options) *Metasearcher {
 		alog = audit.NewLog(opts.AuditSize)
 		alog.SetSink(opts.AuditLog)
 	}
+	var breakers *resilience.Set
+	if !opts.Resilience.DisableBreakers {
+		breakers = resilience.NewSet(resilience.BreakerOptions{
+			Window:           opts.Resilience.BreakerWindow,
+			FailureThreshold: opts.Resilience.BreakerFailureThreshold,
+			MinSamples:       opts.Resilience.BreakerMinSamples,
+			Cooldown:         opts.Resilience.BreakerCooldown,
+		}, reg)
+	}
 	return &Metasearcher{
 		opts:     opts,
 		tree:     tree,
@@ -256,6 +304,7 @@ func New(opts Options) *Metasearcher {
 		tracer:   telemetry.NewTracer(opts.Observer),
 		logger:   opts.Logger,
 		audit:    alog,
+		breakers: breakers,
 		training: &classify.TrainingSet{},
 	}
 }
@@ -264,6 +313,70 @@ func New(opts Options) *Metasearcher {
 // telemetry in (serve it with telemetry.Registry.Handler, or snapshot
 // it for reports). Never nil.
 func (m *Metasearcher) Metrics() *telemetry.Registry { return m.reg }
+
+// Breakers returns the per-node circuit-breaker set the search fan-out
+// consults (serve its Handler at /debug/breakers). Nil when
+// Options.Resilience.DisableBreakers is set — and every resilience.Set
+// method is nil-safe, so callers need no guard.
+func (m *Metasearcher) Breakers() *resilience.Set { return m.breakers }
+
+// StartHealthProbes launches a background prober that pings the
+// /v1/health endpoint of every registered remote database whose breaker
+// is not closed, feeding results back into the breakers: an open
+// breaker closes as soon as its node recovers, without waiting for live
+// query traffic. interval <= 0 selects the default (2s). The returned
+// stop function halts the prober (idempotent). With breakers disabled
+// or no remote databases registered it is a no-op.
+func (m *Metasearcher) StartHealthProbes(interval time.Duration) (stop func()) {
+	if m.breakers == nil {
+		return func() {}
+	}
+	m.mu.Lock()
+	var targets []resilience.ProbeTarget
+	for _, r := range m.dbs {
+		rdb, ok := r.db.(*RemoteDatabase)
+		if !ok {
+			continue
+		}
+		targets = append(targets, resilience.ProbeTarget{
+			Name: r.name,
+			Ping: rdb.Ping,
+		})
+	}
+	m.mu.Unlock()
+	if len(targets) == 0 {
+		return func() {}
+	}
+	p := resilience.NewProber(m.breakers, targets, resilience.ProberOptions{
+		Interval: interval,
+		Metrics:  m.reg,
+	})
+	p.Start()
+	return p.Stop
+}
+
+// hedgeThreshold resolves the hedge-latency threshold for one search:
+// the configured HedgeAfter, or (when 0) the observed p95 of recent
+// wire requests floored at HedgeFloor. Negative disables hedging.
+func (m *Metasearcher) hedgeThreshold() time.Duration {
+	r := m.opts.Resilience
+	if r.HedgeAfter != 0 {
+		if r.HedgeAfter < 0 {
+			return 0
+		}
+		return r.HedgeAfter
+	}
+	floor := r.HedgeFloor
+	if floor <= 0 {
+		floor = 250 * time.Millisecond
+	}
+	p95 := m.reg.Window("wire_request_latency_window", 0).Quantile(0.95)
+	d := time.Duration(p95 * float64(time.Second))
+	if d < floor {
+		return floor
+	}
+	return d
+}
 
 // Audit returns the per-query audit trail: one audit.QueryRecord per
 // Search call, newest last, holding the selection evidence (scores,
@@ -294,6 +407,10 @@ func registerPipelineMetrics(reg *telemetry.Registry) {
 		"search_requests_total",
 		"search_db_unavailable_total",
 		"search_results_merged_total",
+		"search_hedges_total",
+		"search_hedge_wins_total",
+		"search_breaker_open_total",
+		"search_sheds_total",
 		"concurrency_tasks_started_total",
 		"concurrency_tasks_failed_total",
 	} {

@@ -1,0 +1,382 @@
+package repro
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/resilience"
+	"repro/internal/wire"
+)
+
+// switchable is an http.Handler whose behavior can be swapped at
+// runtime, so a test can build summaries against healthy nodes and then
+// flip individual nodes into failure modes without restarting servers
+// (a restart would change the address and reset the connection).
+type switchable struct {
+	h atomic.Pointer[http.Handler]
+}
+
+func newSwitchable(h http.Handler) *switchable {
+	s := &switchable{}
+	s.Set(h)
+	return s
+}
+
+func (s *switchable) Set(h http.Handler) { s.h.Store(&h) }
+
+func (s *switchable) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	(*s.h.Load()).ServeHTTP(w, r)
+}
+
+// chaosNode is one remote database under test control.
+type chaosNode struct {
+	shard   testShard
+	healthy http.Handler
+	sw      *switchable
+	srv     *httptest.Server
+}
+
+// dialChaosNodes starts n switchable (initially healthy) wire servers
+// over the first n testbed shards and registers them with m.
+func dialChaosNodes(t *testing.T, m *Metasearcher, shards []testShard, opts RemoteDatabaseOptions) []*chaosNode {
+	t.Helper()
+	nodes := make([]*chaosNode, len(shards))
+	for i, s := range shards {
+		healthy := wire.NewServer(NewLocalDatabaseFromTerms(s.name, s.docs),
+			wire.ServerOptions{Category: s.category, Metrics: m.Metrics()})
+		sw := newSwitchable(healthy)
+		srv := httptest.NewServer(sw)
+		t.Cleanup(srv.Close)
+		rdb, err := DialRemoteDatabase(context.Background(), srv.URL, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.AddDatabase(rdb, rdb.Category()); err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = &chaosNode{shard: s, healthy: healthy, sw: sw, srv: srv}
+	}
+	return nodes
+}
+
+// nodeCall extracts one database's NodeCall from a query record.
+func nodeCall(t *testing.T, rec *audit.QueryRecord, db string) audit.NodeCall {
+	t.Helper()
+	if rec == nil {
+		t.Fatal("no audit record")
+	}
+	for _, c := range rec.Nodes {
+		if c.Database == db {
+			return c
+		}
+	}
+	t.Fatalf("audit record has no node call for %s (selected: %v)", db, rec.Selected)
+	return audit.NodeCall{}
+}
+
+// TestSearchSurvivesChaos is the resilience end-to-end: four remote
+// nodes, summaries built while all are healthy, then one node is made
+// to hang every request and another to fail every request. The first
+// search must still merge the two healthy nodes' results well inside
+// the deadline budget, hedging the hung node's call; the failures trip
+// the bad nodes' breakers, so the second search short-circuits them
+// without touching the network, and /debug/breakers reports the same
+// states the audit trail does.
+func TestSearchSurvivesChaos(t *testing.T) {
+	shards, lexicon := testbedShards(t, 4)
+
+	const budget = 3 * time.Second
+	opts := testbedOptions(lexicon)
+	opts.Resilience = ResilienceOptions{
+		DeadlineBudget: budget,
+		HedgeAfter:     30 * time.Millisecond,
+		// One failed call trips a node's breaker, and the cooldown is
+		// long enough that it stays open for the whole test.
+		BreakerMinSamples: 1,
+		BreakerCooldown:   time.Minute,
+	}
+	m := New(opts)
+	reg := m.Metrics()
+	nodes := dialChaosNodes(t, m, shards, RemoteDatabaseOptions{
+		Timeout:     150 * time.Millisecond,
+		MaxRetries:  1,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  4 * time.Millisecond,
+		Metrics:     reg,
+	})
+	if err := m.BuildSummaries(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Chaos: node 1 hangs every request (slower than any client
+	// timeout), node 2 rejects every request with a transient 503.
+	hung, erroring := nodes[1], nodes[2]
+	hung.sw.Set(wire.NewFlaky(hung.healthy, wire.FlakyOptions{HangEvery: 1, HangFor: 2 * time.Second}))
+	erroring.sw.Set(wire.NewFlaky(erroring.healthy, wire.FlakyOptions{FailureRate: 1, Seed: 7}))
+
+	// Query with a word every shard's documents contain (the testbed's
+	// general vocabulary), so selection fans out over all four nodes
+	// and both healthy nodes have documents to contribute.
+	query := sharedWord(t, shards)
+
+	start := time.Now()
+	results, err := m.Search(query, 4, 5)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("search with a hung and an erroring node: %v", err)
+	}
+	if len(results) == 0 {
+		t.Fatal("search returned no results despite two healthy nodes")
+	}
+	if elapsed >= budget {
+		t.Errorf("search took %v, budget is %v: the hung node stalled the fan-out", elapsed, budget)
+	}
+	for _, r := range results {
+		if r.Database == hung.shard.name || r.Database == erroring.shard.name {
+			t.Errorf("failed node %s contributed result %+v", r.Database, r)
+		}
+	}
+
+	rec := m.Audit().Last()
+	hungCall := nodeCall(t, rec, hung.shard.name)
+	if !hungCall.Hedged {
+		t.Errorf("hung node's call was not hedged: %+v", hungCall)
+	}
+	if !hungCall.Unavailable || hungCall.Error == "" {
+		t.Errorf("hung node's call not audited as a failure: %+v", hungCall)
+	}
+	errCall := nodeCall(t, rec, erroring.shard.name)
+	if !errCall.Unavailable || errCall.Error == "" {
+		t.Errorf("erroring node's call not audited as a failure: %+v", errCall)
+	}
+	if errCall.Attempts != erroring.flakyInjected() {
+		t.Errorf("erroring node: %d audited attempts, %d injected faults",
+			errCall.Attempts, erroring.flakyInjected())
+	}
+	if got := reg.Counter("search_hedges_total").Value(); got == 0 {
+		t.Error("search_hedges_total is zero despite a hung node")
+	}
+
+	// Both bad nodes' breakers tripped on the failures above; the next
+	// search must short-circuit them without touching the network.
+	hungRequests := hung.flakyRequests()
+	shortCircuitsBefore := reg.Counter("search_breaker_open_total").Value()
+	start = time.Now()
+	results, err = m.Search(query, 4, 5)
+	elapsed = time.Since(start)
+	if err != nil {
+		t.Fatalf("search with open breakers: %v", err)
+	}
+	if len(results) == 0 {
+		t.Fatal("second search returned no results")
+	}
+	if elapsed >= budget {
+		t.Errorf("short-circuited search took %v, budget is %v", elapsed, budget)
+	}
+	if got := hung.flakyRequests(); got != hungRequests {
+		t.Errorf("open breaker still sent %d requests to the hung node", got-hungRequests)
+	}
+	if got := reg.Counter("search_breaker_open_total").Value(); got < shortCircuitsBefore+2 {
+		t.Errorf("search_breaker_open_total = %d, want at least %d (both bad nodes short-circuited)",
+			got, shortCircuitsBefore+2)
+	}
+	rec = m.Audit().Last()
+	for _, bad := range []*chaosNode{hung, erroring} {
+		call := nodeCall(t, rec, bad.shard.name)
+		if !call.BreakerOpen || call.BreakerState != "open" {
+			t.Errorf("%s: call not audited as breaker-open: %+v", bad.shard.name, call)
+		}
+		if call.Unavailable {
+			t.Errorf("%s: short-circuited call also marked Unavailable: %+v", bad.shard.name, call)
+		}
+	}
+
+	// /debug/breakers must tell the same story as the audit trail.
+	rw := httptest.NewRecorder()
+	m.Breakers().Handler().ServeHTTP(rw, httptest.NewRequest("GET", "/debug/breakers", nil))
+	var page struct {
+		Breakers []resilience.BreakerSnapshot `json:"breakers"`
+	}
+	if err := json.Unmarshal(rw.Body.Bytes(), &page); err != nil {
+		t.Fatalf("/debug/breakers is not JSON: %v", err)
+	}
+	states := make(map[string]string, len(page.Breakers))
+	for _, b := range page.Breakers {
+		states[b.Database] = b.State
+	}
+	for i, n := range nodes {
+		want := "closed"
+		if n == hung || n == erroring {
+			want = "open"
+		}
+		if states[n.shard.name] != want {
+			t.Errorf("/debug/breakers: node %d (%s) state %q, want %q",
+				i, n.shard.name, states[n.shard.name], want)
+		}
+	}
+}
+
+// flakyInjected returns the node's injected-503 count (zero while the
+// healthy handler is installed).
+func (n *chaosNode) flakyInjected() int64 {
+	if f, ok := (*n.sw.h.Load()).(*wire.Flaky); ok {
+		return f.Injected()
+	}
+	return 0
+}
+
+// flakyRequests returns how many requests reached the node's fault
+// injector.
+func (n *chaosNode) flakyRequests() int64 {
+	if f, ok := (*n.sw.h.Load()).(*wire.Flaky); ok {
+		return f.Requests()
+	}
+	return 0
+}
+
+// sharedWord returns a word from the first shard's first document that
+// every shard's corpus contains — a query certain to score (and match
+// documents in) every node.
+func sharedWord(t *testing.T, shards []testShard) string {
+	t.Helper()
+	contains := func(s testShard, w string) bool {
+		for _, d := range s.docs {
+			for _, dw := range d {
+				if dw == w {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for _, w := range shards[0].docs[0] {
+		everywhere := true
+		for _, s := range shards[1:] {
+			if !contains(s, w) {
+				everywhere = false
+				break
+			}
+		}
+		if everywhere {
+			return w
+		}
+	}
+	t.Fatal("no word of the first document appears in every shard")
+	return ""
+}
+
+// TestHealthProbesCloseTrippedBreaker verifies the background prober
+// closes an open breaker as soon as its node answers /v1/health again,
+// without any live query traffic.
+func TestHealthProbesCloseTrippedBreaker(t *testing.T) {
+	shards, lexicon := testbedShards(t, 1)
+	opts := testbedOptions(lexicon)
+	opts.Resilience = ResilienceOptions{
+		BreakerMinSamples: 1,
+		BreakerCooldown:   time.Millisecond,
+	}
+	m := New(opts)
+	dialChaosNodes(t, m, shards, RemoteDatabaseOptions{Metrics: m.Metrics()})
+
+	// Trip the node's breaker by hand: one recorded failure with
+	// MinSamples 1 opens it.
+	b := m.Breakers().Get(shards[0].name)
+	b.Allow()
+	b.Record(false)
+	if b.State() != resilience.Open {
+		t.Fatalf("breaker state after a failure = %v, want open", b.State())
+	}
+
+	stop := m.StartHealthProbes(5 * time.Millisecond)
+	defer stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for b.State() != resilience.Closed {
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker still %v after 5s of health probes against a healthy node", b.State())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := m.Metrics().Counter("health_probes_total").Value(); got == 0 {
+		t.Error("health_probes_total is zero despite the breaker closing")
+	}
+}
+
+// TestPartialFailureMergeDeterminism pins down the degraded-mode
+// contract: when one contributing node dies mid-flight, the merged
+// ranking must equal the healthy ranking with exactly that node's
+// results removed — same order, same scores — and the audit record's
+// transport accounting must reconcile against the injected faults.
+func TestPartialFailureMergeDeterminism(t *testing.T) {
+	shards, lexicon := testbedShards(t, 3)
+	opts := testbedOptions(lexicon)
+	// Hedging and breakers off: this test wants exact attempt
+	// accounting, so every failure must reach the node.
+	opts.Resilience = ResilienceOptions{HedgeAfter: -1, DisableBreakers: true}
+	m := New(opts)
+	nodes := dialChaosNodes(t, m, shards, RemoteDatabaseOptions{
+		Timeout:     time.Second,
+		MaxRetries:  2,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  2 * time.Millisecond,
+		Metrics:     m.Metrics(),
+	})
+	if err := m.BuildSummaries(); err != nil {
+		t.Fatal(err)
+	}
+
+	query := strings.Join([]string{shards[0].docs[0][0], shards[0].docs[0][1]}, " ")
+	full, err := m.Search(query, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) == 0 {
+		t.Fatal("healthy search returned no results")
+	}
+
+	// Break the node that contributed the top hit, so the survivor
+	// ranking provably differs from the full one.
+	var victim *chaosNode
+	for _, n := range nodes {
+		if n.shard.name == full[0].Database {
+			victim = n
+		}
+	}
+	flaky := wire.NewFlaky(victim.healthy, wire.FlakyOptions{FailureRate: 1, Seed: 11})
+	victim.sw.Set(flaky)
+
+	degraded, err := m.Search(query, 3, 5)
+	if err != nil {
+		t.Fatalf("search with a failing node: %v", err)
+	}
+	var want []Result
+	for _, r := range full {
+		if r.Database != victim.shard.name {
+			want = append(want, r)
+		}
+	}
+	if !reflect.DeepEqual(degraded, want) {
+		t.Errorf("degraded ranking is not the healthy ranking minus the dead node:\n got: %+v\nwant: %+v",
+			degraded, want)
+	}
+
+	// Every injected fault is an attempt the audit record accounts for:
+	// with retries exhausted and no hedge, attempts == injected 503s.
+	call := nodeCall(t, m.Audit().Last(), victim.shard.name)
+	if !call.Unavailable || call.Error == "" {
+		t.Errorf("victim's call not audited as a failure: %+v", call)
+	}
+	if call.Attempts != flaky.Injected() {
+		t.Errorf("victim: %d audited attempts, %d injected faults", call.Attempts, flaky.Injected())
+	}
+	if call.Retries != call.Attempts-1 {
+		t.Errorf("victim: %d retries for %d attempts", call.Retries, call.Attempts)
+	}
+}

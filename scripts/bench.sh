@@ -1,13 +1,15 @@
 #!/bin/sh
 # bench.sh — run every benchmark with allocation stats and record the
-# results as a JSON document (BENCH_pr3.json) so benchmark output is
-# diffable across PRs instead of scrolling away in CI logs.
+# results as a JSON document so benchmark output is diffable across
+# PRs instead of scrolling away in CI logs. The output name defaults
+# to BENCH_<tag>.json where the tag tracks the current PR; override
+# via the first argument or $BENCH_OUT.
 #
 # Usage: scripts/bench.sh [output-file]
 set -eu
 
 GO="${GO:-go}"
-OUT="${1:-BENCH_pr3.json}"
+OUT="${1:-${BENCH_OUT:-BENCH_pr4.json}}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT INT TERM
 

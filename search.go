@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/audit"
+	"repro/internal/resilience"
 	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
@@ -36,16 +37,19 @@ type Result struct {
 
 // Search performs the complete metasearch: select up to maxDBs
 // databases for the query (Figure 3's adaptive selection under the
-// configured scorer), evaluate the query at each selected database, and
-// merge the top perDB documents of each into a single ranking.
+// configured scorer), evaluate the query at each selected database
+// concurrently, and merge the top perDB documents of each into a
+// single ranking.
 //
-// A selected database without a live handle (registered via RegisterLoaded,
-// or whose connection is otherwise gone) is skipped — counted in
-// search_db_unavailable_total and noted on the trace — rather than
-// failing the whole search. A ContextSearchableDatabase whose query
-// errors (e.g. a RemoteDatabase whose node is down, even after the
-// client's retries) is treated exactly the same way. Search errors
-// only when none of the selected databases is reachable.
+// A selected database without a live handle (registered via
+// AddDatabase, or whose connection is otherwise gone) is skipped —
+// counted in search_db_unavailable_total and noted on the trace —
+// rather than failing the whole search. A ContextSearchableDatabase
+// whose query errors (e.g. a RemoteDatabase whose node is down, even
+// after the client's retries) is treated exactly the same way, as is a
+// database whose circuit breaker is open (counted separately, in
+// search_breaker_open_total). Search errors only when none of the
+// selected databases is reachable.
 func (m *Metasearcher) Search(query string, maxDBs, perDB int) ([]Result, error) {
 	return m.SearchContext(context.Background(), query, maxDBs, perDB)
 }
@@ -53,6 +57,14 @@ func (m *Metasearcher) Search(query string, maxDBs, perDB int) ([]Result, error)
 // SearchContext is Search under a context: cancelling ctx cancels
 // in-flight remote queries (databases implementing
 // ContextSearchableDatabase) and stops the fan-out.
+//
+// The fan-out queries all selected databases in parallel (bounded by
+// Options.Resilience.Concurrency), each under the shared deadline
+// budget; slow nodes are hedged and persistently failing nodes are
+// short-circuited by their breakers. The merged ranking is
+// deterministic regardless of arrival order: outcomes land in
+// per-database slots and the final sort orders by score, database,
+// then document id.
 func (m *Metasearcher) SearchContext(ctx context.Context, query string, maxDBs, perDB int) ([]Result, error) {
 	if perDB <= 0 {
 		perDB = 10
@@ -126,84 +138,50 @@ func (m *Metasearcher) SearchContext(ctx context.Context, query string, maxDBs, 
 		maxScore = 1
 	}
 
-	unavailable := m.reg.Counter("search_db_unavailable_total")
-	dbLatency := m.reg.Histogram("search_db_latency", nil)
+	// Fan out: all selected databases in parallel, each outcome written
+	// into its own slot so the merge below is independent of arrival
+	// order. The deadline budget bounds the whole fan-out — one hung
+	// node costs at most the budget, not the sum of per-node timeouts.
+	fanCtx := ctx
+	if budget := m.opts.Resilience.DeadlineBudget; budget > 0 {
+		var cancel context.CancelFunc
+		fanCtx, cancel = context.WithTimeout(ctx, budget)
+		defer cancel()
+	}
+	hedgeAfter := m.hedgeThreshold()
+	workers := m.opts.Resilience.Concurrency
+	if workers <= 0 {
+		workers = len(sels)
+	}
+	outcomes := make([]nodeOutcome, len(sels))
+	forEachCollect(len(sels), workers, m.reg, func(i int) {
+		outcomes[i] = m.searchNode(fanCtx, span, handles[sels[i].Database], sels[i].Database, terms, perDB, hedgeAfter)
+	})
+	// The fan-out absorbs node failures, but the caller giving up is
+	// not a node failure: surface their cancellation as the search's
+	// error (the budget expiring is fanCtx's deadline, not ctx's).
+	if cerr := ctx.Err(); cerr != nil {
+		for _, o := range outcomes {
+			rec.Nodes = append(rec.Nodes, o.call)
+		}
+		span.End(telemetry.String("error", cerr.Error()))
+		finish(cerr)
+		return nil, cerr
+	}
+
 	var out []Result
 	queried := 0
-	for _, sel := range sels {
-		if err := ctx.Err(); err != nil {
-			span.End(telemetry.String("error", err.Error()))
-			finish(err)
-			return nil, err
-		}
-		db, ok := handles[sel.Database]
-		if !ok {
-			unavailable.Inc()
-			span.Event("search.db_unavailable", telemetry.String("db", sel.Database))
-			m.logWarn("search: selected database has no live connection, skipping",
-				"db", sel.Database, "query", query)
-			rec.Nodes = append(rec.Nodes, audit.NodeCall{Database: sel.Database, Unavailable: true})
+	for i, o := range outcomes {
+		rec.Nodes = append(rec.Nodes, o.call)
+		if !o.ok {
 			continue
 		}
-		dbSpan := span.Child("search.db", telemetry.String("db", sel.Database))
-		dbStart := time.Now()
-		var ids []int
-		if cdb, ok := db.(ContextSearchableDatabase); ok {
-			// Carry the db span on the wire (the remote node's serve span
-			// parents under it) and collect per-call transport stats so
-			// the audit record can attribute retries to this database.
-			cctx := telemetry.ContextWithSpan(ctx, dbSpan)
-			cctx, stats := wire.WithCallStats(cctx)
-			var qerr error
-			_, ids, qerr = cdb.QueryContext(cctx, terms, perDB)
-			if qerr != nil {
-				dbLatency.ObserveSince(dbStart)
-				dbSpan.End(telemetry.String("error", qerr.Error()))
-				rec.Nodes = append(rec.Nodes, audit.NodeCall{
-					Database:       sel.Database,
-					LatencySeconds: time.Since(dbStart).Seconds(),
-					Attempts:       stats.Attempts(),
-					Retries:        stats.Retries(),
-					Error:          qerr.Error(),
-					Unavailable:    true,
-				})
-				if cerr := ctx.Err(); cerr != nil {
-					span.End(telemetry.String("error", cerr.Error()))
-					finish(cerr)
-					return nil, cerr
-				}
-				// The node is down (the client already retried): skip it,
-				// exactly like a database with no live handle.
-				unavailable.Inc()
-				span.Event("search.db_unavailable",
-					telemetry.String("db", sel.Database), telemetry.String("error", qerr.Error()))
-				m.logWarn("search: selected database unreachable, skipping",
-					"db", sel.Database, "query", query, "error", qerr)
-				continue
-			}
-			rec.Nodes = append(rec.Nodes, audit.NodeCall{
-				Database:       sel.Database,
-				LatencySeconds: time.Since(dbStart).Seconds(),
-				Attempts:       stats.Attempts(),
-				Retries:        stats.Retries(),
-				Results:        len(ids),
-			})
-		} else {
-			_, ids = db.Query(terms, perDB)
-			rec.Nodes = append(rec.Nodes, audit.NodeCall{
-				Database:       sel.Database,
-				LatencySeconds: time.Since(dbStart).Seconds(),
-				Results:        len(ids),
-			})
-		}
-		dbLatency.ObserveSince(dbStart)
-		dbSpan.End(telemetry.Int("results", len(ids)))
 		queried++
-		for rank, id := range ids {
+		for rank, id := range o.ids {
 			out = append(out, Result{
-				Database: sel.Database,
+				Database: sels[i].Database,
 				DocID:    id,
-				Score:    (sel.Score / maxScore) / float64(rank+1),
+				Score:    (sels[i].Score / maxScore) / float64(rank+1),
 			})
 		}
 	}
@@ -236,4 +214,125 @@ func (m *Metasearcher) SearchContext(ctx context.Context, query string, maxDBs, 
 		telemetry.Int("merged", len(out)))
 	finish(nil)
 	return out, nil
+}
+
+// nodeOutcome is one selected database's result slot in the fan-out.
+type nodeOutcome struct {
+	call audit.NodeCall
+	ids  []int
+	ok   bool
+}
+
+// searchNode evaluates the query at one selected database: breaker
+// admission, the (possibly hedged) call, breaker verdict, and the audit
+// record of what it all cost. It never fails the search — every path
+// returns an outcome.
+func (m *Metasearcher) searchNode(ctx context.Context, span *telemetry.Span, db SearchableDatabase, name string, terms []string, perDB int, hedgeAfter time.Duration) nodeOutcome {
+	unavailable := m.reg.Counter("search_db_unavailable_total")
+	if db == nil {
+		unavailable.Inc()
+		span.Event("search.db_unavailable", telemetry.String("db", name))
+		m.logWarn("search: selected database has no live connection, skipping",
+			"db", name, "query", terms)
+		return nodeOutcome{call: audit.NodeCall{Database: name, Unavailable: true}}
+	}
+
+	var b *resilience.Breaker
+	call := audit.NodeCall{Database: name}
+	if m.breakers != nil {
+		b = m.breakers.Get(name)
+		if !b.Allow() {
+			// Short-circuited: the node is known-bad and was not touched.
+			// Audited as BreakerOpen, distinct from Unavailable (which
+			// means the node was actually tried, or had no handle).
+			m.reg.Counter("search_breaker_open_total").Inc()
+			span.Event("search.breaker_open", telemetry.String("db", name))
+			call.BreakerState = b.State().String()
+			call.BreakerOpen = true
+			return nodeOutcome{call: call}
+		}
+		// Post-Allow state: an admitted call on a cooled-down breaker is
+		// the half-open trial, and the audit should say so.
+		call.BreakerState = b.State().String()
+	}
+
+	dbSpan := span.Child("search.db", telemetry.String("db", name))
+	dbLatency := m.reg.Histogram("search_db_latency", nil)
+	dbStart := time.Now()
+	defer dbLatency.ObserveSince(dbStart)
+
+	cdb, isCtx := db.(ContextSearchableDatabase)
+	if !isCtx {
+		// In-process database: infallible, nothing to hedge or retry.
+		if err := ctx.Err(); err != nil {
+			b.RecordNeutral()
+			call.LatencySeconds = time.Since(dbStart).Seconds()
+			call.Error = err.Error()
+			call.Unavailable = true
+			unavailable.Inc()
+			dbSpan.End(telemetry.String("error", err.Error()))
+			return nodeOutcome{call: call}
+		}
+		_, ids := db.Query(terms, perDB)
+		b.Record(true)
+		call.LatencySeconds = time.Since(dbStart).Seconds()
+		call.Results = len(ids)
+		dbSpan.End(telemetry.Int("results", len(ids)))
+		return nodeOutcome{call: call, ids: ids, ok: true}
+	}
+
+	// Remote call, hedged: if the primary attempt outlives hedgeAfter,
+	// a second identical request races it and the first success wins.
+	// Per-attempt result and stats slots keep the loser (possibly still
+	// in flight when Hedged returns) from racing the winner.
+	stats := [2]*wire.CallStats{{}, {}}
+	var ids [2][]int
+	winner, hedged, qerr := resilience.Hedged(ctx, hedgeAfter, func(actx context.Context, attempt int) error {
+		actx = telemetry.ContextWithSpan(actx, dbSpan)
+		actx = wire.ContextWithCallStats(actx, stats[attempt])
+		_, res, err := cdb.QueryContext(actx, terms, perDB)
+		if err != nil {
+			return err
+		}
+		ids[attempt] = res
+		return nil
+	})
+	if hedged {
+		m.reg.Counter("search_hedges_total").Inc()
+		call.Hedged = true
+		if winner == 1 && qerr == nil {
+			m.reg.Counter("search_hedge_wins_total").Inc()
+			call.HedgeWon = true
+		}
+		span.Event("search.hedged", telemetry.String("db", name), telemetry.Int("winner", winner))
+	}
+	call.LatencySeconds = time.Since(dbStart).Seconds()
+	call.Attempts = stats[0].Attempts() + stats[1].Attempts()
+	call.Retries = stats[0].Retries() + stats[1].Retries()
+	call.Sheds = stats[0].Sheds() + stats[1].Sheds()
+	if call.Sheds > 0 {
+		m.reg.Counter("search_sheds_total").Add(call.Sheds)
+	}
+	if qerr != nil {
+		// Feed the breaker: a shed-only failure is backpressure, not
+		// node failure — neither closes nor trips the breaker.
+		if wire.IsShed(qerr) {
+			b.RecordNeutral()
+		} else {
+			b.Record(false)
+		}
+		call.Error = qerr.Error()
+		call.Unavailable = true
+		unavailable.Inc()
+		dbSpan.End(telemetry.String("error", qerr.Error()))
+		span.Event("search.db_unavailable",
+			telemetry.String("db", name), telemetry.String("error", qerr.Error()))
+		m.logWarn("search: selected database unreachable, skipping",
+			"db", name, "error", qerr)
+		return nodeOutcome{call: call}
+	}
+	b.Record(true)
+	call.Results = len(ids[winner])
+	dbSpan.End(telemetry.Int("results", len(ids[winner])))
+	return nodeOutcome{call: call, ids: ids[winner], ok: true}
 }
