@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race bench smoke smoke-remote check clean
+.PHONY: all vet build test race bench smoke smoke-remote smoke-gateway check clean
 
 all: vet build test
 
@@ -32,8 +32,14 @@ smoke: vet build
 smoke-remote:
 	GO="$(GO)" sh scripts/smoke_remote.sh
 
+# End-to-end gateway smoke: run metasearch as a query service, issue
+# the same query twice, assert the second is a result-cache hit, and
+# check SIGTERM drains cleanly.
+smoke-gateway:
+	GO="$(GO)" sh scripts/smoke_gateway.sh
+
 # The full pre-merge gate.
-check: vet build test race smoke-remote
+check: vet build test race smoke-remote smoke-gateway
 
 clean:
 	$(GO) clean ./...

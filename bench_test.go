@@ -8,6 +8,7 @@
 package repro
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -268,6 +269,65 @@ func BenchmarkEndToEndSelect(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkSearchCached contrasts the query-cache hit path with the
+// cold path through the public search API: "hit" answers every
+// iteration from the result cache, "miss" invalidates before each
+// iteration so selection and the fan-out run every time.
+func BenchmarkSearchCached(b *testing.B) {
+	build := func(b *testing.B) *Metasearcher {
+		rng := rand.New(rand.NewSource(1))
+		m := New(Options{SampleSize: 30, Seed: 3})
+		for _, topic := range topicOrder {
+			if err := m.Train(topic, topicDocs(rng, topic, 20)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, topic := range topicOrder {
+			db := m.NewLocalDatabase(topic+"-db", topicDocs(rng, topic, 60))
+			if err := m.AddDatabase(db, topic); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := m.BuildSummaries(); err != nil {
+			b.Fatal(err)
+		}
+		return m
+	}
+	const query = "blood pressure hypertension"
+	ctx := context.Background()
+
+	b.Run("hit", func(b *testing.B) {
+		m := build(b)
+		if _, err := m.SearchExplained(ctx, query, 2, 5); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r, err := m.SearchExplained(ctx, query, 2, 5)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !r.CacheHit {
+				b.Fatal("iteration was not a cache hit")
+			}
+		}
+	})
+	b.Run("miss", func(b *testing.B) {
+		m := build(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.InvalidateCaches()
+			r, err := m.SearchExplained(ctx, query, 2, 5)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if r.CacheHit {
+				b.Fatal("iteration was served from cache despite invalidation")
+			}
+		}
+	})
 }
 
 // BenchmarkBuildSummaries measures full summary construction (sampling

@@ -8,13 +8,23 @@
 // Usage:
 //
 //	metasearch [-scale small|default] [-scorer cori|bgloss|lm] [-k 5] \
-//	           [-listen :8080] [-remote host:port,...] [-v] [-trace] \
-//	           [-explain] [-audit queries.jsonl] \
+//	           [-serve :8090] [-listen :8080] [-remote host:port,...] \
+//	           [-v] [-trace] [-explain] [-audit queries.jsonl] \
 //	           [-save state.json] [-load state.json] \
 //	           [-deadline 2s] [-hedge-after 100ms] [-probe-interval 2s] \
-//	           [query ...]
+//	           [-cache-size 1024] [-cache-ttl 10m] [-max-inflight 64] \
+//	           [-drain-timeout 5s] [query ...]
 //
 // With no query arguments, queries are read one per line from stdin.
+//
+// With -serve, the process runs as a query service instead of a REPL:
+// the gateway API (GET/POST /v1/search, GET /v1/healthz) and the debug
+// endpoints below share one listener, requests are answered through the
+// two-tier query cache (selection decisions and whole results; -cache-size 0
+// turns it off), -max-inflight sheds excess load with 429 + Retry-After,
+// and SIGINT/SIGTERM drains in-flight requests (up to -drain-timeout)
+// before exiting. Each request's deadline is -deadline unless the
+// client passes an explicit timeout parameter.
 //
 // With -remote, the metasearcher talks to dbnode servers over the wire
 // protocol instead of registering in-process databases; the nodes must
@@ -54,19 +64,25 @@ package main
 import (
 	"bufio"
 	"context"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro"
 	"repro/internal/experiments"
+	"repro/internal/gateway"
 	"repro/internal/hierarchy"
 	"repro/internal/index"
 	"repro/internal/telemetry"
@@ -97,9 +113,14 @@ func main() {
 		auditFile  = flag.String("audit", "", "append every query's audit record to this file as JSONL")
 		saveFile   = flag.String("save", "", "after building summaries, save them to this file (atomic write + checksum)")
 		loadFile   = flag.String("load", "", "load summaries from this file instead of sampling (pairs with -remote for live handles)")
-		deadline   = flag.Duration("deadline", 0, "overall per-query fan-out deadline budget (0 = none)")
+		deadline   = flag.Duration("deadline", 0, "overall per-query fan-out deadline budget (0 = none); with -serve, also the default per-request deadline")
 		hedgeAfter = flag.Duration("hedge-after", 0, "hedge a node query after this latency (0 = auto from observed p95, negative = off)")
 		probeEvery = flag.Duration("probe-interval", 0, "background health-probe interval for tripped nodes (0 = off)")
+		serveAddr  = flag.String("serve", "", "run as a query service: the gateway API (/v1/search, /v1/healthz) plus the debug endpoints on this address, until SIGINT/SIGTERM")
+		cacheSize  = flag.Int("cache-size", 1024, "entries per query-cache tier; 0 disables the selection and result caches")
+		cacheTTL   = flag.Duration("cache-ttl", 0, "selection-cache TTL (0 = default 10m; the result tier keeps its shorter default)")
+		maxInfl    = flag.Int("max-inflight", 0, "shed query-API requests past this many in flight with 429 + Retry-After (0 = unlimited)")
+		drainFor   = flag.Duration("drain-timeout", 5*time.Second, "how long shutdown waits for in-flight requests to drain")
 	)
 	flag.Parse()
 
@@ -132,6 +153,11 @@ func main() {
 			DeadlineBudget: *deadline,
 			HedgeAfter:     *hedgeAfter,
 		},
+		Cache: repro.CacheConfig{
+			Disable: *cacheSize == 0,
+			Size:    *cacheSize,
+			TTL:     *cacheTTL,
+		},
 	}
 	if *verbose {
 		opts.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -150,24 +176,24 @@ func main() {
 	}
 	m := repro.New(opts)
 
-	if *listen != "" {
+	if *listen != "" || *serveAddr != "" {
 		m.Metrics().PublishExpvar("metasearch")
-		mux := http.NewServeMux()
-		mux.Handle("/metrics", m.Metrics().Handler())
-		mux.Handle("/debug/vars", expvar.Handler())
-		mux.Handle("/debug/queries", m.Audit().Handler())
-		mux.Handle("/debug/queries/", m.Audit().Handler())
-		mux.Handle("/debug/breakers", m.Breakers().Handler())
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	// In REPL mode, -listen serves the debug endpoints on their own
+	// listener; it is shut down gracefully when the REPL ends. (In -serve
+	// mode the gateway listener carries the debug endpoints itself.)
+	if *listen != "" && *serveAddr == "" {
+		srv := &http.Server{Addr: *listen, Handler: debugMux(m)}
 		go func() {
 			log.Printf("telemetry on http://%s/metrics (and /debug/vars, /debug/pprof)", *listen)
-			if err := http.ListenAndServe(*listen, mux); err != nil {
+			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				log.Fatalf("telemetry server: %v", err)
 			}
+		}()
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), *drainFor)
+			defer cancel()
+			srv.Shutdown(sctx)
 		}()
 	}
 
@@ -230,6 +256,19 @@ func main() {
 		defer stop()
 	}
 
+	if *serveAddr != "" {
+		if err := serve(m, w, *serveAddr, gateway.Options{
+			DefaultMaxDBs:   *k,
+			DefaultPerDB:    *perDB,
+			DefaultDeadline: *deadline,
+			MaxInflight:     *maxInfl,
+			Metrics:         m.Metrics(),
+		}, *drainFor); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	answer := func(query string) {
 		if strings.TrimSpace(query) == "" {
 			return
@@ -276,16 +315,80 @@ func main() {
 		return
 	}
 
-	// Show a few example topical words the user can query with.
-	if v := w.Bed.Gen.CategoryVocab(mustLookup(w, "Heart")); v != nil {
-		fmt.Printf("example query words: %s %s %s (Heart topic)\n",
-			sanitize(v.Word(3)), sanitize(v.Word(20)), sanitize(v.Word(50)))
-	}
+	printExampleWords(w)
 	scanner := bufio.NewScanner(os.Stdin)
 	fmt.Print("> ")
 	for scanner.Scan() {
 		answer(scanner.Text())
 		fmt.Print("> ")
+	}
+}
+
+// debugMux assembles the operational endpoints every serving mode
+// exposes: metrics, expvar, recent audit records, breaker states, and
+// the pprof profilers.
+func debugMux(m *repro.Metasearcher) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", m.Metrics().Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/debug/queries", m.Audit().Handler())
+	mux.Handle("/debug/queries/", m.Audit().Handler())
+	mux.Handle("/debug/breakers", m.Breakers().Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// serve runs the process as a query service: the gateway API and the
+// debug endpoints share one listener, and SIGINT/SIGTERM fails
+// /v1/healthz first (so load balancers steer away), then drains
+// in-flight requests via http.Server.Shutdown under the drain timeout
+// before the listener closes — the same shutdown contract as dbnode.
+func serve(m *repro.Metasearcher, w *experiments.World, addr string, gopts gateway.Options, drainFor time.Duration) error {
+	gw := gateway.New(m, gopts)
+	mux := debugMux(m)
+	mux.Handle(gateway.PathSearch, gw)
+	mux.Handle(gateway.PathHealthz, gw)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("query API on http://%s%s (health %s, metrics /metrics)",
+		ln.Addr(), gateway.PathSearch, gateway.PathHealthz)
+	printExampleWords(w)
+
+	srv := &http.Server{Handler: mux}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	gw.SetDraining(true)
+	log.Printf("draining (up to %v, %d in flight)", drainFor, gw.Inflight())
+	sctx, cancel := context.WithTimeout(context.Background(), drainFor)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return fmt.Errorf("drain deadline exceeded: %w", err)
+	}
+	log.Print("drained, exiting")
+	return nil
+}
+
+// printExampleWords shows a few topical words the user (or a smoke
+// test) can query with.
+func printExampleWords(w *experiments.World) {
+	if v := w.Bed.Gen.CategoryVocab(mustLookup(w, "Heart")); v != nil {
+		fmt.Printf("example query words: %s %s %s (Heart topic)\n",
+			sanitize(v.Word(3)), sanitize(v.Word(20)), sanitize(v.Word(50)))
 	}
 }
 

@@ -120,6 +120,18 @@ type QueryRecord struct {
 	// ranked merged documents (capped).
 	Merged  int   `json:"merged"`
 	TopHits []Hit `json:"top_hits,omitempty"`
+	// CacheHit reports that the whole answer came from the result cache:
+	// no selection ran and no database was queried for this record.
+	// Nodes is empty on such records — the fan-out evidence lives in the
+	// earlier record that populated the cache.
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// SelectionCacheHit reports that the selection step was served from
+	// the selection cache (the fan-out still ran).
+	SelectionCacheHit bool `json:"selection_cache_hit,omitempty"`
+	// Collapsed reports that this query piggybacked on an identical
+	// concurrent query's in-flight work (singleflight): it received the
+	// same answer without issuing its own fan-out.
+	Collapsed bool `json:"collapsed,omitempty"`
 	// ElapsedSeconds is the end-to-end query latency.
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
 	// Error is set when the query failed outright.

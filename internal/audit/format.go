@@ -22,6 +22,19 @@ func (r *QueryRecord) Format(w io.Writer) {
 	if r.Error != "" {
 		fmt.Fprintf(w, "  error: %s\n", r.Error)
 	}
+	if r.CacheHit || r.SelectionCacheHit || r.Collapsed {
+		var marks []string
+		if r.CacheHit {
+			marks = append(marks, "RESULT-HIT")
+		}
+		if r.SelectionCacheHit {
+			marks = append(marks, "SELECTION-HIT")
+		}
+		if r.Collapsed {
+			marks = append(marks, "COLLAPSED")
+		}
+		fmt.Fprintf(w, "  cache: %s\n", strings.Join(marks, " "))
+	}
 	if len(r.Terms) > 0 {
 		fmt.Fprintf(w, "  terms: %s\n", strings.Join(r.Terms, " "))
 	}

@@ -1,0 +1,344 @@
+// Package gateway is the query-serving HTTP front end of a
+// metasearcher: the piece that turns the library's SearchExplained call
+// into a service. It speaks a small JSON API —
+//
+//	GET  /v1/search?q=...&k=...&perdb=...&timeout=...
+//	POST /v1/search   {"query": ..., "k": ..., "per_db": ..., "timeout": ...}
+//	GET  /v1/healthz  (200 ok / 503 draining, exempt from the gate)
+//
+// — returning the merged ranking together with its provenance: the
+// selected databases, the analyzed terms, the trace id (also in the
+// X-Trace-Id response header), and how the answer was produced (cold
+// fan-out, result-cache hit, or collapsed onto a concurrent identical
+// query).
+//
+// The gateway borrows the operational conventions of the wire protocol
+// (internal/wire): errors are the same ErrorEnvelope shape, overload is
+// shed with 429 + Retry-After (code "overloaded") by the same
+// admission-gate pattern a database node uses, and graceful shutdown
+// flips /v1/healthz to 503 while in-flight requests drain.
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/telemetry"
+	"repro/internal/wire"
+)
+
+// Paths of the gateway endpoints.
+const (
+	PathSearch  = "/v1/search"
+	PathHealthz = "/v1/healthz"
+)
+
+// CodeDeadline marks a search that ran out of its per-request deadline
+// (HTTP 504). The envelope shape is wire.ErrorEnvelope, like every
+// other gateway error.
+const CodeDeadline = "deadline_exceeded"
+
+// maxBodyBytes bounds how much of a POST body the gateway reads.
+const maxBodyBytes = 1 << 20
+
+// Searcher is the slice of *repro.Metasearcher the gateway serves.
+type Searcher interface {
+	SearchExplained(ctx context.Context, query string, maxDBs, perDB int) (*repro.SearchResponse, error)
+}
+
+// Options configures a Gateway.
+type Options struct {
+	// DefaultMaxDBs and DefaultPerDB apply when a request omits k /
+	// perdb (defaults 3 and 10).
+	DefaultMaxDBs int
+	DefaultPerDB  int
+	// DefaultDeadline bounds requests that carry no timeout parameter
+	// (zero = unbounded). MaxDeadline caps what a client may ask for
+	// (zero = uncapped).
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	// MaxInflight is the admission gate: past this many in-flight
+	// search requests, further ones are shed with 429 + Retry-After.
+	// Zero or negative means unlimited. /v1/healthz is exempt.
+	MaxInflight int
+	// RetryAfter is the backoff (seconds) advertised on shed responses
+	// (default 1).
+	RetryAfter int
+	// Metrics receives gateway_requests_total, gateway_errors_total,
+	// gateway_shed_total, gateway_inflight, and gateway_latency
+	// (may be nil).
+	Metrics *telemetry.Registry
+}
+
+// Gateway serves the query API over a Searcher. Like wire.Node it
+// exposes drain/inflight controls so cmd/metasearch can shut it down
+// gracefully.
+type Gateway struct {
+	searcher Searcher
+	opts     Options
+	mux      http.Handler
+
+	inflightN atomic.Int64
+	draining  atomic.Bool
+
+	requests *telemetry.Counter
+	errors   *telemetry.Counter
+	shed     *telemetry.Counter
+	inflight *telemetry.Gauge
+}
+
+// New builds a Gateway over s.
+func New(s Searcher, opts Options) *Gateway {
+	if opts.DefaultMaxDBs <= 0 {
+		opts.DefaultMaxDBs = 3
+	}
+	if opts.DefaultPerDB <= 0 {
+		opts.DefaultPerDB = 10
+	}
+	if opts.RetryAfter <= 0 {
+		opts.RetryAfter = 1
+	}
+	g := &Gateway{searcher: s, opts: opts,
+		requests: opts.Metrics.Counter("gateway_requests_total"),
+		errors:   opts.Metrics.Counter("gateway_errors_total"),
+		shed:     opts.Metrics.Counter("gateway_shed_total"),
+		inflight: opts.Metrics.Gauge("gateway_inflight"),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET "+PathSearch, g.search)
+	mux.HandleFunc("POST "+PathSearch, g.search)
+	g.mux = mux
+	return g
+}
+
+// SetDraining marks the gateway as draining (or not). A draining
+// gateway keeps serving in-flight requests — http.Server.Shutdown waits
+// for them — but answers /v1/healthz with 503 so load balancers steer
+// new traffic elsewhere before the listener closes.
+func (g *Gateway) SetDraining(v bool) { g.draining.Store(v) }
+
+// Draining reports whether the gateway is draining.
+func (g *Gateway) Draining() bool { return g.draining.Load() }
+
+// Inflight reports how many search requests are being served right now
+// (health checks excluded).
+func (g *Gateway) Inflight() int64 { return g.inflightN.Load() }
+
+// ServeHTTP counts requests, applies the admission gate, and converts
+// handler panics into 500 envelopes.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == PathHealthz {
+		g.healthz(w, r)
+		return
+	}
+	g.requests.Inc()
+	start := time.Now()
+	defer g.opts.Metrics.Histogram("gateway_latency", nil).ObserveSince(start)
+	cur := g.inflightN.Add(1)
+	g.inflight.Add(1)
+	defer func() {
+		g.inflightN.Add(-1)
+		g.inflight.Add(-1)
+	}()
+	if g.opts.MaxInflight > 0 && cur > int64(g.opts.MaxInflight) {
+		g.shed.Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(g.opts.RetryAfter))
+		wire.WriteError(w, http.StatusTooManyRequests, wire.CodeOverloaded,
+			fmt.Sprintf("gateway at capacity (%d in flight, max %d)", cur, g.opts.MaxInflight))
+		return
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			g.fail(w, http.StatusInternalServerError, wire.CodeInternal,
+				fmt.Sprintf("panic serving %s: %v", r.URL.Path, p))
+		}
+	}()
+	g.mux.ServeHTTP(w, r)
+}
+
+func (g *Gateway) fail(w http.ResponseWriter, status int, code, msg string) {
+	g.errors.Inc()
+	wire.WriteError(w, status, code, msg)
+}
+
+func (g *Gateway) healthz(w http.ResponseWriter, r *http.Request) {
+	resp := wire.HealthResponse{
+		Status:      "ok",
+		Inflight:    g.inflightN.Load(),
+		MaxInflight: g.opts.MaxInflight,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if g.draining.Load() {
+		resp.Status = "draining"
+		resp.Draining = true
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(resp)
+}
+
+// searchRequest is the decoded form of either request shape.
+type searchRequest struct {
+	Query   string `json:"query"`
+	K       int    `json:"k"`
+	PerDB   int    `json:"per_db"`
+	Timeout string `json:"timeout"`
+}
+
+// Selection is one selected database in the reply.
+type Selection struct {
+	Database  string  `json:"database"`
+	Score     float64 `json:"score"`
+	Shrinkage bool    `json:"shrinkage,omitempty"`
+}
+
+// Result is one merged hit in the reply.
+type Result struct {
+	Database string  `json:"database"`
+	DocID    int     `json:"doc_id"`
+	Score    float64 `json:"score"`
+}
+
+// SearchReply is the JSON body of a successful search response.
+type SearchReply struct {
+	// TraceID links the response to the query's trace and audit record;
+	// it is also sent as the X-Trace-Id response header.
+	TraceID string   `json:"trace_id,omitempty"`
+	Query   string   `json:"query"`
+	Terms   []string `json:"terms,omitempty"`
+	Scorer  string   `json:"scorer,omitempty"`
+	// Selections is the selected database set in rank order; Results the
+	// merged ranking.
+	Selections []Selection `json:"selections,omitempty"`
+	Results    []Result    `json:"results,omitempty"`
+	// ResultHit: the whole answer came from the result cache.
+	// SelectionHit: only the selection decision was cached; the fan-out
+	// ran. Collapsed: this request piggybacked on an identical
+	// concurrent request's in-flight work.
+	ResultHit    bool `json:"result_hit"`
+	SelectionHit bool `json:"selection_hit,omitempty"`
+	Collapsed    bool `json:"collapsed,omitempty"`
+	// ElapsedSeconds is this request's end-to-end latency.
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+}
+
+func (g *Gateway) search(w http.ResponseWriter, r *http.Request) {
+	req, err := g.parseRequest(r)
+	if err != nil {
+		g.fail(w, http.StatusBadRequest, wire.CodeBadRequest, err.Error())
+		return
+	}
+
+	ctx := r.Context()
+	timeout := g.opts.DefaultDeadline
+	if req.Timeout != "" {
+		d, err := time.ParseDuration(req.Timeout)
+		if err != nil || d <= 0 {
+			g.fail(w, http.StatusBadRequest, wire.CodeBadRequest,
+				fmt.Sprintf("timeout must be a positive duration like 500ms or 2s, got %q", req.Timeout))
+			return
+		}
+		if g.opts.MaxDeadline > 0 && d > g.opts.MaxDeadline {
+			d = g.opts.MaxDeadline
+		}
+		timeout = d
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	resp, err := g.searcher.SearchExplained(ctx, req.Query, req.K, req.PerDB)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			g.fail(w, http.StatusGatewayTimeout, CodeDeadline,
+				fmt.Sprintf("search exceeded its deadline: %v", err))
+		case errors.Is(err, context.Canceled):
+			// The client went away; the status is for the access log.
+			g.fail(w, http.StatusServiceUnavailable, wire.CodeUnavailable, "request canceled")
+		default:
+			g.fail(w, http.StatusServiceUnavailable, wire.CodeUnavailable, err.Error())
+		}
+		return
+	}
+
+	reply := SearchReply{
+		TraceID:        resp.TraceID,
+		Query:          resp.Query,
+		Terms:          resp.Terms,
+		Scorer:         resp.Scorer,
+		ResultHit:      resp.CacheHit,
+		SelectionHit:   resp.SelectionCacheHit,
+		Collapsed:      resp.Collapsed,
+		ElapsedSeconds: resp.Elapsed.Seconds(),
+	}
+	for _, s := range resp.Selections {
+		reply.Selections = append(reply.Selections, Selection{
+			Database: s.Database, Score: s.Score, Shrinkage: s.Shrinkage})
+	}
+	for _, h := range resp.Results {
+		reply.Results = append(reply.Results, Result{
+			Database: h.Database, DocID: h.DocID, Score: h.Score})
+	}
+	if resp.TraceID != "" {
+		w.Header().Set("X-Trace-Id", resp.TraceID)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(reply)
+}
+
+// parseRequest decodes a search request from either shape: GET query
+// parameters or a POST JSON body.
+func (g *Gateway) parseRequest(r *http.Request) (searchRequest, error) {
+	req := searchRequest{K: g.opts.DefaultMaxDBs, PerDB: g.opts.DefaultPerDB}
+	if r.Method == http.MethodPost {
+		var body searchRequest
+		dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+		if err := dec.Decode(&body); err != nil {
+			return req, fmt.Errorf("malformed search request: %v", err)
+		}
+		req.Query = body.Query
+		req.Timeout = body.Timeout
+		if body.K != 0 {
+			req.K = body.K
+		}
+		if body.PerDB != 0 {
+			req.PerDB = body.PerDB
+		}
+	} else {
+		q := r.URL.Query()
+		req.Query = q.Get("q")
+		req.Timeout = q.Get("timeout")
+		for _, p := range []struct {
+			name string
+			dst  *int
+		}{{"k", &req.K}, {"perdb", &req.PerDB}} {
+			if s := q.Get(p.name); s != "" {
+				n, err := strconv.Atoi(s)
+				if err != nil {
+					return req, fmt.Errorf("%s must be an integer, got %q", p.name, s)
+				}
+				*p.dst = n
+			}
+		}
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		return req, errors.New("search needs a query (q parameter or \"query\" field)")
+	}
+	if req.K <= 0 {
+		return req, fmt.Errorf("k must be positive, got %d", req.K)
+	}
+	if req.PerDB <= 0 {
+		return req, fmt.Errorf("perdb must be positive, got %d", req.PerDB)
+	}
+	return req, nil
+}

@@ -116,8 +116,6 @@ type Client struct {
 	retries     *telemetry.Counter
 	sheds       *telemetry.Counter
 	healthReqs  *telemetry.Counter
-	cacheHits   *telemetry.Counter
-	cacheMisses *telemetry.Counter
 	inflight    *telemetry.Gauge
 	latency     *telemetry.Histogram
 	latencyWin  *telemetry.Window
@@ -140,7 +138,7 @@ func NewClient(addr string, opts ClientOptions) *Client {
 		base:  base,
 		hc:    &http.Client{Transport: opts.Transport},
 		opts:  opts,
-		cache: newDocCache(opts.CacheSize),
+		cache: newDocCache(opts.CacheSize, reg),
 
 		requests:    reg.Counter("wire_requests_total"),
 		reqInfo:     reg.Counter("wire_requests_info_total"),
@@ -151,8 +149,6 @@ func NewClient(addr string, opts ClientOptions) *Client {
 		retries:     reg.Counter("wire_client_retries_total"),
 		sheds:       reg.Counter("wire_client_sheds_total"),
 		healthReqs:  reg.Counter("wire_health_probes_total"),
-		cacheHits:   reg.Counter("wire_doc_cache_hits_total"),
-		cacheMisses: reg.Counter("wire_doc_cache_misses_total"),
 		inflight:    reg.Gauge("wire_client_inflight"),
 		latency:     reg.Histogram("wire_request_latency", nil),
 		latencyWin:  reg.Window("wire_request_latency_window", 0),
@@ -188,10 +184,8 @@ func (c *Client) Query(ctx context.Context, terms []string, limit int) (int, []i
 // cache and must not be modified.
 func (c *Client) Doc(ctx context.Context, id int) ([]string, error) {
 	if terms, ok := c.cache.get(id); ok {
-		c.cacheHits.Inc()
 		return terms, nil
 	}
-	c.cacheMisses.Inc()
 	var out DocResponse
 	if err := c.do(ctx, http.MethodGet, PathDocPrefix+strconv.Itoa(id), nil, &out); err != nil {
 		return nil, err

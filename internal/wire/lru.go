@@ -3,17 +3,27 @@ package wire
 import (
 	"container/list"
 	"sync"
+
+	"repro/internal/telemetry"
 )
 
 // docCache is a fixed-capacity LRU of document id → analyzed terms.
 // Sampling re-fetches the top-ranked documents of popular words across
 // QBS rounds, so a small cache absorbs a large share of /v1/doc
 // round trips. Cached slices are shared: callers must not modify them.
+// The cache counts its own traffic: wire_doc_cache_hits_total,
+// wire_doc_cache_misses_total, wire_doc_cache_evictions_total, and the
+// wire_doc_cache_entries gauge.
 type docCache struct {
 	mu   sync.Mutex
 	cap  int
 	ll   *list.List // front = most recently used
 	byID map[int]*list.Element
+
+	hits      *telemetry.Counter
+	misses    *telemetry.Counter
+	evictions *telemetry.Counter
+	entries   *telemetry.Gauge
 }
 
 type docEntry struct {
@@ -22,12 +32,28 @@ type docEntry struct {
 }
 
 // newDocCache returns a cache holding up to capacity documents, or nil
-// (an always-missing cache) when capacity <= 0.
-func newDocCache(capacity int) *docCache {
+// (an always-missing cache) when capacity <= 0. The metric series are
+// registered either way, so the exposition schema does not depend on
+// configuration — but a disabled cache counts nothing: no cache, no
+// misses.
+func newDocCache(capacity int, reg *telemetry.Registry) *docCache {
+	hits := reg.Counter("wire_doc_cache_hits_total")
+	misses := reg.Counter("wire_doc_cache_misses_total")
+	evictions := reg.Counter("wire_doc_cache_evictions_total")
+	entries := reg.Gauge("wire_doc_cache_entries")
 	if capacity <= 0 {
 		return nil
 	}
-	return &docCache{cap: capacity, ll: list.New(), byID: make(map[int]*list.Element)}
+	return &docCache{
+		cap:  capacity,
+		ll:   list.New(),
+		byID: make(map[int]*list.Element),
+
+		hits:      hits,
+		misses:    misses,
+		evictions: evictions,
+		entries:   entries,
+	}
 }
 
 // get returns the cached terms and whether they were present.
@@ -39,8 +65,10 @@ func (c *docCache) get(id int) ([]string, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.byID[id]
 	if !ok {
+		c.misses.Inc()
 		return nil, false
 	}
+	c.hits.Inc()
 	c.ll.MoveToFront(el)
 	return el.Value.(*docEntry).terms, true
 }
@@ -59,10 +87,13 @@ func (c *docCache) put(id int, terms []string) {
 		return
 	}
 	c.byID[id] = c.ll.PushFront(&docEntry{id: id, terms: terms})
+	c.entries.Add(1)
 	if c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.byID, oldest.Value.(*docEntry).id)
+		c.evictions.Inc()
+		c.entries.Add(-1)
 	}
 }
 

@@ -114,7 +114,14 @@ func (m *Metasearcher) Save(w io.Writer) error {
 	if err := json.NewEncoder(bw).Encode(env); err != nil {
 		return fmt.Errorf("repro: save: %w", err)
 	}
-	return bw.Flush()
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	// A save marks a summary state the operator may re-Load or ship to
+	// other processes; bumping the generation here keeps "what the cache
+	// answers from" never older than "what is on disk".
+	m.InvalidateCaches()
+	return nil
 }
 
 // SaveFile writes the built summaries to path crash-safely: the bytes
@@ -234,5 +241,8 @@ func (m *Metasearcher) Load(r io.Reader) error {
 	m.cats = cats
 	m.global = cats.Summary(hierarchy.Root)
 	m.built = true
+	// The summaries every cached selection was computed from are gone;
+	// stale entries must not outlive them.
+	m.InvalidateCaches()
 	return nil
 }

@@ -21,7 +21,11 @@ func TestPipelineSurvivesFlakyNodes(t *testing.T) {
 	shards, lexicon := testbedShards(t, 3)
 	query := strings.Join([]string{shards[0].docs[0][0], shards[0].docs[0][1]}, " ")
 
-	m := New(testbedOptions(lexicon))
+	opts := testbedOptions(lexicon)
+	// This test repeats the same query across a node death and asserts
+	// the fan-out degrades; the result cache would answer from memory.
+	opts.Cache.Disable = true
+	m := New(opts)
 	reg := m.Metrics()
 	var flakies []*wire.Flaky
 	var servers []*httptest.Server

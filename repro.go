@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/audit"
+	"repro/internal/cache"
 	"repro/internal/classify"
 	"repro/internal/core"
 	"repro/internal/freqest"
@@ -141,6 +142,51 @@ type Options struct {
 	// selects sensible defaults (breakers on, hedging auto-tuned from
 	// the observed wire p95, no overall deadline).
 	Resilience ResilienceOptions
+	// Cache tunes the query-path caches. The zero value enables both
+	// tiers with defaults; set Cache.Disable to turn caching off.
+	Cache CacheConfig
+}
+
+// CacheConfig tunes the Metasearcher's two query-path cache tiers.
+//
+// The selection tier caches the expensive adaptive-selection decision
+// (per-database Monte-Carlo sampling over the score posterior), keyed
+// by the analyzed query terms, the scorer, and k. Selection depends
+// only on those inputs and the current summaries, so entries stay valid
+// until the summaries change — Save, Load, and BuildSummaries bump the
+// cache generation, staling every entry at once.
+//
+// The result tier additionally caches the merged document ranking,
+// keyed by the selection key plus perDB. Results also depend on the
+// remote databases' live contents, which the metasearcher cannot
+// observe changing, so this tier gets a short TTL rather than relying
+// on generation bumps alone. Concurrent identical queries collapse onto
+// one in-flight search (singleflight).
+type CacheConfig struct {
+	// Disable turns both cache tiers off.
+	Disable bool
+	// Size is the per-tier entry capacity (default 1024).
+	Size int
+	// TTL bounds a selection entry's life (default 10m). Negative
+	// disables expiry (generation bumps still invalidate).
+	TTL time.Duration
+	// ResultTTL bounds a result entry's life (default 30s; negative
+	// disables expiry).
+	ResultTTL time.Duration
+	// Shards is the number of independently locked cache segments
+	// (default 16).
+	Shards int
+}
+
+// ttl resolves a configured TTL: 0 selects def, negative means none.
+func ttlOrDefault(d, def time.Duration) time.Duration {
+	if d == 0 {
+		return def
+	}
+	if d < 0 {
+		return 0
+	}
+	return d
 }
 
 // ResilienceOptions tunes how SearchContext fans out over selected
@@ -226,6 +272,8 @@ type Metasearcher struct {
 	logger   *slog.Logger    // nil = logging disabled
 	audit    *audit.Log      // nil = query auditing disabled
 	breakers *resilience.Set // nil = breakers disabled
+	selCache *cache.Cache    // selection tier; nil = caching disabled
+	resCache *cache.Cache    // merged-result tier; nil = caching disabled
 
 	mu       sync.Mutex
 	training *classify.TrainingSet
@@ -297,7 +345,7 @@ func New(opts Options) *Metasearcher {
 			Cooldown:         opts.Resilience.BreakerCooldown,
 		}, reg)
 	}
-	return &Metasearcher{
+	m := &Metasearcher{
 		opts:     opts,
 		tree:     tree,
 		reg:      reg,
@@ -307,6 +355,34 @@ func New(opts Options) *Metasearcher {
 		breakers: breakers,
 		training: &classify.TrainingSet{},
 	}
+	if !opts.Cache.Disable {
+		m.selCache = cache.New(cache.Options{
+			Name:     "selection_cache",
+			Capacity: opts.Cache.Size,
+			Shards:   opts.Cache.Shards,
+			TTL:      ttlOrDefault(opts.Cache.TTL, 10*time.Minute),
+			Metrics:  reg,
+		})
+		m.resCache = cache.New(cache.Options{
+			Name:     "result_cache",
+			Capacity: opts.Cache.Size,
+			Shards:   opts.Cache.Shards,
+			TTL:      ttlOrDefault(opts.Cache.ResultTTL, 30*time.Second),
+			Metrics:  reg,
+		})
+	}
+	return m
+}
+
+// InvalidateCaches bumps the query-cache generation, instantly staling
+// every cached selection and merged result. Save, Load, and
+// BuildSummaries call it automatically; operators may call it directly
+// (e.g. when remote database contents are known to have changed under
+// an unexpired result entry). O(1) and non-blocking; a no-op when
+// caching is disabled.
+func (m *Metasearcher) InvalidateCaches() {
+	m.selCache.Invalidate()
+	m.resCache.Invalidate()
 }
 
 // Metrics returns the registry this metasearcher records pipeline
@@ -683,6 +759,9 @@ func (m *Metasearcher) BuildSummariesContext(ctx context.Context) error {
 	}
 	m.global = m.cats.Summary(hierarchy.Root)
 	m.built = true
+	// Fresh summaries: any cached selection or result was derived from
+	// the previous ones and must not outlive them.
+	m.InvalidateCaches()
 	m.logInfo("summaries built", "databases", len(m.dbs), "elapsed", time.Since(t0))
 	return nil
 }
@@ -713,16 +792,18 @@ func (m *Metasearcher) scorer() selection.Scorer {
 
 // Select ranks the databases for a free-text query and returns the top
 // k (possibly fewer: databases indistinguishable from knowing nothing
-// about the query are not selected, as in the paper).
+// about the query are not selected, as in the paper). Repeated Selects
+// for the same terms, scorer, and k are served from the selection cache
+// until the summaries change (see CacheConfig).
 func (m *Metasearcher) Select(query string, k int) ([]Selection, error) {
-	return m.selectSpanned(nil, query, k)
-}
-
-// selectSpanned is Select under an optional parent span (Search nests
-// its selection step under the search span).
-func (m *Metasearcher) selectSpanned(parent *telemetry.Span, query string, k int) ([]Selection, error) {
-	out, _, err := m.selectExplained(parent, query, k)
-	return out, err
+	sels, _, _, err := m.selectCached(context.Background(), nil, query, k)
+	if err != nil {
+		return nil, err
+	}
+	// The cached slice is shared; hand the caller their own copy.
+	out := make([]Selection, len(sels))
+	copy(out, sels)
+	return out, nil
 }
 
 // selectionExplain is the selection step's audit evidence: everything

@@ -103,6 +103,9 @@ func TestSearchSurvivesChaos(t *testing.T) {
 		BreakerMinSamples: 1,
 		BreakerCooldown:   time.Minute,
 	}
+	// The same query runs before and after the chaos is injected; the
+	// point is the second fan-out, so the result cache is off.
+	opts.Cache.Disable = true
 	m := New(opts)
 	reg := m.Metrics()
 	nodes := dialChaosNodes(t, m, shards, RemoteDatabaseOptions{
@@ -318,8 +321,10 @@ func TestPartialFailureMergeDeterminism(t *testing.T) {
 	shards, lexicon := testbedShards(t, 3)
 	opts := testbedOptions(lexicon)
 	// Hedging and breakers off: this test wants exact attempt
-	// accounting, so every failure must reach the node.
+	// accounting, so every failure must reach the node. The result cache
+	// is off for the same reason — every Search must fan out.
 	opts.Resilience = ResilienceOptions{HedgeAfter: -1, DisableBreakers: true}
+	opts.Cache.Disable = true
 	m := New(opts)
 	nodes := dialChaosNodes(t, m, shards, RemoteDatabaseOptions{
 		Timeout:     time.Second,

@@ -57,15 +57,57 @@ func (m *Metasearcher) Search(query string, maxDBs, perDB int) ([]Result, error)
 // SearchContext is Search under a context: cancelling ctx cancels
 // in-flight remote queries (databases implementing
 // ContextSearchableDatabase) and stops the fan-out.
-//
-// The fan-out queries all selected databases in parallel (bounded by
-// Options.Resilience.Concurrency), each under the shared deadline
-// budget; slow nodes are hedged and persistently failing nodes are
-// short-circuited by their breakers. The merged ranking is
-// deterministic regardless of arrival order: outcomes land in
-// per-database slots and the final sort orders by score, database,
-// then document id.
 func (m *Metasearcher) SearchContext(ctx context.Context, query string, maxDBs, perDB int) ([]Result, error) {
+	resp, err := m.SearchExplained(ctx, query, maxDBs, perDB)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Results, nil
+}
+
+// SearchResponse is one answered query with its provenance: what a
+// query-serving front end returns to a client. Slices are owned by the
+// caller (copied out of any cache entry they came from).
+type SearchResponse struct {
+	// TraceID links the response to this query's distributed trace and
+	// audit record ("" when tracing is disabled).
+	TraceID string
+	// Query is the raw query; Terms the analyzed words actually scored;
+	// Scorer the base selection algorithm.
+	Query  string
+	Terms  []string
+	Scorer string
+	// Selections is the selected database set in rank order.
+	Selections []Selection
+	// Results is the merged document ranking.
+	Results []Result
+	// CacheHit reports the whole answer came from the result cache;
+	// SelectionCacheHit that only the selection step was cached (the
+	// fan-out ran); Collapsed that this query piggybacked on an
+	// identical concurrent query's in-flight work.
+	CacheHit          bool
+	SelectionCacheHit bool
+	Collapsed         bool
+	// Elapsed is this request's end-to-end latency.
+	Elapsed time.Duration
+}
+
+// SearchExplained is SearchContext plus provenance: the selection set,
+// the analyzed terms, the trace ID, and how the answer was produced
+// (cold fan-out, result-cache hit, or collapsed onto a concurrent
+// identical query). It is the call a serving gateway makes per request.
+//
+// The cached fan-out: identical queries (same analyzed terms, scorer,
+// maxDBs, perDB) within the result tier's TTL are answered from memory
+// without touching selection or any database, and concurrent identical
+// queries collapse onto a single upstream fan-out (singleflight) — each
+// still gets its own audit record and trace, flagged CacheHit or
+// Collapsed. The fan-out itself queries all selected databases in
+// parallel (bounded by Options.Resilience.Concurrency), each under the
+// shared deadline budget; slow nodes are hedged and persistently
+// failing nodes are short-circuited by their breakers. The merged
+// ranking is deterministic regardless of arrival order.
+func (m *Metasearcher) SearchExplained(ctx context.Context, query string, maxDBs, perDB int) (*SearchResponse, error) {
 	if perDB <= 0 {
 		perDB = 10
 	}
@@ -80,7 +122,9 @@ func (m *Metasearcher) SearchContext(ctx context.Context, query string, maxDBs, 
 
 	// The audit record is assembled as the search progresses and
 	// published exactly once, on every exit path — failed queries leave
-	// records too (that is when an explanation matters most).
+	// records too (that is when an explanation matters most). Cache hits
+	// and collapsed queries leave records too, built from the shared
+	// entry's evidence.
 	rec := &audit.QueryRecord{
 		TraceID: span.Context().TraceID,
 		Time:    start,
@@ -96,24 +140,116 @@ func (m *Metasearcher) SearchContext(ctx context.Context, query string, maxDBs, 
 		m.audit.Add(rec)
 	}
 
-	sels, explain, err := m.selectExplained(span, query, maxDBs)
-	if explain != nil {
-		rec.Terms = explain.terms
-		rec.Scorer = explain.scorer
-		rec.Candidates = explain.candidates
+	var (
+		e         *searchEntry
+		err       error
+		hit       bool
+		collapsed bool
+	)
+	terms := m.analyze(query)
+	if m.resCache != nil && len(terms) > 0 {
+		key := resultKey(selectionKey(terms, m.scorerKey(), maxDBs), perDB)
+		var v interface{}
+		v, hit, collapsed, err = m.resCache.Do(ctx, key, func() (interface{}, error) {
+			return m.searchUncached(ctx, span, query, maxDBs, perDB)
+		})
+		if v != nil {
+			e = v.(*searchEntry)
+		}
+	} else {
+		e, err = m.searchUncached(ctx, span, query, maxDBs, perDB)
+	}
+
+	rec.CacheHit = hit
+	rec.Collapsed = collapsed
+	if e != nil {
+		rec.Terms = e.terms
+		rec.Scorer = e.scorer
+		rec.Candidates = e.candidates
+		rec.Selected = e.selected
+		rec.Merged = e.merged
+		rec.TopHits = e.topHits
+		if !hit && !collapsed {
+			// Only the query that actually fanned out owns the node-call
+			// evidence; hit/collapsed records point to it via the cache
+			// flags instead of double-reporting costs nobody paid twice.
+			rec.Nodes = e.nodes
+			rec.SelectionCacheHit = e.selCacheHit
+		}
 	}
 	if err != nil {
 		span.End(telemetry.String("error", err.Error()))
 		finish(err)
 		return nil, err
 	}
+	if hit {
+		span.Event("search.cache_hit")
+	}
+	resp := &SearchResponse{
+		TraceID:           rec.TraceID,
+		Query:             query,
+		Terms:             e.terms,
+		Scorer:            e.scorer,
+		Selections:        append([]Selection(nil), e.selections...),
+		Results:           append([]Result(nil), e.results...),
+		CacheHit:          hit,
+		SelectionCacheHit: rec.SelectionCacheHit,
+		Collapsed:         collapsed,
+	}
+	cached := 0
+	if hit {
+		cached = 1
+	}
+	span.End(
+		telemetry.Int("selected", len(e.selections)),
+		telemetry.Int("queried", e.queried),
+		telemetry.Int("merged", e.merged),
+		telemetry.Int("cache_hit", cached))
+	finish(nil)
+	resp.Elapsed = time.Since(start)
+	return resp, nil
+}
+
+// searchEntry is one search's cacheable outcome plus the audit evidence
+// behind it. Entries are shared between the caller that produced them,
+// collapsed waiters, and later cache hits — never mutated after return.
+type searchEntry struct {
+	terms       []string
+	scorer      string
+	candidates  []audit.Candidate
+	selections  []Selection
+	selected    []string
+	nodes       []audit.NodeCall
+	results     []Result
+	merged      int
+	queried     int
+	topHits     []audit.Hit
+	selCacheHit bool
+}
+
+// searchUncached is the cold search path: selection (through the
+// selection cache), parallel fan-out, merge. It always returns a
+// non-nil entry carrying whatever evidence was gathered before a
+// failure, so failed queries still produce explanatory audit records.
+// The span stays open — the caller owns its lifecycle.
+func (m *Metasearcher) searchUncached(ctx context.Context, span *telemetry.Span, query string, maxDBs, perDB int) (*searchEntry, error) {
+	e := &searchEntry{}
+	sels, explain, selHit, err := m.selectCached(ctx, span, query, maxDBs)
+	e.selCacheHit = selHit
+	if explain != nil {
+		e.terms = explain.terms
+		e.scorer = explain.scorer
+		e.candidates = explain.candidates
+	}
+	if err != nil {
+		return e, err
+	}
+	e.selections = sels
 	for _, s := range sels {
-		rec.Selected = append(rec.Selected, s.Database)
+		e.selected = append(e.selected, s.Database)
 	}
 	if len(sels) == 0 {
-		span.End(telemetry.Int("merged", 0))
-		finish(nil)
-		return nil, nil
+		return e, nil
 	}
 
 	m.mu.Lock()
@@ -162,17 +298,15 @@ func (m *Metasearcher) SearchContext(ctx context.Context, query string, maxDBs, 
 	// error (the budget expiring is fanCtx's deadline, not ctx's).
 	if cerr := ctx.Err(); cerr != nil {
 		for _, o := range outcomes {
-			rec.Nodes = append(rec.Nodes, o.call)
+			e.nodes = append(e.nodes, o.call)
 		}
-		span.End(telemetry.String("error", cerr.Error()))
-		finish(cerr)
-		return nil, cerr
+		return e, cerr
 	}
 
 	var out []Result
 	queried := 0
 	for i, o := range outcomes {
-		rec.Nodes = append(rec.Nodes, o.call)
+		e.nodes = append(e.nodes, o.call)
 		if !o.ok {
 			continue
 		}
@@ -186,10 +320,7 @@ func (m *Metasearcher) SearchContext(ctx context.Context, query string, maxDBs, 
 		}
 	}
 	if queried == 0 {
-		err := errors.New("repro: Search needs live database connections (Load-ed state has none)")
-		span.End(telemetry.String("error", err.Error()))
-		finish(err)
-		return nil, err
+		return e, errors.New("repro: Search needs live database connections (Load-ed state has none)")
 	}
 	sort.Slice(out, func(a, b int) bool {
 		if out[a].Score != out[b].Score {
@@ -201,19 +332,16 @@ func (m *Metasearcher) SearchContext(ctx context.Context, query string, maxDBs, 
 		return out[a].DocID < out[b].DocID
 	})
 	m.reg.Counter("search_results_merged_total").Add(int64(len(out)))
-	rec.Merged = len(out)
+	e.results = out
+	e.merged = len(out)
+	e.queried = queried
 	for i, r := range out {
 		if i >= auditTopHits {
 			break
 		}
-		rec.TopHits = append(rec.TopHits, audit.Hit{Database: r.Database, DocID: r.DocID, Score: r.Score})
+		e.topHits = append(e.topHits, audit.Hit{Database: r.Database, DocID: r.DocID, Score: r.Score})
 	}
-	span.End(
-		telemetry.Int("selected", len(sels)),
-		telemetry.Int("queried", queried),
-		telemetry.Int("merged", len(out)))
-	finish(nil)
-	return out, nil
+	return e, nil
 }
 
 // nodeOutcome is one selected database's result slot in the fan-out.
