@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race bench smoke smoke-remote smoke-gateway check clean
+.PHONY: all vet build test race bench smoke smoke-remote smoke-gateway smoke-loadtest loadtest check clean
 
 all: vet build test
 
@@ -38,8 +38,19 @@ smoke-remote:
 smoke-gateway:
 	GO="$(GO)" sh scripts/smoke_gateway.sh
 
+# End-to-end workload-engine smoke: drive the loopback gateway at a
+# modest rate for a few seconds and check the serving report lands in
+# a (throwaway) BENCH file.
+smoke-loadtest:
+	QPS=40 DURATION=3s GO="$(GO)" sh scripts/loadtest.sh "$$(mktemp -u).json"
+
+# A full measured load run into the PR's BENCH file (see
+# scripts/loadtest.sh for the QPS/DURATION/RAMP/DRIVER knobs).
+loadtest:
+	GO="$(GO)" sh scripts/loadtest.sh
+
 # The full pre-merge gate.
-check: vet build test race smoke-remote smoke-gateway
+check: vet build test race smoke-remote smoke-gateway smoke-loadtest
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,219 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/experiments"
+	"repro/internal/gateway"
+	"repro/internal/loadgen"
+	"repro/internal/slo"
+	"repro/internal/synth"
+)
+
+// loadtestConfig is the -loadtest flag bundle.
+type loadtestConfig struct {
+	QPS            float64
+	Duration       time.Duration
+	Ramp           string
+	Driver         string
+	Zipf           float64
+	NumQueries     int
+	TraceFile      string
+	OutFile        string
+	Name           string
+	Seed           int64
+	MaxDBs         int
+	PerDB          int
+	MaxOutstanding int
+	Gateway        gateway.Options
+	Tracker        *slo.Tracker
+}
+
+// runLoadtest measures this process's own serving path: it obtains a
+// trace (replayed from -lt-trace when the file exists, generated
+// deterministically otherwise), drives it through the chosen driver,
+// prints the report and the SLO state, and optionally merges the run
+// into a BENCH JSON file.
+func runLoadtest(m *repro.Metasearcher, w *experiments.World, cfg loadtestConfig) error {
+	tr, err := loadtestTrace(w, cfg)
+	if err != nil {
+		return err
+	}
+
+	name := cfg.Name
+	if name == "" {
+		name = fmt.Sprintf("%s-%.0fqps-%.0fs", cfg.Driver, tr.TargetQPS(), tr.Duration().Seconds())
+	}
+
+	var driver loadgen.Driver
+	switch cfg.Driver {
+	case "inproc":
+		driver = &loadgen.SearcherDriver{S: m, MaxDBs: cfg.MaxDBs, PerDB: cfg.PerDB}
+	case "http":
+		// The full serving path: a real gateway on a loopback listener,
+		// requests over real sockets — admission gate, JSON codec, and
+		// kernel included in every latency sample.
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return fmt.Errorf("loadtest listener: %v", err)
+		}
+		gw := gateway.New(m, cfg.Gateway)
+		mux := http.NewServeMux()
+		mux.Handle(gateway.PathSearch, gw)
+		mux.Handle(gateway.PathHealthz, gw)
+		srv := &http.Server{Handler: mux}
+		go srv.Serve(ln)
+		defer srv.Close()
+		driver = &loadgen.HTTPDriver{
+			BaseURL: "http://" + ln.Addr().String(),
+			Client: &http.Client{
+				Timeout:   30 * time.Second,
+				Transport: &http.Transport{MaxIdleConnsPerHost: 512},
+			},
+			MaxDBs: cfg.MaxDBs,
+			PerDB:  cfg.PerDB,
+		}
+	default:
+		return fmt.Errorf("unknown -lt-driver %q (want http or inproc)", cfg.Driver)
+	}
+
+	log.Printf("load test %q: %d requests over %s (%s driver, target %.1f QPS, %d distinct queries)",
+		name, len(tr.Events), tr.Duration().Round(time.Millisecond), cfg.Driver, tr.TargetQPS(), len(tr.Queries))
+	rep, err := loadgen.Run(context.Background(), tr, driver, loadgen.Options{
+		Name:           name,
+		MaxOutstanding: cfg.MaxOutstanding,
+		Registry:       m.Metrics(),
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Print(rep.Format())
+	var sloRep *slo.Report
+	if cfg.Tracker != nil {
+		r := cfg.Tracker.Report()
+		sloRep = &r
+		fmt.Print(r.Format())
+	}
+
+	if cfg.OutFile != "" {
+		if err := mergeServingReport(cfg.OutFile, rep, sloRep); err != nil {
+			return fmt.Errorf("merge %s: %v", cfg.OutFile, err)
+		}
+		log.Printf("serving report merged into %s", cfg.OutFile)
+	}
+	return nil
+}
+
+// loadtestTrace replays -lt-trace when the file exists, otherwise
+// generates a trace from the flags (and saves it to -lt-trace when the
+// flag names a new file, so the next run replays it).
+func loadtestTrace(w *experiments.World, cfg loadtestConfig) (*loadgen.Trace, error) {
+	if cfg.TraceFile != "" {
+		if _, err := os.Stat(cfg.TraceFile); err == nil {
+			tr, err := loadgen.LoadFile(cfg.TraceFile)
+			if err != nil {
+				return nil, err
+			}
+			log.Printf("replaying trace %s (%d events, %d queries)", cfg.TraceFile, len(tr.Events), len(tr.Queries))
+			return tr, nil
+		}
+	}
+
+	phases := []loadgen.Phase{{QPS: cfg.QPS, DurationSeconds: cfg.Duration.Seconds()}}
+	if cfg.Ramp != "" {
+		var err error
+		if phases, err = loadgen.ParseRamp(cfg.Ramp); err != nil {
+			return nil, err
+		}
+	}
+	tr, err := loadgen.Generate(loadgen.Spec{
+		Phases:       phases,
+		ZipfExponent: cfg.Zipf,
+		Seed:         cfg.Seed,
+	}, workloadQueries(w, cfg.NumQueries, cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	if cfg.TraceFile != "" {
+		if err := tr.SaveFile(cfg.TraceFile); err != nil {
+			return nil, err
+		}
+		log.Printf("trace saved to %s for replay", cfg.TraceFile)
+	}
+	return tr, nil
+}
+
+// workloadQueries turns the testbed's evaluation query set into serving
+// query strings. When more distinct queries are requested than the
+// testbed carries, a larger short-query workload is generated against
+// the same testbed (best effort: on failure the existing set is used).
+func workloadQueries(w *experiments.World, n int, seed int64) []string {
+	qs := w.Bed.Queries
+	if n > len(qs) {
+		spec := synth.TREC6QuerySpec(seed)
+		spec.Count = n
+		spec.MinRelevant = 3
+		if err := synth.GenQueries(w.Bed, spec); err != nil {
+			log.Printf("could not grow workload to %d queries (%v); using the testbed's %d", n, err, len(qs))
+		} else {
+			qs = w.Bed.Queries
+		}
+	}
+	if n > 0 && n < len(qs) {
+		qs = qs[:n]
+	}
+	out := make([]string, len(qs))
+	for i, q := range qs {
+		out[i] = strings.Join(sanitizeAll(q.Terms), " ")
+	}
+	return out
+}
+
+// mergeServingReport appends one run to the "serving" section of a
+// BENCH JSON file, creating the file or the section as needed and
+// leaving every other section untouched.
+func mergeServingReport(path string, rep *loadgen.Report, sloRep *slo.Report) error {
+	doc := map[string]json.RawMessage{}
+	if b, err := os.ReadFile(path); err == nil && len(b) > 0 {
+		if err := json.Unmarshal(b, &doc); err != nil {
+			return fmt.Errorf("existing file is not a JSON object: %v", err)
+		}
+	}
+	var serving struct {
+		Runs []json.RawMessage `json:"runs"`
+	}
+	if raw, ok := doc["serving"]; ok {
+		if err := json.Unmarshal(raw, &serving); err != nil {
+			return fmt.Errorf("existing serving section: %v", err)
+		}
+	}
+	entry := map[string]any{"run": rep}
+	if sloRep != nil {
+		entry["slo"] = sloRep
+	}
+	eb, err := json.Marshal(entry)
+	if err != nil {
+		return err
+	}
+	serving.Runs = append(serving.Runs, eb)
+	sb, err := json.Marshal(serving)
+	if err != nil {
+		return err
+	}
+	doc["serving"] = sb
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

@@ -9,11 +9,15 @@
 //
 //	metasearch [-scale small|default] [-scorer cori|bgloss|lm] [-k 5] \
 //	           [-serve :8090] [-listen :8080] [-remote host:port,...] \
+//	           [-debug-addr :6060] [-slo-latency 500ms] [-slo-target 0.99] \
 //	           [-v] [-trace] [-explain] [-audit queries.jsonl] \
 //	           [-save state.json] [-load state.json] \
 //	           [-deadline 2s] [-hedge-after 100ms] [-probe-interval 2s] \
 //	           [-cache-size 1024] [-cache-ttl 10m] [-max-inflight 64] \
-//	           [-drain-timeout 5s] [query ...]
+//	           [-drain-timeout 5s] \
+//	           [-loadtest -lt-qps 100 -lt-duration 30s -lt-ramp 50:5s,500:2s:20 \
+//	            -lt-driver http|inproc -lt-trace trace.json -lt-out BENCH.json] \
+//	           [query ...]
 //
 // With no query arguments, queries are read one per line from stdin.
 //
@@ -24,7 +28,21 @@
 // turns it off), -max-inflight sheds excess load with 429 + Retry-After,
 // and SIGINT/SIGTERM drains in-flight requests (up to -drain-timeout)
 // before exiting. Each request's deadline is -deadline unless the
-// client passes an explicit timeout parameter.
+// client passes an explicit timeout parameter. -debug-addr moves the
+// debug endpoints to a separate (private) listener, keeping the public
+// one API-only. Every request is judged against the serving SLOs
+// (-slo-latency, -slo-target); /debug/slo reports multi-window
+// error-budget burn rates.
+//
+// With -loadtest, the process instead measures its own serving path:
+// it generates (or replays, with -lt-trace) a deterministic open-loop
+// workload — Poisson arrivals at the configured QPS profile, Zipfian
+// query popularity over the testbed's query set — drives the gateway
+// over a loopback HTTP listener (-lt-driver http, the default) or
+// SearchExplained directly (inproc), and prints achieved QPS, latency
+// percentiles measured from scheduled arrival times, shed/hedge/cache
+// rates, per-stage latency percentiles, and the SLO report. -lt-out
+// merges the run into a BENCH JSON file's serving section.
 //
 // With -remote, the metasearcher talks to dbnode servers over the wire
 // protocol instead of registering in-process databases; the nodes must
@@ -50,6 +68,9 @@
 //	                   /debug/queries/{id} returns one record by id
 //	/debug/breakers    every node's circuit-breaker state (state, window,
 //	                   trips, short-circuits)
+//	/debug/slo         serving-objective report: burn rate and remaining
+//	                   error budget per objective and window (with -serve
+//	                   or -loadtest; 404 otherwise)
 //	/debug/pprof       the standard Go profiling endpoints
 //
 // -deadline bounds each query's whole fan-out; -hedge-after tunes when a
@@ -85,6 +106,7 @@ import (
 	"repro/internal/gateway"
 	"repro/internal/hierarchy"
 	"repro/internal/index"
+	"repro/internal/slo"
 	"repro/internal/telemetry"
 )
 
@@ -121,6 +143,21 @@ func main() {
 		cacheTTL   = flag.Duration("cache-ttl", 0, "selection-cache TTL (0 = default 10m; the result tier keeps its shorter default)")
 		maxInfl    = flag.Int("max-inflight", 0, "shed query-API requests past this many in flight with 429 + Retry-After (0 = unlimited)")
 		drainFor   = flag.Duration("drain-timeout", 5*time.Second, "how long shutdown waits for in-flight requests to drain")
+		debugAddr  = flag.String("debug-addr", "", "with -serve: move the debug endpoints (/metrics, /debug/*) to their own listener on this address, keeping the public listener API-only")
+		sloLatency = flag.Duration("slo-latency", 500*time.Millisecond, "latency-SLO threshold: requests slower than this count against the latency objective")
+		sloTarget  = flag.Float64("slo-target", 0.99, "latency-SLO target: required fraction of requests under -slo-latency")
+
+		loadtest   = flag.Bool("loadtest", false, "run a load test against this process's own serving path instead of a REPL, print the report, then exit")
+		ltQPS      = flag.Float64("lt-qps", 50, "load test: steady offered rate (ignored when -lt-ramp is set)")
+		ltDuration = flag.Duration("lt-duration", 10*time.Second, "load test: steady-phase length (ignored when -lt-ramp is set)")
+		ltRamp     = flag.String("lt-ramp", "", "load test: QPS profile as qps:duration[:burst] segments, e.g. 50:5s,500:2s:20,50:5s")
+		ltDriver   = flag.String("lt-driver", "http", "load test: http (loopback gateway, the full serving path) | inproc (direct SearchExplained calls)")
+		ltZipf     = flag.Float64("lt-zipf", 1.1, "load test: Zipf exponent of query popularity")
+		ltQueries  = flag.Int("lt-queries", 0, "load test: distinct queries in the workload (0 = the testbed's whole query set)")
+		ltTrace    = flag.String("lt-trace", "", "load test: trace file; replayed if it exists, else generated and saved for replay")
+		ltOut      = flag.String("lt-out", "", "load test: merge the run report into this BENCH JSON file's serving section")
+		ltName     = flag.String("lt-name", "", "load test: run label in reports (default derived from the profile)")
+		ltMaxOut   = flag.Int("lt-max-outstanding", 0, "load test: client-side cap on in-flight requests; excess scheduled requests are dropped, not deferred (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -176,14 +213,24 @@ func main() {
 	}
 	m := repro.New(opts)
 
+	// The SLO tracker judges every gateway request against the serving
+	// objectives; /debug/slo reports multi-window error-budget burn.
+	var tracker *slo.Tracker
+	if *serveAddr != "" || *loadtest {
+		objectives := slo.DefaultObjectives(*sloLatency)
+		objectives[0].Target = *sloTarget
+		tracker = slo.New(slo.Config{Objectives: objectives, Registry: m.Metrics()})
+	}
+
 	if *listen != "" || *serveAddr != "" {
 		m.Metrics().PublishExpvar("metasearch")
 	}
 	// In REPL mode, -listen serves the debug endpoints on their own
 	// listener; it is shut down gracefully when the REPL ends. (In -serve
-	// mode the gateway listener carries the debug endpoints itself.)
+	// mode the gateway listener carries the debug endpoints itself unless
+	// -debug-addr moves them.)
 	if *listen != "" && *serveAddr == "" {
-		srv := &http.Server{Addr: *listen, Handler: debugMux(m)}
+		srv := &http.Server{Addr: *listen, Handler: debugMux(m, tracker)}
 		go func() {
 			log.Printf("telemetry on http://%s/metrics (and /debug/vars, /debug/pprof)", *listen)
 			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -256,14 +303,40 @@ func main() {
 		defer stop()
 	}
 
+	gopts := gateway.Options{
+		DefaultMaxDBs:   *k,
+		DefaultPerDB:    *perDB,
+		DefaultDeadline: *deadline,
+		MaxInflight:     *maxInfl,
+		Metrics:         m.Metrics(),
+		SLO:             tracker,
+	}
+
+	if *loadtest {
+		if err := runLoadtest(m, w, loadtestConfig{
+			QPS:            *ltQPS,
+			Duration:       *ltDuration,
+			Ramp:           *ltRamp,
+			Driver:         *ltDriver,
+			Zipf:           *ltZipf,
+			NumQueries:     *ltQueries,
+			TraceFile:      *ltTrace,
+			OutFile:        *ltOut,
+			Name:           *ltName,
+			Seed:           *seed,
+			MaxDBs:         *k,
+			PerDB:          *perDB,
+			MaxOutstanding: *ltMaxOut,
+			Gateway:        gopts,
+			Tracker:        tracker,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	if *serveAddr != "" {
-		if err := serve(m, w, *serveAddr, gateway.Options{
-			DefaultMaxDBs:   *k,
-			DefaultPerDB:    *perDB,
-			DefaultDeadline: *deadline,
-			MaxInflight:     *maxInfl,
-			Metrics:         m.Metrics(),
-		}, *drainFor); err != nil {
+		if err := serve(m, w, *serveAddr, *debugAddr, gopts, tracker, *drainFor); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -325,15 +398,16 @@ func main() {
 }
 
 // debugMux assembles the operational endpoints every serving mode
-// exposes: metrics, expvar, recent audit records, breaker states, and
-// the pprof profilers.
-func debugMux(m *repro.Metasearcher) *http.ServeMux {
+// exposes: metrics, expvar, recent audit records, breaker states, the
+// SLO report, and the pprof profilers.
+func debugMux(m *repro.Metasearcher, tracker *slo.Tracker) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", m.Metrics().Handler())
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.Handle("/debug/queries", m.Audit().Handler())
 	mux.Handle("/debug/queries/", m.Audit().Handler())
 	mux.Handle("/debug/breakers", m.Breakers().Handler())
+	mux.Handle("/debug/slo", tracker.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -342,14 +416,29 @@ func debugMux(m *repro.Metasearcher) *http.ServeMux {
 	return mux
 }
 
-// serve runs the process as a query service: the gateway API and the
-// debug endpoints share one listener, and SIGINT/SIGTERM fails
-// /v1/healthz first (so load balancers steer away), then drains
-// in-flight requests via http.Server.Shutdown under the drain timeout
-// before the listener closes — the same shutdown contract as dbnode.
-func serve(m *repro.Metasearcher, w *experiments.World, addr string, gopts gateway.Options, drainFor time.Duration) error {
+// serve runs the process as a query service: the gateway API on addr,
+// the debug endpoints on the same listener — or on their own private
+// listener when debugAddr is set, so /debug/pprof and friends are not
+// exposed wherever the API is. SIGINT/SIGTERM fails /v1/healthz first
+// (so load balancers steer away), then drains in-flight requests via
+// http.Server.Shutdown under the drain timeout before the listener
+// closes — the same shutdown contract as dbnode.
+func serve(m *repro.Metasearcher, w *experiments.World, addr, debugAddr string, gopts gateway.Options, tracker *slo.Tracker, drainFor time.Duration) error {
 	gw := gateway.New(m, gopts)
-	mux := debugMux(m)
+	var mux *http.ServeMux
+	if debugAddr == "" {
+		mux = debugMux(m, tracker)
+	} else {
+		mux = http.NewServeMux()
+		dsrv := &http.Server{Addr: debugAddr, Handler: debugMux(m, tracker)}
+		go func() {
+			log.Printf("debug endpoints on http://%s/metrics (and /debug/slo, /debug/pprof, ...)", debugAddr)
+			if err := dsrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Fatalf("debug server: %v", err)
+			}
+		}()
+		defer dsrv.Close()
+	}
 	mux.Handle(gateway.PathSearch, gw)
 	mux.Handle(gateway.PathHealthz, gw)
 

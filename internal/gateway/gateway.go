@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/slo"
 	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
@@ -73,9 +74,18 @@ type Options struct {
 	// (default 1).
 	RetryAfter int
 	// Metrics receives gateway_requests_total, gateway_errors_total,
-	// gateway_shed_total, gateway_inflight, and gateway_latency
-	// (may be nil).
+	// gateway_shed_total, the gateway_requests_inflight gauge, and the
+	// latency series (may be nil). Successful responses record into
+	// gateway_latency (histogram) and gateway_latency_window
+	// (p50/p95/p99); shed and error responses record into the separate
+	// gateway_error_latency histogram, so a load-shedding burst of
+	// instant 429s cannot drag the success-latency percentiles down.
 	Metrics *telemetry.Registry
+	// SLO, when non-nil, receives every search request's outcome
+	// (latency + failure verdict) for error-budget tracking; serve its
+	// Handler at /debug/slo. A 429 or a 5xx counts against
+	// availability; 4xx client errors do not.
+	SLO *slo.Tracker
 }
 
 // Gateway serves the query API over a Searcher. Like wire.Node it
@@ -110,8 +120,13 @@ func New(s Searcher, opts Options) *Gateway {
 		requests: opts.Metrics.Counter("gateway_requests_total"),
 		errors:   opts.Metrics.Counter("gateway_errors_total"),
 		shed:     opts.Metrics.Counter("gateway_shed_total"),
-		inflight: opts.Metrics.Gauge("gateway_inflight"),
+		inflight: opts.Metrics.Gauge("gateway_requests_inflight"),
 	}
+	// Pre-create the latency series so /metrics shows the full schema
+	// (at zero) before traffic arrives.
+	opts.Metrics.Histogram("gateway_latency", nil)
+	opts.Metrics.Histogram("gateway_error_latency", nil)
+	opts.Metrics.Window("gateway_latency_window", 0)
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET "+PathSearch, g.search)
 	mux.HandleFunc("POST "+PathSearch, g.search)
@@ -132,8 +147,38 @@ func (g *Gateway) Draining() bool { return g.draining.Load() }
 // (health checks excluded).
 func (g *Gateway) Inflight() int64 { return g.inflightN.Load() }
 
-// ServeHTTP counts requests, applies the admission gate, and converts
-// handler panics into 500 envelopes.
+// statusWriter records the response status so request accounting can
+// tell successes from sheds and errors.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+// ServeHTTP counts requests, applies the admission gate, converts
+// handler panics into 500 envelopes, and records the outcome: latency
+// into the success or error histogram by final status, and the verdict
+// into the SLO tracker.
 func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path == PathHealthz {
 		g.healthz(w, r)
@@ -141,27 +186,45 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	g.requests.Inc()
 	start := time.Now()
-	defer g.opts.Metrics.Histogram("gateway_latency", nil).ObserveSince(start)
+	sw := &statusWriter{ResponseWriter: w}
 	cur := g.inflightN.Add(1)
 	g.inflight.Add(1)
 	defer func() {
 		g.inflightN.Add(-1)
 		g.inflight.Add(-1)
+		g.record(sw.status(), start)
 	}()
 	if g.opts.MaxInflight > 0 && cur > int64(g.opts.MaxInflight) {
 		g.shed.Inc()
-		w.Header().Set("Retry-After", strconv.Itoa(g.opts.RetryAfter))
-		wire.WriteError(w, http.StatusTooManyRequests, wire.CodeOverloaded,
+		sw.Header().Set("Retry-After", strconv.Itoa(g.opts.RetryAfter))
+		wire.WriteError(sw, http.StatusTooManyRequests, wire.CodeOverloaded,
 			fmt.Sprintf("gateway at capacity (%d in flight, max %d)", cur, g.opts.MaxInflight))
 		return
 	}
 	defer func() {
 		if p := recover(); p != nil {
-			g.fail(w, http.StatusInternalServerError, wire.CodeInternal,
+			g.fail(sw, http.StatusInternalServerError, wire.CodeInternal,
 				fmt.Sprintf("panic serving %s: %v", r.URL.Path, p))
 		}
 	}()
-	g.mux.ServeHTTP(w, r)
+	g.mux.ServeHTTP(sw, r)
+}
+
+// record books one finished request: 2xx latencies go to the success
+// histogram and quantile window, everything else to the error
+// histogram (a burst of instant 429s must not pull p99 down). The SLO
+// verdict counts sheds and server errors as bad; 4xx client errors are
+// correct behavior, not unavailability.
+func (g *Gateway) record(status int, start time.Time) {
+	elapsed := time.Since(start)
+	sec := elapsed.Seconds()
+	if status < http.StatusMultipleChoices {
+		g.opts.Metrics.Histogram("gateway_latency", nil).Observe(sec)
+		g.opts.Metrics.Window("gateway_latency_window", 0).Observe(sec)
+	} else {
+		g.opts.Metrics.Histogram("gateway_error_latency", nil).Observe(sec)
+	}
+	g.opts.SLO.Record(elapsed, status == http.StatusTooManyRequests || status >= http.StatusInternalServerError)
 }
 
 func (g *Gateway) fail(w http.ResponseWriter, status int, code, msg string) {
@@ -225,8 +288,20 @@ type SearchReply struct {
 	ResultHit    bool `json:"result_hit"`
 	SelectionHit bool `json:"selection_hit,omitempty"`
 	Collapsed    bool `json:"collapsed,omitempty"`
-	// ElapsedSeconds is this request's end-to-end latency.
-	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	// ElapsedSeconds is this request's end-to-end latency; Stages
+	// decomposes the server-side share by pipeline stage.
+	ElapsedSeconds float64       `json:"elapsed_seconds"`
+	Stages         *StageSeconds `json:"stages_seconds,omitempty"`
+}
+
+// StageSeconds is the per-stage latency decomposition of one answer:
+// cache lookup → selection → fan-out → merge (each in seconds). For a
+// cached or collapsed answer only the cache stage is nonzero.
+type StageSeconds struct {
+	Cache     float64 `json:"cache"`
+	Selection float64 `json:"selection"`
+	Fanout    float64 `json:"fanout"`
+	Merge     float64 `json:"merge"`
 }
 
 func (g *Gateway) search(w http.ResponseWriter, r *http.Request) {
@@ -280,6 +355,12 @@ func (g *Gateway) search(w http.ResponseWriter, r *http.Request) {
 		SelectionHit:   resp.SelectionCacheHit,
 		Collapsed:      resp.Collapsed,
 		ElapsedSeconds: resp.Elapsed.Seconds(),
+		Stages: &StageSeconds{
+			Cache:     resp.Stages.Cache,
+			Selection: resp.Stages.Selection,
+			Fanout:    resp.Stages.Fanout,
+			Merge:     resp.Stages.Merge,
+		},
 	}
 	for _, s := range resp.Selections {
 		reply.Selections = append(reply.Selections, Selection{

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/slo"
 	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
@@ -305,6 +306,110 @@ func TestAdmissionGate(t *testing.T) {
 	close(release)
 	if slow := <-done; slow.Code != http.StatusOK {
 		t.Errorf("slow request = %d, want 200", slow.Code)
+	}
+}
+
+// TestRequestAccounting pins the success/error latency split: 2xx
+// responses record into gateway_latency (+ the quantile window), sheds
+// and errors into gateway_error_latency only, and the inflight gauge
+// returns to zero.
+func TestRequestAccounting(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s := &fakeSearcher{}
+	g := New(s, Options{Metrics: reg})
+
+	// One success, one 400, one 503.
+	g.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/v1/search?q=x", nil))
+	g.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/v1/search?q=", nil))
+	s.hook = func(context.Context, string, int, int) (*repro.SearchResponse, error) {
+		return nil, errNoNodes
+	}
+	g.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/v1/search?q=x", nil))
+
+	snap := reg.Snapshot()
+	if got := snap.Histograms["gateway_latency"].Count; got != 1 {
+		t.Errorf("gateway_latency count = %d, want 1 (successes only)", got)
+	}
+	if got := snap.Histograms["gateway_error_latency"].Count; got != 2 {
+		t.Errorf("gateway_error_latency count = %d, want 2 (the 400 and the 503)", got)
+	}
+	if got := snap.Windows["gateway_latency_window"].Count; got != 1 {
+		t.Errorf("gateway_latency_window count = %d, want 1", got)
+	}
+	if got := snap.Gauges["gateway_requests_inflight"]; got != 0 {
+		t.Errorf("gateway_requests_inflight = %v, want 0 after requests finish", got)
+	}
+}
+
+// TestShedRecordsErrorLatencyAndSLO drives a shed through the gate and
+// checks it lands in the error histogram and burns SLO availability
+// budget, while the success window stays clean.
+func TestShedRecordsErrorLatencyAndSLO(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	s := &fakeSearcher{hook: func(ctx context.Context, q string, _, _ int) (*repro.SearchResponse, error) {
+		entered <- struct{}{}
+		<-release
+		return &repro.SearchResponse{Query: q}, nil
+	}}
+	reg := telemetry.NewRegistry()
+	tracker := slo.New(slo.Config{})
+	g := New(s, Options{MaxInflight: 1, Metrics: reg, SLO: tracker})
+
+	done := make(chan struct{})
+	go func() {
+		g.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/v1/search?q=slow", nil))
+		close(done)
+	}()
+	<-entered
+	rec := httptest.NewRecorder()
+	g.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/search?q=shed", nil))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", rec.Code)
+	}
+	close(release)
+	<-done
+
+	snap := reg.Snapshot()
+	if got := snap.Histograms["gateway_error_latency"].Count; got != 1 {
+		t.Errorf("gateway_error_latency count = %d, want 1 (the shed)", got)
+	}
+	if got := snap.Histograms["gateway_latency"].Count; got != 1 {
+		t.Errorf("gateway_latency count = %d, want 1 (the slow success)", got)
+	}
+
+	rep := tracker.Report()
+	for _, o := range rep.Objectives {
+		if o.Name != "availability" {
+			continue
+		}
+		if o.TotalSinceStart != 2 || o.BadSinceStart != 1 {
+			t.Errorf("slo availability = total %d bad %d, want 2/1", o.TotalSinceStart, o.BadSinceStart)
+		}
+		return
+	}
+	t.Fatal("availability objective missing from SLO report")
+}
+
+// TestReplyCarriesStages checks the per-stage decomposition reaches the
+// JSON reply.
+func TestReplyCarriesStages(t *testing.T) {
+	s := &fakeSearcher{hook: func(ctx context.Context, q string, _, _ int) (*repro.SearchResponse, error) {
+		return &repro.SearchResponse{
+			Query:  q,
+			Stages: repro.SearchStages{Cache: 0.001, Selection: 0.002, Fanout: 0.003, Merge: 0.004},
+		}, nil
+	}}
+	g := New(s, Options{})
+	rec := httptest.NewRecorder()
+	g.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/search?q=x", nil))
+	reply := decodeReply(t, rec)
+	if reply.Stages == nil {
+		t.Fatal("reply has no stages_seconds")
+	}
+	want := StageSeconds{Cache: 0.001, Selection: 0.002, Fanout: 0.003, Merge: 0.004}
+	if *reply.Stages != want {
+		t.Errorf("stages = %+v, want %+v", *reply.Stages, want)
 	}
 }
 

@@ -1,0 +1,147 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"repro"
+)
+
+// Result is the outcome of one request as seen by the client.
+type Result struct {
+	// Err is set when the request failed (transport error, non-2xx
+	// other than shed, malformed body).
+	Err error
+	// Status is the HTTP status code when known (0 for in-process).
+	Status int
+	// Shed reports the server refused the request under load (429).
+	Shed bool
+	// ResultHit, SelectionHit, Collapsed mirror the gateway/search
+	// cache-disposition flags for hit-rate accounting.
+	ResultHit    bool
+	SelectionHit bool
+	Collapsed    bool
+}
+
+// Driver issues one request against some serving surface.
+type Driver interface {
+	// Name identifies the driver in reports ("inproc", "http").
+	Name() string
+	// Do issues the query and classifies the outcome.
+	Do(ctx context.Context, query string) Result
+}
+
+// Searcher is the in-process serving surface (satisfied by
+// *repro.Metasearcher).
+type Searcher interface {
+	SearchExplained(ctx context.Context, query string, maxDBs, perDB int) (*repro.SearchResponse, error)
+}
+
+// SearcherDriver calls SearchExplained directly, measuring the serving
+// pipeline without HTTP overhead.
+type SearcherDriver struct {
+	S      Searcher
+	MaxDBs int
+	PerDB  int
+}
+
+// Name implements Driver.
+func (d *SearcherDriver) Name() string { return "inproc" }
+
+// Do implements Driver.
+func (d *SearcherDriver) Do(ctx context.Context, query string) Result {
+	resp, err := d.S.SearchExplained(ctx, query, d.MaxDBs, d.PerDB)
+	if err != nil {
+		return Result{Err: err}
+	}
+	return Result{
+		ResultHit:    resp.CacheHit,
+		SelectionHit: resp.SelectionCacheHit,
+		Collapsed:    resp.Collapsed,
+	}
+}
+
+// HTTPDriver drives the gateway's /v1/search endpoint, exercising the
+// full serving path: admission gate, caches, selection, fan-out.
+type HTTPDriver struct {
+	// BaseURL is the gateway root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Client defaults to http.DefaultClient. Give it a generous
+	// Timeout and Transport.MaxIdleConnsPerHost for high QPS.
+	Client *http.Client
+	MaxDBs int
+	PerDB  int
+}
+
+// Name implements Driver.
+func (d *HTTPDriver) Name() string { return "http" }
+
+// httpReply is the subset of the gateway's search reply the runner
+// accounts for.
+type httpReply struct {
+	ResultHit    bool `json:"result_hit"`
+	SelectionHit bool `json:"selection_hit"`
+	Collapsed    bool `json:"collapsed"`
+}
+
+// httpError is the gateway's error envelope.
+type httpError struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// Do implements Driver.
+func (d *HTTPDriver) Do(ctx context.Context, query string) Result {
+	q := url.Values{"q": {query}}
+	if d.MaxDBs > 0 {
+		q.Set("k", strconv.Itoa(d.MaxDBs))
+	}
+	if d.PerDB > 0 {
+		q.Set("perdb", strconv.Itoa(d.PerDB))
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, d.BaseURL+"/v1/search?"+q.Encode(), nil)
+	if err != nil {
+		return Result{Err: err}
+	}
+	client := d.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return Result{Err: err}
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		return Result{Status: resp.StatusCode, Shed: true}
+	}
+	if resp.StatusCode != http.StatusOK {
+		var envelope httpError
+		json.NewDecoder(resp.Body).Decode(&envelope)
+		msg := envelope.Error.Message
+		if msg == "" {
+			msg = resp.Status
+		}
+		return Result{Status: resp.StatusCode, Err: fmt.Errorf("gateway: %s", msg)}
+	}
+	var reply httpReply
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		return Result{Status: resp.StatusCode, Err: fmt.Errorf("gateway: malformed reply: %v", err)}
+	}
+	return Result{
+		Status:       resp.StatusCode,
+		ResultHit:    reply.ResultHit,
+		SelectionHit: reply.SelectionHit,
+		Collapsed:    reply.Collapsed,
+	}
+}

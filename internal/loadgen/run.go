@@ -1,0 +1,330 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Options tunes a load run.
+type Options struct {
+	// Name labels the run in reports ("steady-100qps").
+	Name string
+	// MaxOutstanding caps in-flight requests, 0 = unlimited. When the
+	// cap is hit a scheduled request is dropped (and counted), not
+	// deferred — deferring would reintroduce coordinated omission.
+	MaxOutstanding int
+	// Registry, when set, is snapshotted before and after the run so
+	// the report can attribute server-side deltas (hedges, breaker
+	// opens, sheds, cache hits, per-stage latency percentiles) to this
+	// run alone. Point it at the registry the driven Metasearcher and
+	// gateway write to.
+	Registry *telemetry.Registry
+}
+
+// LatencySummary is the client-observed latency distribution, in
+// seconds, measured from each request's *scheduled* arrival time.
+type LatencySummary struct {
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	P999 float64 `json:"p999"`
+	Max  float64 `json:"max"`
+}
+
+// Report is the outcome of one load run.
+type Report struct {
+	Name            string  `json:"name"`
+	Driver          string  `json:"driver"`
+	TargetQPS       float64 `json:"target_qps"`
+	DurationSeconds float64 `json:"duration_seconds"`
+
+	Requests int `json:"requests"`
+	OK       int `json:"ok"`
+	Errors   int `json:"errors"`
+	Shed     int `json:"shed"`
+	// Dropped counts scheduled requests never sent because
+	// MaxOutstanding was hit; they are client-side losses, not server
+	// failures, and are excluded from latency.
+	Dropped int `json:"dropped"`
+
+	// AchievedQPS is requests actually issued over the wall-clock span
+	// from first scheduled arrival to last completion.
+	AchievedQPS float64 `json:"achieved_qps"`
+
+	Latency LatencySummary `json:"latency_seconds"`
+
+	// Rates are per-issued-request fractions: error, shed,
+	// result_cache_hit, selection_cache_hit, collapsed, plus
+	// server-side hedge / breaker_open rates when a Registry was given.
+	Rates map[string]float64 `json:"rates"`
+
+	// Server holds raw server-side counter deltas over the run
+	// (present only when a Registry was given).
+	Server map[string]int64 `json:"server_deltas,omitempty"`
+
+	// Stages holds server-side per-stage latency percentiles (seconds)
+	// estimated from the search_stage_* histogram deltas over the run:
+	// keys like "selection.p50", "fanout.p99".
+	Stages map[string]float64 `json:"stage_latency_seconds,omitempty"`
+}
+
+// serverCounters are the registry counters worth attributing to a run.
+var serverCounters = []string{
+	"search_requests_total",
+	"search_hedges_total",
+	"search_hedge_wins_total",
+	"search_breaker_open_total",
+	"search_sheds_total",
+	"search_db_unavailable_total",
+	"gateway_requests_total",
+	"gateway_errors_total",
+	"gateway_shed_total",
+	"result_cache_hits_total",
+	"result_cache_collapsed_total",
+	"selection_cache_hits_total",
+}
+
+// stageHistograms are the per-stage latency decomposition series kept by
+// the search pipeline.
+var stageHistograms = map[string]string{
+	"cache":     "search_stage_cache_latency",
+	"selection": "search_stage_selection_latency",
+	"fanout":    "search_stage_fanout_latency",
+	"merge":     "search_stage_merge_latency",
+}
+
+// Run replays the trace against the driver: open loop, every event
+// fires at its scheduled offset from the run's start. Cancelling ctx
+// stops scheduling new requests; in-flight ones finish.
+func Run(ctx context.Context, tr *Trace, d Driver, opts Options) (*Report, error) {
+	if tr == nil || len(tr.Events) == 0 {
+		return nil, fmt.Errorf("loadgen: empty trace")
+	}
+	before := snapshotOrZero(opts.Registry)
+
+	var (
+		mu                                         sync.Mutex
+		latencies                                  []float64
+		errs, shed, resultHits, selHits, collapsed int
+	)
+	var outstanding sync.WaitGroup
+	var inflight chan struct{}
+	if opts.MaxOutstanding > 0 {
+		inflight = make(chan struct{}, opts.MaxOutstanding)
+	}
+	dropped := 0
+	issued := 0
+
+	start := time.Now()
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	if !timer.Stop() {
+		<-timer.C
+	}
+
+schedule:
+	for _, ev := range tr.Events {
+		due := start.Add(time.Duration(ev.At * float64(time.Second)))
+		if wait := time.Until(due); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-ctx.Done():
+				break schedule
+			case <-timer.C:
+			}
+		} else if ctx.Err() != nil {
+			break schedule
+		}
+		if inflight != nil {
+			select {
+			case inflight <- struct{}{}:
+			default:
+				dropped++
+				continue
+			}
+		}
+		issued++
+		q := tr.Queries[ev.Query]
+		outstanding.Add(1)
+		go func(due time.Time, q string) {
+			defer outstanding.Done()
+			if inflight != nil {
+				defer func() { <-inflight }()
+			}
+			res := d.Do(ctx, q)
+			// Latency from the scheduled arrival: queueing delay in the
+			// client counts against the server, per wrk2.
+			lat := time.Since(due).Seconds()
+			mu.Lock()
+			defer mu.Unlock()
+			latencies = append(latencies, lat)
+			switch {
+			case res.Shed:
+				shed++
+			case res.Err != nil:
+				errs++
+			default:
+				if res.ResultHit {
+					resultHits++
+				}
+				if res.SelectionHit {
+					selHits++
+				}
+				if res.Collapsed {
+					collapsed++
+				}
+			}
+		}(due, q)
+	}
+	outstanding.Wait()
+	wall := time.Since(start).Seconds()
+	after := snapshotOrZero(opts.Registry)
+
+	rep := &Report{
+		Name:            opts.Name,
+		Driver:          d.Name(),
+		TargetQPS:       tr.TargetQPS(),
+		DurationSeconds: wall,
+		Requests:        issued,
+		OK:              issued - errs - shed,
+		Errors:          errs,
+		Shed:            shed,
+		Dropped:         dropped,
+		Latency:         summarize(latencies),
+		Rates:           map[string]float64{},
+	}
+	if wall > 0 {
+		rep.AchievedQPS = float64(issued) / wall
+	}
+	if issued > 0 {
+		n := float64(issued)
+		rep.Rates["error"] = float64(errs) / n
+		rep.Rates["shed"] = float64(shed) / n
+		rep.Rates["result_cache_hit"] = float64(resultHits) / n
+		rep.Rates["selection_cache_hit"] = float64(selHits) / n
+		rep.Rates["collapsed"] = float64(collapsed) / n
+	}
+
+	if opts.Registry != nil {
+		rep.Server = map[string]int64{}
+		for _, name := range serverCounters {
+			if d := after.Counters[name] - before.Counters[name]; d != 0 {
+				rep.Server[name] = d
+			}
+		}
+		searches := rep.Server["search_requests_total"]
+		if searches > 0 {
+			rep.Rates["hedge"] = float64(rep.Server["search_hedges_total"]) / float64(searches)
+			rep.Rates["breaker_open"] = float64(rep.Server["search_breaker_open_total"]) / float64(searches)
+		}
+		rep.Stages = map[string]float64{}
+		for stage, series := range stageHistograms {
+			delta := subtractHistogram(after.Histograms[series], before.Histograms[series])
+			if delta.Count == 0 {
+				continue
+			}
+			rep.Stages[stage+".p50"] = delta.Quantile(0.50)
+			rep.Stages[stage+".p95"] = delta.Quantile(0.95)
+			rep.Stages[stage+".p99"] = delta.Quantile(0.99)
+		}
+	}
+	return rep, nil
+}
+
+func snapshotOrZero(r *telemetry.Registry) telemetry.Snapshot {
+	if r == nil {
+		return telemetry.Snapshot{}
+	}
+	return r.Snapshot()
+}
+
+// subtractHistogram computes after − before bucket-wise, yielding the
+// distribution of observations made between the two snapshots.
+func subtractHistogram(after, before telemetry.HistogramSnapshot) telemetry.HistogramSnapshot {
+	if after.Count == 0 || len(after.Counts) == 0 {
+		return telemetry.HistogramSnapshot{}
+	}
+	out := telemetry.HistogramSnapshot{
+		Bounds: after.Bounds,
+		Counts: make([]int64, len(after.Counts)),
+		Sum:    after.Sum - before.Sum,
+		Count:  after.Count - before.Count,
+	}
+	for i := range after.Counts {
+		out.Counts[i] = after.Counts[i]
+		if i < len(before.Counts) {
+			out.Counts[i] -= before.Counts[i]
+		}
+	}
+	if out.Count <= 0 {
+		return telemetry.HistogramSnapshot{}
+	}
+	return out
+}
+
+// summarize computes the latency distribution (nearest-rank
+// percentiles) over the run's samples.
+func summarize(samples []float64) LatencySummary {
+	if len(samples) == 0 {
+		return LatencySummary{}
+	}
+	sorted := make([]float64, len(samples))
+	copy(sorted, samples)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	pct := func(q float64) float64 {
+		i := int(q*float64(len(sorted)) + 0.5)
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i]
+	}
+	return LatencySummary{
+		Mean: sum / float64(len(sorted)),
+		P50:  pct(0.50),
+		P90:  pct(0.90),
+		P95:  pct(0.95),
+		P99:  pct(0.99),
+		P999: pct(0.999),
+		Max:  sorted[len(sorted)-1],
+	}
+}
+
+// Format renders the report as a human-readable block.
+func (r *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "load run %q (%s driver)\n", r.Name, r.Driver)
+	fmt.Fprintf(&b, "  target %.1f QPS, achieved %.1f QPS over %.2fs\n", r.TargetQPS, r.AchievedQPS, r.DurationSeconds)
+	fmt.Fprintf(&b, "  requests %d  ok %d  errors %d  shed %d  dropped %d\n", r.Requests, r.OK, r.Errors, r.Shed, r.Dropped)
+	fmt.Fprintf(&b, "  latency  p50 %.1fms  p90 %.1fms  p95 %.1fms  p99 %.1fms  p99.9 %.1fms  max %.1fms\n",
+		r.Latency.P50*1e3, r.Latency.P90*1e3, r.Latency.P95*1e3, r.Latency.P99*1e3, r.Latency.P999*1e3, r.Latency.Max*1e3)
+	keys := make([]string, 0, len(r.Rates))
+	for k := range r.Rates {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "  rate %-20s %6.2f%%\n", k, r.Rates[k]*100)
+	}
+	if len(r.Stages) > 0 {
+		stages := []string{"cache", "selection", "fanout", "merge"}
+		for _, s := range stages {
+			if p50, ok := r.Stages[s+".p50"]; ok {
+				fmt.Fprintf(&b, "  stage %-12s p50 %.2fms  p95 %.2fms  p99 %.2fms\n",
+					s, p50*1e3, r.Stages[s+".p95"]*1e3, r.Stages[s+".p99"]*1e3)
+			}
+		}
+	}
+	return b.String()
+}

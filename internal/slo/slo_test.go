@@ -1,0 +1,203 @@
+package slo
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// fakeClock is a manually advanced clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestTracker(windows ...time.Duration) (*Tracker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1_000_000, 0)}
+	t := New(Config{
+		Objectives: []Objective{
+			{Name: "latency", Target: 0.9, LatencyThreshold: 100 * time.Millisecond},
+			{Name: "availability", Target: 0.99},
+		},
+		Windows: windows,
+		Now:     clk.now,
+	})
+	return t, clk
+}
+
+func findObjective(t *testing.T, rep Report, name string) ObjectiveReport {
+	t.Helper()
+	for _, o := range rep.Objectives {
+		if o.Name == name {
+			return o
+		}
+	}
+	t.Fatalf("objective %q missing from report %+v", name, rep)
+	return ObjectiveReport{}
+}
+
+func TestBurnRateComputation(t *testing.T) {
+	tr, _ := newTestTracker(time.Minute)
+
+	// 100 requests: 20 slow (latency objective bad), 1 failed (bad for
+	// both objectives).
+	for i := 0; i < 79; i++ {
+		tr.Record(10*time.Millisecond, false)
+	}
+	for i := 0; i < 20; i++ {
+		tr.Record(200*time.Millisecond, false)
+	}
+	tr.Record(10*time.Millisecond, true)
+
+	rep := tr.Report()
+	lat := findObjective(t, rep, "latency")
+	w := lat.Windows[0]
+	if w.Total != 100 || w.Bad != 21 {
+		t.Fatalf("latency window = %+v, want total=100 bad=21", w)
+	}
+	// bad fraction 0.21, budget 0.1 => burn 2.1
+	if w.BurnRate < 2.09 || w.BurnRate > 2.11 {
+		t.Errorf("latency burn = %v, want 2.1", w.BurnRate)
+	}
+	if w.BudgetRemaining > -1.09 || w.BudgetRemaining < -1.11 {
+		t.Errorf("budget remaining = %v, want -1.1", w.BudgetRemaining)
+	}
+
+	avail := findObjective(t, rep, "availability")
+	aw := avail.Windows[0]
+	if aw.Bad != 1 {
+		t.Fatalf("availability bad = %d, want 1", aw.Bad)
+	}
+	// bad fraction 0.01, budget 0.01 => burn 1.0
+	if aw.BurnRate < 0.99 || aw.BurnRate > 1.01 {
+		t.Errorf("availability burn = %v, want 1.0", aw.BurnRate)
+	}
+}
+
+func TestWindowsExpire(t *testing.T) {
+	tr, clk := newTestTracker(time.Minute, 5*time.Minute)
+
+	tr.Record(10*time.Millisecond, true) // bad now
+	clk.advance(2 * time.Minute)
+	tr.Record(10*time.Millisecond, false) // good later
+
+	rep := tr.Report()
+	avail := findObjective(t, rep, "availability")
+	if len(avail.Windows) != 2 {
+		t.Fatalf("windows = %+v", avail.Windows)
+	}
+	short, long := avail.Windows[0], avail.Windows[1]
+	if short.Window != "1m0s" || long.Window != "5m0s" {
+		t.Fatalf("window order = %q, %q", short.Window, long.Window)
+	}
+	// The bad request has aged out of the 1m window but not the 5m one.
+	if short.Total != 1 || short.Bad != 0 {
+		t.Errorf("1m window = %+v, want total=1 bad=0", short)
+	}
+	if long.Total != 2 || long.Bad != 1 {
+		t.Errorf("5m window = %+v, want total=2 bad=1", long)
+	}
+	if avail.TotalSinceStart != 2 || avail.BadSinceStart != 1 {
+		t.Errorf("lifetime = total %d bad %d, want 2/1", avail.TotalSinceStart, avail.BadSinceStart)
+	}
+}
+
+func TestBucketRingReuse(t *testing.T) {
+	tr, clk := newTestTracker(2 * time.Second)
+	tr.Record(time.Millisecond, true)
+	// Advance far enough that the ring slot is reused; the old outcome
+	// must not resurface.
+	clk.advance(time.Hour)
+	tr.Record(time.Millisecond, false)
+	w := findObjective(t, tr.Report(), "availability").Windows[0]
+	if w.Total != 1 || w.Bad != 0 {
+		t.Errorf("window after ring reuse = %+v, want total=1 bad=0", w)
+	}
+}
+
+func TestIdleTrackerReportsZeroBurn(t *testing.T) {
+	tr, _ := newTestTracker(time.Minute)
+	w := findObjective(t, tr.Report(), "latency").Windows[0]
+	if w.Total != 0 || w.BurnRate != 0 || w.BudgetRemaining != 1 {
+		t.Errorf("idle window = %+v, want zero burn and full budget", w)
+	}
+}
+
+func TestNilTrackerIsSafe(t *testing.T) {
+	var tr *Tracker
+	tr.Record(time.Second, true) // must not panic
+	if rep := tr.Report(); len(rep.Objectives) != 0 {
+		t.Errorf("nil report = %+v", rep)
+	}
+	rec := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/slo", nil))
+	if rec.Code != 404 {
+		t.Errorf("nil handler status = %d, want 404", rec.Code)
+	}
+}
+
+func TestHandlerJSON(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Window("gateway_latency_window", 0).Observe(0.05)
+	clk := &fakeClock{t: time.Unix(1_000_000, 0)}
+	tr := New(Config{Registry: reg, Now: clk.now})
+	tr.Record(50*time.Millisecond, false)
+
+	rec := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/slo", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var rep Report
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatalf("decoding: %v\n%s", err, rec.Body.String())
+	}
+	// Default objectives: latency + availability, default windows.
+	if len(rep.Objectives) != 2 {
+		t.Fatalf("objectives = %+v", rep.Objectives)
+	}
+	if got := len(rep.Objectives[0].Windows); got != len(DefaultWindows) {
+		t.Errorf("windows = %d, want %d", got, len(DefaultWindows))
+	}
+	if rep.Latency == nil || rep.Latency.Count != 1 || rep.Latency.P50 != 0.05 {
+		t.Errorf("latency quantiles = %+v", rep.Latency)
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	tr, _ := newTestTracker(time.Minute)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				tr.Record(time.Millisecond, j%10 == 0)
+				if j%100 == 0 {
+					tr.Report()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	w := findObjective(t, tr.Report(), "availability").Windows[0]
+	if w.Total != 4000 || w.Bad != 400 {
+		t.Errorf("concurrent totals = %+v, want total=4000 bad=400", w)
+	}
+}

@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"io"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramQuantile pins the interpolated bucket-quantile estimate.
+func TestHistogramQuantile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("h", []float64{0.1, 0.2, 0.4})
+	// 10 observations in (0.1, 0.2], 10 in (0.2, 0.4].
+	for i := 0; i < 10; i++ {
+		h.Observe(0.15)
+		h.Observe(0.3)
+	}
+	snap := reg.Snapshot().Histograms["h"]
+
+	if got := snap.Quantile(0.5); math.Abs(got-0.2) > 1e-9 {
+		t.Errorf("p50 = %v, want 0.2 (upper edge of the first occupied bucket)", got)
+	}
+	// p75: rank 15 falls 5/10 into the (0.2, 0.4] bucket -> 0.3.
+	if got := snap.Quantile(0.75); math.Abs(got-0.3) > 1e-9 {
+		t.Errorf("p75 = %v, want 0.3", got)
+	}
+	if got := snap.Quantile(1); math.Abs(got-0.4) > 1e-9 {
+		t.Errorf("p100 = %v, want 0.4", got)
+	}
+
+	// Observations above every bound land in +Inf and are reported as
+	// the last finite bound (a histogram cannot say more).
+	h.Observe(99)
+	snap = reg.Snapshot().Histograms["h"]
+	if got := snap.Quantile(1); math.Abs(got-0.4) > 1e-9 {
+		t.Errorf("p100 with +Inf observation = %v, want 0.4", got)
+	}
+
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+}
+
+// TestConcurrentObserveAndRender hammers one histogram and one quantile
+// window from many writers while snapshots, Prometheus renders, and
+// quantile reads run concurrently. Run under -race (make race / CI):
+// its job is flushing out data races between the lock-free observe
+// paths and the render paths.
+func TestConcurrentObserveAndRender(t *testing.T) {
+	reg := NewRegistry()
+	const writers = 8
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := reg.Histogram("req_latency", nil)
+			win := reg.Window("req_latency_window", 64)
+			start := time.Now()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := float64(i%100) / 1000
+				h.Observe(v)
+				win.Observe(v)
+				h.ObserveSince(start)
+				reg.Counter("reqs").Inc()
+				reg.Gauge("inflight").Add(1)
+				reg.Gauge("inflight").Add(-1)
+			}
+		}(w)
+	}
+
+	// Readers: snapshots, text renders, and quantiles, racing the writers.
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := reg.Snapshot()
+				snap.WritePrometheus(io.Discard)
+				if hs, ok := snap.Histograms["req_latency"]; ok {
+					if q := hs.Quantile(0.99); q < 0 {
+						t.Error("negative quantile")
+						return
+					}
+				}
+				reg.Window("req_latency_window", 64).Quantile(0.95)
+			}
+		}()
+	}
+
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	snap := reg.Snapshot()
+	hs := snap.Histograms["req_latency"]
+	if hs.Count == 0 {
+		t.Fatal("histogram recorded nothing")
+	}
+	var inBuckets int64
+	for _, n := range hs.Counts {
+		inBuckets += n
+	}
+	if inBuckets != hs.Count {
+		t.Errorf("bucket counts sum to %d, total count %d", inBuckets, hs.Count)
+	}
+	if ws := snap.Windows["req_latency_window"]; ws.Count == 0 || ws.P99 < ws.P50 {
+		t.Errorf("window snapshot = %+v", ws)
+	}
+}

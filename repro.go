@@ -495,7 +495,16 @@ func registerPipelineMetrics(reg *telemetry.Registry) {
 	for _, g := range []string{"build_databases", "em_iterations", "sampling_vocab_size"} {
 		reg.Gauge(g)
 	}
-	for _, h := range []string{"build_latency", "select_latency", "search_latency", "search_db_latency"} {
+	for _, h := range []string{
+		"build_latency", "select_latency", "search_latency", "search_db_latency",
+		// Per-stage decomposition of search_latency: cache lookup →
+		// selection → fan-out → merge. Percentiles export via
+		// telemetry.HistogramSnapshot.Quantile.
+		"search_stage_cache_latency",
+		"search_stage_selection_latency",
+		"search_stage_fanout_latency",
+		"search_stage_merge_latency",
+	} {
 		reg.Histogram(h, nil)
 	}
 	// Sliding-window latency quantiles (p50/p95/p99 of recent requests,

@@ -1,0 +1,43 @@
+#!/bin/sh
+# loadtest.sh — drive the gateway with the open-loop workload engine
+# and merge the serving report (achieved QPS, tail latency percentiles,
+# shed/hedge/breaker/cache rates, SLO burn) into a BENCH JSON file's
+# "serving" section. Pairs with scripts/bench.sh, which records the
+# microbenchmarks into the same file.
+#
+# Usage: scripts/loadtest.sh [output-file]
+#
+# Environment knobs:
+#   QPS=100 DURATION=10s        steady-rate profile (the default)
+#   RAMP="50:5s,500:2s:20"      qps:duration[:burst] segments instead
+#   DRIVER=http|inproc          serving surface (default http)
+#   SCALE=small|default         testbed size (default small)
+#   NAME=steady-100             run label in the report
+set -eu
+
+GO="${GO:-go}"
+OUT="${1:-${BENCH_OUT:-BENCH_pr6.json}}"
+QPS="${QPS:-100}"
+DURATION="${DURATION:-10s}"
+DRIVER="${DRIVER:-http}"
+SCALE="${SCALE:-small}"
+RAMP="${RAMP:-}"
+NAME="${NAME:-}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+echo "loadtest: building metasearch..." >&2
+"$GO" build -o "$TMP/metasearch" ./cmd/metasearch
+
+set -- -scale "$SCALE" -loadtest -lt-driver "$DRIVER" -lt-out "$OUT" \
+    -lt-qps "$QPS" -lt-duration "$DURATION"
+[ -n "$RAMP" ] && set -- "$@" -lt-ramp "$RAMP"
+[ -n "$NAME" ] && set -- "$@" -lt-name "$NAME"
+
+"$TMP/metasearch" "$@"
+
+if ! grep -q '"serving"' "$OUT"; then
+    echo "loadtest: $OUT has no serving section" >&2
+    exit 1
+fi
+echo "loadtest: serving report in $OUT" >&2

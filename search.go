@@ -88,8 +88,29 @@ type SearchResponse struct {
 	CacheHit          bool
 	SelectionCacheHit bool
 	Collapsed         bool
-	// Elapsed is this request's end-to-end latency.
+	// Elapsed is this request's end-to-end latency; Stages decomposes
+	// it by pipeline stage.
 	Elapsed time.Duration
+	Stages  SearchStages
+}
+
+// SearchStages decomposes one request's latency by pipeline stage, in
+// seconds. For a cold request Cache is the residual spent on key
+// computation and cache bookkeeping around the real work; for a cache
+// hit or a collapsed request the whole latency is Cache time (the other
+// stages were paid by the request that fanned out). Each stage is also
+// recorded in its search_stage_* latency histogram, whose percentiles
+// are exported via telemetry.HistogramSnapshot.Quantile.
+type SearchStages struct {
+	// Cache is time spent in cache lookup and bookkeeping.
+	Cache float64
+	// Selection is the database-selection stage (through the selection
+	// cache: a selection-tier hit makes this small but nonzero).
+	Selection float64
+	// Fanout is the parallel query evaluation across selected databases.
+	Fanout float64
+	// Merge is result merging and ranking.
+	Merge float64
 }
 
 // SearchExplained is SearchContext plus provenance: the selection set,
@@ -207,7 +228,27 @@ func (m *Metasearcher) SearchExplained(ctx context.Context, query string, maxDBs
 		telemetry.Int("cache_hit", cached))
 	finish(nil)
 	resp.Elapsed = time.Since(start)
+	resp.Stages = m.stageBreakdown(e, hit, collapsed, resp.Elapsed)
 	return resp, nil
+}
+
+// stageBreakdown attributes one request's latency to pipeline stages.
+// The request that fanned out owns the selection/fan-out/merge timings
+// it measured; a hit or collapsed request paid only cache time. The
+// cache stage (this request's residual around the measured stages) is
+// recorded here because only the caller knows the end-to-end latency.
+func (m *Metasearcher) stageBreakdown(e *searchEntry, hit, collapsed bool, elapsed time.Duration) SearchStages {
+	var st SearchStages
+	if hit || collapsed || e == nil {
+		st.Cache = elapsed.Seconds()
+	} else {
+		st = e.stages
+		if residual := elapsed.Seconds() - (st.Selection + st.Fanout + st.Merge); residual > 0 {
+			st.Cache = residual
+		}
+	}
+	m.reg.Histogram("search_stage_cache_latency", nil).Observe(st.Cache)
+	return st
 }
 
 // searchEntry is one search's cacheable outcome plus the audit evidence
@@ -225,6 +266,7 @@ type searchEntry struct {
 	queried     int
 	topHits     []audit.Hit
 	selCacheHit bool
+	stages      SearchStages // selection/fan-out/merge timings of the cold path
 }
 
 // searchUncached is the cold search path: selection (through the
@@ -234,7 +276,10 @@ type searchEntry struct {
 // The span stays open — the caller owns its lifecycle.
 func (m *Metasearcher) searchUncached(ctx context.Context, span *telemetry.Span, query string, maxDBs, perDB int) (*searchEntry, error) {
 	e := &searchEntry{}
+	tSel := time.Now()
 	sels, explain, selHit, err := m.selectCached(ctx, span, query, maxDBs)
+	e.stages.Selection = time.Since(tSel).Seconds()
+	m.reg.Histogram("search_stage_selection_latency", nil).Observe(e.stages.Selection)
 	e.selCacheHit = selHit
 	if explain != nil {
 		e.terms = explain.terms
@@ -290,9 +335,12 @@ func (m *Metasearcher) searchUncached(ctx context.Context, span *telemetry.Span,
 		workers = len(sels)
 	}
 	outcomes := make([]nodeOutcome, len(sels))
+	tFan := time.Now()
 	forEachCollect(len(sels), workers, m.reg, func(i int) {
 		outcomes[i] = m.searchNode(fanCtx, span, handles[sels[i].Database], sels[i].Database, terms, perDB, hedgeAfter)
 	})
+	e.stages.Fanout = time.Since(tFan).Seconds()
+	m.reg.Histogram("search_stage_fanout_latency", nil).Observe(e.stages.Fanout)
 	// The fan-out absorbs node failures, but the caller giving up is
 	// not a node failure: surface their cancellation as the search's
 	// error (the budget expiring is fanCtx's deadline, not ctx's).
@@ -303,6 +351,7 @@ func (m *Metasearcher) searchUncached(ctx context.Context, span *telemetry.Span,
 		return e, cerr
 	}
 
+	tMerge := time.Now()
 	var out []Result
 	queried := 0
 	for i, o := range outcomes {
@@ -341,6 +390,8 @@ func (m *Metasearcher) searchUncached(ctx context.Context, span *telemetry.Span,
 		}
 		e.topHits = append(e.topHits, audit.Hit{Database: r.Database, DocID: r.DocID, Score: r.Score})
 	}
+	e.stages.Merge = time.Since(tMerge).Seconds()
+	m.reg.Histogram("search_stage_merge_latency", nil).Observe(e.stages.Merge)
 	return e, nil
 }
 

@@ -1,0 +1,240 @@
+package repro_test
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	repro "repro"
+	"repro/internal/gateway"
+	"repro/internal/loadgen"
+	"repro/internal/slo"
+)
+
+// topicDocs builds deterministic topical documents (the example_test
+// pattern; this file is in package repro_test because loadgen imports
+// repro, so the in-package helpers are out of reach).
+func topicDocs(rng *rand.Rand, parts []string, n int) []string {
+	docs := make([]string, n)
+	for i := range docs {
+		var sb strings.Builder
+		for j := 0; j < 4; j++ {
+			sb.WriteString(parts[rng.Intn(len(parts))])
+			sb.WriteString(". ")
+		}
+		docs[i] = sb.String()
+	}
+	return docs
+}
+
+// buildServingStack assembles a small metasearcher with an HTTP gateway
+// and an SLO tracker, returning the pieces the load generator needs.
+func buildServingStack(t *testing.T) (*repro.Metasearcher, *slo.Tracker, *httptest.Server) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	heart := []string{
+		"blood pressure and hypertension management",
+		"coronary artery disease treatment",
+		"cardiac valve surgery outcomes",
+	}
+	soccer := []string{
+		"the striker scored a late goal",
+		"penalty decisions by the referee",
+		"league championship standings",
+	}
+	m := repro.New(repro.Options{SampleSize: 30, Seed: 3})
+	if err := m.Train("Heart", topicDocs(rng, heart, 20)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Train("Soccer", topicDocs(rng, soccer, 20)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddDatabase(m.NewLocalDatabase("cardio.example", topicDocs(rng, heart, 80)), "Heart"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddDatabase(m.NewLocalDatabase("futbol.example", topicDocs(rng, soccer, 80)), ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.BuildSummaries(); err != nil {
+		t.Fatal(err)
+	}
+
+	tracker := slo.New(slo.Config{
+		Objectives: slo.DefaultObjectives(500 * time.Millisecond),
+		Registry:   m.Metrics(),
+	})
+	gw := gateway.New(m, gateway.Options{
+		DefaultMaxDBs: 2,
+		DefaultPerDB:  3,
+		Metrics:       m.Metrics(),
+		SLO:           tracker,
+	})
+	mux := http.NewServeMux()
+	mux.Handle(gateway.PathSearch, gw)
+	mux.Handle(gateway.PathHealthz, gw)
+	mux.Handle("/debug/slo", tracker.Handler())
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return m, tracker, srv
+}
+
+// TestServingLoadE2E drives the full serving path — loadgen trace,
+// HTTP driver, gateway, caches, selection, fan-out — and checks that
+// the load report, the gateway's request accounting, and the /debug/slo
+// report all describe the same run.
+func TestServingLoadE2E(t *testing.T) {
+	m, _, srv := buildServingStack(t)
+
+	queries := []string{
+		"blood pressure",
+		"coronary artery disease",
+		"late goal",
+		"penalty referee",
+		"league standings",
+	}
+	tr, err := loadgen.Generate(loadgen.Spec{
+		Phases: []loadgen.Phase{{QPS: 60, DurationSeconds: 1.5}},
+		Seed:   5,
+	}, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := loadgen.Run(context.Background(), tr, &loadgen.HTTPDriver{
+		BaseURL: srv.URL,
+		Client:  srv.Client(),
+		MaxDBs:  2,
+		PerDB:   3,
+	}, loadgen.Options{Name: "e2e", Registry: m.Metrics()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The load report describes the whole schedule.
+	if rep.Requests != len(tr.Events) {
+		t.Fatalf("issued %d of %d scheduled requests", rep.Requests, len(tr.Events))
+	}
+	if rep.Errors != 0 || rep.Shed != 0 {
+		t.Fatalf("clean run expected: errors %d shed %d", rep.Errors, rep.Shed)
+	}
+	if rep.AchievedQPS < tr.TargetQPS()/2 {
+		t.Fatalf("achieved %.1f QPS against a %.1f QPS schedule", rep.AchievedQPS, tr.TargetQPS())
+	}
+	if rep.Latency.P50 <= 0 || rep.Latency.P99 < rep.Latency.P50 {
+		t.Fatalf("implausible latency summary: %+v", rep.Latency)
+	}
+	// Five queries under a Zipf law repeat heavily: the cache must show.
+	if rep.Rates["result_cache_hit"] == 0 {
+		t.Fatal("no result-cache hits under a Zipfian workload")
+	}
+	// Per-stage percentiles from the stage histograms.
+	if rep.Stages["selection.p50"] <= 0 {
+		t.Fatalf("no selection-stage latency recorded: %v", rep.Stages)
+	}
+	if rep.Stages["selection.p99"] < rep.Stages["selection.p50"] {
+		t.Fatalf("selection p99 %v below p50 %v", rep.Stages["selection.p99"], rep.Stages["selection.p50"])
+	}
+
+	// The gateway's own accounting agrees with the client's.
+	snap := m.Metrics().Snapshot()
+	if got := snap.Counters["gateway_requests_total"]; got != int64(rep.Requests) {
+		t.Fatalf("gateway saw %d requests, client issued %d", got, rep.Requests)
+	}
+	if got := snap.Histograms["gateway_latency"].Count; got != int64(rep.Requests) {
+		t.Fatalf("gateway_latency has %d observations, want %d", got, rep.Requests)
+	}
+	if got := snap.Histograms["gateway_error_latency"].Count; got != 0 {
+		t.Fatalf("gateway_error_latency has %d observations on a clean run", got)
+	}
+	if infl := snap.Gauges["gateway_requests_inflight"]; infl != 0 {
+		t.Fatalf("inflight gauge %v after drain", infl)
+	}
+
+	// /debug/slo reports the same traffic against the objectives, with
+	// burn rates computed from the same request stream.
+	resp, err := http.Get(srv.URL + "/debug/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/slo: %s", resp.Status)
+	}
+	var sloRep slo.Report
+	if err := json.NewDecoder(resp.Body).Decode(&sloRep); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]slo.ObjectiveReport{}
+	for _, o := range sloRep.Objectives {
+		byName[o.Name] = o
+	}
+	for _, name := range []string{"latency", "availability"} {
+		o, ok := byName[name]
+		if !ok {
+			t.Fatalf("objective %q missing from /debug/slo", name)
+		}
+		if len(o.Windows) == 0 {
+			t.Fatalf("objective %q has no windows", name)
+		}
+		if o.TotalSinceStart != int64(rep.Requests) {
+			t.Fatalf("objective %q judged %d requests, gateway served %d", name, o.TotalSinceStart, rep.Requests)
+		}
+		// All requests were local and fast: no budget burned, and the
+		// one-minute window must have seen the whole run.
+		if o.Windows[0].Total != int64(rep.Requests) {
+			t.Fatalf("objective %q window %s saw %d of %d requests",
+				name, o.Windows[0].Window, o.Windows[0].Total, rep.Requests)
+		}
+		if o.Windows[0].BurnRate != 0 || o.Windows[0].BudgetRemaining != 1 {
+			t.Fatalf("objective %q burning budget on a clean run: %+v", name, o.Windows[0])
+		}
+	}
+	if sloRep.Latency == nil || sloRep.Latency.Count != int64(rep.Requests) {
+		t.Fatalf("slo latency quantiles missing or wrong count: %+v", sloRep.Latency)
+	}
+}
+
+// TestServingSLOSeesFailures injects failures through the gateway (bad
+// deadline → 504s) and checks the burn rate moves.
+func TestServingSLOSeesFailures(t *testing.T) {
+	_, tracker, srv := buildServingStack(t)
+
+	// A deadline too short for a cold query forces timeouts.
+	for i := 0; i < 4; i++ {
+		resp, err := http.Get(srv.URL + gateway.PathSearch + "?q=blood+pressure+" + string(rune('a'+i)) + "&timeout=1ns")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			t.Fatal("1ns deadline produced a 200")
+		}
+	}
+	resp, err := http.Get(srv.URL + gateway.PathSearch + "?q=blood+pressure")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	rep := tracker.Report()
+	var avail *slo.ObjectiveReport
+	for i := range rep.Objectives {
+		if rep.Objectives[i].Name == "availability" {
+			avail = &rep.Objectives[i]
+		}
+	}
+	if avail == nil {
+		t.Fatal("availability objective missing")
+	}
+	if avail.BadSinceStart < 4 {
+		t.Fatalf("availability saw %d bad requests, want >= 4", avail.BadSinceStart)
+	}
+	if avail.Windows[0].BurnRate <= 1 {
+		t.Fatalf("burn rate %v after 4/5 requests failed", avail.Windows[0].BurnRate)
+	}
+}
