@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race bench smoke smoke-remote smoke-gateway smoke-loadtest loadtest check clean
+.PHONY: all vet build test race bench smoke smoke-remote smoke-gateway smoke-loadtest smoke-cluster loadtest check clean
 
 all: vet build test
 
@@ -44,13 +44,19 @@ smoke-gateway:
 smoke-loadtest:
 	QPS=40 DURATION=3s GO="$(GO)" sh scripts/loadtest.sh "$$(mktemp -u).json"
 
+# End-to-end cluster smoke: replicated dbnodes behind two
+# consistent-hash shards behind the scatter-gather router; queries keep
+# succeeding while every preferred replica is killed mid-stream.
+smoke-cluster:
+	GO="$(GO)" sh scripts/smoke_cluster.sh
+
 # A full measured load run into the PR's BENCH file (see
 # scripts/loadtest.sh for the QPS/DURATION/RAMP/DRIVER knobs).
 loadtest:
 	GO="$(GO)" sh scripts/loadtest.sh
 
 # The full pre-merge gate.
-check: vet build test race smoke-remote smoke-gateway smoke-loadtest
+check: vet build test race smoke-remote smoke-gateway smoke-loadtest smoke-cluster
 
 clean:
 	$(GO) clean ./...

@@ -11,12 +11,12 @@ import (
 	"strings"
 	"time"
 
-	"repro"
 	"repro/internal/experiments"
 	"repro/internal/gateway"
 	"repro/internal/loadgen"
 	"repro/internal/slo"
 	"repro/internal/synth"
+	"repro/internal/telemetry"
 )
 
 // loadtestConfig is the -loadtest flag bundle.
@@ -36,14 +36,18 @@ type loadtestConfig struct {
 	MaxOutstanding int
 	Gateway        gateway.Options
 	Tracker        *slo.Tracker
+	// Section is the BENCH file section the run merges into: "serving"
+	// (default, a single process) or "cluster_serving" (the router
+	// fronting a sharded cluster).
+	Section string
 }
 
-// runLoadtest measures this process's own serving path: it obtains a
-// trace (replayed from -lt-trace when the file exists, generated
-// deterministically otherwise), drives it through the chosen driver,
-// prints the report and the SLO state, and optionally merges the run
-// into a BENCH JSON file.
-func runLoadtest(m *repro.Metasearcher, w *experiments.World, cfg loadtestConfig) error {
+// runLoadtest measures a serving path: it obtains a trace (replayed
+// from -lt-trace when the file exists, generated deterministically
+// otherwise), drives it through the chosen driver against s — a
+// standalone metasearcher or the cluster router — prints the report and
+// the SLO state, and optionally merges the run into a BENCH JSON file.
+func runLoadtest(s loadgen.Searcher, reg *telemetry.Registry, w *experiments.World, cfg loadtestConfig) error {
 	tr, err := loadtestTrace(w, cfg)
 	if err != nil {
 		return err
@@ -57,7 +61,7 @@ func runLoadtest(m *repro.Metasearcher, w *experiments.World, cfg loadtestConfig
 	var driver loadgen.Driver
 	switch cfg.Driver {
 	case "inproc":
-		driver = &loadgen.SearcherDriver{S: m, MaxDBs: cfg.MaxDBs, PerDB: cfg.PerDB}
+		driver = &loadgen.SearcherDriver{S: s, MaxDBs: cfg.MaxDBs, PerDB: cfg.PerDB}
 	case "http":
 		// The full serving path: a real gateway on a loopback listener,
 		// requests over real sockets — admission gate, JSON codec, and
@@ -66,7 +70,7 @@ func runLoadtest(m *repro.Metasearcher, w *experiments.World, cfg loadtestConfig
 		if err != nil {
 			return fmt.Errorf("loadtest listener: %v", err)
 		}
-		gw := gateway.New(m, cfg.Gateway)
+		gw := gateway.New(s, cfg.Gateway)
 		mux := http.NewServeMux()
 		mux.Handle(gateway.PathSearch, gw)
 		mux.Handle(gateway.PathHealthz, gw)
@@ -91,7 +95,7 @@ func runLoadtest(m *repro.Metasearcher, w *experiments.World, cfg loadtestConfig
 	rep, err := loadgen.Run(context.Background(), tr, driver, loadgen.Options{
 		Name:           name,
 		MaxOutstanding: cfg.MaxOutstanding,
-		Registry:       m.Metrics(),
+		Registry:       reg,
 	})
 	if err != nil {
 		return err
@@ -106,10 +110,14 @@ func runLoadtest(m *repro.Metasearcher, w *experiments.World, cfg loadtestConfig
 	}
 
 	if cfg.OutFile != "" {
-		if err := mergeServingReport(cfg.OutFile, rep, sloRep); err != nil {
+		section := cfg.Section
+		if section == "" {
+			section = "serving"
+		}
+		if err := mergeServingReport(cfg.OutFile, section, rep, sloRep); err != nil {
 			return fmt.Errorf("merge %s: %v", cfg.OutFile, err)
 		}
-		log.Printf("serving report merged into %s", cfg.OutFile)
+		log.Printf("%s report merged into %s", section, cfg.OutFile)
 	}
 	return nil
 }
@@ -179,10 +187,10 @@ func workloadQueries(w *experiments.World, n int, seed int64) []string {
 	return out
 }
 
-// mergeServingReport appends one run to the "serving" section of a
-// BENCH JSON file, creating the file or the section as needed and
-// leaving every other section untouched.
-func mergeServingReport(path string, rep *loadgen.Report, sloRep *slo.Report) error {
+// mergeServingReport appends one run to the named section ("serving" or
+// "cluster_serving") of a BENCH JSON file, creating the file or the
+// section as needed and leaving every other section untouched.
+func mergeServingReport(path, section string, rep *loadgen.Report, sloRep *slo.Report) error {
 	doc := map[string]json.RawMessage{}
 	if b, err := os.ReadFile(path); err == nil && len(b) > 0 {
 		if err := json.Unmarshal(b, &doc); err != nil {
@@ -192,9 +200,9 @@ func mergeServingReport(path string, rep *loadgen.Report, sloRep *slo.Report) er
 	var serving struct {
 		Runs []json.RawMessage `json:"runs"`
 	}
-	if raw, ok := doc["serving"]; ok {
+	if raw, ok := doc[section]; ok {
 		if err := json.Unmarshal(raw, &serving); err != nil {
-			return fmt.Errorf("existing serving section: %v", err)
+			return fmt.Errorf("existing %s section: %v", section, err)
 		}
 	}
 	entry := map[string]any{"run": rep}
@@ -210,7 +218,7 @@ func mergeServingReport(path string, rep *loadgen.Report, sloRep *slo.Report) er
 	if err != nil {
 		return err
 	}
-	doc["serving"] = sb
+	doc[section] = sb
 	out, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err

@@ -51,6 +51,21 @@
 // trace context (X-Trace-Id / X-Parent-Span), so a dbnode started with
 // -trace logs spans that join this process's traces.
 //
+// Cluster modes (see DESIGN.md §14 and the README runbook):
+//
+//	metasearch -shard-id shard-00 -topology topo.json -load state.json -serve :8091
+//	metasearch -route -topology topo.json -serve :8090
+//
+// -shard-id runs one topology shard: the process dials its consistent-
+// hash slice of the databases (each as a replica set with per-replica
+// breakers and failover), loads the full summary store from -load, and
+// scopes the search fan-out to its slice. -route runs the scatter-
+// gather router in front of the shards: it owns no summaries, fans
+// /v1/search out to every shard, and merges the per-shard rankings into
+// bit-identically the single-process answer. Both serve the standard
+// gateway API; /v1/healthz reports the build version and (for shards)
+// the shard id.
+//
 // With -explain, each query is followed by its selection audit record:
 // every candidate database's score, the shrink-or-not verdict with the
 // Monte-Carlo mean/σ behind it and the λ mixture used, per-node call
@@ -102,10 +117,13 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/audit"
 	"repro/internal/experiments"
 	"repro/internal/gateway"
 	"repro/internal/hierarchy"
 	"repro/internal/index"
+	"repro/internal/resilience"
+	"repro/internal/shardmap"
 	"repro/internal/slo"
 	"repro/internal/telemetry"
 )
@@ -147,6 +165,10 @@ func main() {
 		sloLatency = flag.Duration("slo-latency", 500*time.Millisecond, "latency-SLO threshold: requests slower than this count against the latency objective")
 		sloTarget  = flag.Float64("slo-target", 0.99, "latency-SLO target: required fraction of requests under -slo-latency")
 
+		topologyFile = flag.String("topology", "", "cluster topology file (shardmap JSON); required by -shard-id and -route")
+		shardID      = flag.String("shard-id", "", "serve one topology shard: dial this shard's replicated dbnodes and scope the search fan-out to its databases (requires -topology and -load)")
+		routeMode    = flag.Bool("route", false, "run as the cluster's scatter-gather router: fan /v1/search out to every shard in -topology and merge the rankings (no summaries are loaded in this process)")
+
 		loadtest   = flag.Bool("loadtest", false, "run a load test against this process's own serving path instead of a REPL, print the report, then exit")
 		ltQPS      = flag.Float64("lt-qps", 50, "load test: steady offered rate (ignored when -lt-ramp is set)")
 		ltDuration = flag.Duration("lt-duration", 10*time.Second, "load test: steady-phase length (ignored when -lt-ramp is set)")
@@ -173,6 +195,46 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("%d databases, %d documents", len(w.Bed.Databases), w.Bed.TotalDocs())
+
+	if *routeMode {
+		// The router owns no summaries and no metasearcher; it fans out
+		// to the topology's shards and merges. Everything it needs is
+		// assembled in route.go.
+		if err := runRoute(w, routeConfig{
+			TopologyFile: *topologyFile,
+			ServeAddr:    *serveAddr,
+			DebugAddr:    *debugAddr,
+			Deadline:     *deadline,
+			ProbeEvery:   *probeEvery,
+			DrainFor:     *drainFor,
+			MaxDBs:       *k,
+			PerDB:        *perDB,
+			MaxInflight:  *maxInfl,
+			SLOLatency:   *sloLatency,
+			SLOTarget:    *sloTarget,
+			Trace:        *trace,
+			Loadtest:     *loadtest,
+			LT: loadtestConfig{
+				QPS:            *ltQPS,
+				Duration:       *ltDuration,
+				Ramp:           *ltRamp,
+				Driver:         *ltDriver,
+				Zipf:           *ltZipf,
+				NumQueries:     *ltQueries,
+				TraceFile:      *ltTrace,
+				OutFile:        *ltOut,
+				Name:           *ltName,
+				Seed:           *seed,
+				MaxDBs:         *k,
+				PerDB:          *perDB,
+				MaxOutstanding: *ltMaxOut,
+				Section:        "cluster_serving",
+			},
+		}); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	// Observability wiring: a logger for -v, a trace observer for
 	// -trace, and the metrics registry that the HTTP endpoints serve.
@@ -230,7 +292,7 @@ func main() {
 	// mode the gateway listener carries the debug endpoints itself unless
 	// -debug-addr moves them.)
 	if *listen != "" && *serveAddr == "" {
-		srv := &http.Server{Addr: *listen, Handler: debugMux(m, tracker)}
+		srv := &http.Server{Addr: *listen, Handler: debugMux(metasearcherDebug(m), tracker)}
 		go func() {
 			log.Printf("telemetry on http://%s/metrics (and /debug/vars, /debug/pprof)", *listen)
 			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -251,7 +313,41 @@ func main() {
 	// advertises. A dbnode serving a shard of the same testbed (same
 	// -scale and -seed) yields the same terms, so the pipeline produces
 	// identical summaries and rankings either way.
-	if *remote != "" {
+	var shardScope map[string]bool
+	if *shardID != "" {
+		if *topologyFile == "" {
+			log.Fatal("-shard-id requires -topology")
+		}
+		if *loadFile == "" {
+			log.Fatal("-shard-id requires -load: shards serve offline-built summaries, they do not sample")
+		}
+		topo, err := shardmap.LoadFile(*topologyFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		assigns, err := topo.ShardAssignments(*shardID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		shardScope = make(map[string]bool, len(assigns))
+		for _, a := range assigns {
+			rdb, err := repro.DialReplicatedDatabase(context.Background(), a.Replicas, repro.ReplicatedDatabaseOptions{
+				Preferred: a.Preferred,
+				Breakers:  m.Breakers(),
+				Metrics:   m.Metrics(),
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("shard %s: %s (%d docs, category %q, %d replicas, preferred #%d)",
+				*shardID, rdb.Name(), rdb.NumDocs(), rdb.Category(), rdb.Replicas(), rdb.Preferred())
+			if err := m.AddDatabase(rdb, rdb.Category()); err != nil {
+				log.Fatal(err)
+			}
+			shardScope[a.Database] = true
+		}
+		log.Printf("shard %s owns %d of the topology's %d databases", *shardID, len(assigns), len(topo.Databases))
+	} else if *remote != "" {
 		for _, addr := range strings.Split(*remote, ",") {
 			addr = strings.TrimSpace(addr)
 			if addr == "" {
@@ -283,7 +379,15 @@ func main() {
 	}
 	if *loadFile != "" {
 		log.Printf("loading summaries from %s...", *loadFile)
-		if err := m.LoadFile(*loadFile); err != nil {
+		if shardScope != nil {
+			// Shard-scoped load: the full summary store (selection is a
+			// function of collection-wide statistics) with the fan-out
+			// restricted to this shard's slice.
+			err = m.LoadFileFiltered(*loadFile, func(name string) bool { return shardScope[name] })
+		} else {
+			err = m.LoadFile(*loadFile)
+		}
+		if err != nil {
 			log.Fatal(err)
 		}
 	} else {
@@ -310,10 +414,11 @@ func main() {
 		MaxInflight:     *maxInfl,
 		Metrics:         m.Metrics(),
 		SLO:             tracker,
+		ShardID:         *shardID,
 	}
 
 	if *loadtest {
-		if err := runLoadtest(m, w, loadtestConfig{
+		if err := runLoadtest(m, m.Metrics(), w, loadtestConfig{
 			QPS:            *ltQPS,
 			Duration:       *ltDuration,
 			Ramp:           *ltRamp,
@@ -336,7 +441,7 @@ func main() {
 	}
 
 	if *serveAddr != "" {
-		if err := serve(m, w, *serveAddr, *debugAddr, gopts, tracker, *drainFor); err != nil {
+		if err := serve(m, w, *serveAddr, *debugAddr, gopts, tracker, *drainFor, metasearcherDebug(m)); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -397,16 +502,32 @@ func main() {
 	}
 }
 
+// debugBundle carries the handles behind the debug endpoints. The
+// router has no metasearcher, so the pieces travel individually; every
+// handler involved is nil-safe (a nil audit log serves empty records, a
+// nil breaker set an empty list).
+type debugBundle struct {
+	reg      *telemetry.Registry
+	audit    *audit.Log
+	breakers *resilience.Set
+}
+
+// metasearcherDebug is the debug surface of a (standalone or shard)
+// metasearcher process.
+func metasearcherDebug(m *repro.Metasearcher) debugBundle {
+	return debugBundle{reg: m.Metrics(), audit: m.Audit(), breakers: m.Breakers()}
+}
+
 // debugMux assembles the operational endpoints every serving mode
 // exposes: metrics, expvar, recent audit records, breaker states, the
 // SLO report, and the pprof profilers.
-func debugMux(m *repro.Metasearcher, tracker *slo.Tracker) *http.ServeMux {
+func debugMux(d debugBundle, tracker *slo.Tracker) *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", m.Metrics().Handler())
+	mux.Handle("/metrics", d.reg.Handler())
 	mux.Handle("/debug/vars", expvar.Handler())
-	mux.Handle("/debug/queries", m.Audit().Handler())
-	mux.Handle("/debug/queries/", m.Audit().Handler())
-	mux.Handle("/debug/breakers", m.Breakers().Handler())
+	mux.Handle("/debug/queries", d.audit.Handler())
+	mux.Handle("/debug/queries/", d.audit.Handler())
+	mux.Handle("/debug/breakers", d.breakers.Handler())
 	mux.Handle("/debug/slo", tracker.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -423,14 +544,14 @@ func debugMux(m *repro.Metasearcher, tracker *slo.Tracker) *http.ServeMux {
 // (so load balancers steer away), then drains in-flight requests via
 // http.Server.Shutdown under the drain timeout before the listener
 // closes — the same shutdown contract as dbnode.
-func serve(m *repro.Metasearcher, w *experiments.World, addr, debugAddr string, gopts gateway.Options, tracker *slo.Tracker, drainFor time.Duration) error {
-	gw := gateway.New(m, gopts)
+func serve(s gateway.Searcher, w *experiments.World, addr, debugAddr string, gopts gateway.Options, tracker *slo.Tracker, drainFor time.Duration, dbg debugBundle) error {
+	gw := gateway.New(s, gopts)
 	var mux *http.ServeMux
 	if debugAddr == "" {
-		mux = debugMux(m, tracker)
+		mux = debugMux(dbg, tracker)
 	} else {
 		mux = http.NewServeMux()
-		dsrv := &http.Server{Addr: debugAddr, Handler: debugMux(m, tracker)}
+		dsrv := &http.Server{Addr: debugAddr, Handler: debugMux(dbg, tracker)}
 		go func() {
 			log.Printf("debug endpoints on http://%s/metrics (and /debug/slo, /debug/pprof, ...)", debugAddr)
 			if err := dsrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {

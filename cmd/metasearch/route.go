@@ -1,0 +1,101 @@
+package main
+
+import (
+	"log"
+	"log/slog"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/gateway"
+	"repro/internal/resilience"
+	"repro/internal/router"
+	"repro/internal/shardmap"
+	"repro/internal/slo"
+	"repro/internal/telemetry"
+)
+
+// routeConfig is the -route flag bundle.
+type routeConfig struct {
+	TopologyFile string
+	ServeAddr    string
+	DebugAddr    string
+	Deadline     time.Duration
+	ProbeEvery   time.Duration
+	DrainFor     time.Duration
+	MaxDBs       int
+	PerDB        int
+	MaxInflight  int
+	SLOLatency   time.Duration
+	SLOTarget    float64
+	Trace        bool
+	Loadtest     bool
+	LT           loadtestConfig
+}
+
+// runRoute runs the process as the cluster's scatter-gather router: no
+// summaries, no selection — every query fans out to the topology's
+// shards (each a metasearch -shard-id process) and the per-shard
+// rankings merge into the single-process answer. The router serves the
+// same gateway API and debug endpoints as a standalone metasearcher,
+// with /debug/breakers showing per-shard breakers.
+func runRoute(w *experiments.World, cfg routeConfig) error {
+	if cfg.TopologyFile == "" {
+		log.Fatal("-route requires -topology")
+	}
+	topo, err := shardmap.LoadFile(cfg.TopologyFile)
+	if err != nil {
+		return err
+	}
+
+	reg := telemetry.NewRegistry()
+	reg.PublishExpvar("metasearch")
+	var tracer *telemetry.Tracer
+	if cfg.Trace {
+		h := slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelDebug})
+		tracer = telemetry.NewTracer(telemetry.NewLogObserver(slog.New(h)))
+	}
+	breakers := resilience.NewSet(resilience.BreakerOptions{}, reg)
+
+	rt, err := router.New(topo, router.Options{
+		Timeout:  cfg.Deadline,
+		Breakers: breakers,
+		Metrics:  reg,
+		Tracer:   tracer,
+	})
+	if err != nil {
+		return err
+	}
+	for _, s := range rt.Shards() {
+		log.Printf("routing to shard %s at %s", s.ID, s.Addr)
+	}
+	if cfg.ProbeEvery > 0 {
+		prober := rt.StartHealthProbes(resilience.ProberOptions{Interval: cfg.ProbeEvery})
+		defer prober.Stop()
+	}
+
+	objectives := slo.DefaultObjectives(cfg.SLOLatency)
+	objectives[0].Target = cfg.SLOTarget
+	tracker := slo.New(slo.Config{Objectives: objectives, Registry: reg})
+
+	gopts := gateway.Options{
+		DefaultMaxDBs:   cfg.MaxDBs,
+		DefaultPerDB:    cfg.PerDB,
+		DefaultDeadline: cfg.Deadline,
+		MaxInflight:     cfg.MaxInflight,
+		Metrics:         reg,
+		SLO:             tracker,
+	}
+	dbg := debugBundle{reg: reg, breakers: breakers}
+
+	if cfg.Loadtest {
+		lt := cfg.LT
+		lt.Gateway = gopts
+		lt.Tracker = tracker
+		return runLoadtest(rt, reg, w, lt)
+	}
+	if cfg.ServeAddr == "" {
+		log.Fatal("-route needs -serve (or -loadtest): a router has no REPL")
+	}
+	return serve(rt, w, cfg.ServeAddr, cfg.DebugAddr, gopts, tracker, cfg.DrainFor, dbg)
+}

@@ -81,6 +81,11 @@ type NodeCall struct {
 	// skipped because no live handle (or no reachable node) existed.
 	Error       string `json:"error,omitempty"`
 	Unavailable bool   `json:"unavailable,omitempty"`
+	// OutOfScope marks databases the selection ranked but this process
+	// deliberately did not query because they live on another shard of
+	// the cluster (see the shard-scoped load path). Not a failure: the
+	// router merges their results from the shards that own them.
+	OutOfScope bool `json:"out_of_scope,omitempty"`
 }
 
 // Hit is one merged result's provenance.

@@ -80,6 +80,8 @@ func (r *QueryRecord) Format(w io.Writer) {
 			}
 			if n.BreakerOpen {
 				fmt.Fprint(w, "  BREAKER-OPEN")
+			} else if n.OutOfScope {
+				fmt.Fprint(w, "  OUT-OF-SCOPE")
 			} else if n.Unavailable {
 				fmt.Fprint(w, "  UNAVAILABLE")
 			}

@@ -21,6 +21,8 @@ package gateway
 
 import (
 	"context"
+	crand "crypto/rand"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -31,6 +33,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/buildinfo"
 	"repro/internal/slo"
 	"repro/internal/telemetry"
 	"repro/internal/wire"
@@ -86,6 +89,13 @@ type Options struct {
 	// Handler at /debug/slo. A 429 or a 5xx counts against
 	// availability; 4xx client errors do not.
 	SLO *slo.Tracker
+	// Version is advertised in /v1/healthz (defaults to the build's
+	// version string) so rollouts can confirm which build answers.
+	Version string
+	// ShardID names this process's topology shard in /v1/healthz when
+	// it serves a cluster slice ("" for a standalone metasearcher or
+	// the cluster router).
+	ShardID string
 }
 
 // Gateway serves the query API over a Searcher. Like wire.Node it
@@ -115,6 +125,9 @@ func New(s Searcher, opts Options) *Gateway {
 	}
 	if opts.RetryAfter <= 0 {
 		opts.RetryAfter = 1
+	}
+	if opts.Version == "" {
+		opts.Version = buildinfo.Version()
 	}
 	g := &Gateway{searcher: s, opts: opts,
 		requests: opts.Metrics.Counter("gateway_requests_total"),
@@ -146,6 +159,28 @@ func (g *Gateway) Draining() bool { return g.draining.Load() }
 // Inflight reports how many search requests are being served right now
 // (health checks excluded).
 func (g *Gateway) Inflight() int64 { return g.inflightN.Load() }
+
+// shedSeq feeds shedTraceID; the process-unique prefix keeps ids from
+// two gateways distinct without coordination.
+var (
+	shedBase = func() uint64 {
+		var b [8]byte
+		crand.Read(b[:])
+		return binary.BigEndian.Uint64(b[:])
+	}()
+	shedSeq atomic.Uint64
+)
+
+// shedTraceID picks the trace id a shed (429) response is stamped with:
+// the caller's propagated id when the request arrived traced (the
+// cluster router traces its fan-out), otherwise a fresh process-unique
+// id.
+func shedTraceID(r *http.Request) string {
+	if id := r.Header.Get(telemetry.HeaderTraceID); id != "" {
+		return id
+	}
+	return fmt.Sprintf("%016x", shedBase+shedSeq.Add(1))
+}
 
 // statusWriter records the response status so request accounting can
 // tell successes from sheds and errors.
@@ -196,6 +231,11 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}()
 	if g.opts.MaxInflight > 0 && cur > int64(g.opts.MaxInflight) {
 		g.shed.Inc()
+		// A shed request never reaches the search pipeline, so no trace
+		// exists yet; stamp one anyway (echoing the caller's when the
+		// request arrived traced) so a client-reported 429 is greppable
+		// in the access log like any other answer.
+		sw.Header().Set("X-Trace-Id", shedTraceID(r))
 		sw.Header().Set("Retry-After", strconv.Itoa(g.opts.RetryAfter))
 		wire.WriteError(sw, http.StatusTooManyRequests, wire.CodeOverloaded,
 			fmt.Sprintf("gateway at capacity (%d in flight, max %d)", cur, g.opts.MaxInflight))
@@ -237,6 +277,8 @@ func (g *Gateway) healthz(w http.ResponseWriter, r *http.Request) {
 		Status:      "ok",
 		Inflight:    g.inflightN.Load(),
 		MaxInflight: g.opts.MaxInflight,
+		Version:     g.opts.Version,
+		ShardID:     g.opts.ShardID,
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if g.draining.Load() {

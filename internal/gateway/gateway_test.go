@@ -367,12 +367,25 @@ func TestShedRecordsErrorLatencyAndSLO(t *testing.T) {
 	if rec.Code != http.StatusTooManyRequests {
 		t.Fatalf("status = %d, want 429", rec.Code)
 	}
+	if rec.Header().Get("X-Trace-Id") == "" {
+		t.Error("shed response carries no X-Trace-Id")
+	}
+	traced := httptest.NewRequest("GET", "/v1/search?q=shed", nil)
+	traced.Header.Set(telemetry.HeaderTraceID, "cafe0000cafe0000")
+	rec2 := httptest.NewRecorder()
+	g.ServeHTTP(rec2, traced)
+	if rec2.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", rec2.Code)
+	}
+	if got := rec2.Header().Get("X-Trace-Id"); got != "cafe0000cafe0000" {
+		t.Errorf("shed of a traced request answered trace %q, want the propagated one", got)
+	}
 	close(release)
 	<-done
 
 	snap := reg.Snapshot()
-	if got := snap.Histograms["gateway_error_latency"].Count; got != 1 {
-		t.Errorf("gateway_error_latency count = %d, want 1 (the shed)", got)
+	if got := snap.Histograms["gateway_error_latency"].Count; got != 2 {
+		t.Errorf("gateway_error_latency count = %d, want 2 (the sheds)", got)
 	}
 	if got := snap.Histograms["gateway_latency"].Count; got != 1 {
 		t.Errorf("gateway_latency count = %d, want 1 (the slow success)", got)
@@ -383,8 +396,8 @@ func TestShedRecordsErrorLatencyAndSLO(t *testing.T) {
 		if o.Name != "availability" {
 			continue
 		}
-		if o.TotalSinceStart != 2 || o.BadSinceStart != 1 {
-			t.Errorf("slo availability = total %d bad %d, want 2/1", o.TotalSinceStart, o.BadSinceStart)
+		if o.TotalSinceStart != 3 || o.BadSinceStart != 2 {
+			t.Errorf("slo availability = total %d bad %d, want 3/2", o.TotalSinceStart, o.BadSinceStart)
 		}
 		return
 	}
@@ -414,11 +427,21 @@ func TestReplyCarriesStages(t *testing.T) {
 }
 
 func TestHealthzDraining(t *testing.T) {
-	g := New(&fakeSearcher{}, Options{})
+	g := New(&fakeSearcher{}, Options{ShardID: "shard-00"})
 	rec := httptest.NewRecorder()
 	g.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/healthz", nil))
 	if rec.Code != http.StatusOK {
 		t.Fatalf("healthz = %d, want 200", rec.Code)
+	}
+	var up wire.HealthResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &up); err != nil {
+		t.Fatal(err)
+	}
+	if up.Version == "" {
+		t.Error("healthz advertises no build version")
+	}
+	if up.ShardID != "shard-00" {
+		t.Errorf("healthz shard_id = %q, want shard-00", up.ShardID)
 	}
 
 	g.SetDraining(true)

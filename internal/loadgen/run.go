@@ -90,6 +90,17 @@ var serverCounters = []string{
 	"result_cache_hits_total",
 	"result_cache_collapsed_total",
 	"selection_cache_hits_total",
+	// Cluster tier: the router's scatter-gather and the shards'
+	// replica-aware fan-out (zero outside a cluster).
+	"router_requests_total",
+	"router_errors_total",
+	"router_shard_calls_total",
+	"router_shard_errors_total",
+	"router_shard_skipped_total",
+	"router_dedup_dropped_total",
+	"search_out_of_scope_total",
+	"replica_failover_total",
+	"replica_exhausted_total",
 }
 
 // stageHistograms are the per-stage latency decomposition series kept by

@@ -1,0 +1,380 @@
+// Package router is the scatter-gather front of a sharded metasearcher
+// cluster. A Router owns no summaries and makes no selection decisions:
+// it fans each query out to every shard's gateway (each shard is a full
+// metasearcher process that loaded the complete summary store but only
+// its topology slice of live database connections), collects the
+// per-shard rankings, and merges them deterministically into exactly
+// the answer a single-process metasearcher would have produced.
+//
+// The merge identity rests on the shrinkage invariant documented on
+// repro.LoadFiltered: every shard computes selection scores from the
+// identical collection-wide statistics, so the per-document merged
+// scores (selection score normalized over the selected set, discounted
+// by in-database rank) are bit-identical across shards. The router then
+// only has to concatenate, sort by the fan-out's exact tie-break
+// (score descending, database ascending, doc id ascending), and drop
+// duplicate (database, doc id) pairs — duplicates exist precisely when
+// the topology's replication places one database on several shards.
+//
+// Shards are peers of the wire protocol's operational conventions: each
+// has a circuit breaker (keyed by shard ID, on the router's
+// resilience.Set), a shed (429) reply is backpressure rather than
+// failure, and a background prober re-admits recovered shards. A query
+// succeeds if at least one shard answers; shards the breaker holds back
+// or that fail mid-query cost coverage (their databases go unranked),
+// never availability.
+//
+// Router implements gateway.Searcher, so the standard gateway serves
+// the cluster under the same /v1/search API a single process exposes.
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/gateway"
+	"repro/internal/resilience"
+	"repro/internal/shardmap"
+	"repro/internal/telemetry"
+	"repro/internal/wire"
+)
+
+// Options configures a Router.
+type Options struct {
+	// Client issues the shard HTTP calls (default: a client with
+	// Timeout as its overall bound; the per-request context governs
+	// cancellation either way).
+	Client *http.Client
+	// Timeout bounds each shard call when the incoming request carries
+	// no deadline of its own (default 10s; zero keeps the default, use
+	// a negative value for unbounded).
+	Timeout time.Duration
+	// Breakers tracks one circuit breaker per shard, keyed by shard ID.
+	// Nil builds a private set with default BreakerOptions.
+	Breakers *resilience.Set
+	// Metrics receives the router_* series (may be nil).
+	Metrics *telemetry.Registry
+	// Tracer traces the scatter-gather (may be nil). Shard calls carry
+	// the trace context in the standard propagation headers.
+	Tracer *telemetry.Tracer
+}
+
+// Router fans queries out to every shard and merges the rankings. It
+// implements gateway.Searcher; wrap it in gateway.New to serve HTTP.
+type Router struct {
+	shards   []shardmap.Shard // sorted by ID
+	client   *http.Client
+	timeout  time.Duration
+	breakers *resilience.Set
+	reg      *telemetry.Registry
+	tracer   *telemetry.Tracer
+
+	requests    *telemetry.Counter
+	errors      *telemetry.Counter
+	shardCalls  *telemetry.Counter
+	shardErrors *telemetry.Counter
+	shardSkips  *telemetry.Counter
+	dedupDrops  *telemetry.Counter
+}
+
+var _ gateway.Searcher = (*Router)(nil)
+
+// New builds a Router over the topology's shards. The topology is
+// validated; the routing table (which database lives on which shard) is
+// the shards' own concern — the router fans out to all of them.
+func New(topo *shardmap.Topology, opts Options) (*Router, error) {
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	shards := make([]shardmap.Shard, len(topo.Shards))
+	copy(shards, topo.Shards)
+	sort.Slice(shards, func(i, j int) bool { return shards[i].ID < shards[j].ID })
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	timeout := opts.Timeout
+	if timeout == 0 {
+		timeout = 10 * time.Second
+	}
+	breakers := opts.Breakers
+	if breakers == nil {
+		breakers = resilience.NewSet(resilience.BreakerOptions{}, opts.Metrics)
+	}
+	r := &Router{
+		shards:      shards,
+		client:      client,
+		timeout:     timeout,
+		breakers:    breakers,
+		reg:         opts.Metrics,
+		tracer:      opts.Tracer,
+		requests:    opts.Metrics.Counter("router_requests_total"),
+		errors:      opts.Metrics.Counter("router_errors_total"),
+		shardCalls:  opts.Metrics.Counter("router_shard_calls_total"),
+		shardErrors: opts.Metrics.Counter("router_shard_errors_total"),
+		shardSkips:  opts.Metrics.Counter("router_shard_skipped_total"),
+		dedupDrops:  opts.Metrics.Counter("router_dedup_dropped_total"),
+	}
+	// Pre-create the latency series so /metrics shows the schema at zero.
+	opts.Metrics.Histogram("router_fanout_latency", nil)
+	opts.Metrics.Histogram("router_merge_latency", nil)
+	return r, nil
+}
+
+// Breakers exposes the per-shard breaker set (for /debug/breakers).
+func (r *Router) Breakers() *resilience.Set { return r.breakers }
+
+// Shards returns the fan-out targets in sorted-ID order.
+func (r *Router) Shards() []shardmap.Shard {
+	out := make([]shardmap.Shard, len(r.shards))
+	copy(out, r.shards)
+	return out
+}
+
+// ProbeTargets returns one health-probe target per shard, keyed like
+// the per-shard breakers, pinging the shard gateway's /v1/healthz.
+func (r *Router) ProbeTargets() []resilience.ProbeTarget {
+	out := make([]resilience.ProbeTarget, len(r.shards))
+	for i, s := range r.shards {
+		addr := s.Addr
+		out[i] = resilience.ProbeTarget{Name: s.ID, Ping: func(ctx context.Context) error {
+			return r.ping(ctx, addr)
+		}}
+	}
+	return out
+}
+
+// StartHealthProbes launches a background prober that re-admits
+// recovered shards. Returns the prober; call Stop on shutdown.
+func (r *Router) StartHealthProbes(opts resilience.ProberOptions) *resilience.Prober {
+	if opts.Metrics == nil {
+		opts.Metrics = r.reg
+	}
+	p := resilience.NewProber(r.breakers, r.ProbeTargets(), opts)
+	p.Start()
+	return p
+}
+
+func (r *Router) ping(ctx context.Context, addr string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+gateway.PathHealthz, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("router: shard %s health: HTTP %d", addr, resp.StatusCode)
+	}
+	return nil
+}
+
+// shardReply is one shard's answer (or failure).
+type shardReply struct {
+	shard   string
+	reply   *gateway.SearchReply
+	err     error
+	skipped bool // breaker held the call back
+}
+
+// SearchExplained implements gateway.Searcher: scatter to every shard,
+// gather, merge. It errors only when no shard produced an answer.
+func (r *Router) SearchExplained(ctx context.Context, query string, maxDBs, perDB int) (*repro.SearchResponse, error) {
+	r.requests.Inc()
+	start := time.Now()
+	span := r.tracer.Span("router.search",
+		telemetry.String("query", query),
+		telemetry.Int("max_dbs", maxDBs),
+		telemetry.Int("per_db", perDB))
+	defer span.End()
+
+	if _, ok := ctx.Deadline(); !ok && r.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.timeout)
+		defer cancel()
+	}
+
+	replies := make([]shardReply, len(r.shards))
+	var wg sync.WaitGroup
+	for i, s := range r.shards {
+		replies[i].shard = s.ID
+		b := r.breakers.Get(s.ID)
+		if !b.Allow() {
+			replies[i].skipped = true
+			r.shardSkips.Inc()
+			span.Event("router.shard_skipped", telemetry.String("shard", s.ID))
+			continue
+		}
+		wg.Add(1)
+		go func(i int, s shardmap.Shard, b *resilience.Breaker) {
+			defer wg.Done()
+			r.shardCalls.Inc()
+			reply, err := r.callShard(ctx, span, s, query, maxDBs, perDB)
+			replies[i].reply, replies[i].err = reply, err
+			switch {
+			case err == nil:
+				b.Record(true)
+			case ctx.Err() != nil || wire.IsShed(err):
+				// The caller gave up, or the shard shed under load:
+				// neither is evidence the shard is down.
+				b.RecordNeutral()
+			default:
+				b.Record(false)
+			}
+			if err != nil {
+				r.shardErrors.Inc()
+				span.Event("router.shard_error",
+					telemetry.String("shard", s.ID),
+					telemetry.String("error", err.Error()))
+			}
+		}(i, s, b)
+	}
+	wg.Wait()
+	fanout := time.Since(start)
+	r.reg.Histogram("router_fanout_latency", nil).Observe(fanout.Seconds())
+
+	tMerge := time.Now()
+	resp, ok := r.merge(replies, query)
+	r.reg.Histogram("router_merge_latency", nil).Observe(time.Since(tMerge).Seconds())
+	if !ok {
+		r.errors.Inc()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		errs := make([]error, 0, len(replies))
+		for _, sr := range replies {
+			if sr.err != nil {
+				errs = append(errs, fmt.Errorf("%s: %w", sr.shard, sr.err))
+			} else if sr.skipped {
+				errs = append(errs, fmt.Errorf("%s: breaker open", sr.shard))
+			}
+		}
+		return nil, fmt.Errorf("router: no shard answered: %w", errors.Join(errs...))
+	}
+	resp.Elapsed = time.Since(start)
+	resp.Stages.Fanout = fanout.Seconds()
+	resp.Stages.Merge = time.Since(tMerge).Seconds()
+	if id := span.Context().TraceID; id != "" {
+		resp.TraceID = id
+	}
+	return resp, nil
+}
+
+// callShard runs one shard's /v1/search call and decodes the reply.
+func (r *Router) callShard(ctx context.Context, span *telemetry.Span, s shardmap.Shard, query string, maxDBs, perDB int) (*gateway.SearchReply, error) {
+	q := url.Values{}
+	q.Set("q", query)
+	if maxDBs > 0 {
+		q.Set("k", strconv.Itoa(maxDBs))
+	}
+	if perDB > 0 {
+		q.Set("perdb", strconv.Itoa(perDB))
+	}
+	u := "http://" + s.Addr + gateway.PathSearch + "?" + q.Encode()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	telemetry.Inject(span.Context(), req.Header)
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, wire.DecodeError(resp)
+	}
+	var reply gateway.SearchReply
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		return nil, fmt.Errorf("decoding shard %s reply: %w", s.ID, err)
+	}
+	return &reply, nil
+}
+
+// merge combines the shard rankings into a single response, reproducing
+// the in-process fan-out's deterministic order exactly. Provenance
+// (terms, scorer, selections, cache flags) comes from the first
+// successful shard in sorted-ID order — selections are identical on
+// every shard by the shrinkage invariant, so any shard's copy is the
+// cluster's.
+func (r *Router) merge(replies []shardReply, query string) (*repro.SearchResponse, bool) {
+	resp := &repro.SearchResponse{Query: query, CacheHit: true, SelectionCacheHit: true, Collapsed: true}
+	var results []repro.Result
+	answered := 0
+	for _, sr := range replies {
+		if sr.reply == nil {
+			continue
+		}
+		rep := sr.reply
+		if answered == 0 {
+			resp.TraceID = rep.TraceID
+			resp.Terms = rep.Terms
+			resp.Scorer = rep.Scorer
+			for _, s := range rep.Selections {
+				resp.Selections = append(resp.Selections, repro.Selection{
+					Database: s.Database, Score: s.Score, Shrinkage: s.Shrinkage})
+			}
+			if rep.Stages != nil {
+				resp.Stages.Cache = rep.Stages.Cache
+				resp.Stages.Selection = rep.Stages.Selection
+			}
+		}
+		answered++
+		// The cluster answer is cached/collapsed only if every shard's
+		// share was.
+		resp.CacheHit = resp.CacheHit && rep.ResultHit
+		resp.SelectionCacheHit = resp.SelectionCacheHit && rep.SelectionHit
+		resp.Collapsed = resp.Collapsed && rep.Collapsed
+		for _, h := range rep.Results {
+			results = append(results, repro.Result{Database: h.Database, DocID: h.DocID, Score: h.Score})
+		}
+	}
+	if answered == 0 {
+		return nil, false
+	}
+	// The in-process merge's exact tie-break: score descending, then
+	// database name, then doc id.
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Score != results[j].Score {
+			return results[i].Score > results[j].Score
+		}
+		if results[i].Database != results[j].Database {
+			return results[i].Database < results[j].Database
+		}
+		return results[i].DocID < results[j].DocID
+	})
+	// Replicated databases are owned by several shards and arrive once
+	// per owner with identical scores; keep the first of each
+	// (database, doc id) pair.
+	seen := make(map[resultKey]bool, len(results))
+	merged := results[:0]
+	for _, h := range results {
+		k := resultKey{h.Database, h.DocID}
+		if seen[k] {
+			r.dedupDrops.Inc()
+			continue
+		}
+		seen[k] = true
+		merged = append(merged, h)
+	}
+	resp.Results = merged
+	return resp, true
+}
+
+type resultKey struct {
+	db string
+	id int
+}

@@ -323,17 +323,7 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 		resp.Body.Close()
 	}()
 	if resp.StatusCode != http.StatusOK {
-		pe := &ProtocolError{Status: resp.StatusCode}
-		if ra := resp.Header.Get("Retry-After"); ra != "" {
-			if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
-				pe.RetryAfter = time.Duration(secs) * time.Second
-			}
-		}
-		var env ErrorEnvelope
-		if json.NewDecoder(io.LimitReader(resp.Body, maxBodyBytes)).Decode(&env) == nil {
-			pe.Code, pe.Message = env.Error.Code, env.Error.Message
-		}
-		return pe
+		return DecodeError(resp)
 	}
 	if out == nil {
 		return nil

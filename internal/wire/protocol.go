@@ -23,7 +23,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
 	"time"
 )
 
@@ -97,6 +99,11 @@ type HealthResponse struct {
 	// now; MaxInflight the admission cap (0 = unlimited).
 	Inflight    int64 `json:"inflight"`
 	MaxInflight int   `json:"max_inflight,omitempty"`
+	// Version is the serving process's build version; ShardID names the
+	// topology shard a clustered metasearcher serves ("" outside a
+	// cluster). Both additive: older peers ignore them.
+	Version string `json:"version,omitempty"`
+	ShardID string `json:"shard_id,omitempty"`
 }
 
 // Error codes shared by server and client.
@@ -154,6 +161,24 @@ func (e *ProtocolError) Transient() bool {
 // node answered, promptly, saying "not now".
 func (e *ProtocolError) Shed() bool {
 	return e.Status == http.StatusTooManyRequests
+}
+
+// DecodeError turns a non-200 response into a ProtocolError, reading
+// the error envelope and Retry-After header when present. Callers own
+// draining and closing the body; DecodeError reads it (bounded) but
+// does not close it.
+func DecodeError(resp *http.Response) *ProtocolError {
+	pe := &ProtocolError{Status: resp.StatusCode}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+			pe.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	var env ErrorEnvelope
+	if json.NewDecoder(io.LimitReader(resp.Body, maxBodyBytes)).Decode(&env) == nil {
+		pe.Code, pe.Message = env.Error.Code, env.Error.Message
+	}
+	return pe
 }
 
 // IsShed reports whether err is (or wraps) a shed response. The search

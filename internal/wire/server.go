@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"sync/atomic"
 
+	"repro/internal/buildinfo"
 	"repro/internal/telemetry"
 )
 
@@ -178,6 +179,7 @@ func (n *Node) health(w http.ResponseWriter, r *http.Request) {
 		Status:      "ok",
 		Inflight:    n.inflightN.Load(),
 		MaxInflight: n.opts.MaxInflight,
+		Version:     buildinfo.Version(),
 	}
 	if n.draining.Load() {
 		resp.Status = "draining"

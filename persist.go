@@ -137,12 +137,17 @@ func (m *Metasearcher) SaveFile(path string) error {
 // LoadFile restores summaries previously written by SaveFile (or any
 // Save output on disk).
 func (m *Metasearcher) LoadFile(path string) error {
+	return m.LoadFileFiltered(path, nil)
+}
+
+// LoadFileFiltered is LoadFile with a shard scope: see LoadFiltered.
+func (m *Metasearcher) LoadFileFiltered(path string, keep func(name string) bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return fmt.Errorf("repro: load: %w", err)
 	}
 	defer f.Close()
-	return m.Load(f)
+	return m.LoadFiltered(f, keep)
 }
 
 // Load restores summaries previously written by Save into this
@@ -155,6 +160,33 @@ func (m *Metasearcher) LoadFile(path string) error {
 // summaries second, and Search immediately. Files carrying a content
 // checksum are verified; checksum-less files (older saves) still load.
 func (m *Metasearcher) Load(r io.Reader) error {
+	return m.LoadFiltered(r, nil)
+}
+
+// LoadFiltered is the shard-scoped load path of the cluster tier: it
+// restores the complete save file exactly like Load — every database's
+// summary, the category summaries, the shrunk summaries — but marks
+// only the databases keep admits as this process's search scope. A nil
+// keep means unscoped (plain Load).
+//
+// The full summary store is retained on purpose, and this is the
+// shrinkage invariant the cluster tier rests on: selection scores are
+// functions of collection-wide statistics (the CORI context's mean
+// document counts and collection frequencies, the category summaries
+// every shrunk summary was EM-fit against, the LM root model, and the
+// per-database-index Monte-Carlo random streams of adaptive selection).
+// Every shard therefore computes bit-identical selections from the
+// identical file, and the router can merge per-shard rankings into
+// exactly the single-process answer. What a shard does NOT do is dial,
+// probe, or query out-of-scope databases: their live handles are
+// dropped, their fan-out slots are skipped (counted in
+// search_out_of_scope_total), and its breakers and health probes cover
+// only its own slice. Summaries are kilobytes; connections, probes, and
+// query fan-out are what sharding actually divides.
+//
+// Like Load, LoadFiltered bumps the cache generation — each shard keeps
+// its own caches, so the bump is naturally scoped to this shard.
+func (m *Metasearcher) LoadFiltered(r io.Reader, keep func(name string) bool) error {
 	var env persistEnvelope
 	if err := json.NewDecoder(bufio.NewReader(r)).Decode(&env); err != nil {
 		return fmt.Errorf("repro: load: %w", err)
@@ -229,6 +261,24 @@ func (m *Metasearcher) Load(r io.Reader) error {
 		return errors.New("repro: save file contains no databases")
 	}
 
+	// Shard scope: every summary stays (selection statistics are
+	// collection-wide), but only in-scope databases keep live handles
+	// or are eligible for the search fan-out.
+	var scope map[string]bool
+	if keep != nil {
+		scope = make(map[string]bool)
+		for _, r := range dbs {
+			if keep(r.name) {
+				scope[r.name] = true
+			} else {
+				r.db = nil
+			}
+		}
+		if len(scope) == 0 {
+			return errors.New("repro: load scope matches no database in the save file")
+		}
+	}
+
 	classified := make([]core.Classified, len(dbs))
 	for i, r := range dbs {
 		classified[i] = core.Classified{Name: r.name, Category: r.assigned, Sum: r.unshrunk}
@@ -240,6 +290,7 @@ func (m *Metasearcher) Load(r io.Reader) error {
 	m.dbs = dbs
 	m.cats = cats
 	m.global = cats.Summary(hierarchy.Root)
+	m.scope = scope
 	m.built = true
 	// The summaries every cached selection was computed from are gone;
 	// stale entries must not outlive them.

@@ -1,0 +1,284 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/resilience"
+	"repro/internal/telemetry"
+	"repro/internal/wire"
+)
+
+// ReplicatedDatabaseOptions configures a ReplicatedDatabase.
+type ReplicatedDatabaseOptions struct {
+	// Preferred is the index of the replica this process tries first
+	// under equal health (a shard's affinity replica from the topology,
+	// rotated per owner so R owning shards spread over R replicas).
+	// Out of range is treated as 0.
+	Preferred int
+	// Breakers, when non-nil, tracks one circuit breaker per replica
+	// under the key "name@addr" — pass the metasearcher's set
+	// (Metasearcher.Breakers) so replica states show on /debug/breakers
+	// next to the database-level breakers the fan-out keeps. Nil
+	// disables replica breakers (every replica is always eligible).
+	Breakers *resilience.Set
+	// Metrics receives replica_failover_total and
+	// replica_exhausted_total, plus the wire client series of every
+	// replica (may be nil).
+	Metrics *telemetry.Registry
+	// Client configures each replica's wire client.
+	Client RemoteDatabaseOptions
+}
+
+// ReplicatedDatabase is one logical text database served by several
+// dbnode processes with identical content. It implements
+// ContextSearchableDatabase over the replica set with replica-aware
+// routing:
+//
+//   - Replicas are tried in health order: breaker state first (closed
+//     before half-open before open), in-flight count second, affinity
+//     third — so a hedged duplicate of an in-flight call (the search
+//     fan-out's Hedged machinery calls QueryContext twice) naturally
+//     races a *different* replica, and first success wins.
+//   - A failed replica feeds its own breaker and the call fails over
+//     to the next; the call errors only when every replica failed.
+//   - Each replica is a probe target (ProbeTargets), so an open
+//     replica breaker closes as soon as its process recovers.
+//
+// Safe for concurrent use.
+type ReplicatedDatabase struct {
+	name     string
+	category string
+	numDocs  int
+
+	preferred int
+	replicas  []*RemoteDatabase
+	keys      []string // breaker keys, "name@addr"
+	inflight  []atomic.Int64
+
+	breakers  *resilience.Set
+	failovers *telemetry.Counter
+	exhausted *telemetry.Counter
+}
+
+var _ ContextSearchableDatabase = (*ReplicatedDatabase)(nil)
+
+// DialReplicatedDatabase dials every replica address and verifies they
+// advertise the same database (same name). All replicas must be
+// reachable at dial time; afterwards the database stays usable while
+// any one replica is.
+func DialReplicatedDatabase(ctx context.Context, addrs []string, opts ReplicatedDatabaseOptions) (*ReplicatedDatabase, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("repro: DialReplicatedDatabase needs at least one replica address")
+	}
+	d := &ReplicatedDatabase{
+		breakers:  opts.Breakers,
+		inflight:  make([]atomic.Int64, len(addrs)),
+		failovers: opts.Metrics.Counter("replica_failover_total"),
+		exhausted: opts.Metrics.Counter("replica_exhausted_total"),
+	}
+	opts.Client.Metrics = opts.Metrics
+	for i, addr := range addrs {
+		r, err := DialRemoteDatabase(ctx, addr, opts.Client)
+		if err != nil {
+			return nil, fmt.Errorf("repro: replica %d of %d: %w", i+1, len(addrs), err)
+		}
+		if i == 0 {
+			d.name, d.category, d.numDocs = r.Name(), r.Category(), r.NumDocs()
+		} else if r.Name() != d.name {
+			return nil, fmt.Errorf("repro: replica %s serves database %q, replica %s serves %q — a replica set must serve one database",
+				addrs[i], r.Name(), addrs[0], d.name)
+		}
+		d.replicas = append(d.replicas, r)
+		d.keys = append(d.keys, d.name+"@"+addr)
+	}
+	if opts.Preferred >= 0 && opts.Preferred < len(addrs) {
+		d.preferred = opts.Preferred
+	}
+	return d, nil
+}
+
+// Name implements SearchableDatabase.
+func (d *ReplicatedDatabase) Name() string { return d.name }
+
+// Category returns the category the replicas advertise.
+func (d *ReplicatedDatabase) Category() string { return d.category }
+
+// NumDocs returns the document count advertised at dial time.
+func (d *ReplicatedDatabase) NumDocs() int { return d.numDocs }
+
+// Replicas returns the replica count.
+func (d *ReplicatedDatabase) Replicas() int { return len(d.replicas) }
+
+// Preferred returns this process's affinity replica index.
+func (d *ReplicatedDatabase) Preferred() int { return d.preferred }
+
+// ProbeTargets returns one health-probe target per replica, keyed like
+// the per-replica breakers ("name@addr"), for a resilience.Prober.
+func (d *ReplicatedDatabase) ProbeTargets() []resilience.ProbeTarget {
+	out := make([]resilience.ProbeTarget, len(d.replicas))
+	for i, r := range d.replicas {
+		out[i] = resilience.ProbeTarget{Name: d.keys[i], Ping: r.Ping}
+	}
+	return out
+}
+
+// Ping succeeds while any replica answers its health endpoint — the
+// database-level health used by the fan-out's per-database breaker.
+func (d *ReplicatedDatabase) Ping(ctx context.Context) error {
+	var last error
+	for _, i := range d.order() {
+		if last = d.replicas[i].Ping(ctx); last == nil {
+			return nil
+		}
+	}
+	return last
+}
+
+// stateRank orders breaker states healthiest-first.
+func stateRank(s resilience.State) int {
+	switch s {
+	case resilience.Closed:
+		return 0
+	case resilience.HalfOpen:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// order returns replica indices in routing order: healthiest breaker
+// state first, fewest in-flight calls second (this is what steers a
+// hedge away from the replica its primary attempt is occupying), then
+// rotation distance from the preferred replica. The sort is stable on
+// the rotated order, so equal-health equal-load replicas keep affinity.
+func (d *ReplicatedDatabase) order() []int {
+	n := len(d.replicas)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = (d.preferred + i) % n
+	}
+	if n == 1 {
+		return idx
+	}
+	rank := make([]int, n)
+	load := make([]int64, n)
+	for _, i := range idx {
+		load[i] = d.inflight[i].Load()
+		if d.breakers != nil {
+			rank[i] = stateRank(d.breakers.Get(d.keys[i]).State())
+		}
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		if rank[ia] != rank[ib] {
+			return rank[ia] < rank[ib]
+		}
+		return load[ia] < load[ib]
+	})
+	return idx
+}
+
+// call runs fn against replicas in routing order with failover,
+// feeding each replica's breaker. It returns the first success; when
+// every replica fails it returns the last error (with every replica's
+// error joined in).
+func (d *ReplicatedDatabase) call(ctx context.Context, fn func(r *RemoteDatabase) error) error {
+	var errs []error
+	tried := 0
+	for _, i := range d.order() {
+		b := d.breakers.Get(d.keys[i])
+		if !b.Allow() {
+			continue // short-circuited; another replica can serve
+		}
+		if err := ctx.Err(); err != nil {
+			// The caller gave up (deadline, or a hedge lost its race):
+			// not this replica's fault.
+			b.RecordNeutral()
+			return err
+		}
+		if tried > 0 {
+			d.failovers.Inc()
+		}
+		tried++
+		d.inflight[i].Add(1)
+		err := fn(d.replicas[i])
+		d.inflight[i].Add(-1)
+		if err == nil {
+			b.Record(true)
+			return nil
+		}
+		switch {
+		case ctx.Err() != nil:
+			// Cancellation surfacing as a transport error.
+			b.RecordNeutral()
+			return err
+		case wire.IsShed(err):
+			// Backpressure, not failure: do not trip the breaker, but do
+			// try the next replica — it may have capacity.
+			b.RecordNeutral()
+		default:
+			b.Record(false)
+		}
+		errs = append(errs, fmt.Errorf("%s: %w", d.keys[i], err))
+	}
+	d.exhausted.Inc()
+	if len(errs) == 0 {
+		return fmt.Errorf("repro: every replica of %s is short-circuited", d.name)
+	}
+	return fmt.Errorf("repro: every replica of %s failed: %w", d.name, errors.Join(errs...))
+}
+
+// QueryContext implements ContextSearchableDatabase with replica
+// failover.
+func (d *ReplicatedDatabase) QueryContext(ctx context.Context, terms []string, limit int) (int, []int, error) {
+	var matches int
+	var ids []int
+	err := d.call(ctx, func(r *RemoteDatabase) error {
+		var err error
+		matches, ids, err = r.QueryContext(ctx, terms, limit)
+		return err
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	return matches, ids, nil
+}
+
+// FetchContext implements ContextSearchableDatabase with replica
+// failover.
+func (d *ReplicatedDatabase) FetchContext(ctx context.Context, id int) ([]string, error) {
+	var terms []string
+	err := d.call(ctx, func(r *RemoteDatabase) error {
+		var err error
+		terms, err = r.FetchContext(ctx, id)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return terms, nil
+}
+
+// Query implements SearchableDatabase (the infallible compatibility
+// shape): a failed call reports zero matches.
+func (d *ReplicatedDatabase) Query(terms []string, limit int) (int, []int) {
+	matches, ids, err := d.QueryContext(context.Background(), terms, limit)
+	if err != nil {
+		return 0, nil
+	}
+	return matches, ids
+}
+
+// Fetch implements SearchableDatabase: a failed call reports an empty
+// document.
+func (d *ReplicatedDatabase) Fetch(id int) []string {
+	terms, err := d.FetchContext(context.Background(), id)
+	if err != nil {
+		return nil
+	}
+	return terms
+}

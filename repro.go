@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -278,6 +279,13 @@ type Metasearcher struct {
 	mu       sync.Mutex
 	training *classify.TrainingSet
 	dbs      []*registeredDB
+	// scope, when non-nil, is the set of database names this process
+	// actually queries during Search (a cluster shard's slice). Every
+	// database still participates in selection — the shrinkage and
+	// scoring statistics are collection-wide — but out-of-scope fan-out
+	// is skipped. Nil means unscoped (query everything). Set by
+	// LoadFiltered.
+	scope map[string]bool
 
 	// built state
 	classifier *classify.Classifier
@@ -396,13 +404,33 @@ func (m *Metasearcher) Metrics() *telemetry.Registry { return m.reg }
 // method is nil-safe, so callers need no guard.
 func (m *Metasearcher) Breakers() *resilience.Set { return m.breakers }
 
+// SearchScope returns the database names this process queries during
+// Search (sorted), or nil when unscoped — i.e. when it is not a
+// cluster shard restricted by LoadFiltered.
+func (m *Metasearcher) SearchScope() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.scope == nil {
+		return nil
+	}
+	out := make([]string, 0, len(m.scope))
+	for name := range m.scope {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // StartHealthProbes launches a background prober that pings the
 // /v1/health endpoint of every registered remote database whose breaker
 // is not closed, feeding results back into the breakers: an open
 // breaker closes as soon as its node recovers, without waiting for live
-// query traffic. interval <= 0 selects the default (2s). The returned
-// stop function halts the prober (idempotent). With breakers disabled
-// or no remote databases registered it is a no-op.
+// query traffic. A ReplicatedDatabase contributes one probe target per
+// replica (keyed "name@addr", the same keys its per-replica breakers
+// use) plus a database-level target that succeeds while any replica
+// does. interval <= 0 selects the default (2s). The returned stop
+// function halts the prober (idempotent). With breakers disabled or no
+// remote databases registered it is a no-op.
 func (m *Metasearcher) StartHealthProbes(interval time.Duration) (stop func()) {
 	if m.breakers == nil {
 		return func() {}
@@ -410,14 +438,19 @@ func (m *Metasearcher) StartHealthProbes(interval time.Duration) (stop func()) {
 	m.mu.Lock()
 	var targets []resilience.ProbeTarget
 	for _, r := range m.dbs {
-		rdb, ok := r.db.(*RemoteDatabase)
-		if !ok {
-			continue
+		switch db := r.db.(type) {
+		case *RemoteDatabase:
+			targets = append(targets, resilience.ProbeTarget{
+				Name: r.name,
+				Ping: db.Ping,
+			})
+		case *ReplicatedDatabase:
+			targets = append(targets, resilience.ProbeTarget{
+				Name: r.name,
+				Ping: db.Ping,
+			})
+			targets = append(targets, db.ProbeTargets()...)
 		}
-		targets = append(targets, resilience.ProbeTarget{
-			Name: r.name,
-			Ping: rdb.Ping,
-		})
 	}
 	m.mu.Unlock()
 	if len(targets) == 0 {
@@ -487,6 +520,9 @@ func registerPipelineMetrics(reg *telemetry.Registry) {
 		"search_hedge_wins_total",
 		"search_breaker_open_total",
 		"search_sheds_total",
+		"search_out_of_scope_total",
+		"replica_failover_total",
+		"replica_exhausted_total",
 		"concurrency_tasks_started_total",
 		"concurrency_tasks_failed_total",
 	} {

@@ -1,0 +1,234 @@
+#!/bin/sh
+# smoke_cluster.sh — end-to-end smoke test of the sharded cluster:
+# boot 2 dbnode replicas for each of three testbed databases, build the
+# summary store once over the wire, serve it from two consistent-hash
+# shards behind the scatter-gather router, query through the router,
+# then kill every database's preferred replica mid-stream and assert
+# the cluster keeps answering (replica failover, not an outage).
+#
+# Usage: scripts/smoke_cluster.sh [bench-file]
+#
+# With a bench-file argument (or $BENCH_OUT), a measured open-loop load
+# run is driven through the router while the cluster is healthy and
+# merged into the file's "cluster_serving" section — the cluster
+# counterpart of scripts/loadtest.sh. $QPS and $DURATION tune it.
+set -eu
+
+GO="${GO:-go}"
+OUT="${1:-${BENCH_OUT:-}}"
+TMP="$(mktemp -d)"
+PIDS=""
+
+cleanup() {
+    for pid in $PIDS; do
+        kill "$pid" 2>/dev/null || true
+    done
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+echo "smoke-cluster: building dbnode and metasearch..."
+"$GO" build -o "$TMP/dbnode" ./cmd/dbnode
+"$GO" build -o "$TMP/metasearch" ./cmd/metasearch
+
+# Three databases keep the bounded-load ring honest: with cap
+# ceil(1.25 * 3 / 2) = 2 neither shard can own everything, so both
+# shards end up serving real traffic. The Heart database is included
+# because the router prints Heart-topic example query words.
+HEART="$("$TMP/dbnode" -list -scale small -seed 1 | awk '$NF == "Heart" {print $1; exit}')"
+[ -n "$HEART" ] || { echo "smoke-cluster: no Heart database in the testbed" >&2; exit 1; }
+OTHERS="$("$TMP/dbnode" -list -scale small -seed 1 | awk -v h="$HEART" '$1 != h {print $1}' | head -n 2)"
+DBS="$HEART $OTHERS"
+echo "smoke-cluster: databases:" $DBS
+
+slug() { echo "$1" | tr -c 'a-zA-Z0-9' '_'; }
+
+# start_node <db> <replica#>: boot one dbnode replica; sets ADDR and
+# NODE_PID_<replica>_<db-slug> in the calling shell.
+start_node() {
+    log="$TMP/node-$(slug "$1")$2.log"
+    "$TMP/dbnode" -testbed "$1" -scale small -seed 1 >"$log" 2>&1 &
+    PIDS="$PIDS $!"
+    eval "NODE_PID_$2_$(slug "$1")=$!"
+    ADDR=""
+    for _ in $(seq 1 100); do
+        ADDR="$(sed -n 's|.*on http://||p' "$log" | head -n 1)"
+        [ -n "$ADDR" ] && break
+        sleep 0.1
+    done
+    if [ -z "$ADDR" ]; then
+        echo "smoke-cluster: dbnode $1 replica $2 never came up" >&2
+        cat "$log" >&2
+        exit 1
+    fi
+}
+
+# Every database gets two identical replicas; replica 0 is every
+# shard's preferred copy (replication 1 => owner rank 0), so killing
+# the 0s later forces failover on every call.
+REPLICA0=""
+for db in $DBS; do
+    start_node "$db" 0
+    a0="$ADDR"
+    start_node "$db" 1
+    a1="$ADDR"
+    eval "ADDRS_$(slug "$db")='$a0 $a1'"
+    REPLICA0="$REPLICA0${REPLICA0:+,}$a0"
+    echo "smoke-cluster: $db replicas at $a0 $a1"
+done
+
+# Build the summary store once, over the wire, from the replica-0
+# nodes; every shard will load this same file (full store, scoped
+# fan-out).
+echo "smoke-cluster: sampling the nodes and saving summaries..."
+"$TMP/metasearch" -remote "$REPLICA0" -save "$TMP/state.json" heart >"$TMP/build.log" 2>&1 || {
+    echo "smoke-cluster: summary build failed" >&2
+    cat "$TMP/build.log" >&2
+    exit 1
+}
+
+# write_topology <shard00-addr> <shard01-addr>: the shared cluster view.
+# Shard addrs are placeholders until the shard gateways are up — the
+# ring hashes only shard IDs, so the assignment is already final.
+write_topology() {
+    {
+        printf '{\n  "version": 1,\n  "shards": [\n'
+        printf '    {"id": "shard-00", "addr": "%s"},\n' "$1"
+        printf '    {"id": "shard-01", "addr": "%s"}\n  ],\n' "$2"
+        printf '  "databases": [\n'
+        first=1
+        for db in $DBS; do
+            [ "$first" -eq 1 ] || printf ',\n'
+            first=0
+            eval "addrs=\$ADDRS_$(slug "$db")"
+            set -- $addrs
+            printf '    {"name": "%s", "replicas": ["%s", "%s"]}' "$db" "$1" "$2"
+        done
+        printf '\n  ]\n}\n'
+    } >"$TMP/topo.json"
+}
+write_topology "127.0.0.1:1" "127.0.0.1:1"
+
+# start_shard <shard-id>: boot one shard metasearcher; sets ADDR.
+start_shard() {
+    log="$TMP/$1.log"
+    "$TMP/metasearch" -shard-id "$1" -topology "$TMP/topo.json" -load "$TMP/state.json" \
+        -cache-size 0 -serve 127.0.0.1:0 >"$log" 2>&1 &
+    PIDS="$PIDS $!"
+    ADDR=""
+    for _ in $(seq 1 150); do
+        ADDR="$(sed -n 's|.*query API on http://||p' "$log" | head -n 1 | cut -d/ -f1)"
+        [ -n "$ADDR" ] && break
+        sleep 0.2
+    done
+    if [ -z "$ADDR" ]; then
+        echo "smoke-cluster: $1 never came up" >&2
+        cat "$log" >&2
+        exit 1
+    fi
+}
+
+start_shard shard-00
+SHARD0="$ADDR"
+start_shard shard-01
+SHARD1="$ADDR"
+echo "smoke-cluster: shards up at $SHARD0 $SHARD1"
+
+# The shard's health endpoint must report its shard id (satellite of
+# the cluster PR: operators tell shards apart from /v1/healthz alone).
+HEALTH="$(curl -fsS "http://$SHARD0/v1/healthz")"
+case "$HEALTH" in
+*'"shard_id":"shard-00"'*) ;;
+*)
+    echo "smoke-cluster: shard healthz does not report its shard id: $HEALTH" >&2
+    exit 1
+    ;;
+esac
+
+# Rewrite the topology with the live shard addrs and boot the router.
+write_topology "$SHARD0" "$SHARD1"
+"$TMP/metasearch" -route -topology "$TMP/topo.json" -probe-interval 250ms \
+    -serve 127.0.0.1:0 >"$TMP/router.log" 2>&1 &
+PIDS="$PIDS $!"
+ROUTER=""
+for _ in $(seq 1 150); do
+    ROUTER="$(sed -n 's|.*query API on http://||p' "$TMP/router.log" | head -n 1 | cut -d/ -f1)"
+    [ -n "$ROUTER" ] && break
+    sleep 0.2
+done
+if [ -z "$ROUTER" ]; then
+    echo "smoke-cluster: router never came up" >&2
+    cat "$TMP/router.log" >&2
+    exit 1
+fi
+echo "smoke-cluster: router up at $ROUTER"
+
+WORDS="$(sed -n 's/^example query words: \(.*\) (.*/\1/p' "$TMP/router.log" | head -n 1)"
+if [ -z "$WORDS" ]; then
+    echo "smoke-cluster: router printed no example query words" >&2
+    cat "$TMP/router.log" >&2
+    exit 1
+fi
+set -- $WORDS
+Q="$1+$2"
+echo "smoke-cluster: querying q=$Q through the router"
+
+assert_results() {
+    resp="$(curl -fsS "http://$ROUTER/v1/search?q=$Q")"
+    case "$resp" in
+    *'"results":[{'*) ;;
+    *)
+        echo "smoke-cluster: $1: router returned no results" >&2
+        echo "$resp" >&2
+        exit 1
+        ;;
+    esac
+}
+
+assert_results "all replicas up"
+echo "smoke-cluster: query answered with all replicas up"
+
+# Optional measured run: a second router process in -loadtest mode fans
+# the open-loop workload out to the same (healthy) shards and merges
+# the report into the BENCH file's cluster_serving section.
+if [ -n "$OUT" ]; then
+    echo "smoke-cluster: measured cluster serving run into $OUT..."
+    "$TMP/metasearch" -route -topology "$TMP/topo.json" -loadtest \
+        -lt-qps "${QPS:-50}" -lt-duration "${DURATION:-5s}" -lt-out "$OUT"
+    if ! grep -q '"cluster_serving"' "$OUT"; then
+        echo "smoke-cluster: $OUT has no cluster_serving section" >&2
+        exit 1
+    fi
+fi
+
+# Kill every database's replica 0 — the preferred copy on every shard —
+# while the cluster keeps serving. The next queries must fail over to
+# replica 1 without a single failed request.
+for db in $DBS; do
+    eval "pid=\$NODE_PID_0_$(slug "$db")"
+    kill "$pid" 2>/dev/null || true
+done
+sleep 0.3
+
+assert_results "preferred replicas down"
+assert_results "preferred replicas down, requery"
+echo "smoke-cluster: queries still answered with every preferred replica dead"
+
+# The shards must have recorded real failovers (and no exhausted replica
+# sets: one live copy per database remained throughout).
+FAILOVERS=0
+for shard in "$SHARD0" "$SHARD1"; do
+    n="$(curl -fsS "http://$shard/metrics" | sed -n 's/^replica_failover_total //p')"
+    FAILOVERS=$((FAILOVERS + ${n:-0}))
+    x="$(curl -fsS "http://$shard/metrics" | sed -n 's/^replica_exhausted_total //p')"
+    if [ "${x:-0}" -ne 0 ]; then
+        echo "smoke-cluster: replica_exhausted_total=$x on $shard, want 0" >&2
+        exit 1
+    fi
+done
+if [ "$FAILOVERS" -eq 0 ]; then
+    echo "smoke-cluster: no replica failover recorded although every preferred replica is dead" >&2
+    exit 1
+fi
+echo "smoke-cluster: $FAILOVERS replica failovers, 0 exhausted replica sets"
+echo "smoke-cluster: OK"

@@ -305,6 +305,7 @@ func (m *Metasearcher) searchUncached(ctx context.Context, span *telemetry.Span,
 			handles[r.name] = r.db
 		}
 	}
+	scope := m.scope
 	m.mu.Unlock()
 
 	// Normalize selection scores to [0, 1] so the discounting is
@@ -337,7 +338,18 @@ func (m *Metasearcher) searchUncached(ctx context.Context, span *telemetry.Span,
 	outcomes := make([]nodeOutcome, len(sels))
 	tFan := time.Now()
 	forEachCollect(len(sels), workers, m.reg, func(i int) {
-		outcomes[i] = m.searchNode(fanCtx, span, handles[sels[i].Database], sels[i].Database, terms, perDB, hedgeAfter)
+		name := sels[i].Database
+		// A shard-scoped metasearcher ranks every database (selection
+		// needs the collection-wide statistics) but queries only its own
+		// slice; the databases it skips here are served by the shards
+		// that own them and merged back together by the router.
+		if scope != nil && !scope[name] {
+			m.reg.Counter("search_out_of_scope_total").Inc()
+			span.Event("search.out_of_scope", telemetry.String("db", name))
+			outcomes[i] = nodeOutcome{call: audit.NodeCall{Database: name, OutOfScope: true}}
+			return
+		}
+		outcomes[i] = m.searchNode(fanCtx, span, handles[name], name, terms, perDB, hedgeAfter)
 	})
 	e.stages.Fanout = time.Since(tFan).Seconds()
 	m.reg.Histogram("search_stage_fanout_latency", nil).Observe(e.stages.Fanout)
@@ -353,10 +365,13 @@ func (m *Metasearcher) searchUncached(ctx context.Context, span *telemetry.Span,
 
 	tMerge := time.Now()
 	var out []Result
-	queried := 0
+	queried, skipped := 0, 0
 	for i, o := range outcomes {
 		e.nodes = append(e.nodes, o.call)
 		if !o.ok {
+			if o.call.OutOfScope {
+				skipped++
+			}
 			continue
 		}
 		queried++
@@ -369,7 +384,14 @@ func (m *Metasearcher) searchUncached(ctx context.Context, span *telemetry.Span,
 		}
 	}
 	if queried == 0 {
-		return e, errors.New("repro: Search needs live database connections (Load-ed state has none)")
+		// On a shard whose slice holds none of the selected databases an
+		// empty answer is correct, not an error: the router gets the
+		// results from the shards that own them.
+		if skipped == 0 {
+			return e, errors.New("repro: Search needs live database connections (Load-ed state has none)")
+		}
+		e.stages.Merge = time.Since(tMerge).Seconds()
+		return e, nil
 	}
 	sort.Slice(out, func(a, b int) bool {
 		if out[a].Score != out[b].Score {
