@@ -102,11 +102,16 @@ func main() {
 
 	reg := telemetry.NewRegistry()
 	reg.PublishExpvar("dbnode")
-	var tracer *telemetry.Tracer
+	// Every serve always traces into a bounded ring so the cluster
+	// collector can join this node's wire.serve spans to the callers'
+	// traces; -trace additionally logs every event to stderr.
+	ring := telemetry.NewRingCapture(0)
+	obs := telemetry.Observer(ring)
 	if *trace {
 		h := slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelDebug})
-		tracer = telemetry.NewTracer(telemetry.NewLogObserver(slog.New(h)))
+		obs = telemetry.MultiObserver(ring, telemetry.NewLogObserver(slog.New(h)))
 	}
+	tracer := telemetry.NewTracer(obs)
 	mux := http.NewServeMux()
 	srvNode := wire.NewNode(db, wire.ServerOptions{
 		Category:    cat,
@@ -127,6 +132,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Registered after Listen so the export can self-report the bound
+	// address; the server has not started serving yet.
+	mux.Handle("/debug/export/spans", telemetry.ExportSpansHandler(
+		telemetry.Identity{Instance: ln.Addr().String(), Role: "dbnode"}, ring))
 	log.Printf("serving %s (%d docs) on http://%s", db.Name(), db.NumDocs(), ln.Addr())
 
 	// Graceful shutdown: on SIGINT/SIGTERM, fail /v1/health first (so

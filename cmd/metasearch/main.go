@@ -55,6 +55,7 @@
 //
 //	metasearch -shard-id shard-00 -topology topo.json -load state.json -serve :8091
 //	metasearch -route -topology topo.json -serve :8090
+//	metasearch -collect -topology topo.json -collect-router 127.0.0.1:8090 -serve :8099
 //
 // -shard-id runs one topology shard: the process dials its consistent-
 // hash slice of the databases (each as a replica set with per-replica
@@ -64,7 +65,15 @@
 // /v1/search out to every shard, and merges the per-shard rankings into
 // bit-identically the single-process answer. Both serve the standard
 // gateway API; /v1/healthz reports the build version and (for shards)
-// the shard id.
+// the shard id; the router's additionally reports every shard's breaker
+// state and last health-probe result. -collect runs the cluster
+// observability plane (see DESIGN.md §15): it scrapes every topology
+// member's metrics, recent spans, and audit records, and serves the
+// fleet rollup at /debug/cluster/metrics, stitched cross-process traces
+// at /debug/cluster/trace/{id}, and — with -profile-dir — a continuous-
+// profiling index at /debug/cluster/profiles. Every serving mode
+// exports its recent spans at /debug/export/spans and audit records at
+// /debug/export/queries for the collector to scrape.
 //
 // With -explain, each query is followed by its selection audit record:
 // every candidate database's score, the shrink-or-not verdict with the
@@ -122,6 +131,7 @@ import (
 	"repro/internal/gateway"
 	"repro/internal/hierarchy"
 	"repro/internal/index"
+	"repro/internal/obscollector"
 	"repro/internal/resilience"
 	"repro/internal/shardmap"
 	"repro/internal/slo"
@@ -165,9 +175,17 @@ func main() {
 		sloLatency = flag.Duration("slo-latency", 500*time.Millisecond, "latency-SLO threshold: requests slower than this count against the latency objective")
 		sloTarget  = flag.Float64("slo-target", 0.99, "latency-SLO target: required fraction of requests under -slo-latency")
 
-		topologyFile = flag.String("topology", "", "cluster topology file (shardmap JSON); required by -shard-id and -route")
+		topologyFile = flag.String("topology", "", "cluster topology file (shardmap JSON); required by -shard-id, -route, and -collect")
 		shardID      = flag.String("shard-id", "", "serve one topology shard: dial this shard's replicated dbnodes and scope the search fan-out to its databases (requires -topology and -load)")
 		routeMode    = flag.Bool("route", false, "run as the cluster's scatter-gather router: fan /v1/search out to every shard in -topology and merge the rankings (no summaries are loaded in this process)")
+
+		collectMode   = flag.Bool("collect", false, "run as the cluster observability collector: scrape every member of -topology (plus -collect-router) and serve /debug/cluster/* on -serve")
+		collectRouter = flag.String("collect-router", "", "with -collect: the router's address, added to the scrape set with role \"router\"")
+		scrapeEvery   = flag.Duration("scrape-interval", 5*time.Second, "with -collect: how often every fleet member is scraped")
+		profileDir    = flag.String("profile-dir", "", "with -collect: enable continuous profiling, storing pprof captures in this directory")
+		profileEvery  = flag.Duration("profile-interval", 30*time.Second, "with -collect: pause between profile captures (each tick profiles one member, rotating through the fleet)")
+		profileCPU    = flag.Int("profile-cpu-seconds", 5, "with -collect: length of each CPU profile capture")
+		profileKeep   = flag.Int("profile-keep", 32, "with -collect: retained profiles per kind (cpu, heap); oldest deleted first")
 
 		loadtest   = flag.Bool("loadtest", false, "run a load test against this process's own serving path instead of a REPL, print the report, then exit")
 		ltQPS      = flag.Float64("lt-qps", 50, "load test: steady offered rate (ignored when -lt-ramp is set)")
@@ -182,6 +200,29 @@ func main() {
 		ltMaxOut   = flag.Int("lt-max-outstanding", 0, "load test: client-side cap on in-flight requests; excess scheduled requests are dropped, not deferred (0 = unlimited)")
 	)
 	flag.Parse()
+
+	if *collectMode {
+		// The collector owns no testbed and answers no queries; it is
+		// dispatched before the world is built.
+		if err := runCollect(collectConfig{
+			TopologyFile: *topologyFile,
+			RouterAddr:   *collectRouter,
+			ServeAddr:    *serveAddr,
+			Interval:     *scrapeEvery,
+			DrainFor:     *drainFor,
+			Verbose:      *verbose,
+			Profiles: obscollector.ProfileOptions{
+				Enable:     *profileDir != "",
+				Dir:        *profileDir,
+				Interval:   *profileEvery,
+				CPUSeconds: *profileCPU,
+				Keep:       *profileKeep,
+			},
+		}); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	sc := experiments.TestScale()
 	if *scale == "default" {
@@ -261,9 +302,14 @@ func main() {
 	if *verbose {
 		opts.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
+	// Tracing is always on into a bounded ring, so the cluster collector
+	// can assemble this process's recent spans via /debug/export/spans;
+	// -trace additionally logs every event to stderr.
+	ring := telemetry.NewRingCapture(0)
+	opts.Observer = ring
 	if *trace {
 		h := slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelDebug})
-		opts.Observer = telemetry.NewLogObserver(slog.New(h))
+		opts.Observer = telemetry.MultiObserver(ring, telemetry.NewLogObserver(slog.New(h)))
 	}
 	if *auditFile != "" {
 		f, err := os.OpenFile(*auditFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -274,6 +320,21 @@ func main() {
 		opts.AuditLog = f
 	}
 	m := repro.New(opts)
+
+	// The process's identity stamped on its span and audit exports;
+	// shards carry their shard id so fleet views can slice by it.
+	selfAddr := *serveAddr
+	if selfAddr == "" {
+		selfAddr = *listen
+	}
+	if selfAddr == "" {
+		selfAddr = fmt.Sprintf("metasearch-pid%d", os.Getpid())
+	}
+	selfRole := "metasearch"
+	if *shardID != "" {
+		selfRole = "shard"
+	}
+	self := telemetry.Identity{Instance: selfAddr, Role: selfRole, Shard: *shardID}
 
 	// The SLO tracker judges every gateway request against the serving
 	// objectives; /debug/slo reports multi-window error-budget burn.
@@ -292,7 +353,7 @@ func main() {
 	// mode the gateway listener carries the debug endpoints itself unless
 	// -debug-addr moves them.)
 	if *listen != "" && *serveAddr == "" {
-		srv := &http.Server{Addr: *listen, Handler: debugMux(metasearcherDebug(m), tracker)}
+		srv := &http.Server{Addr: *listen, Handler: debugMux(metasearcherDebug(m, self, ring), tracker)}
 		go func() {
 			log.Printf("telemetry on http://%s/metrics (and /debug/vars, /debug/pprof)", *listen)
 			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -441,7 +502,7 @@ func main() {
 	}
 
 	if *serveAddr != "" {
-		if err := serve(m, w, *serveAddr, *debugAddr, gopts, tracker, *drainFor, metasearcherDebug(m)); err != nil {
+		if err := serve(m, w, *serveAddr, *debugAddr, gopts, tracker, *drainFor, metasearcherDebug(m, self, ring)); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -510,12 +571,17 @@ type debugBundle struct {
 	reg      *telemetry.Registry
 	audit    *audit.Log
 	breakers *resilience.Set
+	// identity and ring feed the versioned cluster-export endpoints
+	// (/debug/export/spans, /debug/export/queries) the obscollector
+	// scrapes; a nil ring skips the span export.
+	identity telemetry.Identity
+	ring     *telemetry.RingCapture
 }
 
 // metasearcherDebug is the debug surface of a (standalone or shard)
 // metasearcher process.
-func metasearcherDebug(m *repro.Metasearcher) debugBundle {
-	return debugBundle{reg: m.Metrics(), audit: m.Audit(), breakers: m.Breakers()}
+func metasearcherDebug(m *repro.Metasearcher, id telemetry.Identity, ring *telemetry.RingCapture) debugBundle {
+	return debugBundle{reg: m.Metrics(), audit: m.Audit(), breakers: m.Breakers(), identity: id, ring: ring}
 }
 
 // debugMux assembles the operational endpoints every serving mode
@@ -529,6 +595,10 @@ func debugMux(d debugBundle, tracker *slo.Tracker) *http.ServeMux {
 	mux.Handle("/debug/queries/", d.audit.Handler())
 	mux.Handle("/debug/breakers", d.breakers.Handler())
 	mux.Handle("/debug/slo", tracker.Handler())
+	if d.ring != nil {
+		mux.Handle("/debug/export/spans", telemetry.ExportSpansHandler(d.identity, d.ring))
+	}
+	mux.Handle("/debug/export/queries", d.audit.ExportHandler(d.identity.Instance, d.identity.Role, d.identity.Shard))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -50,11 +50,16 @@ func runRoute(w *experiments.World, cfg routeConfig) error {
 
 	reg := telemetry.NewRegistry()
 	reg.PublishExpvar("metasearch")
-	var tracer *telemetry.Tracer
+	// The router always traces into a bounded ring so the cluster
+	// collector can stitch its fan-out spans into cross-process traces;
+	// -trace additionally logs every event to stderr.
+	ring := telemetry.NewRingCapture(0)
+	obs := telemetry.Observer(ring)
 	if cfg.Trace {
 		h := slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelDebug})
-		tracer = telemetry.NewTracer(telemetry.NewLogObserver(slog.New(h)))
+		obs = telemetry.MultiObserver(ring, telemetry.NewLogObserver(slog.New(h)))
 	}
+	tracer := telemetry.NewTracer(obs)
 	breakers := resilience.NewSet(resilience.BreakerOptions{}, reg)
 
 	rt, err := router.New(topo, router.Options{
@@ -85,8 +90,16 @@ func runRoute(w *experiments.World, cfg routeConfig) error {
 		MaxInflight:     cfg.MaxInflight,
 		Metrics:         reg,
 		SLO:             tracker,
+		// /v1/healthz reports every shard's breaker state and last
+		// health-probe result alongside the router's own health.
+		ShardHealth: rt.ShardHealth,
 	}
-	dbg := debugBundle{reg: reg, breakers: breakers}
+	dbg := debugBundle{
+		reg:      reg,
+		breakers: breakers,
+		identity: telemetry.Identity{Instance: cfg.ServeAddr, Role: "router"},
+		ring:     ring,
+	}
 
 	if cfg.Loadtest {
 		lt := cfg.LT

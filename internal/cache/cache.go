@@ -125,6 +125,17 @@ func New(opts Options) *Cache {
 		entries:       opts.Metrics.Gauge(opts.Name + "_entries"),
 		inflight:      opts.Metrics.Gauge(opts.Name + "_inflight_loads"),
 	}
+	for _, d := range []struct{ suffix, help string }{
+		{"_hits_total", "Lookups served from the " + opts.Name + " tier."},
+		{"_misses_total", "Lookups the " + opts.Name + " tier could not serve."},
+		{"_evictions_total", "Entries evicted from the " + opts.Name + " tier (LRU or expired)."},
+		{"_collapsed_total", "Lookups that piggybacked on an identical in-flight load (" + opts.Name + ")."},
+		{"_invalidations_total", "Generation bumps staling every " + opts.Name + " entry at once."},
+		{"_entries", "Live entries in the " + opts.Name + " tier."},
+		{"_inflight_loads", "Loads currently in flight for the " + opts.Name + " tier."},
+	} {
+		opts.Metrics.Describe(opts.Name+d.suffix, d.help)
+	}
 	c.shards = make([]*shard, opts.Shards)
 	for i := range c.shards {
 		c.shards[i] = &shard{

@@ -96,6 +96,12 @@ type Options struct {
 	// it serves a cluster slice ("" for a standalone metasearcher or
 	// the cluster router).
 	ShardID string
+	// ShardHealth, when non-nil, is polled on every /v1/healthz and its
+	// result reported in the response's "shards" field. The cluster
+	// router wires its per-shard breaker/probe summary here, so one
+	// health call answers "is the fleet behind this router healthy",
+	// not just "is this process alive".
+	ShardHealth func() []wire.ShardHealth
 }
 
 // Gateway serves the query API over a Searcher. Like wire.Node it
@@ -140,6 +146,17 @@ func New(s Searcher, opts Options) *Gateway {
 	opts.Metrics.Histogram("gateway_latency", nil)
 	opts.Metrics.Histogram("gateway_error_latency", nil)
 	opts.Metrics.Window("gateway_latency_window", 0)
+	for _, d := range []struct{ name, help string }{
+		{"gateway_requests_total", "Search requests accepted by the gateway (health checks excluded)."},
+		{"gateway_errors_total", "Search requests answered with an error envelope (4xx/5xx, sheds excluded)."},
+		{"gateway_shed_total", "Search requests shed with 429 by the admission gate."},
+		{"gateway_requests_inflight", "Search requests currently being served."},
+		{"gateway_latency", "End-to-end latency of successful (2xx) search responses, seconds."},
+		{"gateway_error_latency", "End-to-end latency of shed and error responses, seconds."},
+		{"gateway_latency_window", "Sliding-window p50/p95/p99 of successful search latency, seconds."},
+	} {
+		opts.Metrics.Describe(d.name, d.help)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET "+PathSearch, g.search)
 	mux.HandleFunc("POST "+PathSearch, g.search)
@@ -160,26 +177,28 @@ func (g *Gateway) Draining() bool { return g.draining.Load() }
 // (health checks excluded).
 func (g *Gateway) Inflight() int64 { return g.inflightN.Load() }
 
-// shedSeq feeds shedTraceID; the process-unique prefix keeps ids from
+// errSeq feeds errorTraceID; the process-unique prefix keeps ids from
 // two gateways distinct without coordination.
 var (
-	shedBase = func() uint64 {
+	errBase = func() uint64 {
 		var b [8]byte
 		crand.Read(b[:])
 		return binary.BigEndian.Uint64(b[:])
 	}()
-	shedSeq atomic.Uint64
+	errSeq atomic.Uint64
 )
 
-// shedTraceID picks the trace id a shed (429) response is stamped with:
-// the caller's propagated id when the request arrived traced (the
-// cluster router traces its fan-out), otherwise a fresh process-unique
-// id.
-func shedTraceID(r *http.Request) string {
+// errorTraceID picks the trace id an error response (shed, 500, any
+// failure envelope) is stamped with: the caller's propagated id when
+// the request arrived traced (the cluster router traces its fan-out),
+// otherwise a fresh process-unique id. Every gateway answer — success
+// or failure — carries X-Trace-Id, so failed requests are as traceable
+// as served ones.
+func errorTraceID(r *http.Request) string {
 	if id := r.Header.Get(telemetry.HeaderTraceID); id != "" {
 		return id
 	}
-	return fmt.Sprintf("%016x", shedBase+shedSeq.Add(1))
+	return fmt.Sprintf("%016x", errBase+errSeq.Add(1))
 }
 
 // statusWriter records the response status so request accounting can
@@ -227,7 +246,7 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	defer func() {
 		g.inflightN.Add(-1)
 		g.inflight.Add(-1)
-		g.record(sw.status(), start)
+		g.record(sw, start)
 	}()
 	if g.opts.MaxInflight > 0 && cur > int64(g.opts.MaxInflight) {
 		g.shed.Inc()
@@ -235,7 +254,7 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// exists yet; stamp one anyway (echoing the caller's when the
 		// request arrived traced) so a client-reported 429 is greppable
 		// in the access log like any other answer.
-		sw.Header().Set("X-Trace-Id", shedTraceID(r))
+		sw.Header().Set("X-Trace-Id", errorTraceID(r))
 		sw.Header().Set("Retry-After", strconv.Itoa(g.opts.RetryAfter))
 		wire.WriteError(sw, http.StatusTooManyRequests, wire.CodeOverloaded,
 			fmt.Sprintf("gateway at capacity (%d in flight, max %d)", cur, g.opts.MaxInflight))
@@ -243,7 +262,7 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	defer func() {
 		if p := recover(); p != nil {
-			g.fail(sw, http.StatusInternalServerError, wire.CodeInternal,
+			g.fail(sw, r, http.StatusInternalServerError, wire.CodeInternal,
 				fmt.Sprintf("panic serving %s: %v", r.URL.Path, p))
 		}
 	}()
@@ -252,23 +271,32 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // record books one finished request: 2xx latencies go to the success
 // histogram and quantile window, everything else to the error
-// histogram (a burst of instant 429s must not pull p99 down). The SLO
-// verdict counts sheds and server errors as bad; 4xx client errors are
-// correct behavior, not unavailability.
-func (g *Gateway) record(status int, start time.Time) {
+// histogram (a burst of instant 429s must not pull p99 down). The
+// request's trace id (every response carries one in X-Trace-Id) rides
+// along as a histogram exemplar, so the latency tail links straight to
+// assembled traces. The SLO verdict counts sheds and server errors as
+// bad; 4xx client errors are correct behavior, not unavailability.
+func (g *Gateway) record(sw *statusWriter, start time.Time) {
+	status := sw.status()
+	trace := sw.Header().Get("X-Trace-Id")
 	elapsed := time.Since(start)
 	sec := elapsed.Seconds()
 	if status < http.StatusMultipleChoices {
-		g.opts.Metrics.Histogram("gateway_latency", nil).Observe(sec)
+		g.opts.Metrics.Histogram("gateway_latency", nil).ObserveExemplar(sec, trace)
 		g.opts.Metrics.Window("gateway_latency_window", 0).Observe(sec)
 	} else {
-		g.opts.Metrics.Histogram("gateway_error_latency", nil).Observe(sec)
+		g.opts.Metrics.Histogram("gateway_error_latency", nil).ObserveExemplar(sec, trace)
 	}
 	g.opts.SLO.Record(elapsed, status == http.StatusTooManyRequests || status >= http.StatusInternalServerError)
 }
 
-func (g *Gateway) fail(w http.ResponseWriter, status int, code, msg string) {
+// fail writes an error envelope, stamped with a trace id (the caller's
+// propagated one when present) so every failure is traceable.
+func (g *Gateway) fail(w http.ResponseWriter, r *http.Request, status int, code, msg string) {
 	g.errors.Inc()
+	if w.Header().Get("X-Trace-Id") == "" {
+		w.Header().Set("X-Trace-Id", errorTraceID(r))
+	}
 	wire.WriteError(w, status, code, msg)
 }
 
@@ -279,6 +307,9 @@ func (g *Gateway) healthz(w http.ResponseWriter, r *http.Request) {
 		MaxInflight: g.opts.MaxInflight,
 		Version:     g.opts.Version,
 		ShardID:     g.opts.ShardID,
+	}
+	if g.opts.ShardHealth != nil {
+		resp.Shards = g.opts.ShardHealth()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if g.draining.Load() {
@@ -349,16 +380,20 @@ type StageSeconds struct {
 func (g *Gateway) search(w http.ResponseWriter, r *http.Request) {
 	req, err := g.parseRequest(r)
 	if err != nil {
-		g.fail(w, http.StatusBadRequest, wire.CodeBadRequest, err.Error())
+		g.fail(w, r, http.StatusBadRequest, wire.CodeBadRequest, err.Error())
 		return
 	}
 
-	ctx := r.Context()
+	// Join the caller's trace when the request arrived traced (the
+	// cluster router propagates its fan-out span): the searcher roots
+	// its "search" span under the remote parent, so one trace covers
+	// router, shard, and dbnode spans end to end.
+	ctx := telemetry.ContextWithRemote(r.Context(), telemetry.Extract(r.Header))
 	timeout := g.opts.DefaultDeadline
 	if req.Timeout != "" {
 		d, err := time.ParseDuration(req.Timeout)
 		if err != nil || d <= 0 {
-			g.fail(w, http.StatusBadRequest, wire.CodeBadRequest,
+			g.fail(w, r, http.StatusBadRequest, wire.CodeBadRequest,
 				fmt.Sprintf("timeout must be a positive duration like 500ms or 2s, got %q", req.Timeout))
 			return
 		}
@@ -377,13 +412,13 @@ func (g *Gateway) search(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
-			g.fail(w, http.StatusGatewayTimeout, CodeDeadline,
+			g.fail(w, r, http.StatusGatewayTimeout, CodeDeadline,
 				fmt.Sprintf("search exceeded its deadline: %v", err))
 		case errors.Is(err, context.Canceled):
 			// The client went away; the status is for the access log.
-			g.fail(w, http.StatusServiceUnavailable, wire.CodeUnavailable, "request canceled")
+			g.fail(w, r, http.StatusServiceUnavailable, wire.CodeUnavailable, "request canceled")
 		default:
-			g.fail(w, http.StatusServiceUnavailable, wire.CodeUnavailable, err.Error())
+			g.fail(w, r, http.StatusServiceUnavailable, wire.CodeUnavailable, err.Error())
 		}
 		return
 	}

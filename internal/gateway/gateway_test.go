@@ -467,3 +467,68 @@ func TestUnknownPathIs404(t *testing.T) {
 		t.Errorf("status = %d, want 404", rec.Code)
 	}
 }
+
+// Every gateway error path must stamp X-Trace-Id (echoing the caller's
+// propagated id when the request arrived traced), so failed requests
+// are as traceable as served ones — not just the 429 shed path.
+func TestErrorResponsesCarryTraceID(t *testing.T) {
+	boom := &fakeSearcher{hook: func(context.Context, string, int, int) (*repro.SearchResponse, error) {
+		return nil, context.DeadlineExceeded
+	}}
+	cases := []struct {
+		name       string
+		gateway    *Gateway
+		req        *http.Request
+		wantStatus int
+	}{
+		{
+			name:       "bad request",
+			gateway:    New(&fakeSearcher{}, Options{}),
+			req:        httptest.NewRequest("GET", "/v1/search", nil), // no query
+			wantStatus: http.StatusBadRequest,
+		},
+		{
+			name:       "deadline exceeded",
+			gateway:    New(boom, Options{}),
+			req:        httptest.NewRequest("GET", "/v1/search?q=x", nil),
+			wantStatus: http.StatusGatewayTimeout,
+		},
+		{
+			name: "searcher failure",
+			gateway: New(&fakeSearcher{hook: func(context.Context, string, int, int) (*repro.SearchResponse, error) {
+				return nil, context.Canceled
+			}}, Options{}),
+			req:        httptest.NewRequest("GET", "/v1/search?q=x", nil),
+			wantStatus: http.StatusServiceUnavailable,
+		},
+		{
+			name: "panic to 500",
+			gateway: New(&fakeSearcher{hook: func(context.Context, string, int, int) (*repro.SearchResponse, error) {
+				panic("kaboom")
+			}}, Options{}),
+			req:        httptest.NewRequest("GET", "/v1/search?q=x", nil),
+			wantStatus: http.StatusInternalServerError,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := httptest.NewRecorder()
+			tc.gateway.ServeHTTP(rec, tc.req)
+			if rec.Code != tc.wantStatus {
+				t.Fatalf("status = %d, want %d", rec.Code, tc.wantStatus)
+			}
+			if rec.Header().Get("X-Trace-Id") == "" {
+				t.Errorf("%s response carries no X-Trace-Id", tc.name)
+			}
+		})
+		t.Run(tc.name+" echoes caller trace", func(t *testing.T) {
+			req := tc.req.Clone(tc.req.Context())
+			req.Header.Set(telemetry.HeaderTraceID, "caller-trace")
+			rec := httptest.NewRecorder()
+			tc.gateway.ServeHTTP(rec, req)
+			if got := rec.Header().Get("X-Trace-Id"); got != "caller-trace" {
+				t.Errorf("%s: X-Trace-Id = %q, want the caller's %q", tc.name, got, "caller-trace")
+			}
+		})
+	}
+}

@@ -1,0 +1,187 @@
+package obscollector
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Handler serves the cluster debug surface:
+//
+//	GET /debug/cluster/metrics      — rollup + per-instance series
+//	                                  (Prometheus text; ?format=json for
+//	                                  the full ClusterMetrics document)
+//	GET /debug/cluster/trace/{id}   — one assembled cross-process trace
+//	GET /debug/cluster/traces       — index of known trace IDs
+//	GET /debug/cluster/instances    — scrape status per member
+//	GET /debug/cluster/profiles     — continuous-profiling index
+func (c *Collector) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /debug/cluster/metrics", c.serveMetrics)
+	mux.HandleFunc("GET /debug/cluster/trace/{id}", c.serveTrace)
+	mux.HandleFunc("GET /debug/cluster/traces", c.serveTraces)
+	mux.HandleFunc("GET /debug/cluster/instances", c.serveInstances)
+	mux.HandleFunc("GET /debug/cluster/profiles", c.serveProfiles)
+	return mux
+}
+
+func (c *Collector) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	agg := Aggregate(c.States())
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, agg)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	writeClusterPrometheus(w, agg)
+}
+
+func (c *Collector) serveTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	tr := AssembleTrace(id, c.States())
+	if tr == nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(map[string]string{
+			"error": fmt.Sprintf("no process exported spans for trace %s (evicted from every ring, or never existed)", id),
+		})
+		return
+	}
+	writeJSON(w, tr)
+}
+
+func (c *Collector) serveTraces(w http.ResponseWriter, r *http.Request) {
+	traces := KnownTraces(c.States())
+	n := 50
+	if v := r.URL.Query().Get("n"); v != "" {
+		if parsed, err := strconv.Atoi(v); err == nil && parsed > 0 {
+			n = parsed
+		}
+	}
+	if len(traces) > n {
+		traces = traces[:n]
+	}
+	writeJSON(w, traces)
+}
+
+func (c *Collector) serveInstances(w http.ResponseWriter, r *http.Request) {
+	states := c.States()
+	type instance struct {
+		*InstanceState
+		Spans   int `json:"spans"`
+		Queries int `json:"queries"`
+		Series  int `json:"series"`
+	}
+	out := make([]instance, 0, len(states))
+	for _, st := range states {
+		out = append(out, instance{st, len(st.Spans), len(st.Queries), st.Metrics.Series()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Identity.Instance < out[j].Identity.Instance })
+	writeJSON(w, out)
+}
+
+func (c *Collector) serveProfiles(w http.ResponseWriter, r *http.Request) {
+	type profiles struct {
+		Enabled bool          `json:"enabled"`
+		Dir     string        `json:"dir,omitempty"`
+		Files   []ProfileInfo `json:"files"`
+	}
+	out := profiles{Files: []ProfileInfo{}}
+	if c.profiler != nil {
+		out.Enabled = true
+		out.Dir = c.profiler.opts.Dir
+		if idx := c.profiler.index(); idx != nil {
+			out.Files = idx
+		}
+	}
+	writeJSON(w, out)
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeClusterPrometheus renders the aggregate in the exposition
+// format: rollup counters and histograms as unlabeled series, gauges
+// as {aggregate="min"|"max"|"sum"} series, and every member's counters
+// and gauges as {instance,role,shard}-labeled series. Per-instance
+// histograms are JSON-only (the labeled bucket fan-out would dwarf
+// everything else).
+func writeClusterPrometheus(w io.Writer, agg ClusterMetrics) {
+	names := make([]string, 0, len(agg.Cluster.Counters))
+	for n := range agg.Cluster.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		writeHelpType(w, agg, n, "counter")
+		fmt.Fprintf(w, "%s %d\n", n, agg.Cluster.Counters[n])
+		forEachInstance(agg, func(st *InstanceState, labels string) {
+			if v, ok := st.Metrics.Counters[n]; ok {
+				fmt.Fprintf(w, "%s{%s} %d\n", n, labels, v)
+			}
+		})
+	}
+	names = names[:0]
+	for n := range agg.Cluster.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		writeHelpType(w, agg, n, "gauge")
+		g := agg.Cluster.Gauges[n]
+		fmt.Fprintf(w, "%s{aggregate=\"min\"} %s\n", n, formatFloat(g.Min))
+		fmt.Fprintf(w, "%s{aggregate=\"max\"} %s\n", n, formatFloat(g.Max))
+		fmt.Fprintf(w, "%s{aggregate=\"sum\"} %s\n", n, formatFloat(g.Sum))
+		forEachInstance(agg, func(st *InstanceState, labels string) {
+			if v, ok := st.Metrics.Gauges[n]; ok {
+				fmt.Fprintf(w, "%s{%s} %s\n", n, labels, formatFloat(v))
+			}
+		})
+	}
+	names = names[:0]
+	for n := range agg.Cluster.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		writeHelpType(w, agg, n, "histogram")
+		h := agg.Cluster.Histograms[n]
+		var cum int64
+		for i, b := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", n, formatFloat(b), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+			n, h.Count, n, formatFloat(h.Sum), n, h.Count)
+	}
+}
+
+func writeHelpType(w io.Writer, agg ClusterMetrics, name, typ string) {
+	if help := agg.Cluster.Help[name]; help != "" {
+		help = strings.ReplaceAll(help, `\`, `\\`)
+		help = strings.ReplaceAll(help, "\n", `\n`)
+		fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	}
+	fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+}
+
+func forEachInstance(agg ClusterMetrics, f func(st *InstanceState, labels string)) {
+	for _, st := range agg.Instances {
+		labels := fmt.Sprintf("instance=%q,role=%q", st.Identity.Instance, st.Identity.Role)
+		if st.Identity.Shard != "" {
+			labels += fmt.Sprintf(",shard=%q", st.Identity.Shard)
+		}
+		f(st, labels)
+	}
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

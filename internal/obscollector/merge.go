@@ -1,0 +1,157 @@
+package obscollector
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// GaugeRollup is one gauge across the fleet. Gauges do not sum
+// meaningfully in general (an inflight count does, a vocabulary size
+// does not), so the rollup reports the spread and leaves interpretation
+// to the reader.
+type GaugeRollup struct {
+	Min       float64 `json:"min"`
+	Max       float64 `json:"max"`
+	Sum       float64 `json:"sum"`
+	Instances int     `json:"instances"`
+}
+
+// Rollup is the cluster-wide aggregate of every member's snapshot:
+// counters summed, equal-bounds histograms merged bucket-wise (their
+// exemplars pooled and re-capped, so the cluster tail keeps its trace
+// links), gauges as min/max/sum.
+type Rollup struct {
+	Counters   map[string]int64                       `json:"counters"`
+	Gauges     map[string]GaugeRollup                 `json:"gauges"`
+	Histograms map[string]telemetry.HistogramSnapshot `json:"histograms"`
+	// SkewedHistograms names histograms excluded from the rollup
+	// because members disagreed on bucket bounds (merging those would
+	// fabricate counts). Should be empty in a homogeneous fleet.
+	SkewedHistograms []string          `json:"skewed_histograms,omitempty"`
+	Help             map[string]string `json:"help,omitempty"`
+}
+
+// ClusterMetrics is the /debug/cluster/metrics payload: the rollup plus
+// every member's own snapshot.
+type ClusterMetrics struct {
+	ScrapedAt time.Time        `json:"scraped_at"`
+	Cluster   Rollup           `json:"cluster"`
+	Instances []*InstanceState `json:"instances"`
+}
+
+// Aggregate builds the cluster rollup from the members' latest states.
+// Members whose last scrape failed still contribute their stale
+// snapshot (flagged via InstanceState.Err); members never scraped
+// contribute nothing.
+func Aggregate(states map[string]*InstanceState) ClusterMetrics {
+	out := ClusterMetrics{
+		ScrapedAt: time.Now(),
+		Cluster: Rollup{
+			Counters:   map[string]int64{},
+			Gauges:     map[string]GaugeRollup{},
+			Histograms: map[string]telemetry.HistogramSnapshot{},
+			Help:       map[string]string{},
+		},
+	}
+	skewed := map[string]bool{}
+	names := make([]string, 0, len(states))
+	for name := range states {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st := states[name]
+		out.Instances = append(out.Instances, st)
+		snap := st.Metrics
+		for n, v := range snap.Counters {
+			out.Cluster.Counters[n] += v
+		}
+		for n, v := range snap.Gauges {
+			g, ok := out.Cluster.Gauges[n]
+			if !ok {
+				g = GaugeRollup{Min: v, Max: v}
+			}
+			if v < g.Min {
+				g.Min = v
+			}
+			if v > g.Max {
+				g.Max = v
+			}
+			g.Sum += v
+			g.Instances++
+			out.Cluster.Gauges[n] = g
+		}
+		for n, h := range snap.Histograms {
+			if skewed[n] {
+				continue
+			}
+			cur, ok := out.Cluster.Histograms[n]
+			if !ok {
+				out.Cluster.Histograms[n] = copyHistogram(h)
+				continue
+			}
+			merged, ok := mergeHistograms(cur, h)
+			if !ok {
+				skewed[n] = true
+				delete(out.Cluster.Histograms, n)
+				continue
+			}
+			out.Cluster.Histograms[n] = merged
+		}
+		for n, help := range snap.Help {
+			if out.Cluster.Help[n] == "" {
+				out.Cluster.Help[n] = help
+			}
+		}
+	}
+	for n := range skewed {
+		out.Cluster.SkewedHistograms = append(out.Cluster.SkewedHistograms, n)
+	}
+	sort.Strings(out.Cluster.SkewedHistograms)
+	return out
+}
+
+func copyHistogram(h telemetry.HistogramSnapshot) telemetry.HistogramSnapshot {
+	out := telemetry.HistogramSnapshot{
+		Bounds:    append([]float64(nil), h.Bounds...),
+		Counts:    append([]int64(nil), h.Counts...),
+		Sum:       h.Sum,
+		Count:     h.Count,
+		Exemplars: append([]telemetry.Exemplar(nil), h.Exemplars...),
+	}
+	return out
+}
+
+// mergeHistograms adds b into a bucket-wise. Reports false when the two
+// disagree on bounds — counts from different layouts cannot be merged
+// without fabricating data.
+func mergeHistograms(a, b telemetry.HistogramSnapshot) (telemetry.HistogramSnapshot, bool) {
+	if len(a.Bounds) != len(b.Bounds) || len(a.Counts) != len(b.Counts) {
+		return a, false
+	}
+	for i := range a.Bounds {
+		if a.Bounds[i] != b.Bounds[i] {
+			return a, false
+		}
+	}
+	for i := range b.Counts {
+		a.Counts[i] += b.Counts[i]
+	}
+	a.Sum += b.Sum
+	a.Count += b.Count
+	a.Exemplars = mergeExemplars(a.Exemplars, b.Exemplars)
+	return a, true
+}
+
+// mergeExemplars pools two exemplar sets and keeps the ExemplarCap
+// largest, value descending — the cluster-wide tail.
+func mergeExemplars(a, b []telemetry.Exemplar) []telemetry.Exemplar {
+	out := append(append([]telemetry.Exemplar(nil), a...), b...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Value > out[j].Value })
+	if len(out) > telemetry.ExemplarCap {
+		out = out[:telemetry.ExemplarCap]
+	}
+	return out
+}

@@ -1,0 +1,417 @@
+package obscollector
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/shardmap"
+	"repro/internal/telemetry"
+)
+
+func TestTargetsFromTopology(t *testing.T) {
+	topo := &shardmap.Topology{
+		Shards: []shardmap.Shard{
+			{ID: "shard-00", Addr: "127.0.0.1:8091"},
+			{ID: "shard-01", Addr: "http://127.0.0.1:8092"},
+		},
+		Databases: []shardmap.Database{
+			{Name: "db-a", Replicas: []string{"127.0.0.1:9301", "127.0.0.1:9302"}},
+			{Name: "db-b", Replicas: []string{"127.0.0.1:9302", "127.0.0.1:9303"}},
+		},
+	}
+	targets := TargetsFromTopology(topo, "127.0.0.1:8090")
+	// Router + 2 shards + 3 distinct replicas (9302 serves two databases
+	// but is one process).
+	if len(targets) != 6 {
+		t.Fatalf("got %d targets, want 6: %+v", len(targets), targets)
+	}
+	if targets[0].Identity.Role != "router" || targets[0].BaseURL != "http://127.0.0.1:8090" {
+		t.Errorf("router target = %+v", targets[0])
+	}
+	if targets[1].Identity.Shard != "shard-00" || targets[1].Identity.Role != "shard" {
+		t.Errorf("shard target = %+v", targets[1])
+	}
+	if targets[2].BaseURL != "http://127.0.0.1:8092" {
+		t.Errorf("already-schemed shard addr mangled: %q", targets[2].BaseURL)
+	}
+	roles := map[string]int{}
+	for _, tg := range targets {
+		roles[tg.Identity.Role]++
+	}
+	if roles["dbnode"] != 3 {
+		t.Errorf("dbnode targets = %d, want 3 (replica dedup)", roles["dbnode"])
+	}
+
+	if got := TargetsFromTopology(topo, ""); len(got) != 5 {
+		t.Errorf("without router: %d targets, want 5", len(got))
+	}
+}
+
+func histSnap(bounds []float64, counts []int64, sum float64, count int64, ex ...telemetry.Exemplar) telemetry.HistogramSnapshot {
+	return telemetry.HistogramSnapshot{Bounds: bounds, Counts: counts, Sum: sum, Count: count, Exemplars: ex}
+}
+
+func TestAggregateRollup(t *testing.T) {
+	bounds := []float64{0.1, 1}
+	states := map[string]*InstanceState{
+		"a": {
+			Identity: telemetry.Identity{Instance: "a", Role: "shard", Shard: "shard-00"},
+			Metrics: telemetry.Snapshot{
+				Counters: map[string]int64{"requests_total": 3, "only_a_total": 7},
+				Gauges:   map[string]float64{"inflight": 2},
+				Histograms: map[string]telemetry.HistogramSnapshot{
+					"latency": histSnap(bounds, []int64{1, 2, 0}, 0.9, 3,
+						telemetry.Exemplar{Value: 0.8, TraceID: "trace-a"}),
+				},
+				Help: map[string]string{"requests_total": "Requests served."},
+			},
+		},
+		"b": {
+			Identity: telemetry.Identity{Instance: "b", Role: "shard", Shard: "shard-01"},
+			Metrics: telemetry.Snapshot{
+				Counters: map[string]int64{"requests_total": 5},
+				Gauges:   map[string]float64{"inflight": 7},
+				Histograms: map[string]telemetry.HistogramSnapshot{
+					"latency": histSnap(bounds, []int64{0, 1, 1}, 3.1, 2,
+						telemetry.Exemplar{Value: 2.5, TraceID: "trace-b"}),
+				},
+			},
+		},
+	}
+	agg := Aggregate(states)
+	if got := agg.Cluster.Counters["requests_total"]; got != 8 {
+		t.Errorf("requests_total rollup = %d, want 8", got)
+	}
+	if got := agg.Cluster.Counters["only_a_total"]; got != 7 {
+		t.Errorf("only_a_total rollup = %d, want 7", got)
+	}
+	g := agg.Cluster.Gauges["inflight"]
+	if g.Min != 2 || g.Max != 7 || g.Sum != 9 || g.Instances != 2 {
+		t.Errorf("inflight rollup = %+v", g)
+	}
+	h := agg.Cluster.Histograms["latency"]
+	if !reflect.DeepEqual(h.Counts, []int64{1, 3, 1}) || h.Count != 5 || h.Sum != 4.0 {
+		t.Errorf("latency rollup = %+v", h)
+	}
+	// Exemplars pool across members, value-descending.
+	if len(h.Exemplars) != 2 || h.Exemplars[0].TraceID != "trace-b" || h.Exemplars[1].TraceID != "trace-a" {
+		t.Errorf("merged exemplars = %+v", h.Exemplars)
+	}
+	if agg.Cluster.Help["requests_total"] != "Requests served." {
+		t.Errorf("help not propagated: %q", agg.Cluster.Help["requests_total"])
+	}
+	// The source snapshots must not have been mutated by the merge.
+	if states["a"].Metrics.Histograms["latency"].Counts[1] != 2 {
+		t.Error("Aggregate mutated a member's snapshot")
+	}
+	if len(agg.Instances) != 2 || agg.Instances[0].Identity.Instance != "a" {
+		t.Errorf("instances = %+v", agg.Instances)
+	}
+}
+
+func TestAggregateSkewedHistograms(t *testing.T) {
+	states := map[string]*InstanceState{
+		"a": {Metrics: telemetry.Snapshot{Histograms: map[string]telemetry.HistogramSnapshot{
+			"skew": histSnap([]float64{0.1, 1}, []int64{1, 0, 0}, 0.05, 1),
+		}}},
+		"b": {Metrics: telemetry.Snapshot{Histograms: map[string]telemetry.HistogramSnapshot{
+			"skew": histSnap([]float64{0.5, 2}, []int64{1, 0, 0}, 0.3, 1),
+		}}},
+	}
+	agg := Aggregate(states)
+	if _, ok := agg.Cluster.Histograms["skew"]; ok {
+		t.Error("bounds-mismatched histogram was merged anyway")
+	}
+	if !reflect.DeepEqual(agg.Cluster.SkewedHistograms, []string{"skew"}) {
+		t.Errorf("SkewedHistograms = %v", agg.Cluster.SkewedHistograms)
+	}
+}
+
+func TestExemplarMergeCap(t *testing.T) {
+	var a, b []telemetry.Exemplar
+	for i := 0; i < telemetry.ExemplarCap; i++ {
+		a = append(a, telemetry.Exemplar{Value: float64(10 + i), TraceID: fmt.Sprintf("a%d", i)})
+		b = append(b, telemetry.Exemplar{Value: float64(i), TraceID: fmt.Sprintf("b%d", i)})
+	}
+	out := mergeExemplars(a, b)
+	if len(out) != telemetry.ExemplarCap {
+		t.Fatalf("merged exemplars = %d, want cap %d", len(out), telemetry.ExemplarCap)
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].Value > out[i-1].Value {
+			t.Fatalf("exemplars not value-descending: %+v", out)
+		}
+	}
+	if out[0].Value != float64(10+telemetry.ExemplarCap-1) {
+		t.Errorf("largest exemplar lost: %+v", out[0])
+	}
+}
+
+// traceEvents builds a three-process trace: router root → shard child →
+// dbnode grandchild, plus a point event on the shard span and an
+// orphan whose parent no process exported.
+func traceStates(traceID string) map[string]*InstanceState {
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	ev := func(kind, name string, span, parent uint64, at time.Duration, dur float64) telemetry.ExportedEvent {
+		return telemetry.ExportedEvent{Kind: kind, Name: name, Trace: traceID,
+			Span: span, Parent: parent, Time: t0.Add(at), Duration: dur}
+	}
+	return map[string]*InstanceState{
+		"router": {
+			Identity: telemetry.Identity{Instance: "router", Role: "router"},
+			Spans: []telemetry.ExportedEvent{
+				ev("start", "router.search", 1, 0, 0, 0),
+				ev("end", "router.search", 1, 0, 40*time.Millisecond, 0.04),
+			},
+			Queries: []*audit.QueryRecord{{TraceID: traceID, Query: "q"}},
+		},
+		"shard": {
+			Identity: telemetry.Identity{Instance: "shard", Role: "shard", Shard: "shard-00"},
+			Spans: []telemetry.ExportedEvent{
+				ev("start", "search", 100, 1, 5*time.Millisecond, 0),
+				ev("point", "hedge", 100, 0, 12*time.Millisecond, 0),
+				ev("end", "search", 100, 1, 30*time.Millisecond, 0.025),
+				// Orphan: parent 999 was never exported.
+				ev("start", "stray", 200, 999, 6*time.Millisecond, 0),
+			},
+		},
+		"dbnode": {
+			Identity: telemetry.Identity{Instance: "dbnode", Role: "dbnode"},
+			Spans: []telemetry.ExportedEvent{
+				ev("start", "wire.serve", 300, 100, 8*time.Millisecond, 0),
+				ev("end", "wire.serve", 300, 100, 20*time.Millisecond, 0.012),
+			},
+		},
+	}
+}
+
+func TestAssembleTrace(t *testing.T) {
+	states := traceStates("t1")
+	tr := AssembleTrace("t1", states)
+	if tr == nil {
+		t.Fatal("AssembleTrace returned nil")
+	}
+	if tr.Spans != 4 {
+		t.Errorf("spans = %d, want 4", tr.Spans)
+	}
+	if tr.Orphans != 1 {
+		t.Errorf("orphans = %d, want 1", tr.Orphans)
+	}
+	if len(tr.Roots) != 2 {
+		t.Fatalf("roots = %d, want 2 (true root + orphan)", len(tr.Roots))
+	}
+	if !reflect.DeepEqual(tr.Processes, []string{"dbnode", "router", "shard"}) {
+		t.Errorf("processes = %v", tr.Processes)
+	}
+	root := tr.Roots[0]
+	if root.Name != "router.search" || !root.Ended || root.Orphan {
+		t.Fatalf("root = %+v", root)
+	}
+	if len(root.Children) != 1 || root.Children[0].Name != "search" {
+		t.Fatalf("root children = %+v", root.Children)
+	}
+	child := root.Children[0]
+	if child.Identity.Shard != "shard-00" {
+		t.Errorf("child identity = %+v", child.Identity)
+	}
+	if len(child.Events) != 1 || child.Events[0].Name != "hedge" {
+		t.Errorf("child point events = %+v", child.Events)
+	}
+	if len(child.Children) != 1 || child.Children[0].Name != "wire.serve" || child.Children[0].Identity.Role != "dbnode" {
+		t.Fatalf("grandchild = %+v", child.Children)
+	}
+	if !tr.Roots[1].Orphan || tr.Roots[1].Name != "stray" {
+		t.Errorf("orphan root = %+v", tr.Roots[1])
+	}
+	if len(tr.Queries) != 1 || tr.Queries[0].TraceID != "t1" {
+		t.Errorf("queries = %+v", tr.Queries)
+	}
+
+	if AssembleTrace("no-such-trace", states) != nil {
+		t.Error("unknown trace should assemble to nil")
+	}
+}
+
+func TestAssembleTraceEndWithoutStart(t *testing.T) {
+	states := map[string]*InstanceState{
+		"p": {
+			Identity: telemetry.Identity{Instance: "p", Role: "shard"},
+			Spans: []telemetry.ExportedEvent{{
+				Kind: "end", Name: "search", Trace: "t2", Span: 5,
+				Time: time.Date(2026, 8, 8, 12, 0, 1, 0, time.UTC), Duration: 0.5,
+			}},
+		},
+	}
+	tr := AssembleTrace("t2", states)
+	if tr == nil || tr.Spans != 1 {
+		t.Fatalf("trace = %+v", tr)
+	}
+	s := tr.Roots[0]
+	if !s.Ended || s.DurationSeconds != 0.5 {
+		t.Errorf("synthesized span = %+v", s)
+	}
+	// Start is back-derived from end time minus duration.
+	if want := time.Date(2026, 8, 8, 12, 0, 0, 500e6, time.UTC); !s.Start.Equal(want) {
+		t.Errorf("synthesized start = %v, want %v", s.Start, want)
+	}
+}
+
+func TestKnownTraces(t *testing.T) {
+	states := traceStates("t1")
+	later := traceStates("t9")
+	// Shift t9's events later and merge both fleets' spans into one
+	// state set under distinct instances.
+	merged := map[string]*InstanceState{}
+	for k, v := range states {
+		merged[k] = v
+	}
+	for k, v := range later {
+		for i := range v.Spans {
+			v.Spans[i].Time = v.Spans[i].Time.Add(time.Hour)
+		}
+		merged[k+"-9"] = v
+	}
+	traces := KnownTraces(merged)
+	if len(traces) != 2 {
+		t.Fatalf("traces = %+v", traces)
+	}
+	if traces[0].TraceID != "t9" || traces[1].TraceID != "t1" {
+		t.Errorf("traces not newest-first: %+v", traces)
+	}
+	if traces[1].Spans != 4 || traces[1].Processes != 3 {
+		t.Errorf("t1 summary = %+v", traces[1])
+	}
+}
+
+// fakeMember is an httptest fleet member serving a metrics snapshot and
+// a span export.
+func fakeMember(t *testing.T, snap telemetry.Snapshot, spans telemetry.SpanExport, fail *bool) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if fail != nil && *fail {
+			http.Error(w, "down", http.StatusInternalServerError)
+			return
+		}
+		json.NewEncoder(w).Encode(snap)
+	})
+	mux.HandleFunc("/debug/export/spans", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(spans)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestScrapeOnceKeepsStaleStateOnFailure(t *testing.T) {
+	fail := false
+	snap := telemetry.Snapshot{Counters: map[string]int64{"requests_total": 11}}
+	spans := telemetry.SpanExport{Version: telemetry.SpanExportVersion,
+		Events: []telemetry.ExportedEvent{{Kind: "start", Name: "s", Trace: "t", Span: 1}}}
+	srv := fakeMember(t, snap, spans, &fail)
+
+	reg := telemetry.NewRegistry()
+	c, err := New([]Target{{Identity: telemetry.Identity{Instance: "m1", Role: "shard"}, BaseURL: srv.URL}},
+		Options{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ScrapeOnce(context.Background())
+	st := c.States()["m1"]
+	if st == nil || st.Err != "" {
+		t.Fatalf("first scrape = %+v", st)
+	}
+	if st.Metrics.Counters["requests_total"] != 11 || len(st.Spans) != 1 {
+		t.Fatalf("scraped state = %+v", st)
+	}
+
+	fail = true
+	c.ScrapeOnce(context.Background())
+	st = c.States()["m1"]
+	if st.Err == "" {
+		t.Fatal("failed scrape did not record an error")
+	}
+	// Stale beats absent: the previous payload survives under the error.
+	if st.Metrics.Counters["requests_total"] != 11 || len(st.Spans) != 1 {
+		t.Errorf("failed scrape dropped the stale payload: %+v", st)
+	}
+	if got := reg.Snapshot().Counters["collector_scrape_errors_total"]; got != 1 {
+		t.Errorf("collector_scrape_errors_total = %d, want 1", got)
+	}
+}
+
+func TestScrapeRejectsVersionMismatch(t *testing.T) {
+	snap := telemetry.Snapshot{Counters: map[string]int64{"x_total": 1}}
+	spans := telemetry.SpanExport{Version: telemetry.SpanExportVersion + 1,
+		Events: []telemetry.ExportedEvent{{Kind: "start", Name: "s", Trace: "t", Span: 1}}}
+	srv := fakeMember(t, snap, spans, nil)
+	c, err := New([]Target{{Identity: telemetry.Identity{Instance: "m1"}, BaseURL: srv.URL}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ScrapeOnce(context.Background())
+	st := c.States()["m1"]
+	if st.Err != "" {
+		t.Fatalf("metrics scrape should still succeed: %+v", st)
+	}
+	if len(st.Spans) != 0 {
+		t.Error("spans from a future export version were accepted")
+	}
+}
+
+func TestProfileIndexAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	p := &profiler{opts: ProfileOptions{Dir: dir, Keep: 2}}
+	// Instance names keep their dashes after sanitize; the index must
+	// still split stamp/instance/kind correctly.
+	files := []string{
+		"20260808T120000-127.0.0.1_8091-cpu.pprof",
+		"20260808T120100-127.0.0.1_8091-cpu.pprof",
+		"20260808T120200-shard-00-cpu.pprof",
+		"20260808T120000-shard-00-heap.pprof",
+		"not-a-profile.txt",
+	}
+	for _, f := range files {
+		if err := os.WriteFile(filepath.Join(dir, f), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	idx := p.index()
+	if len(idx) != 4 {
+		t.Fatalf("index = %+v", idx)
+	}
+	// Newest first.
+	if idx[0].File != "20260808T120200-shard-00-cpu.pprof" {
+		t.Errorf("index[0] = %+v", idx[0])
+	}
+	if idx[0].Instance != "shard-00" || idx[0].Kind != "cpu" {
+		t.Errorf("dashed instance parsed wrong: %+v", idx[0])
+	}
+	if want := time.Date(2026, 8, 8, 12, 2, 0, 0, time.UTC); !idx[0].Time.Equal(want) {
+		t.Errorf("stamp parsed wrong: %v", idx[0].Time)
+	}
+
+	p.prune()
+	idx = p.index()
+	kinds := map[string]int{}
+	for _, pi := range idx {
+		kinds[pi.Kind]++
+	}
+	if kinds["cpu"] != 2 || kinds["heap"] != 1 {
+		t.Errorf("after prune: %+v", idx)
+	}
+	for _, pi := range idx {
+		if pi.File == "20260808T120000-127.0.0.1_8091-cpu.pprof" {
+			t.Error("prune kept the oldest cpu profile")
+		}
+	}
+}

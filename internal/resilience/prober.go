@@ -57,6 +57,8 @@ func NewProber(set *Set, targets []ProbeTarget, opts ProberOptions) *Prober {
 	if opts.Timeout <= 0 {
 		opts.Timeout = time.Second
 	}
+	opts.Metrics.Describe("health_probes_total", "Background health probes sent to non-closed breaker targets.")
+	opts.Metrics.Describe("health_probe_failures_total", "Background health probes that failed.")
 	return &Prober{
 		set:      set,
 		targets:  targets,

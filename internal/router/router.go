@@ -85,6 +85,15 @@ type Router struct {
 	shardErrors *telemetry.Counter
 	shardSkips  *telemetry.Counter
 	dedupDrops  *telemetry.Counter
+
+	probeMu   sync.Mutex
+	lastProbe map[string]probeResult // shard ID → latest background probe
+}
+
+// probeResult is the outcome of one background health probe.
+type probeResult struct {
+	err string // "" = ok
+	at  time.Time
 }
 
 var _ gateway.Searcher = (*Router)(nil)
@@ -124,10 +133,23 @@ func New(topo *shardmap.Topology, opts Options) (*Router, error) {
 		shardErrors: opts.Metrics.Counter("router_shard_errors_total"),
 		shardSkips:  opts.Metrics.Counter("router_shard_skipped_total"),
 		dedupDrops:  opts.Metrics.Counter("router_dedup_dropped_total"),
+		lastProbe:   make(map[string]probeResult),
 	}
 	// Pre-create the latency series so /metrics shows the schema at zero.
 	opts.Metrics.Histogram("router_fanout_latency", nil)
 	opts.Metrics.Histogram("router_merge_latency", nil)
+	for _, d := range []struct{ name, help string }{
+		{"router_requests_total", "Queries accepted by the cluster router."},
+		{"router_errors_total", "Queries the router failed because no shard answered."},
+		{"router_shard_calls_total", "Per-shard /v1/search calls issued by the router."},
+		{"router_shard_errors_total", "Per-shard /v1/search calls that failed."},
+		{"router_shard_skipped_total", "Per-shard calls held back by an open circuit breaker."},
+		{"router_dedup_dropped_total", "Merged results dropped as duplicate (database, doc id) pairs from replicated shards."},
+		{"router_fanout_latency", "Wall time of the scatter-gather over all shards, seconds."},
+		{"router_merge_latency", "Wall time of the deterministic cluster merge, seconds."},
+	} {
+		opts.Metrics.Describe(d.name, d.help)
+	}
 	return r, nil
 }
 
@@ -143,13 +165,52 @@ func (r *Router) Shards() []shardmap.Shard {
 
 // ProbeTargets returns one health-probe target per shard, keyed like
 // the per-shard breakers, pinging the shard gateway's /v1/healthz.
+// Every probe's outcome is remembered for ShardHealth.
 func (r *Router) ProbeTargets() []resilience.ProbeTarget {
 	out := make([]resilience.ProbeTarget, len(r.shards))
 	for i, s := range r.shards {
-		addr := s.Addr
-		out[i] = resilience.ProbeTarget{Name: s.ID, Ping: func(ctx context.Context) error {
-			return r.ping(ctx, addr)
+		id, addr := s.ID, s.Addr
+		out[i] = resilience.ProbeTarget{Name: id, Ping: func(ctx context.Context) error {
+			err := r.ping(ctx, addr)
+			res := probeResult{at: time.Now()}
+			if err != nil {
+				res.err = err.Error()
+			}
+			r.probeMu.Lock()
+			r.lastProbe[id] = res
+			r.probeMu.Unlock()
+			return err
 		}}
+	}
+	return out
+}
+
+// ShardHealth summarizes every shard's health as the router sees it:
+// the breaker state gating its traffic plus the latest background probe
+// outcome. Wire it into gateway.Options.ShardHealth so the router's
+// /v1/healthz answers for the whole fleet behind it. (The prober only
+// probes non-closed breakers, so a shard that never failed reports no
+// probe result — absence of evidence is health here.)
+func (r *Router) ShardHealth() []wire.ShardHealth {
+	out := make([]wire.ShardHealth, len(r.shards))
+	r.probeMu.Lock()
+	defer r.probeMu.Unlock()
+	for i, s := range r.shards {
+		state := r.breakers.Get(s.ID).State().String()
+		sh := wire.ShardHealth{
+			ID:      s.ID,
+			Addr:    s.Addr,
+			Breaker: state,
+			Healthy: state != "open",
+		}
+		if p, ok := r.lastProbe[s.ID]; ok {
+			sh.LastProbe = p.err
+			if p.err == "" {
+				sh.LastProbe = "ok"
+			}
+			sh.LastProbeUnixMs = p.at.UnixMilli()
+		}
+		out[i] = sh
 	}
 	return out
 }
@@ -195,10 +256,18 @@ type shardReply struct {
 func (r *Router) SearchExplained(ctx context.Context, query string, maxDBs, perDB int) (*repro.SearchResponse, error) {
 	r.requests.Inc()
 	start := time.Now()
-	span := r.tracer.Span("router.search",
+	attrs := []telemetry.Attr{
 		telemetry.String("query", query),
 		telemetry.Int("max_dbs", maxDBs),
-		telemetry.Int("per_db", perDB))
+		telemetry.Int("per_db", perDB)}
+	var span *telemetry.Span
+	// Join the caller's trace when one was propagated (the gateway puts
+	// the extracted context in ctx); otherwise this fan-out roots it.
+	if remote := telemetry.RemoteFromContext(ctx); remote.Valid() {
+		span = r.tracer.SpanWithRemoteParent("router.search", remote, attrs...)
+	} else {
+		span = r.tracer.Span("router.search", attrs...)
+	}
 	defer span.End()
 
 	if _, ok := ctx.Deadline(); !ok && r.timeout > 0 {
@@ -244,7 +313,7 @@ func (r *Router) SearchExplained(ctx context.Context, query string, maxDBs, perD
 	}
 	wg.Wait()
 	fanout := time.Since(start)
-	r.reg.Histogram("router_fanout_latency", nil).Observe(fanout.Seconds())
+	r.reg.Histogram("router_fanout_latency", nil).ObserveExemplar(fanout.Seconds(), span.Context().TraceID)
 
 	tMerge := time.Now()
 	resp, ok := r.merge(replies, query)

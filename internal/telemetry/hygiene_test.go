@@ -1,0 +1,108 @@
+package telemetry_test
+
+// Fleet-wide metric hygiene: every series any serving component
+// registers must carry help text, use snake_case, and keep one type per
+// name. The test boots the real components (metasearcher pipeline,
+// gateway, router, wire server/client, prober, cluster collector) the
+// way the commands do and walks their registries, so adding a sloppy
+// metric anywhere fails here, not in a dashboard.
+
+import (
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/gateway"
+	"repro/internal/obscollector"
+	"repro/internal/resilience"
+	"repro/internal/router"
+	"repro/internal/shardmap"
+	"repro/internal/telemetry"
+	"repro/internal/wire"
+)
+
+func TestFleetMetricHygiene(t *testing.T) {
+	// A standalone metasearcher's registry: pipeline, cache, breaker,
+	// replica, and (via gateway.New over it) gateway series.
+	m := repro.New(repro.Options{
+		SampleSize:    8,
+		SeedLexicon:   []string{"alpha", "beta"},
+		KeepStopwords: true,
+		NoStemming:    true,
+		Cache:         repro.CacheConfig{Size: 8},
+	})
+	gateway.New(m, gateway.Options{Metrics: m.Metrics()})
+	wire.NewServer(repro.NewLocalDatabaseFromTerms("db", [][]string{{"alpha"}}),
+		wire.ServerOptions{Metrics: m.Metrics()})
+	wire.NewClient("127.0.0.1:0", wire.ClientOptions{Metrics: m.Metrics()})
+	resilience.NewProber(m.Breakers(), nil, resilience.ProberOptions{Metrics: m.Metrics()})
+
+	// The cluster router's registry.
+	routerReg := telemetry.NewRegistry()
+	topo := &shardmap.Topology{
+		Version:   shardmap.TopologyVersion,
+		Shards:    []shardmap.Shard{{ID: "shard-00", Addr: "127.0.0.1:0"}},
+		Databases: []shardmap.Database{{Name: "db", Replicas: []string{"127.0.0.1:0"}}},
+	}
+	if _, err := router.New(topo, router.Options{
+		Metrics:  routerReg,
+		Breakers: resilience.NewSet(resilience.BreakerOptions{}, routerReg),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	gateway.New(m, gateway.Options{Metrics: routerReg})
+
+	// The collector's own registry.
+	collectorReg := telemetry.NewRegistry()
+	if _, err := obscollector.New(nil, obscollector.Options{Metrics: collectorReg}); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, reg := range []struct {
+		name string
+		reg  *telemetry.Registry
+	}{
+		{"metasearcher", m.Metrics()},
+		{"router", routerReg},
+		{"collector", collectorReg},
+	} {
+		snap := reg.reg.Snapshot()
+		if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms)+len(snap.Windows) == 0 {
+			t.Fatalf("%s registry is empty; the test is not exercising real components", reg.name)
+		}
+		for _, problem := range snap.Hygiene() {
+			t.Errorf("%s registry: %s", reg.name, problem)
+		}
+	}
+}
+
+// TestHygieneCatchesViolations proves the checker can actually fail:
+// a registry with a help-less, CamelCased, type-colliding series must
+// report all three problems.
+func TestHygieneCatchesViolations(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("no_help_total")
+	reg.Describe("BadName", "Described but CamelCase.")
+	reg.Counter("BadName")
+	reg.Describe("twice", "Registered as two types.")
+	reg.Counter("twice")
+	reg.Gauge("twice")
+	reg.Describe("trailing_", "Trailing underscore.")
+	reg.Counter("trailing_")
+	reg.Describe("double__under", "Double underscore.")
+	reg.Counter("double__under")
+
+	problems := reg.Snapshot().Hygiene()
+	for _, want := range []string{"no_help_total", "BadName", "twice", "trailing_", "double__under"} {
+		found := false
+		for _, p := range problems {
+			if strings.Contains(p, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("hygiene missed the %q violation; got %v", want, problems)
+		}
+	}
+}

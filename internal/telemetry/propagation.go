@@ -75,3 +75,25 @@ func SpanFromContext(ctx context.Context) *Span {
 	s, _ := ctx.Value(spanCtxKey{}).(*Span)
 	return s
 }
+
+// remoteCtxKey keys a remote parent span context in a context.Context.
+type remoteCtxKey struct{}
+
+// ContextWithRemote returns a context carrying a remote parent span
+// context — the identity Extract pulled off an incoming request — so a
+// downstream layer that roots its own span (SearchExplained) can join
+// the caller's trace with SpanWithRemoteParent instead of minting a
+// fresh trace ID. An invalid context leaves ctx unchanged.
+func ContextWithRemote(ctx context.Context, sc SpanContext) context.Context {
+	if !sc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, remoteCtxKey{}, sc)
+}
+
+// RemoteFromContext returns the remote parent span context carried by
+// ctx (zero, i.e. !Valid(), when absent).
+func RemoteFromContext(ctx context.Context) SpanContext {
+	sc, _ := ctx.Value(remoteCtxKey{}).(SpanContext)
+	return sc
+}

@@ -84,7 +84,29 @@ type Histogram struct {
 	counts []atomic.Int64 // len(bounds)+1; last is +Inf
 	sum    Gauge
 	count  atomic.Int64
+
+	exMu      sync.Mutex
+	exemplars []Exemplar // sorted by Value descending, at most ExemplarCap
 }
+
+// Exemplar ties one concrete observation — typically a slow one — to
+// the trace that produced it, so a tail-latency spike in a histogram
+// links directly to a full distributed trace of an offending request.
+type Exemplar struct {
+	Value   float64   `json:"value"`
+	TraceID string    `json:"trace_id"`
+	Time    time.Time `json:"time"`
+}
+
+// ExemplarCap bounds how many exemplars a histogram retains; only the
+// largest recent observations keep their trace IDs.
+const ExemplarCap = 4
+
+// ExemplarMaxAge is how long an exemplar may block smaller observations
+// from replacing it. Without an age bound the all-time-slowest query
+// would pin an exemplar whose trace has long been evicted from every
+// span ring.
+const ExemplarMaxAge = 5 * time.Minute
 
 func newHistogram(bounds []float64) *Histogram {
 	owned := make([]float64, len(bounds))
@@ -110,6 +132,50 @@ func (h *Histogram) ObserveSince(start time.Time) {
 		return
 	}
 	h.Observe(time.Since(start).Seconds())
+}
+
+// ObserveExemplar records one value and, when traceID is non-empty,
+// offers it as an exemplar: the histogram keeps the ExemplarCap largest
+// recent observations with their trace IDs. An exemplar older than
+// ExemplarMaxAge is replaced regardless of value, so the set tracks the
+// current tail, not the process's all-time record.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	now := time.Now()
+	h.exMu.Lock()
+	defer h.exMu.Unlock()
+	// Drop expired entries first — their traces are likely gone.
+	kept := h.exemplars[:0]
+	for _, e := range h.exemplars {
+		if now.Sub(e.Time) <= ExemplarMaxAge {
+			kept = append(kept, e)
+		}
+	}
+	h.exemplars = kept
+	h.exemplars = append(h.exemplars, Exemplar{Value: v, TraceID: traceID, Time: now})
+	sort.SliceStable(h.exemplars, func(a, b int) bool { return h.exemplars[a].Value > h.exemplars[b].Value })
+	if len(h.exemplars) > ExemplarCap {
+		h.exemplars = h.exemplars[:ExemplarCap]
+	}
+}
+
+// Exemplars returns a copy of the histogram's current exemplars, value
+// descending.
+func (h *Histogram) Exemplars() []Exemplar {
+	if h == nil {
+		return nil
+	}
+	h.exMu.Lock()
+	defer h.exMu.Unlock()
+	out := make([]Exemplar, len(h.exemplars))
+	copy(out, h.exemplars)
+	return out
 }
 
 // Count returns the number of observations.
@@ -231,6 +297,7 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	windows  map[string]*Window
+	help     map[string]string
 }
 
 // NewRegistry creates an empty registry.
@@ -240,7 +307,31 @@ func NewRegistry() *Registry {
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 		windows:  make(map[string]*Window),
+		help:     make(map[string]string),
 	}
+}
+
+// Describe attaches help text to the named series, rendered as the
+// Prometheus # HELP line and carried in snapshots. Every series a
+// package registers should be described — the metric-hygiene check
+// (Snapshot.Hygiene) fails series without help. Later calls overwrite.
+func (r *Registry) Describe(name, help string) {
+	if r == nil || help == "" {
+		return
+	}
+	r.mu.Lock()
+	r.help[name] = help
+	r.mu.Unlock()
+}
+
+// Help returns the help text described for name ("" when absent).
+func (r *Registry) Help(name string) string {
+	if r == nil {
+		return ""
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.help[name]
 }
 
 // Counter returns the named counter, creating it on first use.
@@ -338,6 +429,10 @@ type HistogramSnapshot struct {
 	Counts []int64   `json:"counts"`
 	Sum    float64   `json:"sum"`
 	Count  int64     `json:"count"`
+	// Exemplars are the largest recent observations with their trace
+	// IDs (value descending), linking the histogram's tail to full
+	// distributed traces.
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
 }
 
 // Quantile estimates the q-th quantile (0 <= q <= 1) from the bucket
@@ -397,6 +492,9 @@ type Snapshot struct {
 	Gauges     map[string]float64           `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 	Windows    map[string]WindowSnapshot    `json:"windows,omitempty"`
+	// Help carries the described help text of the snapshot's series
+	// (name → help), rendered as # HELP lines.
+	Help map[string]string `json:"help,omitempty"`
 }
 
 // Snapshot copies the registry's current state. Individual metric reads
@@ -407,6 +505,7 @@ func (r *Registry) Snapshot() Snapshot {
 		Gauges:     map[string]float64{},
 		Histograms: map[string]HistogramSnapshot{},
 		Windows:    map[string]WindowSnapshot{},
+		Help:       map[string]string{},
 	}
 	if r == nil {
 		return snap
@@ -421,10 +520,11 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for name, h := range r.hists {
 		hs := HistogramSnapshot{
-			Bounds: h.bounds,
-			Counts: make([]int64, len(h.counts)),
-			Sum:    h.Sum(),
-			Count:  h.Count(),
+			Bounds:    h.bounds,
+			Counts:    make([]int64, len(h.counts)),
+			Sum:       h.Sum(),
+			Count:     h.Count(),
+			Exemplars: h.Exemplars(),
 		}
 		for i := range h.counts {
 			hs.Counts[i] = h.counts[i].Load()
@@ -433,6 +533,9 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for name, w := range r.windows {
 		snap.Windows[name] = w.snapshot()
+	}
+	for name, help := range r.help {
+		snap.Help[name] = help
 	}
 	return snap
 }

@@ -14,20 +14,29 @@ import (
 // WritePrometheus renders the snapshot in the Prometheus text
 // exposition format (version 0.0.4): counters and gauges as single
 // series, histograms as cumulative _bucket{le="..."} series plus _sum
-// and _count.
+// and _count. Series with described help text get a # HELP line.
 func (s Snapshot) WritePrometheus(w io.Writer) error {
 	for _, name := range sortedKeys(s.Counters) {
+		if err := s.writeHelp(w, name); err != nil {
+			return err
+		}
 		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, s.Counters[name]); err != nil {
 			return err
 		}
 	}
 	for _, name := range sortedKeys(s.Gauges) {
+		if err := s.writeHelp(w, name); err != nil {
+			return err
+		}
 		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, formatFloat(s.Gauges[name])); err != nil {
 			return err
 		}
 	}
 	for _, name := range sortedKeys(s.Histograms) {
 		h := s.Histograms[name]
+		if err := s.writeHelp(w, name); err != nil {
+			return err
+		}
 		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
 			return err
 		}
@@ -45,6 +54,9 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 	}
 	for _, name := range sortedKeys(s.Windows) {
 		ws := s.Windows[name]
+		if err := s.writeHelp(w, name); err != nil {
+			return err
+		}
 		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", name); err != nil {
 			return err
 		}
@@ -61,6 +73,20 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// writeHelp emits the # HELP line for name when help text was
+// described; help text escapes backslash and newline per the exposition
+// format.
+func (s Snapshot) writeHelp(w io.Writer, name string) error {
+	help, ok := s.Help[name]
+	if !ok || help == "" {
+		return nil
+	}
+	help = strings.ReplaceAll(help, `\`, `\\`)
+	help = strings.ReplaceAll(help, "\n", `\n`)
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	return err
 }
 
 // escapeLabel escapes a Prometheus label value: backslash, double

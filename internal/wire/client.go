@@ -153,6 +153,22 @@ func NewClient(addr string, opts ClientOptions) *Client {
 		latency:     reg.Histogram("wire_request_latency", nil),
 		latencyWin:  reg.Window("wire_request_latency_window", 0),
 	}
+	for _, d := range []struct{ name, help string }{
+		{"wire_requests_total", "Wire-protocol calls issued by this client (all endpoints)."},
+		{"wire_requests_info_total", "Wire /v1/info calls issued."},
+		{"wire_requests_query_total", "Wire /v1/query calls issued."},
+		{"wire_requests_doc_total", "Wire /v1/doc calls issued."},
+		{"wire_client_attempts_total", "HTTP attempts including retries, across all wire calls."},
+		{"wire_request_errors_total", "Wire calls that failed after exhausting retries."},
+		{"wire_client_retries_total", "Retry attempts after transient wire failures."},
+		{"wire_client_sheds_total", "Wire attempts the node shed with 429 (backpressure)."},
+		{"wire_health_probes_total", "Wire /v1/health probes issued."},
+		{"wire_client_inflight", "Wire calls currently in flight from this client."},
+		{"wire_request_latency", "Per-call wire latency including retries, seconds."},
+		{"wire_request_latency_window", "Sliding-window p50/p95/p99 of wire call latency, seconds."},
+	} {
+		reg.Describe(d.name, d.help)
+	}
 	if opts.randFloat == nil {
 		c.jitter = rand.New(rand.NewSource(time.Now().UnixNano()))
 	}

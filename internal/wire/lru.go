@@ -41,6 +41,14 @@ func newDocCache(capacity int, reg *telemetry.Registry) *docCache {
 	misses := reg.Counter("wire_doc_cache_misses_total")
 	evictions := reg.Counter("wire_doc_cache_evictions_total")
 	entries := reg.Gauge("wire_doc_cache_entries")
+	for _, d := range []struct{ name, help string }{
+		{"wire_doc_cache_hits_total", "Document fetches served from the client's LRU doc cache."},
+		{"wire_doc_cache_misses_total", "Document fetches that went to the node."},
+		{"wire_doc_cache_evictions_total", "Documents evicted from the client's LRU doc cache."},
+		{"wire_doc_cache_entries", "Documents currently held in the client's LRU doc cache."},
+	} {
+		reg.Describe(d.name, d.help)
+	}
 	if capacity <= 0 {
 		return nil
 	}

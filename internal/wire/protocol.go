@@ -104,6 +104,30 @@ type HealthResponse struct {
 	// cluster). Both additive: older peers ignore them.
 	Version string `json:"version,omitempty"`
 	ShardID string `json:"shard_id,omitempty"`
+	// Shards is the per-shard health summary a cluster router reports
+	// (breaker state + last probe result per shard), so one health call
+	// covers the fleet behind it. Additive: empty outside the router.
+	Shards []ShardHealth `json:"shards,omitempty"`
+}
+
+// ShardHealth is one shard's health as seen by the router in front of
+// it.
+type ShardHealth struct {
+	// ID and Addr name the shard in the topology.
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+	// Breaker is the router's circuit-breaker state for the shard:
+	// "closed" (healthy), "half_open" (probing), "open" (routed around).
+	Breaker string `json:"breaker"`
+	// Healthy is the operator's one-bit answer: the breaker admits
+	// traffic (closed or half-open).
+	Healthy bool `json:"healthy"`
+	// LastProbe reports the most recent background health probe:
+	// "ok", or the error string. Probes only run against non-closed
+	// breakers, so a shard that never failed has no probe result ("").
+	LastProbe string `json:"last_probe,omitempty"`
+	// LastProbeUnixMs is when that probe finished (0 = never probed).
+	LastProbeUnixMs int64 `json:"last_probe_unix_ms,omitempty"`
 }
 
 // Error codes shared by server and client.

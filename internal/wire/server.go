@@ -90,6 +90,14 @@ func NewNode(db Backend, opts ServerOptions) *Node {
 		shed:     opts.Metrics.Counter("wire_server_shed_total"),
 		inflight: opts.Metrics.Gauge("wire_server_inflight"),
 	}
+	for _, d := range []struct{ name, help string }{
+		{"wire_server_requests_total", "Wire-protocol requests served by this node."},
+		{"wire_server_errors_total", "Wire requests this node answered with an error envelope."},
+		{"wire_server_shed_total", "Wire requests shed with 429 by the node's admission gate."},
+		{"wire_server_inflight", "Wire requests this node is serving right now."},
+	} {
+		opts.Metrics.Describe(d.name, d.help)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET "+PathInfo, n.info)
 	mux.HandleFunc("POST "+PathQuery, n.query)

@@ -496,57 +496,72 @@ func (m *Metasearcher) hedgeThreshold() time.Duration {
 // audit.Log method is nil-safe, so callers need no guard.
 func (m *Metasearcher) Audit() *audit.Log { return m.audit }
 
-// registerPipelineMetrics pre-creates every pipeline series so an
-// exposition endpoint shows the full schema (at zero) before traffic
-// arrives. The names are documented in DESIGN.md §8.
+// registerPipelineMetrics pre-creates every pipeline series (with its
+// help text) so an exposition endpoint shows the full schema (at zero)
+// before traffic arrives. The names are documented in DESIGN.md §8; the
+// metric-hygiene test fails any series registered without help.
 func registerPipelineMetrics(reg *telemetry.Registry) {
-	for _, c := range []string{
-		"build_runs_total",
-		"sampling_queries_total",
-		"sampling_docs_fetched_total",
-		"classify_probes_total",
-		"em_runs_total",
-		"em_iterations_total",
-		"adaptive_shrinkage_applied_total",
-		"adaptive_shrinkage_skipped_total",
-		"adaptive_mc_samples_total",
-		"adaptive_queries_total",
-		"adaptive_queries_shrunk_total",
-		"select_requests_total",
-		"search_requests_total",
-		"search_db_unavailable_total",
-		"search_results_merged_total",
-		"search_hedges_total",
-		"search_hedge_wins_total",
-		"search_breaker_open_total",
-		"search_sheds_total",
-		"search_out_of_scope_total",
-		"replica_failover_total",
-		"replica_exhausted_total",
-		"concurrency_tasks_started_total",
-		"concurrency_tasks_failed_total",
+	for _, c := range []struct{ name, help string }{
+		{"build_runs_total", "BuildSummaries pipeline runs (sample, classify, shrink)."},
+		{"sampling_queries_total", "Query-based-sampling probe queries sent to databases."},
+		{"sampling_docs_fetched_total", "Documents fetched while sampling database content."},
+		{"classify_probes_total", "Classification probe queries sent during hierarchy placement."},
+		{"em_runs_total", "EM shrinkage estimations run (one per database)."},
+		{"em_iterations_total", "Total EM iterations across all shrinkage runs."},
+		{"adaptive_shrinkage_applied_total", "Per-query decisions that used the shrunk summary."},
+		{"adaptive_shrinkage_skipped_total", "Per-query decisions that kept the unshrunk summary."},
+		{"adaptive_mc_samples_total", "Monte-Carlo samples drawn for adaptive shrinkage decisions."},
+		{"adaptive_queries_total", "Queries that went through the adaptive shrinkage decision."},
+		{"adaptive_queries_shrunk_total", "Queries whose selection used at least one shrunk summary."},
+		{"select_requests_total", "Database-selection requests (Select and the search pipeline)."},
+		{"search_requests_total", "Search requests through SearchExplained/SearchContext."},
+		{"search_db_unavailable_total", "Selected databases skipped because no live handle existed."},
+		{"search_results_merged_total", "Documents merged into final rankings across all searches."},
+		{"search_hedges_total", "Hedge requests launched against slow database calls."},
+		{"search_hedge_wins_total", "Hedge requests that beat their primary attempt."},
+		{"search_breaker_open_total", "Database calls short-circuited by an open breaker."},
+		{"search_sheds_total", "Database call attempts shed by a node's admission gate (429)."},
+		{"search_out_of_scope_total", "Selected databases skipped as owned by another cluster shard."},
+		{"replica_failover_total", "Database calls that failed over to a non-preferred replica."},
+		{"replica_exhausted_total", "Database calls that ran out of replicas entirely."},
+		{"concurrency_tasks_started_total", "Tasks started by the pipeline's bounded worker pools."},
+		{"concurrency_tasks_failed_total", "Worker-pool tasks that returned an error."},
 	} {
-		reg.Counter(c)
+		reg.Counter(c.name)
+		reg.Describe(c.name, c.help)
 	}
-	for _, g := range []string{"build_databases", "em_iterations", "sampling_vocab_size"} {
-		reg.Gauge(g)
+	for _, g := range []struct{ name, help string }{
+		{"build_databases", "Databases covered by the latest BuildSummaries run."},
+		{"em_iterations", "EM iterations of the most recent shrinkage run."},
+		{"sampling_vocab_size", "Distinct terms in the most recently sampled vocabulary."},
+	} {
+		reg.Gauge(g.name)
+		reg.Describe(g.name, g.help)
 	}
-	for _, h := range []string{
-		"build_latency", "select_latency", "search_latency", "search_db_latency",
+	for _, h := range []struct{ name, help string }{
+		{"build_latency", "Wall time of BuildSummaries runs, seconds."},
+		{"select_latency", "Latency of database-selection decisions, seconds."},
+		{"search_latency", "End-to-end search latency, seconds."},
+		{"search_db_latency", "Per-database query-call latency inside the fan-out, seconds."},
 		// Per-stage decomposition of search_latency: cache lookup →
 		// selection → fan-out → merge. Percentiles export via
 		// telemetry.HistogramSnapshot.Quantile.
-		"search_stage_cache_latency",
-		"search_stage_selection_latency",
-		"search_stage_fanout_latency",
-		"search_stage_merge_latency",
+		{"search_stage_cache_latency", "Search time spent in cache lookup and bookkeeping, seconds."},
+		{"search_stage_selection_latency", "Search time spent in database selection, seconds."},
+		{"search_stage_fanout_latency", "Search time spent in the parallel database fan-out, seconds."},
+		{"search_stage_merge_latency", "Search time spent merging and ranking results, seconds."},
 	} {
-		reg.Histogram(h, nil)
+		reg.Histogram(h.name, nil)
+		reg.Describe(h.name, h.help)
 	}
 	// Sliding-window latency quantiles (p50/p95/p99 of recent requests,
 	// where the histograms above accumulate since process start).
-	for _, w := range []string{"select_latency_window", "search_latency_window"} {
-		reg.Window(w, 0)
+	for _, w := range []struct{ name, help string }{
+		{"select_latency_window", "Sliding-window p50/p95/p99 of selection latency, seconds."},
+		{"search_latency_window", "Sliding-window p50/p95/p99 of search latency, seconds."},
+	} {
+		reg.Window(w.name, 0)
+		reg.Describe(w.name, w.help)
 	}
 }
 

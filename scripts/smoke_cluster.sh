@@ -12,6 +12,12 @@
 # run is driven through the router while the cluster is healthy and
 # merged into the file's "cluster_serving" section — the cluster
 # counterpart of scripts/loadtest.sh. $QPS and $DURATION tune it.
+#
+# A -collect observability collector is always booted against the full
+# topology (all nine processes): the smoke asserts the fleet metrics
+# rollup and one assembled cross-process trace. With $COLLECTOR_OUT
+# set, the aggregated cluster snapshot is saved there (a CI artifact
+# alongside the BENCH file).
 set -eu
 
 GO="${GO:-go}"
@@ -187,6 +193,83 @@ assert_results() {
 
 assert_results "all replicas up"
 echo "smoke-cluster: query answered with all replicas up"
+
+# The router's health endpoint must report every shard's breaker state
+# (satellite of the observability PR: one healthz call answers for the
+# whole fleet behind the router).
+RHEALTH="$(curl -fsS "http://$ROUTER/v1/healthz")"
+case "$RHEALTH" in
+*'"shards":'*'"breaker":"closed"'*) ;;
+*)
+    echo "smoke-cluster: router healthz does not report per-shard breaker state: $RHEALTH" >&2
+    exit 1
+    ;;
+esac
+
+# Boot the observability collector against the same topology: it
+# scrapes all nine processes (router, 2 shards, 6 dbnode replicas) and
+# serves the fleet rollup and stitched traces.
+"$TMP/metasearch" -collect -topology "$TMP/topo.json" -collect-router "$ROUTER" \
+    -scrape-interval 300ms -serve 127.0.0.1:0 >"$TMP/collector.log" 2>&1 &
+PIDS="$PIDS $!"
+COLLECTOR=""
+for _ in $(seq 1 150); do
+    COLLECTOR="$(sed -n 's|.*observability on http://||p' "$TMP/collector.log" | head -n 1 | cut -d/ -f1)"
+    [ -n "$COLLECTOR" ] && break
+    sleep 0.2
+done
+if [ -z "$COLLECTOR" ]; then
+    echo "smoke-cluster: collector never came up" >&2
+    cat "$TMP/collector.log" >&2
+    exit 1
+fi
+echo "smoke-cluster: collector up at $COLLECTOR"
+
+# A traced query through the router: its X-Trace-Id must show up —
+# within a scrape interval or two — as an assembled cross-process trace
+# with spans from at least the router, a shard, and a dbnode.
+TID="$(curl -fsS -D - -o /dev/null "http://$ROUTER/v1/search?q=$Q" | tr -d '\r' | sed -n 's/^[Xx]-[Tt]race-[Ii]d: //p' | head -n 1)"
+if [ -z "$TID" ]; then
+    echo "smoke-cluster: router search response carries no X-Trace-Id" >&2
+    exit 1
+fi
+NPROCS=0
+for _ in $(seq 1 50); do
+    TRACE="$(curl -fsS "http://$COLLECTOR/debug/cluster/trace/$TID" 2>/dev/null | tr -d '\n ')" || TRACE=""
+    case "$TRACE" in
+    *'"roots":'*)
+        NPROCS="$(printf '%s' "$TRACE" | sed -n 's/.*"processes":\[\([^]]*\)\].*/\1/p' | tr ',' '\n' | grep -c '"' || true)"
+        [ "$NPROCS" -ge 3 ] && break
+        ;;
+    esac
+    sleep 0.2
+done
+if [ "$NPROCS" -lt 3 ]; then
+    echo "smoke-cluster: trace $TID never assembled across >=3 processes (got $NPROCS)" >&2
+    cat "$TMP/collector.log" >&2
+    exit 1
+fi
+echo "smoke-cluster: trace $TID assembled across $NPROCS processes"
+
+# The aggregated metrics rollup must carry fleet-wide series in the
+# Prometheus rendering (unlabeled rollup + per-instance labeled lines).
+PROM="$(curl -fsS "http://$COLLECTOR/debug/cluster/metrics")"
+for series in 'gateway_requests_total ' 'wire_requests_total ' 'gateway_requests_total{instance='; do
+    case "$PROM" in
+    *"$series"*) ;;
+    *)
+        echo "smoke-cluster: cluster metrics rollup is missing $series" >&2
+        printf '%s\n' "$PROM" | head -n 40 >&2
+        exit 1
+        ;;
+    esac
+done
+echo "smoke-cluster: fleet metrics rollup serving"
+
+if [ -n "${COLLECTOR_OUT:-}" ]; then
+    curl -fsS "http://$COLLECTOR/debug/cluster/metrics?format=json" >"$COLLECTOR_OUT"
+    echo "smoke-cluster: cluster snapshot saved to $COLLECTOR_OUT"
+fi
 
 # Optional measured run: a second router process in -loadtest mode fans
 # the open-loop workload out to the same (healthy) shards and merges

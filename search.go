@@ -132,13 +132,25 @@ func (m *Metasearcher) SearchExplained(ctx context.Context, query string, maxDBs
 	if perDB <= 0 {
 		perDB = 10
 	}
-	span := m.tracer.Span("search",
+	attrs := []telemetry.Attr{
 		telemetry.String("query", query),
 		telemetry.Int("max_dbs", maxDBs),
-		telemetry.Int("per_db", perDB))
+		telemetry.Int("per_db", perDB)}
+	var span *telemetry.Span
+	// When the request arrived traced from another process (the cluster
+	// router propagating through the gateway), parent the search under
+	// the remote span so the whole fan-out is one cross-process trace;
+	// otherwise this call roots its own trace.
+	if remote := telemetry.RemoteFromContext(ctx); remote.Valid() {
+		span = m.tracer.SpanWithRemoteParent("search", remote, attrs...)
+	} else {
+		span = m.tracer.Span("search", attrs...)
+	}
 	m.reg.Counter("search_requests_total").Inc()
 	start := time.Now()
-	defer m.reg.Histogram("search_latency", nil).ObserveSince(start)
+	defer func() {
+		m.reg.Histogram("search_latency", nil).ObserveExemplar(time.Since(start).Seconds(), span.Context().TraceID)
+	}()
 	defer m.reg.Window("search_latency_window", 0).ObserveSince(start)
 
 	// The audit record is assembled as the search progresses and
