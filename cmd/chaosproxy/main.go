@@ -1,0 +1,59 @@
+// Command chaosproxy fronts one cluster member with the fault-injecting
+// reverse proxy from internal/chaos. Point a topology entry at the
+// proxy's address instead of the real node and the whole resilience
+// stack (wire retries, breakers, hedges, failover, retry budgets) gets
+// exercised against injected latency, errors, resets, partitions, and
+// slow links — over real sockets, the same way an operator would run a
+// game day.
+//
+//	chaosproxy -listen 127.0.0.1:9460 -target http://127.0.0.1:9401
+//
+// Faults start transparent (or from -faults JSON) and are runtime-
+// reconfigurable:
+//
+//	curl localhost:9460/chaos                                      # inspect
+//	curl -X POST -d '{"latency_ms":150,"error_rate":0.3}' \
+//	     localhost:9460/chaos                                      # inject
+//	curl -X POST -d '{}' localhost:9460/chaos                      # clear
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+
+	"repro/internal/chaos"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("chaosproxy: ")
+	var (
+		listen = flag.String("listen", "127.0.0.1:0", "address to serve on (port 0 picks an ephemeral port)")
+		target = flag.String("target", "", "backend base URL to front, e.g. http://127.0.0.1:9401")
+		faults = flag.String("faults", "", "initial fault set as JSON (default: transparent)")
+		seed   = flag.Int64("seed", 1, "fault-sampling PRNG seed (runs are reproducible per seed)")
+	)
+	flag.Parse()
+	if *target == "" {
+		log.Fatal("-target is required")
+	}
+	var initial chaos.Faults
+	if *faults != "" {
+		if err := json.Unmarshal([]byte(*faults), &initial); err != nil {
+			log.Fatalf("-faults: %v", err)
+		}
+	}
+	p, err := chaos.New(*target, chaos.Options{Initial: initial, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("fronting %s on http://%s (admin at /chaos)", *target, ln.Addr())
+	log.Fatal(http.Serve(ln, p))
+}

@@ -22,6 +22,7 @@ import (
 // collectConfig is the -collect flag bundle.
 type collectConfig struct {
 	TopologyFile string
+	TopologyPoll time.Duration
 	RouterAddr   string
 	ServeAddr    string
 	Interval     time.Duration
@@ -49,25 +50,43 @@ func runCollect(cfg collectConfig) error {
 	if cfg.ServeAddr == "" {
 		log.Fatal("-collect requires -serve: the collector's only job is its HTTP surface")
 	}
-	topo, err := shardmap.LoadFile(cfg.TopologyFile)
-	if err != nil {
-		return err
-	}
-
 	reg := telemetry.NewRegistry()
 	reg.PublishExpvar("metasearch")
 	var logger *slog.Logger
 	if cfg.Verbose {
 		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
-	c, err := obscollector.New(obscollector.TargetsFromTopology(topo, cfg.RouterAddr), obscollector.Options{
-		Interval: cfg.Interval,
+	watcher, err := shardmap.NewWatcher(cfg.TopologyFile, shardmap.WatcherOptions{
+		Interval: cfg.TopologyPoll,
 		Metrics:  reg,
 		Logger:   logger,
-		Profiles: cfg.Profiles,
 	})
 	if err != nil {
 		return err
+	}
+	c, err := obscollector.New(
+		obscollector.TargetsFromTopology(watcher.Snapshot().Topology, cfg.RouterAddr),
+		obscollector.Options{
+			Interval: cfg.Interval,
+			Metrics:  reg,
+			Logger:   logger,
+			Profiles: cfg.Profiles,
+		})
+	if err != nil {
+		return err
+	}
+	// Record which generation the initial scrape set came from, then
+	// follow topology version bumps: swapped-in members are scraped from
+	// the next sweep, departed members' state is dropped.
+	c.SetTargets(c.Targets(), watcher.Generation())
+	watcher.Subscribe(func(snap *shardmap.Snapshot) {
+		targets := obscollector.TargetsFromTopology(snap.Topology, cfg.RouterAddr)
+		c.SetTargets(targets, snap.Generation)
+		log.Printf("topology generation %d applied: scraping %d members", snap.Generation, len(targets))
+	})
+	if cfg.TopologyPoll > 0 {
+		watcher.Start()
+		defer watcher.Stop()
 	}
 	for _, t := range c.Targets() {
 		if t.Identity.Shard != "" {
@@ -85,6 +104,7 @@ func runCollect(cfg collectConfig) error {
 
 	mux := http.NewServeMux()
 	mux.Handle("/debug/cluster/", c.Handler())
+	mux.Handle("/debug/topology", watcher.Handler())
 	mux.Handle("/metrics", reg.Handler())
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

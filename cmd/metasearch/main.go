@@ -122,6 +122,7 @@ import (
 	"os/signal"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -136,6 +137,7 @@ import (
 	"repro/internal/shardmap"
 	"repro/internal/slo"
 	"repro/internal/telemetry"
+	"repro/internal/wire"
 )
 
 // sanitize and sanitizeAll map the synthetic testbed's underscore
@@ -176,6 +178,7 @@ func main() {
 		sloTarget  = flag.Float64("slo-target", 0.99, "latency-SLO target: required fraction of requests under -slo-latency")
 
 		topologyFile = flag.String("topology", "", "cluster topology file (shardmap JSON); required by -shard-id, -route, and -collect")
+		topoPoll     = flag.Duration("topology-poll", 2*time.Second, "with a cluster mode: poll -topology for version bumps and apply them live — replica sets swap under traffic, the router's ring follows, the collector rescrapes (0 disables live reconfiguration)")
 		shardID      = flag.String("shard-id", "", "serve one topology shard: dial this shard's replicated dbnodes and scope the search fan-out to its databases (requires -topology and -load)")
 		routeMode    = flag.Bool("route", false, "run as the cluster's scatter-gather router: fan /v1/search out to every shard in -topology and merge the rankings (no summaries are loaded in this process)")
 
@@ -206,6 +209,7 @@ func main() {
 		// dispatched before the world is built.
 		if err := runCollect(collectConfig{
 			TopologyFile: *topologyFile,
+			TopologyPoll: *topoPoll,
 			RouterAddr:   *collectRouter,
 			ServeAddr:    *serveAddr,
 			Interval:     *scrapeEvery,
@@ -243,6 +247,7 @@ func main() {
 		// assembled in route.go.
 		if err := runRoute(w, routeConfig{
 			TopologyFile: *topologyFile,
+			TopologyPoll: *topoPoll,
 			ServeAddr:    *serveAddr,
 			DebugAddr:    *debugAddr,
 			Deadline:     *deadline,
@@ -375,6 +380,8 @@ func main() {
 	// -scale and -seed) yields the same terms, so the pipeline produces
 	// identical summaries and rankings either way.
 	var shardScope map[string]bool
+	var topoWatcher *shardmap.Watcher
+	var topoGen, topoSwapMs atomic.Int64
 	if *shardID != "" {
 		if *topologyFile == "" {
 			log.Fatal("-shard-id requires -topology")
@@ -382,10 +389,15 @@ func main() {
 		if *loadFile == "" {
 			log.Fatal("-shard-id requires -load: shards serve offline-built summaries, they do not sample")
 		}
-		topo, err := shardmap.LoadFile(*topologyFile)
+		topoWatcher, err = shardmap.NewWatcher(*topologyFile, shardmap.WatcherOptions{
+			Interval: *topoPoll,
+			Metrics:  m.Metrics(),
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
+		topo := topoWatcher.Snapshot().Topology
+		topoGen.Store(topoWatcher.Generation())
 		assigns, err := topo.ShardAssignments(*shardID)
 		if err != nil {
 			log.Fatal(err)
@@ -396,6 +408,7 @@ func main() {
 				Preferred: a.Preferred,
 				Breakers:  m.Breakers(),
 				Metrics:   m.Metrics(),
+				Client:    repro.RemoteDatabaseOptions{Metrics: m.Metrics(), Budget: m.RetryBudget()},
 			})
 			if err != nil {
 				log.Fatal(err)
@@ -416,6 +429,7 @@ func main() {
 			}
 			rdb, err := repro.DialRemoteDatabase(context.Background(), addr, repro.RemoteDatabaseOptions{
 				Metrics: m.Metrics(),
+				Budget:  m.RetryBudget(),
 			})
 			if err != nil {
 				log.Fatal(err)
@@ -468,6 +482,40 @@ func main() {
 		defer stop()
 	}
 
+	// Live reconfiguration: once summaries are loaded, topology version
+	// bumps swap this shard's replica sets and scope under traffic.
+	if topoWatcher != nil {
+		topoWatcher.Subscribe(func(snap *shardmap.Snapshot) {
+			assigns, err := snap.Topology.ShardAssignments(*shardID)
+			if err != nil {
+				log.Printf("topology generation %d: %v; keeping current assignments", snap.Generation, err)
+				return
+			}
+			ras := make([]repro.ReplicaAssignment, len(assigns))
+			for i, a := range assigns {
+				ras[i] = repro.ReplicaAssignment{
+					Database: a.Database, Category: a.Category,
+					Replicas: a.Replicas, Preferred: a.Preferred,
+				}
+			}
+			rep, err := m.ApplyReplicaAssignments(ras, repro.RemoteDatabaseOptions{
+				Metrics: m.Metrics(), Budget: m.RetryBudget(),
+			})
+			if err != nil {
+				log.Printf("topology swap (generation %d) failed: %v", snap.Generation, err)
+				return
+			}
+			topoGen.Store(snap.Generation)
+			topoSwapMs.Store(time.Now().UnixMilli())
+			log.Printf("topology generation %d applied: attached %d, detached %d, unknown %d, scope_changed %v",
+				snap.Generation, len(rep.Attached), len(rep.Detached), len(rep.Unknown), rep.ScopeChanged)
+		})
+		if *topoPoll > 0 {
+			topoWatcher.Start()
+			defer topoWatcher.Stop()
+		}
+	}
+
 	gopts := gateway.Options{
 		DefaultMaxDBs:   *k,
 		DefaultPerDB:    *perDB,
@@ -476,6 +524,17 @@ func main() {
 		Metrics:         m.Metrics(),
 		SLO:             tracker,
 		ShardID:         *shardID,
+	}
+	if topoWatcher != nil {
+		// /v1/healthz reports the generation this shard has APPLIED (and
+		// when), not merely what the watcher has seen: a swap the
+		// metasearcher rejected must not read as done.
+		gopts.Topology = func() *wire.TopologyStatus {
+			return &wire.TopologyStatus{
+				Generation:     topoGen.Load(),
+				LastSwapUnixMs: topoSwapMs.Load(),
+			}
+		}
 	}
 
 	if *loadtest {
@@ -502,7 +561,11 @@ func main() {
 	}
 
 	if *serveAddr != "" {
-		if err := serve(m, w, *serveAddr, *debugAddr, gopts, tracker, *drainFor, metasearcherDebug(m, self, ring)); err != nil {
+		dbg := metasearcherDebug(m, self, ring)
+		if topoWatcher != nil {
+			dbg.topology = topoWatcher.Handler()
+		}
+		if err := serve(m, w, *serveAddr, *debugAddr, gopts, tracker, *drainFor, dbg); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -576,6 +639,10 @@ type debugBundle struct {
 	// scrapes; a nil ring skips the span export.
 	identity telemetry.Identity
 	ring     *telemetry.RingCapture
+	// topology, when non-nil, serves /debug/topology: the process's view
+	// of the live topology (shard: the watcher's file view; router: the
+	// active ring with its swap audit trail).
+	topology http.Handler
 }
 
 // metasearcherDebug is the debug surface of a (standalone or shard)
@@ -595,6 +662,9 @@ func debugMux(d debugBundle, tracker *slo.Tracker) *http.ServeMux {
 	mux.Handle("/debug/queries/", d.audit.Handler())
 	mux.Handle("/debug/breakers", d.breakers.Handler())
 	mux.Handle("/debug/slo", tracker.Handler())
+	if d.topology != nil {
+		mux.Handle("/debug/topology", d.topology)
+	}
 	if d.ring != nil {
 		mux.Handle("/debug/export/spans", telemetry.ExportSpansHandler(d.identity, d.ring))
 	}

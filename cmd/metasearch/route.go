@@ -18,6 +18,7 @@ import (
 // routeConfig is the -route flag bundle.
 type routeConfig struct {
 	TopologyFile string
+	TopologyPoll time.Duration
 	ServeAddr    string
 	DebugAddr    string
 	Deadline     time.Duration
@@ -43,10 +44,6 @@ func runRoute(w *experiments.World, cfg routeConfig) error {
 	if cfg.TopologyFile == "" {
 		log.Fatal("-route requires -topology")
 	}
-	topo, err := shardmap.LoadFile(cfg.TopologyFile)
-	if err != nil {
-		return err
-	}
 
 	reg := telemetry.NewRegistry()
 	reg.PublishExpvar("metasearch")
@@ -61,12 +58,21 @@ func runRoute(w *experiments.World, cfg routeConfig) error {
 	}
 	tracer := telemetry.NewTracer(obs)
 	breakers := resilience.NewSet(resilience.BreakerOptions{}, reg)
+	budget := resilience.NewBudget(resilience.BudgetOptions{Metrics: reg})
 
-	rt, err := router.New(topo, router.Options{
+	watcher, err := shardmap.NewWatcher(cfg.TopologyFile, shardmap.WatcherOptions{
+		Interval: cfg.TopologyPoll,
+		Metrics:  reg,
+	})
+	if err != nil {
+		return err
+	}
+	rt, err := router.New(watcher.Snapshot().Topology, router.Options{
 		Timeout:  cfg.Deadline,
 		Breakers: breakers,
 		Metrics:  reg,
 		Tracer:   tracer,
+		Budget:   budget,
 	})
 	if err != nil {
 		return err
@@ -77,6 +83,21 @@ func runRoute(w *experiments.World, cfg routeConfig) error {
 	if cfg.ProbeEvery > 0 {
 		prober := rt.StartHealthProbes(resilience.ProberOptions{Interval: cfg.ProbeEvery})
 		defer prober.Stop()
+	}
+	// Live reconfiguration: topology version bumps swap the fan-out ring
+	// atomically under traffic.
+	watcher.Subscribe(func(snap *shardmap.Snapshot) {
+		rec, err := rt.ApplyTopology(snap)
+		if err != nil {
+			log.Printf("topology swap (generation %d) failed: %v", snap.Generation, err)
+			return
+		}
+		log.Printf("topology generation %d applied: shards +%d -%d moved %d",
+			rec.Generation, len(rec.ShardsAdded), len(rec.ShardsRemoved), len(rec.ShardsMoved))
+	})
+	if cfg.TopologyPoll > 0 {
+		watcher.Start()
+		defer watcher.Stop()
 	}
 
 	objectives := slo.DefaultObjectives(cfg.SLOLatency)
@@ -91,14 +112,19 @@ func runRoute(w *experiments.World, cfg routeConfig) error {
 		Metrics:         reg,
 		SLO:             tracker,
 		// /v1/healthz reports every shard's breaker state and last
-		// health-probe result alongside the router's own health.
+		// health-probe result alongside the router's own health, plus
+		// the active topology generation and last-swap timestamp.
 		ShardHealth: rt.ShardHealth,
+		Topology:    rt.TopologyStatus,
 	}
 	dbg := debugBundle{
 		reg:      reg,
 		breakers: breakers,
 		identity: telemetry.Identity{Instance: cfg.ServeAddr, Role: "router"},
 		ring:     ring,
+		// The router's /debug/topology is the live ring view: active
+		// generation, fan-out targets, and the swap audit trail.
+		topology: rt.TopologyHandler(),
 	}
 
 	if cfg.Loadtest {

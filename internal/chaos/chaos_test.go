@@ -1,0 +1,191 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestProxy(t *testing.T, initial Faults) (*Proxy, *httptest.Server, *httptest.Server) {
+	t.Helper()
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		io.WriteString(w, "backend:"+r.URL.Path)
+	}))
+	t.Cleanup(backend.Close)
+	p, err := New(backend.URL, Options{Initial: initial, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(p)
+	t.Cleanup(front.Close)
+	return p, front, backend
+}
+
+func TestProxyTransparentByDefault(t *testing.T) {
+	p, front, _ := newTestProxy(t, Faults{})
+	resp, err := http.Get(front.URL + "/v1/info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || string(body) != "backend:/v1/info" {
+		t.Fatalf("got %d %q, want transparent pass-through", resp.StatusCode, body)
+	}
+	if s := p.Stats(); s.Proxied != 1 || s.Errors != 0 || s.Resets != 0 {
+		t.Fatalf("stats = %+v, want exactly one clean proxy", s)
+	}
+}
+
+func TestProxyInjectsErrors(t *testing.T) {
+	_, front, _ := newTestProxy(t, Faults{ErrorRate: 1, ErrorCode: 503})
+	resp, err := http.Get(front.URL + "/v1/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Fatalf("status = %d, want injected 503", resp.StatusCode)
+	}
+}
+
+func TestProxyInjectsLatency(t *testing.T) {
+	_, front, _ := newTestProxy(t, Faults{LatencyMs: 60})
+	start := time.Now()
+	resp, err := http.Get(front.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("request took %v, want ≥ injected 60ms latency", elapsed)
+	}
+}
+
+func TestProxyResetsConnections(t *testing.T) {
+	_, front, _ := newTestProxy(t, Faults{ResetRate: 1})
+	resp, err := http.Get(front.URL + "/")
+	if err == nil {
+		resp.Body.Close()
+		t.Fatalf("got response %d, want connection error from reset", resp.StatusCode)
+	}
+}
+
+func TestProxyBlackholeHoldsUntilCallerGivesUp(t *testing.T) {
+	_, front, _ := newTestProxy(t, Faults{Blackhole: true})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, front.URL+"/", nil)
+	start := time.Now()
+	resp, err := http.DefaultClient.Do(req)
+	if err == nil {
+		resp.Body.Close()
+		t.Fatal("blackholed request got a response")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) && !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Fatalf("gave up after %v, want to hang until the caller's deadline", elapsed)
+	}
+}
+
+func TestAdminEndpointRoundTrip(t *testing.T) {
+	p, front, _ := newTestProxy(t, Faults{})
+
+	// POST replaces the fault set.
+	body, _ := json.Marshal(Faults{LatencyMs: 5, ErrorRate: 0.25})
+	resp, err := http.Post(front.URL+"/chaos", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Faults Faults `json:"faults"`
+		Stats  Stats  `json:"stats"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got.Faults.LatencyMs != 5 || got.Faults.ErrorRate != 0.25 {
+		t.Fatalf("admin POST echoed %+v", got.Faults)
+	}
+	if f := p.Faults(); f.LatencyMs != 5 || f.ErrorRate != 0.25 {
+		t.Fatalf("active faults = %+v, want the POSTed set", f)
+	}
+
+	// GET inspects without changing anything.
+	resp, err = http.Get(front.URL + "/chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got.Faults.LatencyMs != 5 {
+		t.Fatalf("admin GET returned %+v", got.Faults)
+	}
+
+	// Out-of-range rates are rejected.
+	resp, err = http.Post(front.URL+"/chaos", "application/json", strings.NewReader(`{"error_rate": 2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad rate accepted with %d", resp.StatusCode)
+	}
+
+	// Clearing faults restores transparency.
+	resp, err = http.Post(front.URL+"/chaos", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(front.URL + "/v1/info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("post-clear request got %d", resp.StatusCode)
+	}
+}
+
+func TestProxySlowBody(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(bytes.Repeat([]byte("x"), 2048))
+	}))
+	t.Cleanup(backend.Close)
+	p, err := New(backend.URL, Options{Initial: Faults{SlowBodyBytesPerSec: 8192}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(p)
+	t.Cleanup(front.Close)
+
+	start := time.Now()
+	resp, err := http.Get(front.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if len(body) != 2048 {
+		t.Fatalf("body length = %d, want 2048 (throttling must not corrupt)", len(body))
+	}
+	// 2048 bytes at 8192 B/s in 512-byte chunks ≈ 3 inter-chunk sleeps
+	// of 62.5ms each.
+	if elapsed := time.Since(start); elapsed < 150*time.Millisecond {
+		t.Fatalf("throttled body arrived in %v, want ≥ ~187ms", elapsed)
+	}
+}

@@ -102,6 +102,11 @@ type Options struct {
 	// health call answers "is the fleet behind this router healthy",
 	// not just "is this process alive".
 	ShardHealth func() []wire.ShardHealth
+	// Topology, when non-nil, is polled on every /v1/healthz and its
+	// result reported in the response's "topology" field: the active
+	// topology generation and last-swap timestamp, so a rolling
+	// reconfiguration can confirm which ring each process serves.
+	Topology func() *wire.TopologyStatus
 }
 
 // Gateway serves the query API over a Searcher. Like wire.Node it
@@ -310,6 +315,9 @@ func (g *Gateway) healthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if g.opts.ShardHealth != nil {
 		resp.Shards = g.opts.ShardHealth()
+	}
+	if g.opts.Topology != nil {
+		resp.Topology = g.opts.Topology()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if g.draining.Load() {

@@ -426,6 +426,23 @@ func TestReplyCarriesStages(t *testing.T) {
 	}
 }
 
+func TestHealthzReportsTopology(t *testing.T) {
+	g := New(&fakeSearcher{}, Options{
+		Topology: func() *wire.TopologyStatus {
+			return &wire.TopologyStatus{Generation: 7, LastSwapUnixMs: 1234}
+		},
+	})
+	rec := httptest.NewRecorder()
+	g.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/healthz", nil))
+	var up wire.HealthResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &up); err != nil {
+		t.Fatal(err)
+	}
+	if up.Topology == nil || up.Topology.Generation != 7 || up.Topology.LastSwapUnixMs != 1234 {
+		t.Errorf("healthz topology = %+v, want generation 7 at 1234", up.Topology)
+	}
+}
+
 func TestHealthzDraining(t *testing.T) {
 	g := New(&fakeSearcher{}, Options{ShardID: "shard-00"})
 	rec := httptest.NewRecorder()

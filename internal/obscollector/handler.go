@@ -80,7 +80,10 @@ func (c *Collector) serveInstances(w http.ResponseWriter, r *http.Request) {
 		out = append(out, instance{st, len(st.Spans), len(st.Queries), st.Metrics.Series()})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Identity.Instance < out[j].Identity.Instance })
-	writeJSON(w, out)
+	writeJSON(w, struct {
+		TopologyGeneration int64      `json:"topology_generation"`
+		Instances          []instance `json:"instances"`
+	}{c.Generation(), out})
 }
 
 func (c *Collector) serveProfiles(w http.ResponseWriter, r *http.Request) {

@@ -132,12 +132,13 @@ type InstanceState struct {
 
 // Collector owns the scrape loop and the assembled state.
 type Collector struct {
-	targets []Target
-	opts    Options
-	client  *http.Client
+	opts   Options
+	client *http.Client
 
-	mu    sync.RWMutex
-	state map[string]*InstanceState // key: Identity.Instance
+	mu         sync.RWMutex
+	targets    []Target
+	generation int64                     // topology generation the targets derive from
+	state      map[string]*InstanceState // key: Identity.Instance
 
 	scrapes    *telemetry.Counter
 	scrapeErrs *telemetry.Counter
@@ -194,9 +195,46 @@ func New(targets []Target, opts Options) (*Collector, error) {
 
 // Targets returns the scrape set.
 func (c *Collector) Targets() []Target {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	out := make([]Target, len(c.targets))
 	copy(out, c.targets)
 	return out
+}
+
+// Generation returns the topology generation the current scrape set was
+// derived from (0 until SetTargets is first called with one).
+func (c *Collector) Generation() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.generation
+}
+
+// SetTargets swaps the scrape set — the collector's half of a topology
+// reconfiguration. State of instances no longer targeted is dropped
+// (their last scrapes describe members that left the fleet); surviving
+// instances keep theirs, so a swap never blanks the debug surface. The
+// profiling rotation, when enabled, follows the new set. generation
+// records which topology generation produced the set.
+func (c *Collector) SetTargets(targets []Target, generation int64) {
+	next := make([]Target, len(targets))
+	copy(next, targets)
+	keep := make(map[string]bool, len(next))
+	for _, t := range next {
+		keep[t.Identity.Instance] = true
+	}
+	c.mu.Lock()
+	c.targets = next
+	c.generation = generation
+	for inst := range c.state {
+		if !keep[inst] {
+			delete(c.state, inst)
+		}
+	}
+	c.mu.Unlock()
+	if c.profiler != nil {
+		c.profiler.setTargets(next)
+	}
 }
 
 // Start launches the periodic scrape loop (immediate first sweep) and,
@@ -232,11 +270,14 @@ func (c *Collector) Stop() {
 }
 
 // ScrapeOnce sweeps every target in parallel and installs the results.
+// The target set is read once at entry: a concurrent SetTargets applies
+// from the next sweep.
 func (c *Collector) ScrapeOnce(ctx context.Context) {
 	start := time.Now()
-	states := make([]*InstanceState, len(c.targets))
+	targets := c.Targets()
+	states := make([]*InstanceState, len(targets))
 	var wg sync.WaitGroup
-	for i, t := range c.targets {
+	for i, t := range targets {
 		wg.Add(1)
 		go func(i int, t Target) {
 			defer wg.Done()
@@ -245,7 +286,16 @@ func (c *Collector) ScrapeOnce(ctx context.Context) {
 	}
 	wg.Wait()
 	c.mu.Lock()
+	current := make(map[string]bool, len(c.targets))
+	for _, t := range c.targets {
+		current[t.Identity.Instance] = true
+	}
 	for _, st := range states {
+		// A SetTargets mid-sweep may have dropped this instance; a
+		// stale scrape must not resurrect it.
+		if !current[st.Identity.Instance] {
+			continue
+		}
 		if st.Err != "" {
 			// Keep the previous successful payload under the new error
 			// so operators still see the member's last known state.

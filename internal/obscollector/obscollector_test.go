@@ -349,6 +349,46 @@ func TestScrapeOnceKeepsStaleStateOnFailure(t *testing.T) {
 	}
 }
 
+func TestSetTargetsSwapsScrapeSet(t *testing.T) {
+	snap := telemetry.Snapshot{Counters: map[string]int64{"requests_total": 1}}
+	old := fakeMember(t, snap, telemetry.SpanExport{}, nil)
+	fresh := fakeMember(t, snap, telemetry.SpanExport{}, nil)
+
+	c, err := New([]Target{{Identity: telemetry.Identity{Instance: "old", Role: "dbnode"}, BaseURL: old.URL}},
+		Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ScrapeOnce(context.Background())
+	if c.States()["old"] == nil {
+		t.Fatal("initial target not scraped")
+	}
+	if c.Generation() != 0 {
+		t.Fatalf("Generation = %d before any SetTargets, want 0", c.Generation())
+	}
+
+	c.SetTargets([]Target{{Identity: telemetry.Identity{Instance: "new", Role: "dbnode"}, BaseURL: fresh.URL}}, 2)
+	if c.Generation() != 2 {
+		t.Fatalf("Generation = %d, want 2", c.Generation())
+	}
+	// The departed member's state is dropped immediately...
+	if c.States()["old"] != nil {
+		t.Fatal("removed target's state survived the swap")
+	}
+	// ...and the next sweep scrapes only the new set.
+	c.ScrapeOnce(context.Background())
+	states := c.States()
+	if states["old"] != nil {
+		t.Fatal("removed target resurrected by a later sweep")
+	}
+	if st := states["new"]; st == nil || st.Err != "" {
+		t.Fatalf("swapped-in target state = %+v, want a clean scrape", st)
+	}
+	if got := c.Targets(); len(got) != 1 || got[0].Identity.Instance != "new" {
+		t.Fatalf("Targets = %+v, want only the swapped-in member", got)
+	}
+}
+
 func TestScrapeRejectsVersionMismatch(t *testing.T) {
 	snap := telemetry.Snapshot{Counters: map[string]int64{"x_total": 1}}
 	spans := telemetry.SpanExport{Version: telemetry.SpanExportVersion + 1,

@@ -112,13 +112,23 @@ func (p *profiler) stopWait() {
 	<-p.done
 }
 
+// setTargets swaps the rotation's member set (topology swap).
+func (p *profiler) setTargets(targets []Target) {
+	next := make([]Target, len(targets))
+	copy(next, targets)
+	p.mu.Lock()
+	p.targets = next
+	p.mu.Unlock()
+}
+
 // captureNext profiles the next member in rotation: one CPU profile and
 // one heap snapshot, then prunes retention.
 func (p *profiler) captureNext() {
+	p.mu.Lock()
 	if len(p.targets) == 0 {
+		p.mu.Unlock()
 		return
 	}
-	p.mu.Lock()
 	t := p.targets[p.next%len(p.targets)]
 	p.next++
 	p.mu.Unlock()

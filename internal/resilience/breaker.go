@@ -240,6 +240,39 @@ func (b *Breaker) reset() {
 	b.failures = 0
 }
 
+// detach disconnects the breaker from its set's onChange hook and
+// returns the state it held at that instant. After detach, a straggler
+// Record from a call that outlived the breaker's membership can still
+// flip the state but can no longer touch the set's aggregate gauges —
+// which is the point: Set.Remove subtracts the returned state from the
+// gauges exactly once, and nothing may move them afterwards.
+func (b *Breaker) detach() State {
+	if b == nil {
+		return Closed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.onChange = nil
+	return b.state
+}
+
+// forceState moves a freshly minted breaker into st (Set.Seed). The
+// outcome window is cleared; a half-open target's first admitted call
+// becomes its trial.
+func (b *Breaker) forceState(st State) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if st == Open {
+		b.openedAt = b.opts.Clock()
+	}
+	b.probing = false
+	b.reset()
+	b.transition(st)
+}
+
 // transition moves to a new state (mu held).
 func (b *Breaker) transition(to State) {
 	from := b.state

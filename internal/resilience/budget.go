@@ -1,0 +1,123 @@
+package resilience
+
+import (
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+// BudgetOptions tunes a retry/hedge budget. The zero value selects the
+// defaults.
+type BudgetOptions struct {
+	// Ratio is how many extra-attempt tokens each recorded success
+	// deposits (default 0.2: retries plus hedges may not exceed 20% of
+	// recent successful volume).
+	Ratio float64
+	// Burst caps the token balance and is the starting balance, so a
+	// cold process can absorb a small fault burst before any successes
+	// have funded the bucket (default 10).
+	Burst float64
+	// Metrics receives retry_budget_exhausted_total and the
+	// retry_budget_tokens gauge (may be nil).
+	Metrics *telemetry.Registry
+}
+
+// Budget is a token bucket that bounds retry and hedge amplification
+// across a whole process: every successful call deposits Ratio tokens,
+// every retry or hedge spends one, and when the bucket is empty the
+// extra attempt simply does not happen. During a partial outage this is
+// what turns "every query retries against the dying node" into "a
+// bounded trickle probes it while first attempts keep flowing" — the
+// alternative is retry amplification, where the retries themselves
+// become the overload.
+//
+// One Budget is shared by every path that launches speculative work
+// (wire-client same-replica retries, hedge launches, router shard-call
+// retries); first attempts and replica failover are never charged —
+// failover is the availability mechanism, not amplification.
+//
+// All methods are safe for concurrent use and on a nil receiver (a nil
+// budget admits everything), so budgeting is opt-in without call-site
+// conditionals.
+type Budget struct {
+	ratio float64
+	burst float64
+
+	mu     sync.Mutex
+	tokens float64
+
+	exhausted *telemetry.Counter
+	gauge     *telemetry.Gauge
+}
+
+// NewBudget builds a budget starting at its full burst balance.
+func NewBudget(opts BudgetOptions) *Budget {
+	if opts.Ratio <= 0 {
+		opts.Ratio = 0.2
+	}
+	if opts.Burst <= 0 {
+		opts.Burst = 10
+	}
+	opts.Metrics.Describe("retry_budget_exhausted_total",
+		"Retries or hedges suppressed because the retry budget was empty.")
+	opts.Metrics.Describe("retry_budget_tokens",
+		"Current retry-budget token balance (successes deposit, retries/hedges spend).")
+	b := &Budget{
+		ratio:     opts.Ratio,
+		burst:     opts.Burst,
+		tokens:    opts.Burst,
+		exhausted: opts.Metrics.Counter("retry_budget_exhausted_total"),
+		gauge:     opts.Metrics.Gauge("retry_budget_tokens"),
+	}
+	b.gauge.Set(b.tokens)
+	return b
+}
+
+// TrySpend takes one token if available and reports whether the caller
+// may launch its retry or hedge. A refusal is counted in
+// retry_budget_exhausted_total.
+func (b *Budget) TrySpend() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	ok := b.tokens >= 1
+	if ok {
+		b.tokens--
+	}
+	tokens := b.tokens
+	b.mu.Unlock()
+	if !ok {
+		b.exhausted.Inc()
+		return false
+	}
+	b.gauge.Set(tokens)
+	return true
+}
+
+// RecordSuccess deposits Ratio tokens (capped at Burst). Call it for
+// every successful call, not just budgeted ones — the budget is a
+// fraction of total successful volume.
+func (b *Budget) RecordSuccess() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.tokens += b.ratio
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	tokens := b.tokens
+	b.mu.Unlock()
+	b.gauge.Set(tokens)
+}
+
+// Tokens returns the current balance (tests, debug surfaces).
+func (b *Budget) Tokens() float64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}

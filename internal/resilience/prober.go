@@ -35,9 +35,11 @@ type ProberOptions struct {
 // nodes are left alone — query traffic is their health check.
 type Prober struct {
 	set      *Set
-	targets  []ProbeTarget
 	interval time.Duration
 	timeout  time.Duration
+
+	mu      sync.Mutex
+	targets []ProbeTarget
 
 	probes   *telemetry.Counter
 	failures *telemetry.Counter
@@ -69,6 +71,18 @@ func NewProber(set *Set, targets []ProbeTarget, opts ProberOptions) *Prober {
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
+}
+
+// SetTargets replaces the probe target list — the topology-swap hook.
+// The next sweep probes the new list; a removed target is simply never
+// probed again (its breaker's removal from the Set is the owner's job).
+// An in-flight sweep holds the slice it started with, which is safe:
+// probing a just-removed target once more is harmless, and the breaker
+// Allow gate still serializes trials.
+func (p *Prober) SetTargets(targets []ProbeTarget) {
+	p.mu.Lock()
+	p.targets = append([]ProbeTarget(nil), targets...)
+	p.mu.Unlock()
 }
 
 // Start launches the probe loop in a background goroutine.
@@ -104,8 +118,11 @@ func (p *Prober) run() {
 // sweep probes every currently-unhealthy target once, concurrently
 // (a hung node's probe must not delay the others').
 func (p *Prober) sweep() {
+	p.mu.Lock()
+	targets := p.targets
+	p.mu.Unlock()
 	var wg sync.WaitGroup
-	for _, t := range p.targets {
+	for _, t := range targets {
 		b := p.set.Get(t.Name)
 		if b.State() == Closed {
 			continue

@@ -71,6 +71,48 @@ func (s *Set) Get(name string) *Breaker {
 	return b
 }
 
+// Seed returns the named breaker like Get, but a breaker that does not
+// exist yet is created in the given state instead of closed. An
+// existing breaker keeps its state untouched — seeding is for targets
+// that just joined the topology (a swapped-in replica starts half-open:
+// its first real call is the trial), and must never clobber the
+// carried-over state of a survivor.
+func (s *Set) Seed(name string, st State) *Breaker {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	b := s.m[name]
+	if b == nil {
+		b = newBreaker(s.opts, s.onChange)
+		s.m[name] = b
+		s.closed.Add(1)
+		if st != Closed {
+			b.forceState(st)
+		}
+	}
+	s.mu.Unlock()
+	return b
+}
+
+// Remove drops the named breaker from the set: the aggregate gauges
+// forget its state and later Records on it (stragglers from calls that
+// were in flight when its target left the topology) no longer move
+// them. Safe if the name was never in the set.
+func (s *Set) Remove(name string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	b := s.m[name]
+	delete(s.m, name)
+	s.mu.Unlock()
+	if b == nil {
+		return
+	}
+	s.stateGauge(b.detach()).Add(-1)
+}
+
 // stateGauge maps a state to its aggregate gauge.
 func (s *Set) stateGauge(st State) *telemetry.Gauge {
 	switch st {

@@ -259,9 +259,14 @@ func TestClusterMatchesSingleProcess(t *testing.T) {
 	}
 	assertIdentical("preferred replica down")
 
-	for _, q := range queries { // a few more rounds to trip breakers
-		if _, err := rt.SearchExplained(context.Background(), q, 3, 5); err != nil {
-			t.Fatalf("preferred replica down, requery %q: %v", q, err)
+	// Enough extra rounds that every selected database's dead replica
+	// accumulates MinSamples failures even when the retry budget
+	// suppresses hedged duplicates.
+	for round := 0; round < 3; round++ {
+		for _, q := range queries {
+			if _, err := rt.SearchExplained(context.Background(), q, 3, 5); err != nil {
+				t.Fatalf("preferred replica down, requery %q: %v", q, err)
+			}
 		}
 	}
 

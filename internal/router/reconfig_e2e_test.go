@@ -1,0 +1,400 @@
+package router
+
+import (
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/chaos"
+	"repro/internal/gateway"
+	"repro/internal/shardmap"
+	"repro/internal/wire"
+)
+
+// The zero-downtime reconfiguration end-to-end test: steady query load
+// runs through the router while one database's preferred replica is
+// killed and the topology file is rewritten to drop it and add a
+// replacement that sits behind a fault-injecting chaos proxy. The swap
+// must lose zero queries, keep rankings bit-identical to the
+// single-process baseline, put the replacement into live service, keep
+// retry volume inside the cluster retry budget, and carry surviving
+// replicas' breaker state across the swap.
+
+func TestClusterReconfiguration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a full testbed and cluster")
+	}
+	dbs, lexicon := clusterTestbed(t, 4)
+
+	// Offline build, shared by the baseline and every shard.
+	builder := repro.New(clusterOptions(lexicon))
+	for _, d := range dbs {
+		if err := builder.AddDatabase(repro.NewLocalDatabaseFromTerms(d.name, d.docs), d.category); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := builder.BuildSummaries(); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	stateFile := filepath.Join(dir, "state.json")
+	if err := builder.SaveFile(stateFile); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two dbnode replicas per database. Replica 0 of dbs[0] is the one
+	// the test kills; replica 1 of every database stays up throughout
+	// (the baseline dials those, so it never notices).
+	const numReplicas = 2
+	replicaSrvs := make(map[string][]*httptest.Server, len(dbs))
+	replicaAddrs := make(map[string][]string, len(dbs))
+	for _, d := range dbs {
+		for i := 0; i < numReplicas; i++ {
+			srv := httptest.NewServer(wire.NewServer(
+				repro.NewLocalDatabaseFromTerms(d.name, d.docs),
+				wire.ServerOptions{Category: d.category}))
+			t.Cleanup(srv.Close)
+			replicaSrvs[d.name] = append(replicaSrvs[d.name], srv)
+			replicaAddrs[d.name] = append(replicaAddrs[d.name], strings.TrimPrefix(srv.URL, "http://"))
+		}
+	}
+
+	baseline := repro.New(clusterOptions(lexicon))
+	for _, d := range dbs {
+		rdb, err := repro.DialRemoteDatabase(context.Background(), replicaAddrs[d.name][1], repro.RemoteDatabaseOptions{
+			Metrics: baseline.Metrics(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := baseline.AddDatabase(rdb, rdb.Category()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := baseline.LoadFile(stateFile); err != nil {
+		t.Fatal(err)
+	}
+
+	// The replacement replica for dbs[0]: a fresh dbnode behind a chaos
+	// proxy injecting latency and a 25% error rate — below any breaker
+	// threshold, but enough that the swap path must tolerate a flaky
+	// newcomer without failing a single query (failover covers).
+	replacement := httptest.NewServer(wire.NewServer(
+		repro.NewLocalDatabaseFromTerms(dbs[0].name, dbs[0].docs),
+		wire.ServerOptions{Category: dbs[0].category}))
+	t.Cleanup(replacement.Close)
+	proxy, err := chaos.New(replacement.URL, chaos.Options{
+		Initial: chaos.Faults{LatencyMs: 2, ErrorRate: 0.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxySrv := httptest.NewServer(proxy)
+	t.Cleanup(proxySrv.Close)
+	chaosAddr := strings.TrimPrefix(proxySrv.URL, "http://")
+
+	// Topology v1 on disk, under a watcher — the same reconfiguration
+	// path cmd/metasearch drives.
+	topoFile := filepath.Join(dir, "topology.json")
+	topo := &shardmap.Topology{
+		Version: shardmap.TopologyVersion,
+		Shards: []shardmap.Shard{
+			{ID: "shard-00", Addr: "pending:0"},
+			{ID: "shard-01", Addr: "pending:0"},
+		},
+	}
+	for _, d := range dbs {
+		topo.Databases = append(topo.Databases, shardmap.Database{
+			Name:     d.name,
+			Category: d.category,
+			Replicas: replicaAddrs[d.name],
+		})
+	}
+
+	// Boot the shards off topology v1 (addresses resolve as each shard
+	// gateway comes up; the ring hashes only shard IDs).
+	shardMs := make([]*repro.Metasearcher, len(topo.Shards))
+	for i := range topo.Shards {
+		assigns, err := topo.ShardAssignments(topo.Shards[i].ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sm := repro.New(clusterOptions(lexicon))
+		keep := make(map[string]bool, len(assigns))
+		for _, a := range assigns {
+			rdb, err := repro.DialReplicatedDatabase(context.Background(), a.Replicas, repro.ReplicatedDatabaseOptions{
+				Preferred: a.Preferred,
+				Breakers:  sm.Breakers(),
+				Metrics:   sm.Metrics(),
+				Client:    repro.RemoteDatabaseOptions{Metrics: sm.Metrics(), Budget: sm.RetryBudget()},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sm.AddDatabase(rdb, rdb.Category()); err != nil {
+				t.Fatal(err)
+			}
+			keep[a.Database] = true
+		}
+		if err := sm.LoadFileFiltered(stateFile, func(name string) bool { return keep[name] }); err != nil {
+			t.Fatal(err)
+		}
+		shardMs[i] = sm
+		// Health probes are the mechanism that earns a swapped-in
+		// replica its traffic: its breaker is seeded half-open, and the
+		// prober's successful trial closes it.
+		stopProbes := sm.StartHealthProbes(25 * time.Millisecond)
+		t.Cleanup(stopProbes)
+		gw := httptest.NewServer(gateway.New(sm, gateway.Options{ShardID: topo.Shards[i].ID, Metrics: sm.Metrics()}))
+		t.Cleanup(gw.Close)
+		topo.Shards[i].Addr = strings.TrimPrefix(gw.URL, "http://")
+	}
+	if err := topo.SaveFile(topoFile); err != nil {
+		t.Fatal(err)
+	}
+	watcher, err := shardmap.NewWatcher(topoFile, shardmap.WatcherOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rt, err := New(watcher.Snapshot().Topology, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One watcher feeds every plane, as in production (there each
+	// process runs its own watcher over the shared file; the swap code
+	// paths are identical). Shards reconcile replica sets; the router
+	// swaps its ring.
+	var swapReports sync.Map // shard index → *repro.TopologySwapReport
+	for i, sm := range shardMs {
+		i, sm := i, sm
+		id := topo.Shards[i].ID
+		watcher.Subscribe(func(snap *shardmap.Snapshot) {
+			assigns, err := snap.Topology.ShardAssignments(id)
+			if err != nil {
+				t.Errorf("shard %s assignments at generation %d: %v", id, snap.Generation, err)
+				return
+			}
+			ras := make([]repro.ReplicaAssignment, len(assigns))
+			for j, a := range assigns {
+				ras[j] = repro.ReplicaAssignment{
+					Database: a.Database, Category: a.Category,
+					Replicas: a.Replicas, Preferred: a.Preferred,
+				}
+			}
+			rep, err := sm.ApplyReplicaAssignments(ras, repro.RemoteDatabaseOptions{Metrics: sm.Metrics()})
+			if err != nil {
+				t.Errorf("shard %s swap at generation %d: %v", id, snap.Generation, err)
+				return
+			}
+			swapReports.Store(i, rep)
+		})
+	}
+	watcher.Subscribe(func(snap *shardmap.Snapshot) {
+		if _, err := rt.ApplyTopology(snap); err != nil {
+			t.Errorf("router swap at generation %d: %v", snap.Generation, err)
+		}
+	})
+
+	queries := []string{
+		dbs[0].docs[0][0] + " " + dbs[0].docs[0][1],
+		dbs[1].docs[0][0] + " " + dbs[1].docs[0][1],
+		dbs[2].docs[0][0] + " " + dbs[2].docs[0][1],
+		dbs[3].docs[0][0] + " " + dbs[3].docs[0][1],
+	}
+
+	// Steady load through the router across the whole reconfiguration.
+	// Every query must succeed: a replica death and the swap both have
+	// failover cover, so zero failed queries is a hard assertion.
+	var (
+		loadWG    sync.WaitGroup
+		stop      = make(chan struct{})
+		succeeded atomic.Int64
+		failures  atomic.Int64
+	)
+	for g := 0; g < 4; g++ {
+		loadWG.Add(1)
+		go func(g int) {
+			defer loadWG.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := queries[(g+i)%len(queries)]
+				if _, err := rt.SearchExplained(context.Background(), q, 3, 5); err != nil {
+					failures.Add(1)
+					t.Errorf("load query %q failed: %v", q, err)
+				} else {
+					succeeded.Add(1)
+				}
+			}
+		}(g)
+	}
+	time.Sleep(200 * time.Millisecond)
+
+	// Kill dbs[0]'s preferred replica mid-load...
+	deadAddr := replicaAddrs[dbs[0].name][0]
+	replicaSrvs[dbs[0].name][0].CloseClientConnections()
+	replicaSrvs[dbs[0].name][0].Close()
+	time.Sleep(100 * time.Millisecond)
+
+	// ...then rewrite the topology: the dead replica is gone and the
+	// chaos-proxied replacement is first in the list (so the owning
+	// shard prefers it — the newcomer must take real traffic).
+	next := *topo
+	next.Databases = make([]shardmap.Database, len(topo.Databases))
+	copy(next.Databases, topo.Databases)
+	next.Databases[0].Replicas = []string{chaosAddr, replicaAddrs[dbs[0].name][1]}
+	if err := next.SaveFile(topoFile); err != nil {
+		t.Fatal(err)
+	}
+	// Beat filesystem mtime granularity so the stat-based watcher sees
+	// the rewrite immediately.
+	future := time.Now().Add(2 * time.Second)
+	if err := os.Chtimes(topoFile, future, future); err != nil {
+		t.Fatal(err)
+	}
+	swapped, err := watcher.Poll()
+	if err != nil || !swapped {
+		t.Fatalf("watcher.Poll after rewrite: swapped=%v err=%v", swapped, err)
+	}
+
+	// Keep the load running on the new topology, then stop.
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	loadWG.Wait()
+
+	if failures.Load() != 0 {
+		t.Fatalf("%d of %d queries failed across the reconfiguration, want 0",
+			failures.Load(), failures.Load()+succeeded.Load())
+	}
+	if succeeded.Load() == 0 {
+		t.Fatal("load loop issued no queries; the test exercised nothing")
+	}
+
+	if got := watcher.Generation(); got != 2 {
+		t.Fatalf("watcher generation = %d, want 2", got)
+	}
+	if got := rt.Generation(); got != 2 {
+		t.Fatalf("router generation = %d, want 2", got)
+	}
+	if st := rt.TopologyStatus(); st.Generation != 2 || st.LastSwapUnixMs == 0 {
+		t.Fatalf("router TopologyStatus = %+v, want generation 2 with a swap timestamp", st)
+	}
+
+	// The owning shard's swap report records the replica exchange.
+	var sawExchange bool
+	swapReports.Range(func(_, v any) bool {
+		rep := v.(*repro.TopologySwapReport)
+		added, removed := rep.ReplicasAdded[dbs[0].name], rep.ReplicasRemoved[dbs[0].name]
+		if len(added) == 1 && added[0] == chaosAddr && len(removed) == 1 && removed[0] == deadAddr {
+			sawExchange = true
+		}
+		return true
+	})
+	if !sawExchange {
+		t.Errorf("no shard's swap report shows %s exchanging %s for %s", dbs[0].name, deadAddr, chaosAddr)
+	}
+
+	// The replacement must enter live service: its half-open breaker
+	// closes on the prober's first successful trial, after which the
+	// owning shard prefers it (it is first in the new replica list).
+	// Drive queries until the chaos proxy sees traffic.
+	serveDeadline := time.Now().Add(10 * time.Second)
+	for proxy.Stats().Proxied == 0 {
+		if time.Now().After(serveDeadline) {
+			t.Fatalf("chaos-proxied replacement replica never served traffic: %+v", proxy.Stats())
+		}
+		for _, q := range queries {
+			if _, err := rt.SearchExplained(context.Background(), q, 3, 5); err != nil {
+				t.Fatalf("post-swap query %q: %v", q, err)
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Rankings after the swap stay bit-identical to the single-process
+	// baseline (the replacement serves the same database).
+	for _, q := range queries {
+		want, err := baseline.SearchExplained(context.Background(), q, 3, 5)
+		if err != nil {
+			t.Fatalf("baseline %q: %v", q, err)
+		}
+		got, err := rt.SearchExplained(context.Background(), q, 3, 5)
+		if err != nil {
+			t.Fatalf("cluster %q after swap: %v", q, err)
+		}
+		if !reflect.DeepEqual(want.Selections, got.Selections) {
+			t.Errorf("selections diverge for %q after swap:\n single: %+v\ncluster: %+v", q, want.Selections, got.Selections)
+		}
+		if len(want.Results) == 0 {
+			t.Fatalf("baseline returned no results for %q", q)
+		}
+		if !reflect.DeepEqual(want.Results, got.Results) {
+			t.Errorf("rankings diverge for %q after swap:\n single: %+v\ncluster: %+v", q, want.Results, got.Results)
+		}
+	}
+
+	// Breaker carryover and cleanup on the owning shard: the surviving
+	// replica's breaker is still there, the dead replica's is gone once
+	// its drain finishes, the newcomer's exists. Drain is asynchronous
+	// (background goroutine polling in-flight counts), so wait briefly.
+	deadKey := dbs[0].name + "@" + deadAddr
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		names := make(map[string]bool)
+		for _, b := range breakerNames(shardMs) {
+			names[b] = true
+		}
+		if !names[deadKey] {
+			if !names[dbs[0].name+"@"+chaosAddr] {
+				t.Errorf("no breaker for the swapped-in replica %s@%s", dbs[0].name, chaosAddr)
+			}
+			if !names[dbs[0].name+"@"+replicaAddrs[dbs[0].name][1]] {
+				t.Errorf("surviving replica's breaker did not carry over the swap")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("dead replica's breaker %s still present after drain deadline", deadKey)
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Retry volume stays inside the cluster retry budget: per process,
+	// retries + hedges ≤ ratio × successes + burst (defaults 0.2 / 10).
+	for i, sm := range shardMs {
+		reg := sm.Metrics()
+		retries := reg.Counter("wire_client_retries_total").Value()
+		hedges := reg.Counter("search_hedges_total").Value()
+		succ := reg.Counter("wire_requests_total").Value() - reg.Counter("wire_request_errors_total").Value()
+		bound := 0.2*float64(succ) + 10
+		if float64(retries+hedges) > bound {
+			t.Errorf("shard %d retry volume %d (retries %d + hedges %d) exceeds budget bound %.1f (successes %d)",
+				i, retries+hedges, retries, hedges, bound, succ)
+		}
+	}
+}
+
+// breakerNames flattens every shard's breaker set into the keyed names.
+func breakerNames(shardMs []*repro.Metasearcher) []string {
+	var out []string
+	for _, sm := range shardMs {
+		for _, b := range sm.Breakers().Snapshot() {
+			out = append(out, b.Database)
+		}
+	}
+	return out
+}

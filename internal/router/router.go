@@ -39,6 +39,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro"
@@ -67,28 +68,67 @@ type Options struct {
 	// Tracer traces the scatter-gather (may be nil). Shard calls carry
 	// the trace context in the standard propagation headers.
 	Tracer *telemetry.Tracer
+	// Budget, when set, funds one same-shard retry after a transient
+	// call failure (spent from the cluster retry budget; see
+	// resilience.Budget). Nil disables router-side retries entirely —
+	// failover to the other shards' coverage is never budget-gated.
+	Budget *resilience.Budget
 }
 
 // Router fans queries out to every shard and merges the rankings. It
 // implements gateway.Searcher; wrap it in gateway.New to serve HTTP.
+//
+// The fan-out targets live in an immutable ring snapshot swapped
+// atomically by ApplyTopology: queries in flight finish on the snapshot
+// they loaded at entry while new queries route on the new one.
 type Router struct {
-	shards   []shardmap.Shard // sorted by ID
+	ring     atomic.Pointer[ringState]
 	client   *http.Client
 	timeout  time.Duration
 	breakers *resilience.Set
 	reg      *telemetry.Registry
 	tracer   *telemetry.Tracer
+	budget   *resilience.Budget
 
-	requests    *telemetry.Counter
-	errors      *telemetry.Counter
-	shardCalls  *telemetry.Counter
-	shardErrors *telemetry.Counter
-	shardSkips  *telemetry.Counter
-	dedupDrops  *telemetry.Counter
+	requests     *telemetry.Counter
+	errors       *telemetry.Counter
+	shardCalls   *telemetry.Counter
+	shardErrors  *telemetry.Counter
+	shardSkips   *telemetry.Counter
+	shardRetries *telemetry.Counter
+	dedupDrops   *telemetry.Counter
+	swaps        *telemetry.Counter
 
 	probeMu   sync.Mutex
 	lastProbe map[string]probeResult // shard ID → latest background probe
+
+	proberMu sync.Mutex
+	prober   *resilience.Prober // retargeted on topology swaps
+
+	swapMu      sync.Mutex
+	swapHistory []SwapRecord // bounded audit trail, oldest first
 }
+
+// ringState is one immutable topology snapshot the router fans out
+// over. Every query loads exactly one ringState at entry and never sees
+// a partial swap.
+type ringState struct {
+	shards     []shardmap.Shard // sorted by ID
+	generation int64
+	swappedAt  time.Time // zero until the first ApplyTopology
+}
+
+// SwapRecord is the audit record of one applied topology swap.
+type SwapRecord struct {
+	Generation    int64     `json:"generation"`
+	AppliedAt     time.Time `json:"applied_at"`
+	ShardsAdded   []string  `json:"shards_added,omitempty"`
+	ShardsRemoved []string  `json:"shards_removed,omitempty"`
+	ShardsMoved   []string  `json:"shards_moved,omitempty"` // same ID, new address
+}
+
+// maxSwapHistory bounds the audit trail kept in memory.
+const maxSwapHistory = 64
 
 // probeResult is the outcome of one background health probe.
 type probeResult struct {
@@ -105,9 +145,7 @@ func New(topo *shardmap.Topology, opts Options) (*Router, error) {
 	if err := topo.Validate(); err != nil {
 		return nil, err
 	}
-	shards := make([]shardmap.Shard, len(topo.Shards))
-	copy(shards, topo.Shards)
-	sort.Slice(shards, func(i, j int) bool { return shards[i].ID < shards[j].ID })
+	shards := sortedShards(topo)
 	client := opts.Client
 	if client == nil {
 		client = &http.Client{}
@@ -121,20 +159,24 @@ func New(topo *shardmap.Topology, opts Options) (*Router, error) {
 		breakers = resilience.NewSet(resilience.BreakerOptions{}, opts.Metrics)
 	}
 	r := &Router{
-		shards:      shards,
-		client:      client,
-		timeout:     timeout,
-		breakers:    breakers,
-		reg:         opts.Metrics,
-		tracer:      opts.Tracer,
-		requests:    opts.Metrics.Counter("router_requests_total"),
-		errors:      opts.Metrics.Counter("router_errors_total"),
-		shardCalls:  opts.Metrics.Counter("router_shard_calls_total"),
-		shardErrors: opts.Metrics.Counter("router_shard_errors_total"),
-		shardSkips:  opts.Metrics.Counter("router_shard_skipped_total"),
-		dedupDrops:  opts.Metrics.Counter("router_dedup_dropped_total"),
-		lastProbe:   make(map[string]probeResult),
+		client:       client,
+		timeout:      timeout,
+		breakers:     breakers,
+		reg:          opts.Metrics,
+		tracer:       opts.Tracer,
+		budget:       opts.Budget,
+		requests:     opts.Metrics.Counter("router_requests_total"),
+		errors:       opts.Metrics.Counter("router_errors_total"),
+		shardCalls:   opts.Metrics.Counter("router_shard_calls_total"),
+		shardErrors:  opts.Metrics.Counter("router_shard_errors_total"),
+		shardSkips:   opts.Metrics.Counter("router_shard_skipped_total"),
+		shardRetries: opts.Metrics.Counter("router_shard_retries_total"),
+		dedupDrops:   opts.Metrics.Counter("router_dedup_dropped_total"),
+		swaps:        opts.Metrics.Counter("router_topology_swaps_total"),
+		lastProbe:    make(map[string]probeResult),
 	}
+	r.ring.Store(&ringState{shards: shards, generation: 1})
+	opts.Metrics.Gauge("topology_generation").Set(1)
 	// Pre-create the latency series so /metrics shows the schema at zero.
 	opts.Metrics.Histogram("router_fanout_latency", nil)
 	opts.Metrics.Histogram("router_merge_latency", nil)
@@ -144,7 +186,10 @@ func New(topo *shardmap.Topology, opts Options) (*Router, error) {
 		{"router_shard_calls_total", "Per-shard /v1/search calls issued by the router."},
 		{"router_shard_errors_total", "Per-shard /v1/search calls that failed."},
 		{"router_shard_skipped_total", "Per-shard calls held back by an open circuit breaker."},
+		{"router_shard_retries_total", "Same-shard retries funded by the cluster retry budget."},
 		{"router_dedup_dropped_total", "Merged results dropped as duplicate (database, doc id) pairs from replicated shards."},
+		{"router_topology_swaps_total", "Topology snapshots swapped into the live ring."},
+		{"topology_generation", "Process-local generation of the active topology snapshot."},
 		{"router_fanout_latency", "Wall time of the scatter-gather over all shards, seconds."},
 		{"router_merge_latency", "Wall time of the deterministic cluster merge, seconds."},
 	} {
@@ -153,22 +198,152 @@ func New(topo *shardmap.Topology, opts Options) (*Router, error) {
 	return r, nil
 }
 
+// sortedShards copies a topology's shards in sorted-ID order.
+func sortedShards(topo *shardmap.Topology) []shardmap.Shard {
+	shards := make([]shardmap.Shard, len(topo.Shards))
+	copy(shards, topo.Shards)
+	sort.Slice(shards, func(i, j int) bool { return shards[i].ID < shards[j].ID })
+	return shards
+}
+
 // Breakers exposes the per-shard breaker set (for /debug/breakers).
 func (r *Router) Breakers() *resilience.Set { return r.breakers }
 
 // Shards returns the fan-out targets in sorted-ID order.
 func (r *Router) Shards() []shardmap.Shard {
-	out := make([]shardmap.Shard, len(r.shards))
-	copy(out, r.shards)
+	shards := r.ring.Load().shards
+	out := make([]shardmap.Shard, len(shards))
+	copy(out, shards)
 	return out
+}
+
+// Generation returns the generation of the active ring snapshot.
+func (r *Router) Generation() int64 { return r.ring.Load().generation }
+
+// ApplyTopology swaps a validated topology snapshot into the live ring.
+// In-flight queries finish on the snapshot they loaded at entry; new
+// queries fan out over the new one. Breaker state carries over for
+// every surviving shard ID (including shards whose gateway address
+// moved — the breaker describes the backend, not the socket); removed
+// shards leave the breaker set and the probe-result map; added shards
+// get a fresh breaker that starts closed on first use, so concurrent
+// queries never skip a healthy newcomer and the merge stays
+// bit-identical to a single process. The background prober, if running,
+// is retargeted. Returns the swap's audit record.
+func (r *Router) ApplyTopology(snap *shardmap.Snapshot) (*SwapRecord, error) {
+	if snap == nil || snap.Topology == nil {
+		return nil, errors.New("router: nil topology snapshot")
+	}
+	if err := snap.Topology.Validate(); err != nil {
+		return nil, err
+	}
+	shards := sortedShards(snap.Topology)
+
+	r.swapMu.Lock()
+	old := r.ring.Load()
+	rec := &SwapRecord{Generation: snap.Generation, AppliedAt: time.Now()}
+	oldAddr := make(map[string]string, len(old.shards))
+	for _, s := range old.shards {
+		oldAddr[s.ID] = s.Addr
+	}
+	newIDs := make(map[string]bool, len(shards))
+	for _, s := range shards {
+		newIDs[s.ID] = true
+		if addr, ok := oldAddr[s.ID]; !ok {
+			rec.ShardsAdded = append(rec.ShardsAdded, s.ID)
+		} else if addr != s.Addr {
+			rec.ShardsMoved = append(rec.ShardsMoved, s.ID)
+		}
+	}
+	for _, s := range old.shards {
+		if !newIDs[s.ID] {
+			rec.ShardsRemoved = append(rec.ShardsRemoved, s.ID)
+		}
+	}
+	sort.Strings(rec.ShardsAdded)
+	sort.Strings(rec.ShardsRemoved)
+	sort.Strings(rec.ShardsMoved)
+
+	r.ring.Store(&ringState{shards: shards, generation: snap.Generation, swappedAt: rec.AppliedAt})
+	for _, id := range rec.ShardsRemoved {
+		r.breakers.Remove(id)
+		r.probeMu.Lock()
+		delete(r.lastProbe, id)
+		r.probeMu.Unlock()
+	}
+	r.swaps.Inc()
+	r.reg.Gauge("topology_generation").Set(float64(snap.Generation))
+	r.swapHistory = append(r.swapHistory, *rec)
+	if len(r.swapHistory) > maxSwapHistory {
+		r.swapHistory = r.swapHistory[len(r.swapHistory)-maxSwapHistory:]
+	}
+	r.swapMu.Unlock()
+
+	r.proberMu.Lock()
+	p := r.prober
+	r.proberMu.Unlock()
+	if p != nil {
+		p.SetTargets(r.ProbeTargets())
+	}
+	return rec, nil
+}
+
+// SwapHistory returns the bounded audit trail of applied topology
+// swaps, oldest first.
+func (r *Router) SwapHistory() []SwapRecord {
+	r.swapMu.Lock()
+	defer r.swapMu.Unlock()
+	out := make([]SwapRecord, len(r.swapHistory))
+	copy(out, r.swapHistory)
+	return out
+}
+
+// TopologyStatus reports the active generation and last swap time for
+// /v1/healthz (gateway.Options.Topology).
+func (r *Router) TopologyStatus() *wire.TopologyStatus {
+	ring := r.ring.Load()
+	st := &wire.TopologyStatus{Generation: ring.generation}
+	if !ring.swappedAt.IsZero() {
+		st.LastSwapUnixMs = ring.swappedAt.UnixMilli()
+	}
+	return st
+}
+
+// TopologyHandler serves the router's view of the live ring: active
+// generation, fan-out targets, and the swap audit trail.
+func (r *Router) TopologyHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		ring := r.ring.Load()
+		type shardInfo struct {
+			ID   string `json:"id"`
+			Addr string `json:"addr"`
+		}
+		resp := struct {
+			Generation     int64        `json:"generation"`
+			LastSwapUnixMs int64        `json:"last_swap_unix_ms,omitempty"`
+			Shards         []shardInfo  `json:"shards"`
+			Swaps          []SwapRecord `json:"swaps,omitempty"`
+		}{Generation: ring.generation, Swaps: r.SwapHistory()}
+		if !ring.swappedAt.IsZero() {
+			resp.LastSwapUnixMs = ring.swappedAt.UnixMilli()
+		}
+		for _, s := range ring.shards {
+			resp.Shards = append(resp.Shards, shardInfo{ID: s.ID, Addr: s.Addr})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(resp)
+	})
 }
 
 // ProbeTargets returns one health-probe target per shard, keyed like
 // the per-shard breakers, pinging the shard gateway's /v1/healthz.
 // Every probe's outcome is remembered for ShardHealth.
 func (r *Router) ProbeTargets() []resilience.ProbeTarget {
-	out := make([]resilience.ProbeTarget, len(r.shards))
-	for i, s := range r.shards {
+	shards := r.ring.Load().shards
+	out := make([]resilience.ProbeTarget, len(shards))
+	for i, s := range shards {
 		id, addr := s.ID, s.Addr
 		out[i] = resilience.ProbeTarget{Name: id, Ping: func(ctx context.Context) error {
 			err := r.ping(ctx, addr)
@@ -192,10 +367,11 @@ func (r *Router) ProbeTargets() []resilience.ProbeTarget {
 // probes non-closed breakers, so a shard that never failed reports no
 // probe result — absence of evidence is health here.)
 func (r *Router) ShardHealth() []wire.ShardHealth {
-	out := make([]wire.ShardHealth, len(r.shards))
+	shards := r.ring.Load().shards
+	out := make([]wire.ShardHealth, len(shards))
 	r.probeMu.Lock()
 	defer r.probeMu.Unlock()
-	for i, s := range r.shards {
+	for i, s := range shards {
 		state := r.breakers.Get(s.ID).State().String()
 		sh := wire.ShardHealth{
 			ID:      s.ID,
@@ -222,6 +398,9 @@ func (r *Router) StartHealthProbes(opts resilience.ProberOptions) *resilience.Pr
 		opts.Metrics = r.reg
 	}
 	p := resilience.NewProber(r.breakers, r.ProbeTargets(), opts)
+	r.proberMu.Lock()
+	r.prober = p
+	r.proberMu.Unlock()
 	p.Start()
 	return p
 }
@@ -276,9 +455,12 @@ func (r *Router) SearchExplained(ctx context.Context, query string, maxDBs, perD
 		defer cancel()
 	}
 
-	replies := make([]shardReply, len(r.shards))
+	// One ring snapshot per query: a topology swap mid-flight never
+	// changes this query's fan-out set.
+	shards := r.ring.Load().shards
+	replies := make([]shardReply, len(shards))
 	var wg sync.WaitGroup
-	for i, s := range r.shards {
+	for i, s := range shards {
 		replies[i].shard = s.ID
 		b := r.breakers.Get(s.ID)
 		if !b.Allow() {
@@ -292,6 +474,16 @@ func (r *Router) SearchExplained(ctx context.Context, query string, maxDBs, perD
 			defer wg.Done()
 			r.shardCalls.Inc()
 			reply, err := r.callShard(ctx, span, s, query, maxDBs, perDB)
+			if err != nil && r.budget != nil && ctx.Err() == nil && !wire.IsShed(err) && r.budget.TrySpend() {
+				// One budget-funded retry against the same shard; the
+				// breaker records only the final outcome.
+				r.shardRetries.Inc()
+				span.Event("router.shard_retry", telemetry.String("shard", s.ID))
+				reply, err = r.callShard(ctx, span, s, query, maxDBs, perDB)
+			}
+			if err == nil {
+				r.budget.RecordSuccess()
+			}
 			replies[i].reply, replies[i].err = reply, err
 			switch {
 			case err == nil:

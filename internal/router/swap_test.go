@@ -1,0 +1,192 @@
+package router
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/resilience"
+	"repro/internal/shardmap"
+	"repro/internal/telemetry"
+)
+
+// snapshotFor wraps a topology the way shardmap.Watcher publishes it.
+func snapshotFor(topo *shardmap.Topology, gen int64) *shardmap.Snapshot {
+	return &shardmap.Snapshot{Topology: topo, Generation: gen, LoadedAt: time.Now()}
+}
+
+func setStates(s *resilience.Set) map[string]string {
+	out := make(map[string]string)
+	for _, snap := range s.Snapshot() {
+		out[snap.Database] = snap.State
+	}
+	return out
+}
+
+func TestApplyTopologyCarriesBreakerState(t *testing.T) {
+	a := newFakeShard(t, reply())
+	b := newFakeShard(t, reply())
+	reg := telemetry.NewRegistry()
+	breakers := resilience.NewSet(resilience.BreakerOptions{Window: 4, MinSamples: 2}, reg)
+	rt, err := New(testTopology(a, b), Options{Metrics: reg, Breakers: breakers})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Trip shard-a's breaker: the swap must not forget it.
+	ba := breakers.Get("shard-a")
+	for i := 0; i < 4; i++ {
+		ba.Allow()
+		ba.Record(false)
+	}
+	if got := ba.State(); got != resilience.Open {
+		t.Fatalf("shard-a breaker = %v, want open", got)
+	}
+
+	// New topology: shard-a survives (same addr), shard-b is removed,
+	// shard-c appears.
+	c := newFakeShard(t, reply())
+	next := testTopology(a, b)
+	next.Shards = []shardmap.Shard{
+		{ID: "shard-a", Addr: a.addr()},
+		{ID: "shard-c", Addr: c.addr()},
+	}
+	rec, err := rt.ApplyTopology(snapshotFor(next, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.ShardsAdded) != 1 || rec.ShardsAdded[0] != "shard-c" {
+		t.Fatalf("ShardsAdded = %v, want [shard-c]", rec.ShardsAdded)
+	}
+	if len(rec.ShardsRemoved) != 1 || rec.ShardsRemoved[0] != "shard-b" {
+		t.Fatalf("ShardsRemoved = %v, want [shard-b]", rec.ShardsRemoved)
+	}
+	if rt.Generation() != 2 {
+		t.Fatalf("Generation = %d, want 2", rt.Generation())
+	}
+
+	states := setStates(breakers)
+	if states["shard-a"] != "open" {
+		t.Fatalf("surviving shard-a breaker = %q, want open (state must carry over)", states["shard-a"])
+	}
+	if _, ok := states["shard-b"]; ok {
+		t.Fatal("removed shard-b breaker still in the set")
+	}
+	// An added shard's breaker must start closed, not half-open: a
+	// half-open breaker admits a single trial, and concurrent queries
+	// would skip the newcomer and lose its coverage.
+	if got := breakers.Get("shard-c").State(); got != resilience.Closed {
+		t.Fatalf("added shard-c breaker = %v, want closed", got)
+	}
+
+	// The live fan-out uses the new ring: shard-a is held back by its
+	// carried-over open breaker, so only shard-c answers; shard-b must
+	// see no traffic.
+	before := b.calls.Load()
+	if _, err := rt.SearchExplained(context.Background(), "q", 0, 0); err != nil {
+		t.Fatalf("search after swap: %v", err)
+	}
+	if b.calls.Load() != before {
+		t.Fatal("removed shard-b still receives fan-out traffic")
+	}
+	if c.calls.Load() == 0 {
+		t.Fatal("added shard-c received no fan-out traffic")
+	}
+
+	st := rt.TopologyStatus()
+	if st.Generation != 2 || st.LastSwapUnixMs == 0 {
+		t.Fatalf("TopologyStatus = %+v, want generation 2 with a swap timestamp", st)
+	}
+	if hist := rt.SwapHistory(); len(hist) != 1 || hist[0].Generation != 2 {
+		t.Fatalf("SwapHistory = %+v, want one record at generation 2", hist)
+	}
+	if got := reg.Counter("router_topology_swaps_total").Value(); got != 1 {
+		t.Fatalf("router_topology_swaps_total = %v, want 1", got)
+	}
+	if got := reg.Gauge("topology_generation").Value(); got != 2 {
+		t.Fatalf("topology_generation gauge = %v, want 2", got)
+	}
+}
+
+func TestApplyTopologyMovedShardKeepsBreaker(t *testing.T) {
+	a := newFakeShard(t, reply())
+	breakers := resilience.NewSet(resilience.BreakerOptions{Window: 4, MinSamples: 2}, nil)
+	rt, err := New(testTopology(a), Options{Breakers: breakers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba := breakers.Get("shard-a")
+	for i := 0; i < 4; i++ {
+		ba.Allow()
+		ba.Record(false)
+	}
+
+	// Same shard ID at a new address: the breaker describes the
+	// backend, so its state survives the move.
+	moved := newFakeShard(t, reply())
+	next := testTopology(a)
+	next.Shards[0].Addr = moved.addr()
+	rec, err := rt.ApplyTopology(snapshotFor(next, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.ShardsMoved) != 1 || rec.ShardsMoved[0] != "shard-a" {
+		t.Fatalf("ShardsMoved = %v, want [shard-a]", rec.ShardsMoved)
+	}
+	if got := breakers.Get("shard-a").State(); got != resilience.Open {
+		t.Fatalf("moved shard-a breaker = %v, want open", got)
+	}
+	if got := rt.Shards()[0].Addr; got != moved.addr() {
+		t.Fatalf("ring addr = %q, want %q", got, moved.addr())
+	}
+}
+
+func TestApplyTopologyRejectsInvalid(t *testing.T) {
+	a := newFakeShard(t, reply())
+	rt, err := New(testTopology(a), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.ApplyTopology(nil); err == nil {
+		t.Fatal("nil snapshot accepted")
+	}
+	bad := testTopology(a)
+	bad.Shards = nil
+	if _, err := rt.ApplyTopology(snapshotFor(bad, 2)); err == nil {
+		t.Fatal("shardless topology accepted")
+	}
+	if rt.Generation() != 1 {
+		t.Fatalf("Generation = %d after rejected swaps, want 1", rt.Generation())
+	}
+}
+
+func TestBudgetFundedShardRetry(t *testing.T) {
+	a := newFakeShard(t, reply())
+	a.status.Store(500) // persistent transient failure
+	reg := telemetry.NewRegistry()
+	budget := resilience.NewBudget(resilience.BudgetOptions{Ratio: 0.2, Burst: 1, Metrics: reg})
+	rt, err := New(testTopology(a), Options{Metrics: reg, Budget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.SearchExplained(context.Background(), "q", 0, 0); err == nil {
+		t.Fatal("want error with the only shard failing")
+	}
+	// Burst of 1: the first query's failure funds exactly one retry,
+	// the next query's cannot.
+	if got := a.calls.Load(); got != 2 {
+		t.Fatalf("shard calls = %d, want 2 (first attempt + one funded retry)", got)
+	}
+	if _, err := rt.SearchExplained(context.Background(), "q", 0, 0); err == nil {
+		t.Fatal("want error with the only shard failing")
+	}
+	if got := a.calls.Load(); got != 3 {
+		t.Fatalf("shard calls = %d, want 3 (budget exhausted, no second retry)", got)
+	}
+	if got := reg.Counter("router_shard_retries_total").Value(); got != 1 {
+		t.Fatalf("router_shard_retries_total = %v, want 1", got)
+	}
+	if got := reg.Counter("retry_budget_exhausted_total").Value(); got == 0 {
+		t.Fatal("retry_budget_exhausted_total = 0, want refusals counted")
+	}
+}

@@ -1,0 +1,219 @@
+package shardmap
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func testTopology() *Topology {
+	return &Topology{
+		Version: TopologyVersion,
+		Shards: []Shard{
+			{ID: "shard-0", Addr: "s0:1"},
+			{ID: "shard-1", Addr: "s1:1"},
+		},
+		Databases: []Database{
+			{Name: "alpha", Category: "Health", Replicas: []string{"a0:1", "a1:1"}},
+			{Name: "beta", Category: "Sports", Replicas: []string{"b0:1"}},
+		},
+	}
+}
+
+// touch bumps the file's mtime past its current value so the
+// stat-based change detection cannot miss a same-second rewrite.
+func touch(t *testing.T, path string) {
+	t.Helper()
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := st.ModTime().Add(time.Second)
+	if err := os.Chtimes(path, next, next); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func writeTopology(t *testing.T, path string, topo *Topology) {
+	t.Helper()
+	if err := topo.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	touch(t, path)
+}
+
+func TestDiffTopologies(t *testing.T) {
+	old := testTopology()
+	next := testTopology()
+	next.Shards = []Shard{
+		{ID: "shard-0", Addr: "s0:2"}, // moved
+		{ID: "shard-2", Addr: "s2:1"}, // added (shard-1 removed)
+	}
+	next.Databases = []Database{
+		{Name: "alpha", Category: "Health", Replicas: []string{"a1:1", "a2:1"}}, // a0 out, a2 in
+		{Name: "gamma", Category: "Health", Replicas: []string{"g0:1"}},         // added (beta removed)
+	}
+	d := DiffTopologies(old, next)
+	want := Diff{
+		ShardsAdded:      []string{"shard-2"},
+		ShardsRemoved:    []string{"shard-1"},
+		ShardsMoved:      []string{"shard-0"},
+		DatabasesAdded:   []string{"gamma"},
+		DatabasesRemoved: []string{"beta"},
+		ReplicasAdded:    map[string][]string{"alpha": {"a2:1"}},
+		ReplicasRemoved:  map[string][]string{"alpha": {"a0:1"}},
+	}
+	if !reflect.DeepEqual(d, want) {
+		t.Fatalf("diff mismatch:\n got %+v\nwant %+v", d, want)
+	}
+	if d.Empty() {
+		t.Fatal("non-trivial diff reported Empty")
+	}
+	if d := DiffTopologies(old, testTopology()); !d.Empty() {
+		t.Fatalf("identical topologies produced diff %+v", d)
+	}
+}
+
+func TestWatcherSwapsOnValidChange(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "topology.json")
+	if err := testTopology().SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	w, err := NewWatcher(path, WatcherOptions{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := w.Generation(); g != 1 {
+		t.Fatalf("initial generation = %d, want 1", g)
+	}
+
+	var events []*Snapshot
+	w.Subscribe(func(s *Snapshot) { events = append(events, s) })
+
+	// Unchanged file: no swap, no event.
+	if swapped, err := w.Poll(); err != nil || swapped {
+		t.Fatalf("poll of unchanged file: swapped=%v err=%v", swapped, err)
+	}
+
+	// Rewrite with identical content (new mtime): still no swap.
+	writeTopology(t, path, testTopology())
+	if swapped, err := w.Poll(); err != nil || swapped {
+		t.Fatalf("poll of identical rewrite: swapped=%v err=%v", swapped, err)
+	}
+
+	// A real change swaps, bumps the generation, and carries the diff.
+	next := testTopology()
+	next.Databases[1].Replicas = append(next.Databases[1].Replicas, "b1:1")
+	writeTopology(t, path, next)
+	swapped, err := w.Poll()
+	if err != nil || !swapped {
+		t.Fatalf("poll of changed file: swapped=%v err=%v", swapped, err)
+	}
+	snap := w.Snapshot()
+	if snap.Generation != 2 {
+		t.Fatalf("generation after swap = %d, want 2", snap.Generation)
+	}
+	if want := map[string][]string{"beta": {"b1:1"}}; !reflect.DeepEqual(snap.Diff.ReplicasAdded, want) {
+		t.Fatalf("diff.ReplicasAdded = %+v, want %+v", snap.Diff.ReplicasAdded, want)
+	}
+	if len(events) != 1 || events[0] != snap {
+		t.Fatalf("subscriber saw %d events, want exactly the published snapshot", len(events))
+	}
+	if got := reg.Snapshot().Gauges["topology_generation"]; got != 2 {
+		t.Fatalf("topology_generation gauge = %v, want 2", got)
+	}
+	if got := reg.Snapshot().Counters["topology_reloads_total"]; got != 1 {
+		t.Fatalf("topology_reloads_total = %d, want 1", got)
+	}
+}
+
+func TestWatcherRejectsInvalidFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "topology.json")
+	if err := testTopology().SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	w, err := NewWatcher(path, WatcherOptions{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := w.Snapshot()
+
+	// Torn/garbage write: old snapshot kept, error counted.
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	touch(t, path)
+	swapped, err := w.Poll()
+	if swapped || err == nil {
+		t.Fatalf("poll of garbage file: swapped=%v err=%v", swapped, err)
+	}
+	if w.Snapshot() != old {
+		t.Fatal("invalid file replaced the snapshot")
+	}
+	if got := reg.Snapshot().Counters["topology_reload_errors_total"]; got != 1 {
+		t.Fatalf("topology_reload_errors_total = %d, want 1", got)
+	}
+
+	// The bad file's stat is remembered: no re-parse churn.
+	if swapped, err := w.Poll(); swapped || err != nil {
+		t.Fatalf("re-poll of same bad file: swapped=%v err=%v", swapped, err)
+	}
+
+	// Semantically invalid (no shards): also rejected.
+	bad := testTopology()
+	bad.Shards = nil
+	writeTopology(t, path, bad)
+	if swapped, err := w.Poll(); swapped || err == nil {
+		t.Fatalf("poll of shardless topology: swapped=%v err=%v", swapped, err)
+	}
+	if w.Snapshot() != old {
+		t.Fatal("invalid topology replaced the snapshot")
+	}
+
+	// A subsequent valid edit recovers.
+	next := testTopology()
+	next.Shards = next.Shards[:1]
+	writeTopology(t, path, next)
+	if swapped, err := w.Poll(); !swapped || err != nil {
+		t.Fatalf("recovery poll: swapped=%v err=%v", swapped, err)
+	}
+	if g := w.Generation(); g != 2 {
+		t.Fatalf("generation after recovery = %d, want 2 (rejected reloads must not burn generations)", g)
+	}
+}
+
+func TestWatcherStartStop(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "topology.json")
+	if err := testTopology().SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWatcher(path, WatcherOptions{Interval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := make(chan int64, 16)
+	w.Subscribe(func(s *Snapshot) { ch <- s.Generation })
+	w.Start()
+	defer w.Stop()
+
+	next := testTopology()
+	next.Databases[0].Replicas = next.Databases[0].Replicas[:1]
+	writeTopology(t, path, next)
+
+	select {
+	case gen := <-ch:
+		if gen != 2 {
+			t.Fatalf("watched swap generation = %d, want 2", gen)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watcher never observed the rewrite")
+	}
+	w.Stop()
+	w.Stop() // idempotent
+}

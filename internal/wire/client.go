@@ -61,6 +61,13 @@ type ClientOptions struct {
 	CacheSize int
 	// Transport overrides the shared keep-alive transport (tests).
 	Transport http.RoundTripper
+	// Budget, when non-nil, bounds this client's retry volume: each
+	// retry must win a token from the budget or the logical request
+	// fails with the last error instead of retrying. Successes are
+	// reported back so the budget can refill. One budget is typically
+	// shared by every client in the process — the bound is on total
+	// retry amplification, not per-node.
+	Budget RetryBudget
 	// Metrics receives the wire client series: wire_requests_total,
 	// wire_requests_{info,query,doc}_total, wire_client_attempts_total,
 	// wire_request_errors_total, wire_client_retries_total,
@@ -70,6 +77,17 @@ type ClientOptions struct {
 	Metrics *telemetry.Registry
 	// randFloat overrides the jitter source (tests).
 	randFloat func() float64
+}
+
+// RetryBudget is the token-bucket contract the client uses to throttle
+// retries (satisfied by *resilience.Budget, whose methods are safe on a
+// nil receiver). It lives here as an interface so the wire layer does
+// not depend on the resilience package above it.
+type RetryBudget interface {
+	// TrySpend takes one token, reporting whether the retry may launch.
+	TrySpend() bool
+	// RecordSuccess deposits the per-success fraction back.
+	RecordSuccess()
 }
 
 func (o ClientOptions) withDefaults() ClientOptions {
@@ -177,6 +195,21 @@ func NewClient(addr string, opts ClientOptions) *Client {
 
 // BaseURL returns the node's base URL.
 func (c *Client) BaseURL() string { return c.base }
+
+// Close releases transport resources the client can release safely.
+// A client on the shared process-wide transport leaves it alone (other
+// clients' connection pools live there; idle timeouts reclaim this
+// node's connections); a client with its own transport closes its idle
+// connections immediately.
+func (c *Client) Close() {
+	if c.opts.Transport == http.RoundTripper(sharedTransport) {
+		return
+	}
+	type idleCloser interface{ CloseIdleConnections() }
+	if t, ok := c.opts.Transport.(idleCloser); ok {
+		t.CloseIdleConnections()
+	}
+}
 
 // Info fetches the node's description (GET /v1/info).
 func (c *Client) Info(ctx context.Context) (InfoResponse, error) {
@@ -287,6 +320,9 @@ func (c *Client) do(ctx context.Context, method, path string, in, out interface{
 			telemetry.String("request_id", reqID))
 		lastErr = c.once(ctx, method, path, body, out, span.Context(), reqID)
 		if lastErr == nil {
+			if c.opts.Budget != nil {
+				c.opts.Budget.RecordSuccess()
+			}
 			return nil
 		}
 		if IsShed(lastErr) {
@@ -296,6 +332,12 @@ func (c *Client) do(ctx context.Context, method, path string, in, out interface{
 			}
 		}
 		if !transient(lastErr) || attempt >= c.opts.MaxRetries || ctx.Err() != nil {
+			break
+		}
+		if c.opts.Budget != nil && !c.opts.Budget.TrySpend() {
+			// Budget empty: retrying now would amplify whatever is
+			// already failing. Surface the error; failover and breakers
+			// take it from here.
 			break
 		}
 		c.retries.Inc()

@@ -108,6 +108,20 @@ type HealthResponse struct {
 	// (breaker state + last probe result per shard), so one health call
 	// covers the fleet behind it. Additive: empty outside the router.
 	Shards []ShardHealth `json:"shards,omitempty"`
+	// Topology reports which topology generation this process is
+	// serving and when it last swapped, so an operator can confirm a
+	// reconfiguration landed fleet-wide from health checks alone.
+	// Additive: absent when the process does not watch a topology file.
+	Topology *TopologyStatus `json:"topology,omitempty"`
+}
+
+// TopologyStatus is the live-reconfiguration view in a health response.
+type TopologyStatus struct {
+	// Generation is the process-local count of accepted topology loads
+	// (1 = the boot-time file, +1 per accepted reload).
+	Generation int64 `json:"generation"`
+	// LastSwapUnixMs is when the newest snapshot was loaded.
+	LastSwapUnixMs int64 `json:"last_swap_unix_ms,omitempty"`
 }
 
 // ShardHealth is one shard's health as seen by the router in front of

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
 	"time"
 
 	"repro/internal/telemetry"
@@ -34,8 +35,25 @@ type RemoteDatabaseOptions struct {
 	// metasearcher's registry (Metasearcher.Metrics) to expose remote
 	// traffic alongside the pipeline series. May be nil.
 	Metrics *telemetry.Registry
+	// Budget, when non-nil, bounds the client's retry volume (see
+	// wire.ClientOptions.Budget). Share one budget across every remote
+	// database in the process.
+	Budget wire.RetryBudget
 	// Transport overrides the shared keep-alive HTTP transport (tests).
 	Transport http.RoundTripper
+}
+
+func (o RemoteDatabaseOptions) clientOptions() wire.ClientOptions {
+	return wire.ClientOptions{
+		Timeout:     o.Timeout,
+		MaxRetries:  o.MaxRetries,
+		BackoffBase: o.BackoffBase,
+		BackoffMax:  o.BackoffMax,
+		CacheSize:   o.CacheSize,
+		Transport:   o.Transport,
+		Metrics:     o.Metrics,
+		Budget:      o.Budget,
+	}
 }
 
 // RemoteDatabase is a SearchableDatabase served by a dbnode process over
@@ -48,6 +66,11 @@ type RemoteDatabase struct {
 	name     string
 	category string
 	numDocs  int
+
+	// Lazily dialed handles (NewLazyRemoteDatabase) adopt their identity
+	// from the caller and verify it against the node on first contact.
+	verifyMu sync.Mutex
+	verified bool
 }
 
 var _ ContextSearchableDatabase = (*RemoteDatabase)(nil)
@@ -59,15 +82,7 @@ var _ ContextSearchableDatabase = (*RemoteDatabase)(nil)
 // client and, if still failing, treated by the pipeline like a missing
 // database).
 func DialRemoteDatabase(ctx context.Context, addr string, opts RemoteDatabaseOptions) (*RemoteDatabase, error) {
-	client := wire.NewClient(addr, wire.ClientOptions{
-		Timeout:     opts.Timeout,
-		MaxRetries:  opts.MaxRetries,
-		BackoffBase: opts.BackoffBase,
-		BackoffMax:  opts.BackoffMax,
-		CacheSize:   opts.CacheSize,
-		Transport:   opts.Transport,
-		Metrics:     opts.Metrics,
-	})
+	client := wire.NewClient(addr, opts.clientOptions())
 	info, err := client.Info(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("repro: dialing remote database at %s: %w", addr, err)
@@ -84,7 +99,59 @@ func DialRemoteDatabase(ctx context.Context, addr string, opts RemoteDatabaseOpt
 		name:     info.Name,
 		category: info.Category,
 		numDocs:  info.NumDocs,
+		verified: true,
 	}, nil
+}
+
+// NewLazyRemoteDatabase builds a handle to the node at addr without
+// touching the network: the identity (name, category, document count)
+// is adopted from the caller — for a replica swapped into an existing
+// replica set, that is the set's identity — and verified against the
+// node's /v1/info on first contact. A swap must not block on a replica
+// that is still warming up; the handle is ready immediately and the
+// node earns traffic when it starts answering.
+func NewLazyRemoteDatabase(addr, name, category string, numDocs int, opts RemoteDatabaseOptions) *RemoteDatabase {
+	return &RemoteDatabase{
+		client:   wire.NewClient(addr, opts.clientOptions()),
+		name:     name,
+		category: category,
+		numDocs:  numDocs,
+	}
+}
+
+// ensureVerified performs the one-time identity check a lazy handle
+// deferred at construction: the node must speak the expected protocol
+// version and carry the adopted name. Until it passes, every call fails
+// — a replica claiming a different database's name must never serve a
+// query attributed to this one.
+func (d *RemoteDatabase) ensureVerified(ctx context.Context) error {
+	d.verifyMu.Lock()
+	defer d.verifyMu.Unlock()
+	if d.verified {
+		return nil
+	}
+	info, err := d.client.Info(ctx)
+	if err != nil {
+		return err
+	}
+	if info.Protocol != wire.Version {
+		return fmt.Errorf("repro: remote database at %s speaks protocol %d, want %d",
+			d.client.BaseURL(), info.Protocol, wire.Version)
+	}
+	if info.Name != d.name {
+		return fmt.Errorf("repro: remote database at %s is %q, want replica of %q",
+			d.client.BaseURL(), info.Name, d.name)
+	}
+	d.verified = true
+	return nil
+}
+
+// Close releases the handle's transport resources. Calls in flight are
+// unaffected (the wire client is stateless per call); Close exists so
+// a replica drained out of the topology does not pin idle keep-alive
+// connections until their idle timeout.
+func (d *RemoteDatabase) Close() {
+	d.client.Close()
 }
 
 // Name implements SearchableDatabase.
@@ -107,6 +174,9 @@ func (d *RemoteDatabase) BaseURL() string { return d.client.BaseURL() }
 // 404; Ping falls back to /v1/info for those, so probing still works
 // against an old fleet.
 func (d *RemoteDatabase) Ping(ctx context.Context) error {
+	if err := d.ensureVerified(ctx); err != nil {
+		return err
+	}
 	_, err := d.client.Health(ctx)
 	var pe *wire.ProtocolError
 	if errors.As(err, &pe) && pe.Status == http.StatusNotFound {
@@ -117,11 +187,17 @@ func (d *RemoteDatabase) Ping(ctx context.Context) error {
 
 // QueryContext implements ContextSearchableDatabase.
 func (d *RemoteDatabase) QueryContext(ctx context.Context, terms []string, limit int) (int, []int, error) {
+	if err := d.ensureVerified(ctx); err != nil {
+		return 0, nil, err
+	}
 	return d.client.Query(ctx, terms, limit)
 }
 
 // FetchContext implements ContextSearchableDatabase.
 func (d *RemoteDatabase) FetchContext(ctx context.Context, id int) ([]string, error) {
+	if err := d.ensureVerified(ctx); err != nil {
+		return nil, err
+	}
 	return d.client.Doc(ctx, id)
 }
 

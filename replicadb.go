@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/resilience"
 	"repro/internal/telemetry"
@@ -33,6 +35,19 @@ type ReplicatedDatabaseOptions struct {
 	Client RemoteDatabaseOptions
 }
 
+// replicaSet is one immutable routing view of the replicas. Calls load
+// the current set once at entry and use it throughout, so a concurrent
+// UpdateReplicas never changes the ground under an in-flight call: the
+// old set's replicas stay alive until every call that loaded it has
+// finished (drain), then the removed ones are closed.
+type replicaSet struct {
+	preferred int
+	replicas  []*RemoteDatabase
+	addrs     []string
+	keys      []string        // breaker keys, "name@addr"
+	inflight  []*atomic.Int64 // shared with successor sets for surviving replicas
+}
+
 // ReplicatedDatabase is one logical text database served by several
 // dbnode processes with identical content. It implements
 // ContextSearchableDatabase over the replica set with replica-aware
@@ -47,6 +62,11 @@ type ReplicatedDatabaseOptions struct {
 //     to the next; the call errors only when every replica failed.
 //   - Each replica is a probe target (ProbeTargets), so an open
 //     replica breaker closes as soon as its process recovers.
+//   - The replica set is live-reconfigurable (UpdateReplicas): in-flight
+//     calls finish on the set they started with, surviving replicas
+//     keep their breaker state and in-flight counts, removed replicas
+//     are drained and closed, added replicas are dialed lazily with
+//     breakers seeded half-open (their first call is the trial).
 //
 // Safe for concurrent use.
 type ReplicatedDatabase struct {
@@ -54,10 +74,10 @@ type ReplicatedDatabase struct {
 	category string
 	numDocs  int
 
-	preferred int
-	replicas  []*RemoteDatabase
-	keys      []string // breaker keys, "name@addr"
-	inflight  []atomic.Int64
+	set  atomic.Pointer[replicaSet]
+	opts ReplicatedDatabaseOptions // for dialing swap-added replicas
+
+	updateMu sync.Mutex // serializes UpdateReplicas
 
 	breakers  *resilience.Set
 	failovers *telemetry.Counter
@@ -74,13 +94,14 @@ func DialReplicatedDatabase(ctx context.Context, addrs []string, opts Replicated
 	if len(addrs) == 0 {
 		return nil, errors.New("repro: DialReplicatedDatabase needs at least one replica address")
 	}
+	opts.Client.Metrics = opts.Metrics
 	d := &ReplicatedDatabase{
+		opts:      opts,
 		breakers:  opts.Breakers,
-		inflight:  make([]atomic.Int64, len(addrs)),
 		failovers: opts.Metrics.Counter("replica_failover_total"),
 		exhausted: opts.Metrics.Counter("replica_exhausted_total"),
 	}
-	opts.Client.Metrics = opts.Metrics
+	set := &replicaSet{}
 	for i, addr := range addrs {
 		r, err := DialRemoteDatabase(ctx, addr, opts.Client)
 		if err != nil {
@@ -92,13 +113,65 @@ func DialReplicatedDatabase(ctx context.Context, addrs []string, opts Replicated
 			return nil, fmt.Errorf("repro: replica %s serves database %q, replica %s serves %q — a replica set must serve one database",
 				addrs[i], r.Name(), addrs[0], d.name)
 		}
-		d.replicas = append(d.replicas, r)
-		d.keys = append(d.keys, d.name+"@"+addr)
+		set.replicas = append(set.replicas, r)
+		set.addrs = append(set.addrs, addr)
+		set.keys = append(set.keys, d.name+"@"+addr)
+		set.inflight = append(set.inflight, new(atomic.Int64))
 	}
 	if opts.Preferred >= 0 && opts.Preferred < len(addrs) {
-		d.preferred = opts.Preferred
+		set.preferred = opts.Preferred
 	}
+	d.set.Store(set)
 	return d, nil
+}
+
+// NewReplicatedDatabase builds a replica set without touching the
+// network: every replica is a lazy handle (identity verified on first
+// contact) with its breaker seeded half-open, so the first call or
+// probe to each replica is its trial. This is the handle a topology
+// swap attaches to a database that just entered this shard's scope —
+// the swap cannot block on dialing nodes that may still be booting.
+func NewReplicatedDatabase(name, category string, numDocs int, addrs []string, opts ReplicatedDatabaseOptions) (*ReplicatedDatabase, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("repro: NewReplicatedDatabase needs at least one replica address")
+	}
+	if name == "" {
+		return nil, errors.New("repro: NewReplicatedDatabase needs the database name (lazy handles adopt it)")
+	}
+	opts.Client.Metrics = opts.Metrics
+	d := &ReplicatedDatabase{
+		name:      name,
+		category:  category,
+		numDocs:   numDocs,
+		opts:      opts,
+		breakers:  opts.Breakers,
+		failovers: opts.Metrics.Counter("replica_failover_total"),
+		exhausted: opts.Metrics.Counter("replica_exhausted_total"),
+	}
+	set := &replicaSet{}
+	for _, addr := range addrs {
+		set.replicas = append(set.replicas, NewLazyRemoteDatabase(addr, name, category, numDocs, opts.Client))
+		set.addrs = append(set.addrs, addr)
+		set.keys = append(set.keys, name+"@"+addr)
+		set.inflight = append(set.inflight, new(atomic.Int64))
+		d.breakers.Seed(name+"@"+addr, resilience.HalfOpen)
+	}
+	if opts.Preferred >= 0 && opts.Preferred < len(addrs) {
+		set.preferred = opts.Preferred
+	}
+	d.set.Store(set)
+	return d, nil
+}
+
+// Close drains and closes every replica in the background — the path a
+// topology swap takes when this whole database leaves the process's
+// scope. In-flight calls finish first (they hold the old set), then
+// clients close and breakers leave the set.
+func (d *ReplicatedDatabase) Close() {
+	set := d.set.Load()
+	for i := range set.replicas {
+		go d.drainReplica(set.replicas[i], set.inflight[i], set.keys[i])
+	}
 }
 
 // Name implements SearchableDatabase.
@@ -110,28 +183,113 @@ func (d *ReplicatedDatabase) Category() string { return d.category }
 // NumDocs returns the document count advertised at dial time.
 func (d *ReplicatedDatabase) NumDocs() int { return d.numDocs }
 
-// Replicas returns the replica count.
-func (d *ReplicatedDatabase) Replicas() int { return len(d.replicas) }
+// Replicas returns the current replica count.
+func (d *ReplicatedDatabase) Replicas() int { return len(d.set.Load().replicas) }
 
-// Preferred returns this process's affinity replica index.
-func (d *ReplicatedDatabase) Preferred() int { return d.preferred }
+// ReplicaAddrs returns the current replica addresses, in routing-table
+// order.
+func (d *ReplicatedDatabase) ReplicaAddrs() []string {
+	return append([]string(nil), d.set.Load().addrs...)
+}
 
-// ProbeTargets returns one health-probe target per replica, keyed like
-// the per-replica breakers ("name@addr"), for a resilience.Prober.
+// Preferred returns this process's current affinity replica index.
+func (d *ReplicatedDatabase) Preferred() int { return d.set.Load().preferred }
+
+// ProbeTargets returns one health-probe target per current replica,
+// keyed like the per-replica breakers ("name@addr"), for a
+// resilience.Prober. Recompute after UpdateReplicas (the metasearcher's
+// swap path retargets its prober with the result).
 func (d *ReplicatedDatabase) ProbeTargets() []resilience.ProbeTarget {
-	out := make([]resilience.ProbeTarget, len(d.replicas))
-	for i, r := range d.replicas {
-		out[i] = resilience.ProbeTarget{Name: d.keys[i], Ping: r.Ping}
+	set := d.set.Load()
+	out := make([]resilience.ProbeTarget, len(set.replicas))
+	for i, r := range set.replicas {
+		out[i] = resilience.ProbeTarget{Name: set.keys[i], Ping: r.Ping}
 	}
 	return out
+}
+
+// UpdateReplicas swaps the replica set to addrs — the live-topology
+// reconfiguration path. The swap is atomic for callers: a call in
+// flight finishes on the set it loaded at entry; calls entering after
+// the swap route over the new set. Per-replica state carries over by
+// address: a surviving replica keeps its client (and connection pool),
+// its breaker state, and its in-flight count. An added replica gets a
+// lazy client (no network I/O here — the swap must not block on a slow
+// joiner) and a breaker seeded half-open, so its first call or probe is
+// the trial that earns it traffic. Removed replicas are drained in the
+// background: once their in-flight count reaches zero (or drainTimeout
+// passes), their clients are closed and their breakers leave the set.
+//
+// Returns the added and removed addresses (the swap audit record).
+func (d *ReplicatedDatabase) UpdateReplicas(addrs []string, preferred int) (added, removed []string, err error) {
+	if len(addrs) == 0 {
+		return nil, nil, fmt.Errorf("repro: replica set of %s cannot become empty (remove the database instead)", d.name)
+	}
+	d.updateMu.Lock()
+	defer d.updateMu.Unlock()
+
+	old := d.set.Load()
+	oldAt := make(map[string]int, len(old.addrs))
+	for i, addr := range old.addrs {
+		oldAt[addr] = i
+	}
+	next := &replicaSet{}
+	if preferred >= 0 && preferred < len(addrs) {
+		next.preferred = preferred
+	}
+	kept := make(map[string]bool, len(addrs))
+	for _, addr := range addrs {
+		if i, ok := oldAt[addr]; ok {
+			kept[addr] = true
+			next.replicas = append(next.replicas, old.replicas[i])
+			next.inflight = append(next.inflight, old.inflight[i])
+		} else {
+			added = append(added, addr)
+			next.replicas = append(next.replicas, NewLazyRemoteDatabase(addr, d.name, d.category, d.numDocs, d.opts.Client))
+			next.inflight = append(next.inflight, new(atomic.Int64))
+			d.breakers.Seed(d.name+"@"+addr, resilience.HalfOpen)
+		}
+		next.addrs = append(next.addrs, addr)
+		next.keys = append(next.keys, d.name+"@"+addr)
+	}
+	d.set.Store(next)
+
+	for i, addr := range old.addrs {
+		if kept[addr] {
+			continue
+		}
+		removed = append(removed, addr)
+		go d.drainReplica(old.replicas[i], old.inflight[i], old.keys[i])
+	}
+	return added, removed, nil
+}
+
+// drainTimeout bounds how long a removed replica's drain waits for its
+// in-flight calls; anything still running afterwards is a straggler on
+// a detached breaker, which is harmless.
+const drainTimeout = 10 * time.Second
+
+// drainReplica waits for a removed replica's in-flight calls to finish,
+// then closes its client and removes its breaker. Order matters: the
+// breaker must outlive the last in-flight call so that call's Record
+// lands on a real breaker (detached from the gauges by Remove), and the
+// client must not close under a call still using it.
+func (d *ReplicatedDatabase) drainReplica(r *RemoteDatabase, inflight *atomic.Int64, key string) {
+	deadline := time.Now().Add(drainTimeout)
+	for inflight.Load() > 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	d.breakers.Remove(key)
+	r.Close()
 }
 
 // Ping succeeds while any replica answers its health endpoint — the
 // database-level health used by the fan-out's per-database breaker.
 func (d *ReplicatedDatabase) Ping(ctx context.Context) error {
+	set := d.set.Load()
 	var last error
-	for _, i := range d.order() {
-		if last = d.replicas[i].Ping(ctx); last == nil {
+	for _, i := range d.order(set) {
+		if last = set.replicas[i].Ping(ctx); last == nil {
 			return nil
 		}
 	}
@@ -150,16 +308,17 @@ func stateRank(s resilience.State) int {
 	}
 }
 
-// order returns replica indices in routing order: healthiest breaker
-// state first, fewest in-flight calls second (this is what steers a
-// hedge away from the replica its primary attempt is occupying), then
-// rotation distance from the preferred replica. The sort is stable on
-// the rotated order, so equal-health equal-load replicas keep affinity.
-func (d *ReplicatedDatabase) order() []int {
-	n := len(d.replicas)
+// order returns set's replica indices in routing order: healthiest
+// breaker state first, fewest in-flight calls second (this is what
+// steers a hedge away from the replica its primary attempt is
+// occupying), then rotation distance from the preferred replica. The
+// sort is stable on the rotated order, so equal-health equal-load
+// replicas keep affinity.
+func (d *ReplicatedDatabase) order(set *replicaSet) []int {
+	n := len(set.replicas)
 	idx := make([]int, n)
 	for i := range idx {
-		idx[i] = (d.preferred + i) % n
+		idx[i] = (set.preferred + i) % n
 	}
 	if n == 1 {
 		return idx
@@ -167,9 +326,9 @@ func (d *ReplicatedDatabase) order() []int {
 	rank := make([]int, n)
 	load := make([]int64, n)
 	for _, i := range idx {
-		load[i] = d.inflight[i].Load()
+		load[i] = set.inflight[i].Load()
 		if d.breakers != nil {
-			rank[i] = stateRank(d.breakers.Get(d.keys[i]).State())
+			rank[i] = stateRank(d.breakers.Get(set.keys[i]).State())
 		}
 	}
 	sort.SliceStable(idx, func(a, b int) bool {
@@ -185,12 +344,15 @@ func (d *ReplicatedDatabase) order() []int {
 // call runs fn against replicas in routing order with failover,
 // feeding each replica's breaker. It returns the first success; when
 // every replica fails it returns the last error (with every replica's
-// error joined in).
+// error joined in). The whole call uses the replica set loaded at
+// entry: a topology swap mid-call does not change which replicas this
+// call may try.
 func (d *ReplicatedDatabase) call(ctx context.Context, fn func(r *RemoteDatabase) error) error {
+	set := d.set.Load()
 	var errs []error
 	tried := 0
-	for _, i := range d.order() {
-		b := d.breakers.Get(d.keys[i])
+	for _, i := range d.order(set) {
+		b := d.breakers.Get(set.keys[i])
 		if !b.Allow() {
 			continue // short-circuited; another replica can serve
 		}
@@ -204,9 +366,9 @@ func (d *ReplicatedDatabase) call(ctx context.Context, fn func(r *RemoteDatabase
 			d.failovers.Inc()
 		}
 		tried++
-		d.inflight[i].Add(1)
-		err := fn(d.replicas[i])
-		d.inflight[i].Add(-1)
+		set.inflight[i].Add(1)
+		err := fn(set.replicas[i])
+		set.inflight[i].Add(-1)
 		if err == nil {
 			b.Record(true)
 			return nil
@@ -223,7 +385,7 @@ func (d *ReplicatedDatabase) call(ctx context.Context, fn func(r *RemoteDatabase
 		default:
 			b.Record(false)
 		}
-		errs = append(errs, fmt.Errorf("%s: %w", d.keys[i], err))
+		errs = append(errs, fmt.Errorf("%s: %w", set.keys[i], err))
 	}
 	d.exhausted.Inc()
 	if len(errs) == 0 {

@@ -214,6 +214,16 @@ type ResilienceOptions struct {
 	// DisableBreakers turns the per-node circuit breakers off: every
 	// selected database is always tried.
 	DisableBreakers bool
+	// DisableRetryBudget turns the cluster-wide retry/hedge budget off:
+	// retries and hedges launch whenever their own logic wants them,
+	// with no cap on amplification.
+	DisableRetryBudget bool
+	// RetryBudgetRatio is the fraction of recent successful volume that
+	// may be spent on retries and hedges (default 0.2);
+	// RetryBudgetBurst is the bucket's cap and starting balance
+	// (default 10). See resilience.BudgetOptions.
+	RetryBudgetRatio float64
+	RetryBudgetBurst float64
 	// Breaker tuning (zero values select the resilience package
 	// defaults: window 20, threshold 0.5, min samples 3, cooldown 5s).
 	BreakerWindow           int
@@ -271,10 +281,14 @@ type Metasearcher struct {
 	reg      *telemetry.Registry
 	tracer   *telemetry.Tracer
 	logger   *slog.Logger    // nil = logging disabled
-	audit    *audit.Log      // nil = query auditing disabled
-	breakers *resilience.Set // nil = breakers disabled
-	selCache *cache.Cache    // selection tier; nil = caching disabled
-	resCache *cache.Cache    // merged-result tier; nil = caching disabled
+	audit    *audit.Log         // nil = query auditing disabled
+	breakers *resilience.Set    // nil = breakers disabled
+	budget   *resilience.Budget // nil = retry/hedge budget disabled
+	selCache *cache.Cache       // selection tier; nil = caching disabled
+	resCache *cache.Cache       // merged-result tier; nil = caching disabled
+
+	proberMu sync.Mutex
+	prober   *resilience.Prober // live health prober; retargeted on topology swaps
 
 	mu       sync.Mutex
 	training *classify.TrainingSet
@@ -353,6 +367,14 @@ func New(opts Options) *Metasearcher {
 			Cooldown:         opts.Resilience.BreakerCooldown,
 		}, reg)
 	}
+	var budget *resilience.Budget
+	if !opts.Resilience.DisableRetryBudget {
+		budget = resilience.NewBudget(resilience.BudgetOptions{
+			Ratio:   opts.Resilience.RetryBudgetRatio,
+			Burst:   opts.Resilience.RetryBudgetBurst,
+			Metrics: reg,
+		})
+	}
 	m := &Metasearcher{
 		opts:     opts,
 		tree:     tree,
@@ -361,6 +383,7 @@ func New(opts Options) *Metasearcher {
 		logger:   opts.Logger,
 		audit:    alog,
 		breakers: breakers,
+		budget:   budget,
 		training: &classify.TrainingSet{},
 	}
 	if !opts.Cache.Disable {
@@ -404,6 +427,13 @@ func (m *Metasearcher) Metrics() *telemetry.Registry { return m.reg }
 // method is nil-safe, so callers need no guard.
 func (m *Metasearcher) Breakers() *resilience.Set { return m.breakers }
 
+// RetryBudget returns the process-wide retry/hedge budget. Pass it to
+// the wire clients of remote databases (RemoteDatabaseOptions.Budget)
+// so their retries draw from the same bucket as the fan-out's hedges.
+// Nil when Options.Resilience.DisableRetryBudget is set — and every
+// resilience.Budget method is nil-safe, so callers need no guard.
+func (m *Metasearcher) RetryBudget() *resilience.Budget { return m.budget }
+
 // SearchScope returns the database names this process queries during
 // Search (sorted), or nil when unscoped — i.e. when it is not a
 // cluster shard restricted by LoadFiltered.
@@ -436,6 +466,34 @@ func (m *Metasearcher) StartHealthProbes(interval time.Duration) (stop func()) {
 		return func() {}
 	}
 	m.mu.Lock()
+	targets := m.probeTargetsLocked()
+	m.mu.Unlock()
+	if len(targets) == 0 {
+		return func() {}
+	}
+	p := resilience.NewProber(m.breakers, targets, resilience.ProberOptions{
+		Interval: interval,
+		Metrics:  m.reg,
+	})
+	m.proberMu.Lock()
+	m.prober = p
+	m.proberMu.Unlock()
+	p.Start()
+	return func() {
+		m.proberMu.Lock()
+		if m.prober == p {
+			m.prober = nil
+		}
+		m.proberMu.Unlock()
+		p.Stop()
+	}
+}
+
+// probeTargetsLocked derives the current probe-target list from the
+// registered databases (m.mu held). Called at prober start and again
+// after every topology swap, so swapped-in replicas are probed and
+// swapped-out ones are not.
+func (m *Metasearcher) probeTargetsLocked() []resilience.ProbeTarget {
 	var targets []resilience.ProbeTarget
 	for _, r := range m.dbs {
 		switch db := r.db.(type) {
@@ -452,16 +510,22 @@ func (m *Metasearcher) StartHealthProbes(interval time.Duration) (stop func()) {
 			targets = append(targets, db.ProbeTargets()...)
 		}
 	}
-	m.mu.Unlock()
-	if len(targets) == 0 {
-		return func() {}
+	return targets
+}
+
+// refreshProbeTargets re-derives the prober's target list (no-op when
+// no prober is running).
+func (m *Metasearcher) refreshProbeTargets() {
+	m.proberMu.Lock()
+	p := m.prober
+	m.proberMu.Unlock()
+	if p == nil {
+		return
 	}
-	p := resilience.NewProber(m.breakers, targets, resilience.ProberOptions{
-		Interval: interval,
-		Metrics:  m.reg,
-	})
-	p.Start()
-	return p.Stop
+	m.mu.Lock()
+	targets := m.probeTargetsLocked()
+	m.mu.Unlock()
+	p.SetTargets(targets)
 }
 
 // hedgeThreshold resolves the hedge-latency threshold for one search:

@@ -107,8 +107,11 @@ write_topology() {
             [ "$first" -eq 1 ] || printf ',\n'
             first=0
             eval "addrs=\$ADDRS_$(slug "$db")"
-            set -- $addrs
-            printf '    {"name": "%s", "replicas": ["%s", "%s"]}' "$db" "$1" "$2"
+            reps=""
+            for a in $addrs; do
+                reps="$reps${reps:+, }\"$a\""
+            done
+            printf '    {"name": "%s", "replicas": [%s]}' "$db" "$reps"
         done
         printf '\n  ]\n}\n'
     } >"$TMP/topo.json"
@@ -119,7 +122,7 @@ write_topology "127.0.0.1:1" "127.0.0.1:1"
 start_shard() {
     log="$TMP/$1.log"
     "$TMP/metasearch" -shard-id "$1" -topology "$TMP/topo.json" -load "$TMP/state.json" \
-        -cache-size 0 -serve 127.0.0.1:0 >"$log" 2>&1 &
+        -topology-poll 200ms -cache-size 0 -serve 127.0.0.1:0 >"$log" 2>&1 &
     PIDS="$PIDS $!"
     ADDR=""
     for _ in $(seq 1 150); do
@@ -154,7 +157,7 @@ esac
 # Rewrite the topology with the live shard addrs and boot the router.
 write_topology "$SHARD0" "$SHARD1"
 "$TMP/metasearch" -route -topology "$TMP/topo.json" -probe-interval 250ms \
-    -serve 127.0.0.1:0 >"$TMP/router.log" 2>&1 &
+    -topology-poll 200ms -serve 127.0.0.1:0 >"$TMP/router.log" 2>&1 &
 PIDS="$PIDS $!"
 ROUTER=""
 for _ in $(seq 1 150); do
@@ -314,4 +317,90 @@ if [ "$FAILOVERS" -eq 0 ]; then
     exit 1
 fi
 echo "smoke-cluster: $FAILOVERS replica failovers, 0 exhausted replica sets"
+
+# Live topology reconfiguration under load: boot a replacement replica
+# for the Heart database, then rewrite the topology mid-stream — every
+# database drops its dead replica 0 and Heart gains the replacement as
+# its new preferred copy. The shard and router watchers must apply the
+# swap with zero failed queries, and /v1/healthz must report the bumped
+# topology generation on both planes.
+gen_of() {
+    curl -fsS "http://$1/v1/healthz" | sed -n 's/.*"topology":{"generation":\([0-9]*\).*/\1/p'
+}
+RGEN="$(gen_of "$ROUTER")"
+SGEN="$(gen_of "$SHARD0")"
+if [ -z "$RGEN" ] || [ -z "$SGEN" ]; then
+    echo "smoke-cluster: healthz reports no topology generation (router='$RGEN' shard='$SGEN')" >&2
+    exit 1
+fi
+
+start_node "$HEART" 2
+NEWADDR="$ADDR"
+echo "smoke-cluster: replacement replica for $HEART at $NEWADDR"
+
+# Continuous query load across the rewrite; any failure fails the smoke.
+: >"$TMP/reconfig.fail"
+(
+    while [ ! -f "$TMP/reconfig.stop" ]; do
+        curl -fsS "http://$ROUTER/v1/search?q=$Q" >/dev/null 2>&1 || echo x >>"$TMP/reconfig.fail"
+        sleep 0.05
+    done
+) &
+LOAD_PID=$!
+PIDS="$PIDS $LOAD_PID"
+sleep 0.3
+
+for db in $DBS; do
+    eval "addrs=\$ADDRS_$(slug "$db")"
+    set -- $addrs
+    if [ "$db" = "$HEART" ]; then
+        eval "ADDRS_$(slug "$db")='$NEWADDR $2'"
+    else
+        eval "ADDRS_$(slug "$db")='$2'"
+    fi
+done
+write_topology "$SHARD0" "$SHARD1"
+
+NEWRGEN=""
+NEWSGEN=""
+for _ in $(seq 1 100); do
+    NEWRGEN="$(gen_of "$ROUTER")"
+    NEWSGEN="$(gen_of "$SHARD0")"
+    [ "${NEWRGEN:-0}" -gt "$RGEN" ] && [ "${NEWSGEN:-0}" -gt "$SGEN" ] && break
+    sleep 0.2
+done
+if [ "${NEWRGEN:-0}" -le "$RGEN" ] || [ "${NEWSGEN:-0}" -le "$SGEN" ]; then
+    echo "smoke-cluster: topology generation never bumped (router $RGEN->$NEWRGEN, shard $SGEN->$NEWSGEN)" >&2
+    cat "$TMP/router.log" >&2
+    exit 1
+fi
+
+# Let the load run on the new topology for a moment, then stop it.
+sleep 0.5
+touch "$TMP/reconfig.stop"
+wait "$LOAD_PID" 2>/dev/null || true
+if [ -s "$TMP/reconfig.fail" ]; then
+    echo "smoke-cluster: $(wc -l <"$TMP/reconfig.fail") queries failed during the topology swap, want 0" >&2
+    cat "$TMP/router.log" >&2
+    exit 1
+fi
+assert_results "after topology swap"
+echo "smoke-cluster: topology swap applied under load (router gen $RGEN->$NEWRGEN, shard gen $SGEN->$NEWSGEN), zero failed queries"
+
+# The router's swap audit trail records the reconfiguration. With
+# $SWAP_OUT set, the trail is saved there (a CI artifact alongside the
+# BENCH and COLLECTOR files).
+TRAIL="$(curl -fsS "http://$ROUTER/debug/topology")"
+case "$TRAIL" in
+*'"swaps":'*) ;;
+*)
+    echo "smoke-cluster: router /debug/topology has no swap audit trail: $TRAIL" >&2
+    exit 1
+    ;;
+esac
+if [ -n "${SWAP_OUT:-}" ]; then
+    printf '%s\n' "$TRAIL" >"$SWAP_OUT"
+    echo "smoke-cluster: swap audit trail saved to $SWAP_OUT"
+fi
+
 echo "smoke-cluster: OK"

@@ -500,7 +500,7 @@ func (m *Metasearcher) searchNode(ctx context.Context, span *telemetry.Span, db 
 	// in flight when Hedged returns) from racing the winner.
 	stats := [2]*wire.CallStats{{}, {}}
 	var ids [2][]int
-	winner, hedged, qerr := resilience.Hedged(ctx, hedgeAfter, func(actx context.Context, attempt int) error {
+	winner, hedged, qerr := resilience.HedgedWithBudget(ctx, hedgeAfter, m.budget, func(actx context.Context, attempt int) error {
 		actx = telemetry.ContextWithSpan(actx, dbSpan)
 		actx = wire.ContextWithCallStats(actx, stats[attempt])
 		_, res, err := cdb.QueryContext(actx, terms, perDB)
