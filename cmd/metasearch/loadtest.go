@@ -40,6 +40,11 @@ type loadtestConfig struct {
 	// (default, a single process) or "cluster_serving" (the router
 	// fronting a sharded cluster).
 	Section string
+	// Stream, with the http driver, appends a streaming-vs-blocking
+	// measurement (time-to-first-frame against full blocking latency)
+	// and merges it into the BENCH file's "streaming" section.
+	Stream        bool
+	StreamSamples int
 }
 
 // runLoadtest measures a serving path: it obtains a trace (replayed
@@ -48,17 +53,23 @@ type loadtestConfig struct {
 // standalone metasearcher or the cluster router — prints the report and
 // the SLO state, and optionally merges the run into a BENCH JSON file.
 func runLoadtest(s loadgen.Searcher, reg *telemetry.Registry, w *experiments.World, cfg loadtestConfig) error {
-	tr, err := loadtestTrace(w, cfg)
-	if err != nil {
-		return err
-	}
-
-	name := cfg.Name
-	if name == "" {
-		name = fmt.Sprintf("%s-%.0fqps-%.0fs", cfg.Driver, tr.TargetQPS(), tr.Duration().Seconds())
+	// -lt-qps 0 with -lt-stream skips the load phase entirely: only the
+	// streaming-vs-blocking measurement runs. The smoke script uses this
+	// to bench a chaos-degraded cluster without recording a degraded run
+	// in the serving section.
+	streamOnly := cfg.Stream && cfg.QPS <= 0 && cfg.Ramp == ""
+	var tr *loadgen.Trace
+	queries := workloadQueries(w, cfg.NumQueries, cfg.Seed)
+	if !streamOnly {
+		var err error
+		if tr, err = loadtestTrace(w, cfg); err != nil {
+			return err
+		}
+		queries = tr.Queries
 	}
 
 	var driver loadgen.Driver
+	var baseURL string
 	switch cfg.Driver {
 	case "inproc":
 		driver = &loadgen.SearcherDriver{S: s, MaxDBs: cfg.MaxDBs, PerDB: cfg.PerDB}
@@ -73,12 +84,14 @@ func runLoadtest(s loadgen.Searcher, reg *telemetry.Registry, w *experiments.Wor
 		gw := gateway.New(s, cfg.Gateway)
 		mux := http.NewServeMux()
 		mux.Handle(gateway.PathSearch, gw)
+		mux.Handle(gateway.PathSearchStream, gw)
 		mux.Handle(gateway.PathHealthz, gw)
 		srv := &http.Server{Handler: mux}
 		go srv.Serve(ln)
 		defer srv.Close()
+		baseURL = "http://" + ln.Addr().String()
 		driver = &loadgen.HTTPDriver{
-			BaseURL: "http://" + ln.Addr().String(),
+			BaseURL: baseURL,
 			Client: &http.Client{
 				Timeout:   30 * time.Second,
 				Transport: &http.Transport{MaxIdleConnsPerHost: 512},
@@ -90,34 +103,72 @@ func runLoadtest(s loadgen.Searcher, reg *telemetry.Registry, w *experiments.Wor
 		return fmt.Errorf("unknown -lt-driver %q (want http or inproc)", cfg.Driver)
 	}
 
-	log.Printf("load test %q: %d requests over %s (%s driver, target %.1f QPS, %d distinct queries)",
-		name, len(tr.Events), tr.Duration().Round(time.Millisecond), cfg.Driver, tr.TargetQPS(), len(tr.Queries))
-	rep, err := loadgen.Run(context.Background(), tr, driver, loadgen.Options{
-		Name:           name,
-		MaxOutstanding: cfg.MaxOutstanding,
-		Registry:       reg,
-	})
-	if err != nil {
-		return err
+	if !streamOnly {
+		name := cfg.Name
+		if name == "" {
+			name = fmt.Sprintf("%s-%.0fqps-%.0fs", cfg.Driver, tr.TargetQPS(), tr.Duration().Seconds())
+		}
+		log.Printf("load test %q: %d requests over %s (%s driver, target %.1f QPS, %d distinct queries)",
+			name, len(tr.Events), tr.Duration().Round(time.Millisecond), cfg.Driver, tr.TargetQPS(), len(tr.Queries))
+		rep, err := loadgen.Run(context.Background(), tr, driver, loadgen.Options{
+			Name:           name,
+			MaxOutstanding: cfg.MaxOutstanding,
+			Registry:       reg,
+		})
+		if err != nil {
+			return err
+		}
+
+		fmt.Print(rep.Format())
+		var sloRep *slo.Report
+		if cfg.Tracker != nil {
+			r := cfg.Tracker.Report()
+			sloRep = &r
+			fmt.Print(r.Format())
+		}
+
+		if cfg.OutFile != "" {
+			section := cfg.Section
+			if section == "" {
+				section = "serving"
+			}
+			if err := mergeServingReport(cfg.OutFile, section, rep, sloRep); err != nil {
+				return fmt.Errorf("merge %s: %v", cfg.OutFile, err)
+			}
+			log.Printf("%s report merged into %s", section, cfg.OutFile)
+		}
 	}
 
-	fmt.Print(rep.Format())
-	var sloRep *slo.Report
-	if cfg.Tracker != nil {
-		r := cfg.Tracker.Report()
-		sloRep = &r
-		fmt.Print(r.Format())
-	}
-
-	if cfg.OutFile != "" {
-		section := cfg.Section
-		if section == "" {
-			section = "serving"
+	if cfg.Stream {
+		if baseURL == "" {
+			return fmt.Errorf("-lt-stream needs -lt-driver http: time-to-first-frame is an HTTP property")
 		}
-		if err := mergeServingReport(cfg.OutFile, section, rep, sloRep); err != nil {
-			return fmt.Errorf("merge %s: %v", cfg.OutFile, err)
+		srep, err := runStreamBench(streamBenchConfig{
+			BaseURL: baseURL,
+			Queries: queries,
+			MaxDBs:  cfg.MaxDBs,
+			PerDB:   cfg.PerDB,
+			Samples: cfg.StreamSamples,
+		})
+		if err != nil {
+			return err
 		}
-		log.Printf("%s report merged into %s", section, cfg.OutFile)
+		if cfg.Name != "" {
+			srep.Name = cfg.Name
+		}
+		fmt.Printf("streaming: TTFF p50 %.1fms p95 %.1fms | stream total p50 %.1fms | blocking p50 %.1fms p95 %.1fms | TTFF/blocking p50 %.2f | final==blocking %v (%d pairs)\n",
+			srep.TTFF.P50*1e3, srep.TTFF.P95*1e3, srep.StreamTotal.P50*1e3,
+			srep.Blocking.P50*1e3, srep.Blocking.P95*1e3,
+			srep.TTFFOverBlockingP50, srep.FinalMatchesBlocking, srep.IntegrityPairs)
+		if !srep.FinalMatchesBlocking {
+			return fmt.Errorf("streambench: streamed final frame diverged from the blocking answer")
+		}
+		if cfg.OutFile != "" {
+			if err := mergeSectionRuns(cfg.OutFile, "streaming", srep); err != nil {
+				return fmt.Errorf("merge %s: %v", cfg.OutFile, err)
+			}
+			log.Printf("streaming report merged into %s", cfg.OutFile)
+		}
 	}
 	return nil
 }
@@ -191,30 +242,37 @@ func workloadQueries(w *experiments.World, n int, seed int64) []string {
 // "cluster_serving") of a BENCH JSON file, creating the file or the
 // section as needed and leaving every other section untouched.
 func mergeServingReport(path, section string, rep *loadgen.Report, sloRep *slo.Report) error {
+	entry := map[string]any{"run": rep}
+	if sloRep != nil {
+		entry["slo"] = sloRep
+	}
+	return mergeSectionRuns(path, section, entry)
+}
+
+// mergeSectionRuns appends entry to {section: {"runs": [...]}} of a
+// BENCH JSON file, creating the file or the section as needed and
+// leaving every other section untouched.
+func mergeSectionRuns(path, section string, entry any) error {
 	doc := map[string]json.RawMessage{}
 	if b, err := os.ReadFile(path); err == nil && len(b) > 0 {
 		if err := json.Unmarshal(b, &doc); err != nil {
 			return fmt.Errorf("existing file is not a JSON object: %v", err)
 		}
 	}
-	var serving struct {
+	var runs struct {
 		Runs []json.RawMessage `json:"runs"`
 	}
 	if raw, ok := doc[section]; ok {
-		if err := json.Unmarshal(raw, &serving); err != nil {
+		if err := json.Unmarshal(raw, &runs); err != nil {
 			return fmt.Errorf("existing %s section: %v", section, err)
 		}
-	}
-	entry := map[string]any{"run": rep}
-	if sloRep != nil {
-		entry["slo"] = sloRep
 	}
 	eb, err := json.Marshal(entry)
 	if err != nil {
 		return err
 	}
-	serving.Runs = append(serving.Runs, eb)
-	sb, err := json.Marshal(serving)
+	runs.Runs = append(runs.Runs, eb)
+	sb, err := json.Marshal(runs)
 	if err != nil {
 		return err
 	}

@@ -22,12 +22,20 @@
 // With no query arguments, queries are read one per line from stdin.
 //
 // With -serve, the process runs as a query service instead of a REPL:
-// the gateway API (GET/POST /v1/search, GET /v1/healthz) and the debug
+// the gateway API (GET/POST /v1/search, GET /v1/search/stream for
+// SSE/NDJSON progressive delivery, GET /v1/healthz) and the debug
 // endpoints below share one listener, requests are answered through the
 // two-tier query cache (selection decisions and whole results; -cache-size 0
 // turns it off), -max-inflight sheds excess load with 429 + Retry-After,
 // and SIGINT/SIGTERM drains in-flight requests (up to -drain-timeout)
-// before exiting. Each request's deadline is -deadline unless the
+// before exiting. -refresh-interval starts the background summary-refresh
+// manager: every interval each live database is re-probed with a cheap
+// -refresh-docs sample, the probe's term distribution is compared to the
+// stored summary by Jensen-Shannon divergence, and a node past
+// -drift-threshold is re-sampled at full size and hot-swapped (with its
+// shrinkage ancestors recomputed and both cache tiers invalidated)
+// without interrupting traffic; /debug/refresh reports per-node drift
+// state. Each request's deadline is -deadline unless the
 // client passes an explicit timeout parameter. -debug-addr moves the
 // debug endpoints to a separate (private) listener, keeping the public
 // one API-only. Every request is judged against the serving SLOs
@@ -95,6 +103,9 @@
 //	/debug/slo         serving-objective report: burn rate and remaining
 //	                   error budget per objective and window (with -serve
 //	                   or -loadtest; 404 otherwise)
+//	/debug/refresh     summary-refresh state: swap generation and each
+//	                   node's last divergence, drift count, and swaps
+//	                   (with -refresh-interval)
 //	/debug/pprof       the standard Go profiling endpoints
 //
 // -deadline bounds each query's whole fan-out; -hedge-after tunes when a
@@ -133,6 +144,7 @@ import (
 	"repro/internal/hierarchy"
 	"repro/internal/index"
 	"repro/internal/obscollector"
+	"repro/internal/refresh"
 	"repro/internal/resilience"
 	"repro/internal/shardmap"
 	"repro/internal/slo"
@@ -177,6 +189,10 @@ func main() {
 		sloLatency = flag.Duration("slo-latency", 500*time.Millisecond, "latency-SLO threshold: requests slower than this count against the latency objective")
 		sloTarget  = flag.Float64("slo-target", 0.99, "latency-SLO target: required fraction of requests under -slo-latency")
 
+		refreshEvery = flag.Duration("refresh-interval", 0, "re-probe every database's live contents at this interval and rebuild drifted summaries in place (0 = off; incompatible with -shard-id)")
+		driftThresh  = flag.Float64("drift-threshold", 0.3, "Jensen-Shannon divergence (nats, max ln 2 ≈ 0.69) between the stored summary and a fresh probe beyond which the summary is rebuilt")
+		refreshDocs  = flag.Int("refresh-docs", 50, "documents per drift probe; small keeps checks cheap, the full -scale sample size is used only for an actual rebuild")
+
 		topologyFile = flag.String("topology", "", "cluster topology file (shardmap JSON); required by -shard-id, -route, and -collect")
 		topoPoll     = flag.Duration("topology-poll", 2*time.Second, "with a cluster mode: poll -topology for version bumps and apply them live — replica sets swap under traffic, the router's ring follows, the collector rescrapes (0 disables live reconfiguration)")
 		shardID      = flag.String("shard-id", "", "serve one topology shard: dial this shard's replicated dbnodes and scope the search fan-out to its databases (requires -topology and -load)")
@@ -201,8 +217,14 @@ func main() {
 		ltOut      = flag.String("lt-out", "", "load test: merge the run report into this BENCH JSON file's serving section")
 		ltName     = flag.String("lt-name", "", "load test: run label in reports (default derived from the profile)")
 		ltMaxOut   = flag.Int("lt-max-outstanding", 0, "load test: client-side cap on in-flight requests; excess scheduled requests are dropped, not deferred (0 = unlimited)")
+		ltStream   = flag.Bool("lt-stream", false, "load test: after the run, measure streaming delivery — /v1/search/stream time-to-first-frame vs blocking /v1/search latency — and merge a streaming section into -lt-out (http driver only)")
+		ltStreamN  = flag.Int("lt-stream-samples", 40, "load test: timed requests in the -lt-stream stage, split between the blocking and streaming halves")
 	)
 	flag.Parse()
+
+	if *refreshEvery > 0 && *shardID != "" {
+		log.Fatal("-refresh-interval cannot be combined with -shard-id: shards serve a shared offline summary store; rebuild it centrally and reload")
+	}
 
 	if *collectMode {
 		// The collector owns no testbed and answers no queries; it is
@@ -275,6 +297,8 @@ func main() {
 				PerDB:          *perDB,
 				MaxOutstanding: *ltMaxOut,
 				Section:        "cluster_serving",
+				Stream:         *ltStream,
+				StreamSamples:  *ltStreamN,
 			},
 		}); err != nil {
 			log.Fatal(err)
@@ -482,6 +506,28 @@ func main() {
 		defer stop()
 	}
 
+	// Background summary refresh: periodically re-probe every live
+	// database and rebuild summaries that have drifted past the
+	// threshold, hot-swapping them under traffic. Shards must not do
+	// this independently — a per-shard rebuild would fork the
+	// collection-wide statistics the cluster's bit-identical merge rests
+	// on — so the flag is refused there; refresh the offline store and
+	// roll it out with -load instead.
+	var refresher *refresh.Manager
+	if *refreshEvery > 0 {
+		refresher = refresh.NewManager(m, refresh.Options{
+			Interval:   *refreshEvery,
+			Threshold:  *driftThresh,
+			SampleDocs: *refreshDocs,
+			Metrics:    m.Metrics(),
+			Logger:     opts.Logger,
+		})
+		refresher.Start()
+		defer refresher.Stop()
+		log.Printf("summary refresh every %v (JS drift threshold %.3g, %d-doc probes)",
+			*refreshEvery, *driftThresh, *refreshDocs)
+	}
+
 	// Live reconfiguration: once summaries are loaded, topology version
 	// bumps swap this shard's replica sets and scope under traffic.
 	if topoWatcher != nil {
@@ -552,6 +598,8 @@ func main() {
 			MaxDBs:         *k,
 			PerDB:          *perDB,
 			MaxOutstanding: *ltMaxOut,
+			Stream:         *ltStream,
+			StreamSamples:  *ltStreamN,
 			Gateway:        gopts,
 			Tracker:        tracker,
 		}); err != nil {
@@ -564,6 +612,9 @@ func main() {
 		dbg := metasearcherDebug(m, self, ring)
 		if topoWatcher != nil {
 			dbg.topology = topoWatcher.Handler()
+		}
+		if refresher != nil {
+			dbg.refresh = refresher.Handler()
 		}
 		if err := serve(m, w, *serveAddr, *debugAddr, gopts, tracker, *drainFor, dbg); err != nil {
 			log.Fatal(err)
@@ -643,6 +694,9 @@ type debugBundle struct {
 	// of the live topology (shard: the watcher's file view; router: the
 	// active ring with its swap audit trail).
 	topology http.Handler
+	// refresh, when non-nil, serves /debug/refresh: the summary-refresh
+	// manager's per-node drift state and swap generation.
+	refresh http.Handler
 }
 
 // metasearcherDebug is the debug surface of a (standalone or shard)
@@ -664,6 +718,9 @@ func debugMux(d debugBundle, tracker *slo.Tracker) *http.ServeMux {
 	mux.Handle("/debug/slo", tracker.Handler())
 	if d.topology != nil {
 		mux.Handle("/debug/topology", d.topology)
+	}
+	if d.refresh != nil {
+		mux.Handle("/debug/refresh", d.refresh)
 	}
 	if d.ring != nil {
 		mux.Handle("/debug/export/spans", telemetry.ExportSpansHandler(d.identity, d.ring))
@@ -701,6 +758,7 @@ func serve(s gateway.Searcher, w *experiments.World, addr, debugAddr string, gop
 		defer dsrv.Close()
 	}
 	mux.Handle(gateway.PathSearch, gw)
+	mux.Handle(gateway.PathSearchStream, gw)
 	mux.Handle(gateway.PathHealthz, gw)
 
 	ln, err := net.Listen("tcp", addr)

@@ -1,0 +1,235 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"reflect"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/evtstream"
+	"repro/internal/gateway"
+)
+
+// This file is the streaming benchmark stage of -loadtest: with
+// -lt-stream, after the main run it measures what progressive delivery
+// buys — time-to-first-frame on /v1/search/stream against the full
+// latency of the blocking /v1/search — and merges the result into the
+// BENCH file's "streaming" section.
+//
+// The two paths are measured on disjoint halves of the query set:
+// a blocking request warms the query cache for its exact (query, k,
+// perdb) key, so timing a stream of the same query right after would
+// measure the cache, not the stream. A few same-query pairs are still
+// issued at the end — deliberately cache-correlated — to check the
+// final frame's ranking is identical to the blocking answer.
+
+// streamBenchConfig drives runStreamBench.
+type streamBenchConfig struct {
+	BaseURL string
+	Queries []string
+	MaxDBs  int
+	PerDB   int
+	// Samples is the total number of timed requests, split evenly
+	// between the blocking and streaming halves.
+	Samples int
+}
+
+// latencyQuantiles summarizes one latency population in seconds.
+type latencyQuantiles struct {
+	N   int     `json:"n"`
+	P50 float64 `json:"p50_seconds"`
+	P95 float64 `json:"p95_seconds"`
+	Max float64 `json:"max_seconds"`
+}
+
+// streamBenchReport is one streaming-vs-blocking measurement, merged
+// into the BENCH file's "streaming" section.
+type streamBenchReport struct {
+	Name string `json:"name"`
+	// TTFF is time to the stream's first frame (the selection frame:
+	// the ranking is known, fan-out has only started).
+	TTFF latencyQuantiles `json:"ttff"`
+	// StreamTotal is time to the stream's final frame.
+	StreamTotal latencyQuantiles `json:"stream_total"`
+	// Blocking is the full latency of /v1/search on the other half of
+	// the query set.
+	Blocking latencyQuantiles `json:"blocking"`
+	// TTFFOverBlockingP50 is the headline ratio: the paper-level claim
+	// of streaming delivery is that the selection ranking reaches the
+	// client in a fraction of the blocking round trip.
+	TTFFOverBlockingP50 float64 `json:"ttff_p50_over_blocking_p50"`
+	// FinalMatchesBlocking reports the same-query integrity pairs:
+	// streamed final ranking == blocking ranking for every pair.
+	FinalMatchesBlocking bool `json:"final_matches_blocking"`
+	IntegrityPairs       int  `json:"integrity_pairs"`
+}
+
+// runStreamBench measures TTFF vs blocking latency against a live
+// gateway (or router) base URL.
+func runStreamBench(cfg streamBenchConfig) (*streamBenchReport, error) {
+	if len(cfg.Queries) < 2 {
+		return nil, fmt.Errorf("streambench: need at least 2 distinct queries, have %d", len(cfg.Queries))
+	}
+	n := cfg.Samples
+	if n <= 0 {
+		n = 40
+	}
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	// Disjoint halves: even-indexed queries time the blocking path,
+	// odd-indexed the stream, so neither warms the other's cache key.
+	var blockQs, streamQs []string
+	for i, q := range cfg.Queries {
+		if i%2 == 0 {
+			blockQs = append(blockQs, q)
+		} else {
+			streamQs = append(streamQs, q)
+		}
+	}
+
+	var blocking, ttff, total []float64
+	for i := 0; i < n/2; i++ {
+		q := blockQs[i%len(blockQs)]
+		t0 := time.Now()
+		if _, err := fetchBlocking(client, cfg, q); err != nil {
+			return nil, err
+		}
+		blocking = append(blocking, time.Since(t0).Seconds())
+	}
+	for i := 0; i < n/2; i++ {
+		q := streamQs[i%len(streamQs)]
+		first, full, _, err := fetchStream(client, cfg, q)
+		if err != nil {
+			return nil, err
+		}
+		ttff = append(ttff, first.Seconds())
+		total = append(total, full.Seconds())
+	}
+
+	// Integrity pairs on shared queries: the streamed final frame must
+	// carry exactly the blocking ranking (cache-correlated on purpose —
+	// this checks the payload plumbing, not timing).
+	pairs := 3
+	if pairs > len(cfg.Queries) {
+		pairs = len(cfg.Queries)
+	}
+	matches := true
+	for i := 0; i < pairs; i++ {
+		q := cfg.Queries[i]
+		bres, err := fetchBlocking(client, cfg, q)
+		if err != nil {
+			return nil, err
+		}
+		_, _, sres, err := fetchStream(client, cfg, q)
+		if err != nil {
+			return nil, err
+		}
+		if !reflect.DeepEqual(bres.Results, sres.Results) || !reflect.DeepEqual(bres.Selections, sres.Selections) {
+			matches = false
+		}
+	}
+
+	rep := &streamBenchReport{
+		Name:                 fmt.Sprintf("stream-%dq", n),
+		TTFF:                 quantiles(ttff),
+		StreamTotal:          quantiles(total),
+		Blocking:             quantiles(blocking),
+		FinalMatchesBlocking: matches,
+		IntegrityPairs:       pairs,
+	}
+	if rep.Blocking.P50 > 0 {
+		rep.TTFFOverBlockingP50 = rep.TTFF.P50 / rep.Blocking.P50
+	}
+	return rep, nil
+}
+
+func searchParams(cfg streamBenchConfig, q string) url.Values {
+	v := url.Values{}
+	v.Set("q", q)
+	v.Set("k", strconv.Itoa(cfg.MaxDBs))
+	v.Set("perdb", strconv.Itoa(cfg.PerDB))
+	return v
+}
+
+func fetchBlocking(client *http.Client, cfg streamBenchConfig, q string) (*gateway.SearchReply, error) {
+	resp, err := client.Get(cfg.BaseURL + gateway.PathSearch + "?" + searchParams(cfg, q).Encode())
+	if err != nil {
+		return nil, fmt.Errorf("streambench: blocking %q: %v", q, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("streambench: blocking %q: HTTP %d", q, resp.StatusCode)
+	}
+	var reply gateway.SearchReply
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		return nil, fmt.Errorf("streambench: blocking %q: %v", q, err)
+	}
+	return &reply, nil
+}
+
+// fetchStream issues one NDJSON stream request and returns time to the
+// first frame, time to the final frame, and the final frame's reply.
+func fetchStream(client *http.Client, cfg streamBenchConfig, q string) (first, full time.Duration, reply *gateway.SearchReply, err error) {
+	v := searchParams(cfg, q)
+	v.Set("format", "ndjson")
+	t0 := time.Now()
+	resp, err := client.Get(cfg.BaseURL + gateway.PathSearchStream + "?" + v.Encode())
+	if err != nil {
+		return 0, 0, nil, fmt.Errorf("streambench: stream %q: %v", q, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, nil, fmt.Errorf("streambench: stream %q: HTTP %d", q, resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var f evtstream.Frame
+		if err := json.Unmarshal(line, &f); err != nil {
+			return 0, 0, nil, fmt.Errorf("streambench: stream %q: bad frame: %v", q, err)
+		}
+		if f.Type == evtstream.TypeHeartbeat {
+			continue
+		}
+		if first == 0 {
+			first = time.Since(t0)
+		}
+		switch f.Type {
+		case evtstream.TypeFinal:
+			full = time.Since(t0)
+			var r gateway.SearchReply
+			if err := json.Unmarshal(f.Data, &r); err != nil {
+				return 0, 0, nil, fmt.Errorf("streambench: stream %q: bad final frame: %v", q, err)
+			}
+			reply = &r
+		case evtstream.TypeError:
+			return 0, 0, nil, fmt.Errorf("streambench: stream %q: error frame: %s", q, f.Data)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, 0, nil, fmt.Errorf("streambench: stream %q: %v", q, err)
+	}
+	if reply == nil {
+		return 0, 0, nil, fmt.Errorf("streambench: stream %q ended without a final frame", q)
+	}
+	return first, full, reply, nil
+}
+
+func quantiles(xs []float64) latencyQuantiles {
+	if len(xs) == 0 {
+		return latencyQuantiles{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	at := func(q float64) float64 { return s[int(q*float64(len(s)-1))] }
+	return latencyQuantiles{N: len(s), P50: at(0.50), P95: at(0.95), Max: s[len(s)-1]}
+}

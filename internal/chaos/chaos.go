@@ -264,23 +264,43 @@ func (p *Proxy) serveAdmin(w http.ResponseWriter, r *http.Request) {
 }
 
 // throttledWriter paces body writes to roughly bytesPerSec by writing
-// in small chunks with proportional sleeps.
+// in small chunks against a schedule anchored at the first write. The
+// budget spans Write calls: a streamed (flushed) response whose frames
+// arrive as many small writes is paced exactly like one buffered body —
+// each frame ships when the byte schedule reaches it, which is what
+// lets the chaos proxy exercise SSE backpressure.
 type throttledWriter struct {
 	http.ResponseWriter
 	bytesPerSec int
 	ctx         interface{ Done() <-chan struct{} }
+	start       time.Time
+	total       int // bytes written across all calls
 }
 
 func (t *throttledWriter) Write(b []byte) (int, error) {
 	const chunk = 512
+	if t.start.IsZero() {
+		t.start = time.Now()
+	}
 	written := 0
 	for len(b) > 0 {
+		// Sleep until the schedule catches up with what was already
+		// written; the first chunk goes out immediately.
+		due := time.Duration(float64(t.total) / float64(t.bytesPerSec) * float64(time.Second))
+		if ahead := due - time.Since(t.start); ahead > 0 {
+			select {
+			case <-time.After(ahead):
+			case <-t.ctx.Done():
+				return written, fmt.Errorf("chaos: throttled write abandoned")
+			}
+		}
 		n := chunk
 		if n > len(b) {
 			n = len(b)
 		}
 		w, err := t.ResponseWriter.Write(b[:n])
 		written += w
+		t.total += w
 		if err != nil {
 			return written, err
 		}
@@ -288,14 +308,19 @@ func (t *throttledWriter) Write(b []byte) (int, error) {
 			f.Flush()
 		}
 		b = b[n:]
-		if len(b) > 0 {
-			delay := time.Duration(float64(n) / float64(t.bytesPerSec) * float64(time.Second))
-			select {
-			case <-time.After(delay):
-			case <-t.ctx.Done():
-				return written, fmt.Errorf("chaos: throttled write abandoned")
-			}
-		}
 	}
 	return written, nil
 }
+
+// Flush forwards to the inner writer, so the reverse proxy sees an
+// http.Flusher on the wrapper and keeps passing streamed responses
+// through frame by frame instead of falling back to buffering.
+func (t *throttledWriter) Flush() {
+	if f, ok := t.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap lets http.NewResponseController reach the inner writer's
+// controls through the wrapper.
+func (t *throttledWriter) Unwrap() http.ResponseWriter { return t.ResponseWriter }

@@ -189,3 +189,59 @@ func TestProxySlowBody(t *testing.T) {
 		t.Fatalf("throttled body arrived in %v, want ≥ ~187ms", elapsed)
 	}
 }
+
+// The slow-body throttle must also pace streamed (flushed) responses —
+// SSE frames are many small writes, so the byte schedule has to span
+// Write calls — while still delivering each frame as it is written
+// instead of buffering the stream to the end.
+func TestProxySlowBodyStreamed(t *testing.T) {
+	const frames = 4
+	// Each frame is exactly 512 bytes: "data: " + 504 payload + "\n\n".
+	frame := "data: " + strings.Repeat("x", 504) + "\n\n"
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		fl := w.(http.Flusher)
+		for i := 0; i < frames; i++ {
+			io.WriteString(w, frame)
+			fl.Flush()
+		}
+	}))
+	t.Cleanup(backend.Close)
+	p, err := New(backend.URL, Options{Initial: Faults{SlowBodyBytesPerSec: 4096}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(p)
+	t.Cleanup(front.Close)
+
+	start := time.Now()
+	resp, err := http.Get(front.URL + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	// The first frame is inside the schedule's opening budget, so it
+	// must arrive well before the throttled tail — flushes pass through
+	// the wrapper instead of the proxy buffering the whole stream.
+	buf := make([]byte, 512)
+	if _, err := io.ReadFull(resp.Body, buf); err != nil {
+		t.Fatal(err)
+	}
+	firstFrame := time.Since(start)
+	rest, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	if got := string(buf) + string(rest); got != strings.Repeat(frame, frames) {
+		t.Fatalf("streamed body corrupted: %d bytes, want %d", len(got), frames*len(frame))
+	}
+	// 4×512-byte frames at 4096 B/s: frames due at 0, 125, 250, 375ms.
+	if elapsed < 300*time.Millisecond {
+		t.Fatalf("streamed throttled body arrived in %v, want ≥ ~375ms (throttle must span flushed writes)", elapsed)
+	}
+	if firstFrame > 150*time.Millisecond {
+		t.Fatalf("first frame arrived after %v — stream buffered instead of flushed through the throttle", firstFrame)
+	}
+}

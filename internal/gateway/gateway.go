@@ -4,6 +4,7 @@
 //
 //	GET  /v1/search?q=...&k=...&perdb=...&timeout=...
 //	POST /v1/search   {"query": ..., "k": ..., "per_db": ..., "timeout": ...}
+//	GET  /v1/search/stream?q=...  (SSE, or NDJSON via format=ndjson/Accept)
 //	GET  /v1/healthz  (200 ok / 503 draining, exempt from the gate)
 //
 // — returning the merged ranking together with its provenance: the
@@ -11,6 +12,14 @@
 // X-Trace-Id response header), and how the answer was produced (cold
 // fan-out, result-cache hit, or collapsed onto a concurrent identical
 // query).
+//
+// /v1/search/stream delivers the same search incrementally (see
+// internal/evtstream for the framing): a selection frame as soon as the
+// database ranking lands, a node_result frame per fan-out answer, a
+// merge_update frame with the re-ranked partial merge after each, and a
+// terminal final frame whose payload is the byte-identical SearchReply
+// the blocking endpoint would have returned. Unknown query parameters
+// are rejected with a 400 naming the parameter, on both endpoints.
 //
 // The gateway borrows the operational conventions of the wire protocol
 // (internal/wire): errors are the same ErrorEnvelope shape, overload is
@@ -27,6 +36,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -34,6 +44,7 @@ import (
 
 	"repro"
 	"repro/internal/buildinfo"
+	"repro/internal/evtstream"
 	"repro/internal/slo"
 	"repro/internal/telemetry"
 	"repro/internal/wire"
@@ -41,8 +52,9 @@ import (
 
 // Paths of the gateway endpoints.
 const (
-	PathSearch  = "/v1/search"
-	PathHealthz = "/v1/healthz"
+	PathSearch       = "/v1/search"
+	PathSearchStream = "/v1/search/stream"
+	PathHealthz      = "/v1/healthz"
 )
 
 // CodeDeadline marks a search that ran out of its per-request deadline
@@ -56,6 +68,15 @@ const maxBodyBytes = 1 << 20
 // Searcher is the slice of *repro.Metasearcher the gateway serves.
 type Searcher interface {
 	SearchExplained(ctx context.Context, query string, maxDBs, perDB int) (*repro.SearchResponse, error)
+}
+
+// StreamSearcher is a Searcher that can narrate a search's progress —
+// the capability behind /v1/search/stream. *repro.Metasearcher and the
+// cluster router both implement it; a Searcher without it answers the
+// stream endpoint with 501.
+type StreamSearcher interface {
+	Searcher
+	SearchExplainedObserved(ctx context.Context, query string, maxDBs, perDB int, obs repro.SearchEvents) (*repro.SearchResponse, error)
 }
 
 // Options configures a Gateway.
@@ -76,6 +97,12 @@ type Options struct {
 	// RetryAfter is the backoff (seconds) advertised on shed responses
 	// (default 1).
 	RetryAfter int
+	// StreamQueue bounds each stream connection's frame queue and
+	// StreamHeartbeat sets its idle-heartbeat interval; zero values take
+	// the evtstream defaults (64 frames, 5s), negative StreamHeartbeat
+	// disables heartbeats.
+	StreamQueue     int
+	StreamHeartbeat time.Duration
 	// Metrics receives gateway_requests_total, gateway_errors_total,
 	// gateway_shed_total, the gateway_requests_inflight gauge, and the
 	// latency series (may be nil). Successful responses record into
@@ -162,9 +189,11 @@ func New(s Searcher, opts Options) *Gateway {
 	} {
 		opts.Metrics.Describe(d.name, d.help)
 	}
+	evtstream.RegisterMetrics(opts.Metrics)
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET "+PathSearch, g.search)
 	mux.HandleFunc("POST "+PathSearch, g.search)
+	mux.HandleFunc("GET "+PathSearchStream, g.stream)
 	g.mux = mux
 	return g
 }
@@ -233,6 +262,10 @@ func (w *statusWriter) status() int {
 	}
 	return w.code
 }
+
+// Unwrap lets http.ResponseController reach the underlying writer's
+// Flusher, which per-frame stream flushing depends on.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // ServeHTTP counts requests, applies the admission gate, converts
 // handler panics into 500 envelopes, and records the outcome: latency
@@ -397,18 +430,10 @@ func (g *Gateway) search(w http.ResponseWriter, r *http.Request) {
 	// its "search" span under the remote parent, so one trace covers
 	// router, shard, and dbnode spans end to end.
 	ctx := telemetry.ContextWithRemote(r.Context(), telemetry.Extract(r.Header))
-	timeout := g.opts.DefaultDeadline
-	if req.Timeout != "" {
-		d, err := time.ParseDuration(req.Timeout)
-		if err != nil || d <= 0 {
-			g.fail(w, r, http.StatusBadRequest, wire.CodeBadRequest,
-				fmt.Sprintf("timeout must be a positive duration like 500ms or 2s, got %q", req.Timeout))
-			return
-		}
-		if g.opts.MaxDeadline > 0 && d > g.opts.MaxDeadline {
-			d = g.opts.MaxDeadline
-		}
-		timeout = d
+	timeout, err := g.resolveTimeout(req.Timeout)
+	if err != nil {
+		g.fail(w, r, http.StatusBadRequest, wire.CodeBadRequest, err.Error())
+		return
 	}
 	if timeout > 0 {
 		var cancel context.CancelFunc
@@ -431,6 +456,18 @@ func (g *Gateway) search(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	reply := buildReply(resp)
+	if resp.TraceID != "" {
+		w.Header().Set("X-Trace-Id", resp.TraceID)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(reply)
+}
+
+// buildReply converts a search outcome into the wire reply. The stream
+// endpoint's final frame and the blocking endpoint both go through this
+// one function, which is what makes them bit-identical.
+func buildReply(resp *repro.SearchResponse) SearchReply {
 	reply := SearchReply{
 		TraceID:        resp.TraceID,
 		Query:          resp.Query,
@@ -455,16 +492,167 @@ func (g *Gateway) search(w http.ResponseWriter, r *http.Request) {
 		reply.Results = append(reply.Results, Result{
 			Database: h.Database, DocID: h.DocID, Score: h.Score})
 	}
-	if resp.TraceID != "" {
-		w.Header().Set("X-Trace-Id", resp.TraceID)
+	return reply
+}
+
+// resolveTimeout turns a request's timeout parameter into the deadline
+// to apply: the gateway default when absent, capped by MaxDeadline.
+func (g *Gateway) resolveTimeout(s string) (time.Duration, error) {
+	timeout := g.opts.DefaultDeadline
+	if s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil || d <= 0 {
+			return 0, fmt.Errorf("timeout must be a positive duration like 500ms or 2s, got %q", s)
+		}
+		if g.opts.MaxDeadline > 0 && d > g.opts.MaxDeadline {
+			d = g.opts.MaxDeadline
+		}
+		timeout = d
 	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(reply)
+	return timeout, nil
+}
+
+// StreamSelection is the payload of a stream's selection frame: the
+// selected database set in rank order, with the analyzed terms and the
+// scorer that ranked them.
+type StreamSelection struct {
+	Terms      []string    `json:"terms,omitempty"`
+	Scorer     string      `json:"scorer,omitempty"`
+	Selections []Selection `json:"selections"`
+}
+
+// StreamNodeResult is the payload of a node_result frame: one fan-out
+// node's outcome, with completed/total progress.
+type StreamNodeResult struct {
+	Database       string  `json:"database"`
+	Results        int     `json:"results"`
+	LatencySeconds float64 `json:"latency_seconds"`
+	Error          string  `json:"error,omitempty"`
+	OutOfScope     bool    `json:"out_of_scope,omitempty"`
+	BreakerOpen    bool    `json:"breaker_open,omitempty"`
+	Unavailable    bool    `json:"unavailable,omitempty"`
+	Completed      int     `json:"completed"`
+	Total          int     `json:"total"`
+}
+
+// StreamMergeUpdate is the payload of a merge_update frame: the merged
+// ranking over the fan-out slots completed so far, in final order.
+type StreamMergeUpdate struct {
+	Results []Result `json:"results"`
+}
+
+// StreamError is the payload of a terminal error frame. Streams commit
+// to a 200 status on their first frame, so search failures arrive
+// in-band with the same code vocabulary as blocking error envelopes.
+type StreamError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// framePublisher adapts a stream connection's Publisher to the
+// repro.SearchEvents observer the search pipeline narrates into.
+type framePublisher struct {
+	p *evtstream.Publisher
+}
+
+func (f framePublisher) Selection(sels []repro.Selection, terms []string, scorer string) {
+	out := StreamSelection{Terms: terms, Scorer: scorer}
+	for _, s := range sels {
+		out.Selections = append(out.Selections, Selection{
+			Database: s.Database, Score: s.Score, Shrinkage: s.Shrinkage})
+	}
+	f.p.Publish(evtstream.TypeSelection, out)
+}
+
+func (f framePublisher) NodeResult(ev repro.NodeEvent) {
+	f.p.Publish(evtstream.TypeNodeResult, StreamNodeResult{
+		Database:       ev.Database,
+		Results:        ev.Results,
+		LatencySeconds: ev.LatencySeconds,
+		Error:          ev.Error,
+		OutOfScope:     ev.OutOfScope,
+		BreakerOpen:    ev.BreakerOpen,
+		Unavailable:    ev.Unavailable,
+		Completed:      ev.Completed,
+		Total:          ev.Total,
+	})
+}
+
+func (f framePublisher) MergeUpdate(results []repro.Result) {
+	out := StreamMergeUpdate{Results: []Result{}}
+	for _, h := range results {
+		out.Results = append(out.Results, Result{
+			Database: h.Database, DocID: h.DocID, Score: h.Score})
+	}
+	f.p.Publish(evtstream.TypeMergeUpdate, out)
+}
+
+// stream serves /v1/search/stream: the same search as the blocking
+// endpoint, narrated frame by frame. The request headers commit to 200
+// before the search runs, so failures arrive as terminal error frames.
+// When the client hangs up, the request context's cancellation releases
+// the fan-out workers.
+func (g *Gateway) stream(w http.ResponseWriter, r *http.Request) {
+	streamer, ok := g.searcher.(StreamSearcher)
+	if !ok {
+		g.fail(w, r, http.StatusNotImplemented, wire.CodeBadRequest,
+			"streaming is not supported by this searcher")
+		return
+	}
+	req, err := g.parseRequest(r, "format")
+	if err != nil {
+		g.fail(w, r, http.StatusBadRequest, wire.CodeBadRequest, err.Error())
+		return
+	}
+	timeout, err := g.resolveTimeout(req.Timeout)
+	if err != nil {
+		g.fail(w, r, http.StatusBadRequest, wire.CodeBadRequest, err.Error())
+		return
+	}
+	format := evtstream.Negotiate(r)
+
+	ctx := telemetry.ContextWithRemote(r.Context(), telemetry.Extract(r.Header))
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel() // client gone or stream done: release the fan-out
+	if timeout > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, timeout)
+		defer tcancel()
+	}
+
+	p := evtstream.NewPublisher(evtstream.Options{
+		MaxQueue:  g.opts.StreamQueue,
+		Heartbeat: g.opts.StreamHeartbeat,
+		Metrics:   g.opts.Metrics,
+	})
+	go func() {
+		resp, err := streamer.SearchExplainedObserved(ctx, req.Query, req.K, req.PerDB, framePublisher{p})
+		if err != nil {
+			g.errors.Inc()
+			code := wire.CodeUnavailable
+			msg := err.Error()
+			switch {
+			case errors.Is(err, context.DeadlineExceeded):
+				code = CodeDeadline
+				msg = fmt.Sprintf("search exceeded its deadline: %v", err)
+			case errors.Is(err, context.Canceled):
+				msg = "request canceled"
+			}
+			p.Publish(evtstream.TypeError, StreamError{Code: code, Message: msg})
+		} else {
+			p.Publish(evtstream.TypeFinal, buildReply(resp))
+		}
+		p.Close()
+	}()
+	p.Serve(ctx, w, format)
 }
 
 // parseRequest decodes a search request from either shape: GET query
-// parameters or a POST JSON body.
-func (g *Gateway) parseRequest(r *http.Request) (searchRequest, error) {
+// parameters or a POST JSON body. GET requests may use only the known
+// parameters (q, k, perdb, timeout, plus any endpoint-specific extras)
+// — an unknown one is a 400 naming it, so a client misspelling
+// `timeout` fails loudly instead of silently running unbounded.
+func (g *Gateway) parseRequest(r *http.Request, extraParams ...string) (searchRequest, error) {
 	req := searchRequest{K: g.opts.DefaultMaxDBs, PerDB: g.opts.DefaultPerDB}
 	if r.Method == http.MethodPost {
 		var body searchRequest
@@ -482,6 +670,21 @@ func (g *Gateway) parseRequest(r *http.Request) (searchRequest, error) {
 		}
 	} else {
 		q := r.URL.Query()
+		allowed := map[string]bool{"q": true, "k": true, "perdb": true, "timeout": true}
+		for _, p := range extraParams {
+			allowed[p] = true
+		}
+		var unknown []string
+		for name := range q {
+			if !allowed[name] {
+				unknown = append(unknown, name)
+			}
+		}
+		if len(unknown) > 0 {
+			sort.Strings(unknown)
+			return req, fmt.Errorf("unknown query parameter %q (valid: q, k, perdb, timeout)",
+				strings.Join(unknown, ", "))
+		}
 		req.Query = q.Get("q")
 		req.Timeout = q.Get("timeout")
 		for _, p := range []struct {

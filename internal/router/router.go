@@ -29,6 +29,7 @@
 package router
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
@@ -43,6 +44,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/evtstream"
 	"repro/internal/gateway"
 	"repro/internal/resilience"
 	"repro/internal/shardmap"
@@ -136,7 +138,10 @@ type probeResult struct {
 	at  time.Time
 }
 
-var _ gateway.Searcher = (*Router)(nil)
+var (
+	_ gateway.Searcher       = (*Router)(nil)
+	_ gateway.StreamSearcher = (*Router)(nil)
+)
 
 // New builds a Router over the topology's shards. The topology is
 // validated; the routing table (which database lives on which shard) is
@@ -433,6 +438,20 @@ type shardReply struct {
 // SearchExplained implements gateway.Searcher: scatter to every shard,
 // gather, merge. It errors only when no shard produced an answer.
 func (r *Router) SearchExplained(ctx context.Context, query string, maxDBs, perDB int) (*repro.SearchResponse, error) {
+	return r.searchExplained(ctx, query, maxDBs, perDB, nil)
+}
+
+// SearchExplainedObserved implements gateway.StreamSearcher for the
+// cluster plane: the scatter consumes each shard's NDJSON event stream
+// instead of its blocking reply, re-merging progress cluster-wide as it
+// arrives (see streamMerger), and the returned response — built by the
+// same merge over the same shard replies — is bit-identical to
+// SearchExplained's. A nil obs is SearchExplained.
+func (r *Router) SearchExplainedObserved(ctx context.Context, query string, maxDBs, perDB int, obs repro.SearchEvents) (*repro.SearchResponse, error) {
+	return r.searchExplained(ctx, query, maxDBs, perDB, obs)
+}
+
+func (r *Router) searchExplained(ctx context.Context, query string, maxDBs, perDB int, obs repro.SearchEvents) (*repro.SearchResponse, error) {
 	r.requests.Inc()
 	start := time.Now()
 	attrs := []telemetry.Attr{
@@ -458,6 +477,7 @@ func (r *Router) SearchExplained(ctx context.Context, query string, maxDBs, perD
 	// One ring snapshot per query: a topology swap mid-flight never
 	// changes this query's fan-out set.
 	shards := r.ring.Load().shards
+	sm := newStreamMerger(obs)
 	replies := make([]shardReply, len(shards))
 	var wg sync.WaitGroup
 	for i, s := range shards {
@@ -473,13 +493,24 @@ func (r *Router) SearchExplained(ctx context.Context, query string, maxDBs, perD
 		go func(i int, s shardmap.Shard, b *resilience.Breaker) {
 			defer wg.Done()
 			r.shardCalls.Inc()
-			reply, err := r.callShard(ctx, span, s, query, maxDBs, perDB)
-			if err != nil && r.budget != nil && ctx.Err() == nil && !wire.IsShed(err) && r.budget.TrySpend() {
-				// One budget-funded retry against the same shard; the
-				// breaker records only the final outcome.
-				r.shardRetries.Inc()
-				span.Event("router.shard_retry", telemetry.String("shard", s.ID))
+			var reply *gateway.SearchReply
+			var err error
+			if sm != nil {
+				// Streamed scatter: progress frames re-merge as they
+				// arrive. No budget retry — replaying half a consumed
+				// stream would double-narrate the shard's progress; a
+				// failed shard costs coverage exactly as a blocking
+				// failure after retry would.
+				reply, err = r.callShardStream(ctx, span, i, s, query, maxDBs, perDB, sm)
+			} else {
 				reply, err = r.callShard(ctx, span, s, query, maxDBs, perDB)
+				if err != nil && r.budget != nil && ctx.Err() == nil && !wire.IsShed(err) && r.budget.TrySpend() {
+					// One budget-funded retry against the same shard; the
+					// breaker records only the final outcome.
+					r.shardRetries.Inc()
+					span.Event("router.shard_retry", telemetry.String("shard", s.ID))
+					reply, err = r.callShard(ctx, span, s, query, maxDBs, perDB)
+				}
 			}
 			if err == nil {
 				r.budget.RecordSuccess()
@@ -606,8 +637,19 @@ func (r *Router) merge(replies []shardReply, query string) (*repro.SearchRespons
 	if answered == 0 {
 		return nil, false
 	}
-	// The in-process merge's exact tie-break: score descending, then
-	// database name, then doc id.
+	resp.Results = sortDedup(results, r.dedupDrops)
+	return resp, true
+}
+
+// sortDedup applies the cluster merge's tail in place: the in-process
+// merge's exact tie-break (score descending, then database name, then
+// doc id), then first-wins deduplication of (database, doc id) pairs —
+// replicated databases are owned by several shards and arrive once per
+// owner with identical scores. drops, when non-nil, counts the
+// duplicates removed (the final merge feeds router_dedup_dropped_total;
+// streamed partial merges pass nil so re-merging the same replicas per
+// progress frame does not inflate the counter).
+func sortDedup(results []repro.Result, drops *telemetry.Counter) []repro.Result {
 	sort.Slice(results, func(i, j int) bool {
 		if results[i].Score != results[j].Score {
 			return results[i].Score > results[j].Score
@@ -617,25 +659,192 @@ func (r *Router) merge(replies []shardReply, query string) (*repro.SearchRespons
 		}
 		return results[i].DocID < results[j].DocID
 	})
-	// Replicated databases are owned by several shards and arrive once
-	// per owner with identical scores; keep the first of each
-	// (database, doc id) pair.
 	seen := make(map[resultKey]bool, len(results))
 	merged := results[:0]
 	for _, h := range results {
 		k := resultKey{h.Database, h.DocID}
 		if seen[k] {
-			r.dedupDrops.Inc()
+			drops.Inc()
 			continue
 		}
 		seen[k] = true
 		merged = append(merged, h)
 	}
-	resp.Results = merged
-	return resp, true
+	return merged
 }
 
 type resultKey struct {
 	db string
 	id int
 }
+
+// streamMerger re-merges per-shard progress frames into cluster-wide
+// observer events. Selection frames are identical on every shard (the
+// shrinkage invariant), so the first one becomes the cluster's;
+// node_result frames are deduplicated by database (replicas report the
+// same node) and out-of-scope frames dropped (the owning shard reports
+// the real outcome); each shard merge_update replaces that shard's
+// partial, and the cluster partial — concat, sort, dedup, exactly the
+// final merge's tail — is re-emitted after every change.
+type streamMerger struct {
+	obs repro.SearchEvents
+
+	mu       sync.Mutex
+	total    int             // len(selections), once the first selection lands
+	selected bool            // selection forwarded
+	nodeSeen map[string]bool // database → node_result forwarded
+	partials map[int][]repro.Result
+}
+
+// newStreamMerger returns nil for a nil observer, so the blocking path
+// pays nothing.
+func newStreamMerger(obs repro.SearchEvents) *streamMerger {
+	if obs == nil {
+		return nil
+	}
+	return &streamMerger{
+		obs:      obs,
+		nodeSeen: make(map[string]bool),
+		partials: make(map[int][]repro.Result),
+	}
+}
+
+func (sm *streamMerger) onSelection(sel gateway.StreamSelection) {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	if sm.selected {
+		return
+	}
+	sm.selected = true
+	sm.total = len(sel.Selections)
+	sels := make([]repro.Selection, 0, len(sel.Selections))
+	for _, s := range sel.Selections {
+		sels = append(sels, repro.Selection{
+			Database: s.Database, Score: s.Score, Shrinkage: s.Shrinkage})
+	}
+	sm.obs.Selection(sels, sel.Terms, sel.Scorer)
+}
+
+func (sm *streamMerger) onNodeResult(nr gateway.StreamNodeResult) {
+	if nr.OutOfScope {
+		return
+	}
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	if sm.nodeSeen[nr.Database] {
+		return
+	}
+	sm.nodeSeen[nr.Database] = true
+	sm.obs.NodeResult(repro.NodeEvent{
+		Database:       nr.Database,
+		Results:        nr.Results,
+		LatencySeconds: nr.LatencySeconds,
+		Error:          nr.Error,
+		BreakerOpen:    nr.BreakerOpen,
+		Unavailable:    nr.Unavailable,
+		Completed:      len(sm.nodeSeen),
+		Total:          sm.total,
+	})
+}
+
+// onPartial replaces one shard's latest partial merge and re-emits the
+// cluster partial over every shard's current state.
+func (sm *streamMerger) onPartial(shard int, results []gateway.Result) {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	part := make([]repro.Result, 0, len(results))
+	for _, h := range results {
+		part = append(part, repro.Result{Database: h.Database, DocID: h.DocID, Score: h.Score})
+	}
+	sm.partials[shard] = part
+	var all []repro.Result
+	for _, p := range sm.partials {
+		all = append(all, p...)
+	}
+	sm.obs.MergeUpdate(sortDedup(all, nil))
+}
+
+// callShardStream runs one shard's /v1/search/stream call in NDJSON,
+// feeding progress frames through the merger and returning the reply
+// carried by the shard's terminal frame — the byte-identical payload
+// callShard would have decoded from /v1/search.
+func (r *Router) callShardStream(ctx context.Context, span *telemetry.Span, idx int, s shardmap.Shard, query string, maxDBs, perDB int, sm *streamMerger) (*gateway.SearchReply, error) {
+	q := url.Values{}
+	q.Set("q", query)
+	if maxDBs > 0 {
+		q.Set("k", strconv.Itoa(maxDBs))
+	}
+	if perDB > 0 {
+		q.Set("perdb", strconv.Itoa(perDB))
+	}
+	q.Set("format", "ndjson")
+	u := "http://" + s.Addr + gateway.PathSearchStream + "?" + q.Encode()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	telemetry.Inject(span.Context(), req.Header)
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, wire.DecodeError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), maxStreamFrame)
+	var final *gateway.SearchReply
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var f evtstream.Frame
+		if err := json.Unmarshal(line, &f); err != nil {
+			return nil, fmt.Errorf("shard %s stream: malformed frame: %w", s.ID, err)
+		}
+		switch f.Type {
+		case evtstream.TypeSelection:
+			var sel gateway.StreamSelection
+			if err := json.Unmarshal(f.Data, &sel); err == nil {
+				sm.onSelection(sel)
+			}
+		case evtstream.TypeNodeResult:
+			var nr gateway.StreamNodeResult
+			if err := json.Unmarshal(f.Data, &nr); err == nil {
+				sm.onNodeResult(nr)
+			}
+		case evtstream.TypeMergeUpdate:
+			var mu gateway.StreamMergeUpdate
+			if err := json.Unmarshal(f.Data, &mu); err == nil {
+				sm.onPartial(idx, mu.Results)
+			}
+		case evtstream.TypeFinal:
+			var reply gateway.SearchReply
+			if err := json.Unmarshal(f.Data, &reply); err != nil {
+				return nil, fmt.Errorf("shard %s stream: malformed final frame: %w", s.ID, err)
+			}
+			final = &reply
+			sm.onPartial(idx, reply.Results)
+		case evtstream.TypeError:
+			var se gateway.StreamError
+			if err := json.Unmarshal(f.Data, &se); err != nil {
+				return nil, fmt.Errorf("shard %s stream: malformed error frame: %w", s.ID, err)
+			}
+			return nil, fmt.Errorf("shard %s stream error (%s): %s", s.ID, se.Code, se.Message)
+		}
+		// Heartbeats and unknown (newer-schema droppable) frames are
+		// skipped: the stream contract keys on the critical types.
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("shard %s stream: %w", s.ID, err)
+	}
+	if final == nil {
+		return nil, fmt.Errorf("shard %s stream ended without a terminal frame", s.ID)
+	}
+	return final, nil
+}
+
+// maxStreamFrame bounds one NDJSON frame read from a shard stream.
+const maxStreamFrame = 8 << 20

@@ -596,6 +596,7 @@ func registerPipelineMetrics(reg *telemetry.Registry) {
 	}
 	for _, g := range []struct{ name, help string }{
 		{"build_databases", "Databases covered by the latest BuildSummaries run."},
+		{"search_inflight", "Search requests currently inside SearchExplained."},
 		{"em_iterations", "EM iterations of the most recent shrinkage run."},
 		{"sampling_vocab_size", "Distinct terms in the most recently sampled vocabulary."},
 	} {

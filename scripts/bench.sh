@@ -9,7 +9,7 @@
 set -eu
 
 GO="${GO:-go}"
-OUT="${1:-${BENCH_OUT:-BENCH_pr7.json}}"
+OUT="${1:-${BENCH_OUT:-BENCH_pr10.json}}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT INT TERM
 

@@ -16,7 +16,7 @@
 set -eu
 
 GO="${GO:-go}"
-OUT="${1:-${BENCH_OUT:-BENCH_pr7.json}}"
+OUT="${1:-${BENCH_OUT:-BENCH_pr10.json}}"
 QPS="${QPS:-100}"
 DURATION="${DURATION:-10s}"
 DRIVER="${DRIVER:-http}"

@@ -33,9 +33,10 @@ cleanup() {
 }
 trap cleanup EXIT INT TERM
 
-echo "smoke-cluster: building dbnode and metasearch..."
+echo "smoke-cluster: building dbnode, metasearch, and chaosproxy..."
 "$GO" build -o "$TMP/dbnode" ./cmd/dbnode
 "$GO" build -o "$TMP/metasearch" ./cmd/metasearch
+"$GO" build -o "$TMP/chaosproxy" ./cmd/chaosproxy
 
 # Three databases keep the bounded-load ring honest: with cap
 # ceil(1.25 * 3 / 2) = 2 neither shard can own everything, so both
@@ -274,6 +275,39 @@ if [ -n "${COLLECTOR_OUT:-}" ]; then
     echo "smoke-cluster: cluster snapshot saved to $COLLECTOR_OUT"
 fi
 
+# Streaming delivery through the router: one curl -N against
+# /v1/search/stream must carry at least the selection, node_result, and
+# final frame types, and the final frame's ranking must be exactly the
+# blocking endpoint's answer.
+echo "smoke-cluster: streaming query through the router..."
+STREAM="$(curl -fsSN "http://$ROUTER/v1/search/stream?q=$Q")"
+for ev in 'event: selection' 'event: node_result' 'event: final'; do
+    case "$STREAM" in
+    *"$ev"*) ;;
+    *)
+        echo "smoke-cluster: stream is missing \"$ev\"" >&2
+        printf '%s\n' "$STREAM" | head -n 20 >&2
+        exit 1
+        ;;
+    esac
+done
+FINAL_DATA="$(printf '%s\n' "$STREAM" | sed -n '/^event: final$/{n;n;s/^data: //p;}')"
+BLOCKING="$(curl -fsS "http://$ROUTER/v1/search?q=$Q")"
+# trace_id and elapsed differ per request; the ranking and selection
+# payloads must not (shards run cache-off, so both requests recompute).
+pick() { printf '%s' "$2" | sed -n 's/.*"'"$1"'":\(\[[^]]*\]\).*/\1/p'; }
+for field in results selections; do
+    sv="$(pick "$field" "$FINAL_DATA")"
+    bv="$(pick "$field" "$BLOCKING")"
+    if [ -z "$sv" ] || [ "$sv" != "$bv" ]; then
+        echo "smoke-cluster: streamed final $field differ from blocking answer" >&2
+        echo "stream:   $sv" >&2
+        echo "blocking: $bv" >&2
+        exit 1
+    fi
+done
+echo "smoke-cluster: stream carried selection/node_result/final, final ranking == blocking"
+
 # Optional measured run: a second router process in -loadtest mode fans
 # the open-loop workload out to the same (healthy) shards and merges
 # the report into the BENCH file's cluster_serving section.
@@ -285,6 +319,42 @@ if [ -n "$OUT" ]; then
         echo "smoke-cluster: $OUT has no cluster_serving section" >&2
         exit 1
     fi
+
+    # Streaming bench: front shard-01 with a 120ms chaos proxy so the
+    # fan-out dominates, then measure time-to-first-frame against full
+    # blocking latency through a stream-only router loadtest (-lt-qps 0
+    # keeps the degraded run out of the cluster_serving section). The
+    # selection frame must reach the client in under half the blocking
+    # round trip — that is what progressive delivery buys.
+    echo "smoke-cluster: streaming bench against a chaos-delayed shard..."
+    "$TMP/chaosproxy" -target "http://$SHARD1" \
+        -faults '{"latency_ms":120}' >"$TMP/chaos.log" 2>&1 &
+    PIDS="$PIDS $!"
+    CHAOS=""
+    for _ in $(seq 1 100); do
+        CHAOS="$(sed -n 's|.*on http://||p' "$TMP/chaos.log" | head -n 1 | cut -d' ' -f1)"
+        [ -n "$CHAOS" ] && break
+        sleep 0.1
+    done
+    if [ -z "$CHAOS" ]; then
+        echo "smoke-cluster: chaosproxy never came up" >&2
+        cat "$TMP/chaos.log" >&2
+        exit 1
+    fi
+    sed "s|\"addr\": \"$SHARD1\"|\"addr\": \"$CHAOS\"|" "$TMP/topo.json" >"$TMP/topo-stream.json"
+    "$TMP/metasearch" -route -topology "$TMP/topo-stream.json" -loadtest \
+        -lt-qps 0 -lt-stream -lt-stream-samples "${STREAM_SAMPLES:-12}" \
+        -lt-name stream-vs-blocking -lt-out "$OUT"
+    if ! grep -q '"streaming"' "$OUT"; then
+        echo "smoke-cluster: $OUT has no streaming section" >&2
+        exit 1
+    fi
+    RATIO="$(sed -n 's/.*"ttff_p50_over_blocking_p50":[[:space:]]*\([0-9.eE+-]*\).*/\1/p' "$OUT" | tail -n 1)"
+    if [ -z "$RATIO" ] || ! awk -v r="$RATIO" 'BEGIN{exit !(r > 0 && r < 0.5)}'; then
+        echo "smoke-cluster: TTFF/blocking p50 ratio '$RATIO' not in (0, 0.5)" >&2
+        exit 1
+    fi
+    echo "smoke-cluster: streaming TTFF is ${RATIO}x the blocking p50"
 fi
 
 # Kill every database's replica 0 — the preferred copy on every shard —

@@ -129,9 +129,31 @@ type SearchStages struct {
 // failing nodes are short-circuited by their breakers. The merged
 // ranking is deterministic regardless of arrival order.
 func (m *Metasearcher) SearchExplained(ctx context.Context, query string, maxDBs, perDB int) (*SearchResponse, error) {
+	return m.searchExplained(ctx, query, maxDBs, perDB, nil)
+}
+
+// SearchExplainedObserved is SearchExplained with incremental progress
+// events: obs receives the selection as soon as it is ranked, each
+// node's outcome as the fan-out completes it, and the partial merged
+// ranking after each — the hook behind /v1/search/stream. The returned
+// response is bit-identical to SearchExplained's for the same query:
+// observation never changes the answer. A nil obs is SearchExplained.
+//
+// For a result-cache hit or a query collapsed onto a concurrent
+// identical search, obs sees only the Selection event (the fan-out it
+// would narrate already ran, or is owned by another request) before
+// the response returns.
+func (m *Metasearcher) SearchExplainedObserved(ctx context.Context, query string, maxDBs, perDB int, obs SearchEvents) (*SearchResponse, error) {
+	return m.searchExplained(ctx, query, maxDBs, perDB, obs)
+}
+
+func (m *Metasearcher) searchExplained(ctx context.Context, query string, maxDBs, perDB int, obs SearchEvents) (*SearchResponse, error) {
 	if perDB <= 0 {
 		perDB = 10
 	}
+	inflight := m.reg.Gauge("search_inflight")
+	inflight.Add(1)
+	defer inflight.Add(-1)
 	attrs := []telemetry.Attr{
 		telemetry.String("query", query),
 		telemetry.Int("max_dbs", maxDBs),
@@ -184,13 +206,20 @@ func (m *Metasearcher) SearchExplained(ctx context.Context, query string, maxDBs
 		key := resultKey(selectionKey(terms, m.scorerKey(), maxDBs), perDB)
 		var v interface{}
 		v, hit, collapsed, err = m.resCache.Do(ctx, key, func() (interface{}, error) {
-			return m.searchUncached(ctx, span, query, maxDBs, perDB)
+			return m.searchUncached(ctx, span, query, maxDBs, perDB, obs)
 		})
 		if v != nil {
 			e = v.(*searchEntry)
 		}
 	} else {
-		e, err = m.searchUncached(ctx, span, query, maxDBs, perDB)
+		e, err = m.searchUncached(ctx, span, query, maxDBs, perDB, obs)
+	}
+	// A cache hit or collapsed query never ran this caller's fan-out
+	// (and so never narrated anything): replay the selection from the
+	// shared entry, so a streaming client still gets its selection
+	// frame before the final answer.
+	if obs != nil && (hit || collapsed) && e != nil && err == nil {
+		obs.Selection(append([]Selection(nil), e.selections...), e.terms, e.scorer)
 	}
 
 	rec.CacheHit = hit
@@ -285,8 +314,9 @@ type searchEntry struct {
 // selection cache), parallel fan-out, merge. It always returns a
 // non-nil entry carrying whatever evidence was gathered before a
 // failure, so failed queries still produce explanatory audit records.
-// The span stays open — the caller owns its lifecycle.
-func (m *Metasearcher) searchUncached(ctx context.Context, span *telemetry.Span, query string, maxDBs, perDB int) (*searchEntry, error) {
+// The span stays open — the caller owns its lifecycle. obs, when
+// non-nil, narrates the search as it progresses (see SearchEvents).
+func (m *Metasearcher) searchUncached(ctx context.Context, span *telemetry.Span, query string, maxDBs, perDB int, obs SearchEvents) (*searchEntry, error) {
 	e := &searchEntry{}
 	tSel := time.Now()
 	sels, explain, selHit, err := m.selectCached(ctx, span, query, maxDBs)
@@ -304,6 +334,9 @@ func (m *Metasearcher) searchUncached(ctx context.Context, span *telemetry.Span,
 	e.selections = sels
 	for _, s := range sels {
 		e.selected = append(e.selected, s.Database)
+	}
+	if obs != nil {
+		obs.Selection(append([]Selection(nil), sels...), e.terms, e.scorer)
 	}
 	if len(sels) == 0 {
 		return e, nil
@@ -348,6 +381,7 @@ func (m *Metasearcher) searchUncached(ctx context.Context, span *telemetry.Span,
 		workers = len(sels)
 	}
 	outcomes := make([]nodeOutcome, len(sels))
+	em := newSearchEmitter(obs, sels, maxScore)
 	tFan := time.Now()
 	forEachCollect(len(sels), workers, m.reg, func(i int) {
 		name := sels[i].Database
@@ -359,9 +393,11 @@ func (m *Metasearcher) searchUncached(ctx context.Context, span *telemetry.Span,
 			m.reg.Counter("search_out_of_scope_total").Inc()
 			span.Event("search.out_of_scope", telemetry.String("db", name))
 			outcomes[i] = nodeOutcome{call: audit.NodeCall{Database: name, OutOfScope: true}}
+			em.record(i, outcomes[i])
 			return
 		}
 		outcomes[i] = m.searchNode(fanCtx, span, handles[name], name, terms, perDB, hedgeAfter)
+		em.record(i, outcomes[i])
 	})
 	e.stages.Fanout = time.Since(tFan).Seconds()
 	m.reg.Histogram("search_stage_fanout_latency", nil).Observe(e.stages.Fanout)
@@ -376,9 +412,8 @@ func (m *Metasearcher) searchUncached(ctx context.Context, span *telemetry.Span,
 	}
 
 	tMerge := time.Now()
-	var out []Result
 	queried, skipped := 0, 0
-	for i, o := range outcomes {
+	for _, o := range outcomes {
 		e.nodes = append(e.nodes, o.call)
 		if !o.ok {
 			if o.call.OutOfScope {
@@ -387,13 +422,6 @@ func (m *Metasearcher) searchUncached(ctx context.Context, span *telemetry.Span,
 			continue
 		}
 		queried++
-		for rank, id := range o.ids {
-			out = append(out, Result{
-				Database: sels[i].Database,
-				DocID:    id,
-				Score:    (sels[i].Score / maxScore) / float64(rank+1),
-			})
-		}
 	}
 	if queried == 0 {
 		// On a shard whose slice holds none of the selected databases an
@@ -405,15 +433,7 @@ func (m *Metasearcher) searchUncached(ctx context.Context, span *telemetry.Span,
 		e.stages.Merge = time.Since(tMerge).Seconds()
 		return e, nil
 	}
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].Score != out[b].Score {
-			return out[a].Score > out[b].Score
-		}
-		if out[a].Database != out[b].Database {
-			return out[a].Database < out[b].Database
-		}
-		return out[a].DocID < out[b].DocID
-	})
+	out := scoreOutcomes(sels, maxScore, outcomes)
 	m.reg.Counter("search_results_merged_total").Add(int64(len(out)))
 	e.results = out
 	e.merged = len(out)
@@ -434,6 +454,45 @@ type nodeOutcome struct {
 	call audit.NodeCall
 	ids  []int
 	ok   bool
+}
+
+// sortResults applies the merge's deterministic order in place: score
+// descending, then database name, then document id. Arrival order never
+// shows through.
+func sortResults(out []Result) {
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		if out[a].Database != out[b].Database {
+			return out[a].Database < out[b].Database
+		}
+		return out[a].DocID < out[b].DocID
+	})
+}
+
+// scoreOutcomes merges the completed fan-out slots into the ranked
+// result list: each document scored by its database's normalized
+// selection score discounted by rank, then sorted deterministically.
+// Slots not yet completed (ok=false) contribute nothing, so scoring a
+// partially-filled outcome array yields the completed prefix of the
+// eventual answer — which is what streaming merge_update frames carry.
+func scoreOutcomes(sels []Selection, maxScore float64, outcomes []nodeOutcome) []Result {
+	var out []Result
+	for i, o := range outcomes {
+		if !o.ok {
+			continue
+		}
+		for rank, id := range o.ids {
+			out = append(out, Result{
+				Database: sels[i].Database,
+				DocID:    id,
+				Score:    (sels[i].Score / maxScore) / float64(rank+1),
+			})
+		}
+	}
+	sortResults(out)
+	return out
 }
 
 // searchNode evaluates the query at one selected database: breaker
